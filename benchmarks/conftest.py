@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+it as a text table, and archives it under ``benchmarks/results/``. Heavy
+trained artifacts are session-scoped.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.facedet.training import TrainedDetectorBundle, train_reference_cascade
+from repro.faceauth.workload import TrainedWorkload, build_workload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def publish(results_dir):
+    """Print a rendered table and archive it to results/<name>.txt."""
+
+    def _publish(name: str, text: str) -> None:
+        print("\n" + text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _publish
+
+
+@pytest.fixture(scope="session")
+def bench_bundle() -> TrainedDetectorBundle:
+    """Reference detector for the VJ experiments (benchmark-grade size)."""
+    return train_reference_cascade(
+        seed=42, n_pos=400, n_neg=800, pool_size=1200,
+        stage_sizes=(3, 6, 12, 25),
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_workload() -> TrainedWorkload:
+    """A trained face-authentication workload trace."""
+    return build_workload(seed=3, n_frames=150, event_rate=4.0)

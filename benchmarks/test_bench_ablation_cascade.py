@@ -1,0 +1,83 @@
+"""A2 — cascade depth vs detector work and energy.
+
+The cascade's economics: deeper cascades spend a few more features on
+faces but reject background windows earlier, cutting total feature
+evaluations (and therefore accelerator energy) on realistic scenes.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import TextTable
+from repro.facedet.cascade import CascadeClassifier
+from repro.facedet.detector import SlidingWindowDetector
+from repro.vj_hw.accelerator import ViolaJonesAccelerator
+
+N_SCENES = 6
+
+
+def _truncated(cascade: CascadeClassifier, n_stages: int) -> CascadeClassifier:
+    return CascadeClassifier(
+        features=cascade.features,
+        stages=cascade.stages[:n_stages],
+        window=cascade.window,
+    )
+
+
+def test_ablation_cascade_depth(benchmark, bench_bundle, publish):
+    full = bench_bundle.cascade
+    from repro.datasets.faces import FaceGenerator
+
+    gen = FaceGenerator(seed=90)  # order-independent scene source
+    scenes = [
+        gen.render_scene(110, 150, [32], difficulty=0.7) for _ in range(N_SCENES)
+    ]
+    engine = ViolaJonesAccelerator()
+
+    def run():
+        rows = []
+        for depth in range(1, full.n_stages + 1):
+            cascade = _truncated(full, depth)
+            detector = SlidingWindowDetector(cascade, step_size=3)
+            evals = 0
+            detections_total = 0
+            energy = 0.0
+            for scene in scenes:
+                detections, stats = detector.detect(scene.image, return_stats=True)
+                evals += stats.feature_evaluations
+                detections_total += len(detections)
+                energy += engine.scan_cost(stats, scene.image.size).total_joules
+            rows.append(
+                {
+                    "stages": depth,
+                    "features_in_cascade": sum(
+                        cascade.features_per_stage
+                    ),
+                    "feature_evals_per_scene": evals / N_SCENES,
+                    "detections_per_scene": detections_total / N_SCENES,
+                    "energy_uj_per_scene": energy / N_SCENES * 1e6,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = TextTable(
+        [
+            "stages", "features_in_cascade", "feature_evals_per_scene",
+            "detections_per_scene", "energy_uj_per_scene",
+        ],
+        title="Ablation A2: cascade depth vs detector work",
+    )
+    table.add_rows(rows)
+    publish("ablation_cascade", table.render())
+
+    # Deeper cascades produce fewer (more precise) detections...
+    assert rows[-1]["detections_per_scene"] <= rows[0]["detections_per_scene"]
+    # ...and per-scene feature evaluations grow sublinearly with cascade
+    # size: the last stage multiplies features ~2x but evaluations far less.
+    evals_growth = (
+        rows[-1]["feature_evals_per_scene"] / rows[0]["feature_evals_per_scene"]
+    )
+    features_growth = (
+        rows[-1]["features_in_cascade"] / rows[0]["features_in_cascade"]
+    )
+    assert evals_growth < features_growth / 2

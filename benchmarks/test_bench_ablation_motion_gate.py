@@ -1,0 +1,59 @@
+"""A3 — motion-gate threshold vs missed events and energy.
+
+The motion detector's thresholds trade energy (how often the expensive
+stages run) against event coverage (a gate that is too deaf drops target
+visits — and a dropped visit can never be authenticated).
+"""
+
+from __future__ import annotations
+
+from repro.core.report import TextTable
+from repro.faceauth.evaluate import PAPER_VARIANTS, build_pipeline
+from repro.motion.detector import MotionDetector
+
+
+def test_ablation_motion_gate_threshold(benchmark, bench_workload, publish):
+    def run():
+        rows = []
+        for pixel_threshold, area_threshold in (
+            (0.04, 0.002),
+            (0.08, 0.01),
+            (0.15, 0.05),
+            (0.25, 0.15),
+        ):
+            pipeline = build_pipeline(PAPER_VARIANTS[3], bench_workload, "asic")
+            pipeline.motion.detector = MotionDetector(
+                pixel_threshold=pixel_threshold,
+                area_threshold=area_threshold,
+            )
+            result = pipeline.run_workload(bench_workload.video)
+            rows.append(
+                {
+                    "pixel_thr": pixel_threshold,
+                    "area_thr": area_threshold,
+                    "motion_rate": result.rate("motion"),
+                    "energy_uj_frame": result.energy_per_frame * 1e6,
+                    "event_miss_rate": result.event_miss_rate(
+                        bench_workload.video
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = TextTable(
+        ["pixel_thr", "area_thr", "motion_rate", "energy_uj_frame",
+         "event_miss_rate"],
+        title="Ablation A3: motion-gate threshold vs energy and coverage",
+    )
+    table.add_rows(rows)
+    publish("ablation_motion_gate", table.render())
+
+    # Tighter gates fire less and cost less...
+    fire = [r["motion_rate"] for r in rows]
+    energy = [r["energy_uj_frame"] for r in rows]
+    assert fire[0] >= fire[-1]
+    assert energy[0] >= energy[-1]
+    # ...but the deafest gate misses events the tuned gate catches.
+    assert rows[1]["event_miss_rate"] == 0.0  # the default operating point
+    assert rows[-1]["event_miss_rate"] >= rows[1]["event_miss_rate"]

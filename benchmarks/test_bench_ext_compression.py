@@ -1,0 +1,140 @@
+"""EXT1 — compression as an optional pipeline block (Section II's hook).
+
+The paper: "compression can be treated as an optional block in in-camera
+processing pipelines", with the caveat that "lossy compression at the
+early stages of the pipeline could result in quality degradations". This
+benchmark runs that analysis on the VR pipeline: measure real
+rate-distortion on rig imagery, then insert a codec block at the raw-
+sensor cut point and at the B4 cut point and see how the feasibility
+picture of Figure 10 changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.block import compression_block
+from repro.compression.codec import JpegLikeCodec
+from repro.core.cost import ThroughputCostModel
+from repro.core.pipeline import InCameraPipeline, PipelineConfig
+from repro.core.report import TextTable
+from repro.datasets.rig import CameraRig, PanoramicScene
+from repro.hw.network import ETHERNET_25G
+from repro.imaging.image import as_gray
+from repro.vr.blocks import RigDataModel
+from repro.vr.scenarios import build_vr_pipeline
+
+
+def _rig_luma(seed: int = 70) -> np.ndarray:
+    rig = CameraRig(n_cameras=4, radius=1.0, sim_height=96, sim_width=160)
+    scene = PanoramicScene.random(seed=seed, n_objects=4,
+                                  object_distances=(2.0, 6.0))
+    frames = rig.capture(scene, seed=seed)
+    return as_gray(frames.rgb[0])
+
+
+def test_ext_compression_rate_distortion_on_rig_content(benchmark, publish):
+    luma = _rig_luma()
+
+    def run():
+        rows = []
+        for quality in (10, 25, 50, 75, 90):
+            result = JpegLikeCodec(quality=quality).roundtrip(luma)
+            rows.append(
+                {
+                    "quality": quality,
+                    "compression_ratio": result.compression_ratio,
+                    "psnr_db": result.psnr_db,
+                    "ssim": result.ssim,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = TextTable(
+        ["quality", "compression_ratio", "psnr_db", "ssim"],
+        title="EXT1a: rate-distortion of rig imagery",
+    )
+    table.add_rows(rows)
+    publish("ext_compression_rd", table.render())
+    ratios = [r["compression_ratio"] for r in rows]
+    assert all(a > b for a, b in zip(ratios, ratios[1:]))  # monotone
+    assert ratios[0] > 5.0  # meaningful compression available
+
+
+def test_ext_compressed_offload_feasibility(benchmark, publish):
+    """Insert the codec at two cut points and re-run the Fig 10 analysis."""
+    luma = _rig_luma(seed=71)
+    model_25g = ThroughputCostModel(ETHERNET_25G)
+    data_model = RigDataModel()
+    vr = build_vr_pipeline()
+
+    def run():
+        rows = []
+        for quality in (25, 50, 75, 90):
+            ratio = JpegLikeCodec(quality=quality).roundtrip(luma).compression_ratio
+            # (a) compress the raw sensor stream, offload everything else.
+            raw_codec = compression_block(
+                f"C(q{quality})",
+                input_bytes=data_model.sensor_bytes(),
+                measured_ratio=ratio,
+                pixels_per_frame=data_model.n_cameras
+                * data_model.pixels_per_camera,
+                parallel_engines=data_model.n_cameras,  # one per camera
+            )
+            raw_pipeline = InCameraPipeline(
+                name="sensor+codec",
+                sensor_bytes=data_model.sensor_bytes(),
+                blocks=(raw_codec,),
+            )
+            raw_cost = model_25g.evaluate(
+                PipelineConfig(raw_pipeline, ("isp",))
+            )
+            # (b) compress B4's panorama after the full FPGA pipeline.
+            b4_codec = compression_block(
+                f"C(q{quality})",
+                input_bytes=data_model.b4_bytes(),
+                measured_ratio=ratio,
+                pixels_per_frame=2 * data_model.pano_width * data_model.pano_height,
+                parallel_engines=2,  # one per eye
+            )
+            full_pipeline = InCameraPipeline(
+                name="vr+codec",
+                sensor_bytes=vr.sensor_bytes,
+                blocks=tuple(vr.blocks) + (b4_codec,),
+            )
+            full_cost = model_25g.evaluate(
+                PipelineConfig(
+                    full_pipeline, ("arm", "arm", "fpga", "fpga", "isp")
+                )
+            )
+            rows.append(
+                {
+                    "quality": quality,
+                    "ratio": ratio,
+                    "raw+codec_fps": raw_cost.total_fps,
+                    "raw+codec_realtime": raw_cost.meets(30.0),
+                    "full+codec_fps": full_cost.total_fps,
+                    "full+codec_realtime": full_cost.meets(30.0),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = TextTable(
+        ["quality", "ratio", "raw+codec_fps", "raw+codec_realtime",
+         "full+codec_fps", "full+codec_realtime"],
+        title="EXT1b: codec-augmented cut points at 25 GbE",
+    )
+    table.add_rows(rows)
+    publish("ext_compression_offload", table.render())
+
+    # Aggressive compression makes even raw offload feasible (with the
+    # paper's caveat: that is *lossy* data feeding the whole cloud
+    # pipeline), and it adds comfortable headroom after B4.
+    assert any(r["raw+codec_realtime"] for r in rows)
+    assert all(r["full+codec_realtime"] for r in rows)
+    # The uncompressed raw cut is infeasible (Fig 10 baseline).
+    baseline = model_25g.evaluate(PipelineConfig(vr, ()))
+    assert not baseline.meets(30.0)

@@ -1,0 +1,132 @@
+"""E6 / Section III — the real-world face-authentication workload.
+
+Paper: on real captured video, progressive filtering (motion -> VJ -> NN)
+dramatically cuts energy versus transmitting everything; the staged
+pipeline achieves a 0% true miss rate on the easy-conditions security
+workload; fixed-function accelerators beat the general-purpose MCU.
+The harvested-power analysis turns per-frame energy into an achievable
+frame rate per reader distance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import TextTable
+from repro.faceauth.evaluate import (
+    PAPER_VARIANTS,
+    evaluate_variants,
+    harvest_analysis,
+)
+
+
+def test_variant_platform_matrix(benchmark, bench_workload, publish):
+    rows = benchmark.pedantic(
+        lambda: evaluate_variants(bench_workload),
+        rounds=1,
+        iterations=1,
+    )
+    table = TextTable(
+        [
+            "variant",
+            "platform",
+            "energy_per_frame_uj",
+            "motion_rate",
+            "detect_rate",
+            "miss_rate",
+            "event_miss_rate",
+            "false_alarm_rate",
+        ],
+        title="Sec III: pipeline variants x platforms on the workload trace",
+    )
+    table.add_rows(rows)
+    publish("faceauth_variants", table.render())
+
+    energy = {
+        (r["variant"], r["platform"]): r["energy_per_frame_uj"] for r in rows
+    }
+    # Progressive filtering: every added stage cuts energy (ASIC).
+    assert (
+        energy[("tx-everything", "asic")]
+        > energy[("motion-gated", "asic")]
+        > energy[("motion+detect", "asic")] * 0.999
+    )
+    assert energy[("full-fa", "asic")] < energy[("tx-everything", "asic")] / 5
+    # Accelerators beat the MCU wherever real compute runs.
+    for variant in ("motion+detect", "full-fa"):
+        assert energy[(variant, "asic")] < energy[(variant, "mcu")]
+    # Paper: 0% true miss rate on the security workload (the paper makes
+    # no false-alarm claim; we bound it loosely at 10% of frames).
+    full = [r for r in rows if r["variant"] == "full-fa" and r["platform"] == "asic"]
+    assert full[0]["event_miss_rate"] == 0.0
+    assert full[0]["false_alarm_rate"] < 0.10
+
+
+def test_harvested_power_operating_range(benchmark, bench_workload, publish):
+    rows_all = evaluate_variants(bench_workload, platforms=("asic",))
+    energy = {r["variant"]: r["energy_per_frame_uj"] * 1e-6 for r in rows_all}
+    active = {
+        r["variant"]: max(
+            sum(o.active_seconds for o in r["result"].outcomes)
+            / max(len(r["result"].outcomes), 1),
+            1e-3,
+        )
+        for r in rows_all
+    }
+
+    def run():
+        rows = []
+        for variant in ("tx-everything", "full-fa"):
+            for point in harvest_analysis(
+                energy[variant], active[variant],
+                distances_m=(0.5, 1.0, 2.0, 3.0, 4.0),
+            ):
+                rows.append({"variant": variant, **point})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = TextTable(
+        ["variant", "distance_m", "harvested_uw", "steady_fps"],
+        title="Sec III: achievable FPS vs reader distance (RF harvesting)",
+    )
+    table.add_rows(rows)
+    publish("faceauth_harvest", table.render())
+
+    fps = {(r["variant"], r["distance_m"]): r["steady_fps"] for r in rows}
+    # Filtering extends range: at every distance full-fa >= tx-everything.
+    for d in (0.5, 1.0, 2.0, 3.0, 4.0):
+        assert fps[("full-fa", d)] >= fps[("tx-everything", d)]
+    # The WISPCam regime: transmit-everything lands near ~1 FPS at 2 m.
+    assert 0.05 < fps[("tx-everything", 2.0)] < 5.0
+
+
+def test_stage_energy_breakdown(benchmark, bench_workload, publish):
+    rows_all = evaluate_variants(
+        bench_workload, variants=(PAPER_VARIANTS[3],), platforms=("asic", "mcu")
+    )
+
+    def run():
+        rows = []
+        for r in rows_all:
+            result = r["result"]
+            total = sum(result.stage_energy.values())
+            for stage, joules in sorted(result.stage_energy.items()):
+                rows.append(
+                    {
+                        "platform": r["platform"],
+                        "stage": stage,
+                        "energy_uj_total": joules * 1e6,
+                        "share_pct": 100.0 * joules / total,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = TextTable(
+        ["platform", "stage", "energy_uj_total", "share_pct"],
+        title="Sec III: full-fa per-stage energy breakdown",
+    )
+    table.add_rows(rows)
+    publish("faceauth_stage_breakdown", table.render())
+    stages = {(r["platform"], r["stage"]) for r in rows}
+    assert ("asic", "auth") in stages and ("mcu", "detect") in stages

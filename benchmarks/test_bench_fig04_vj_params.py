@@ -1,0 +1,119 @@
+"""E1 / Figure 4c — Viola-Jones parameter sensitivity.
+
+Paper: relative accuracy (F1, precision, recall) as the detector's scale
+factor (1.25..2.0), static step size (4..16) and adaptive step size
+(0.0..0.4) vary. Expected shape: accuracy degrades as each parameter
+coarsens, with recall falling fastest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import TextTable
+from repro.datasets.faces import FaceGenerator
+from repro.facedet.detector import SlidingWindowDetector
+from repro.facedet.metrics import relative_scores, score_detections
+
+N_SCENES = 10
+
+
+def _evaluate(bundle, **detector_kwargs):
+    detector = SlidingWindowDetector(bundle.cascade, **detector_kwargs)
+    per_scene = []
+    # Fresh generator per sweep point: every configuration sees the exact
+    # same scenes, and no other benchmark perturbs them.
+    gen = FaceGenerator(seed=88)
+    for index in range(N_SCENES):
+        scene = gen.render_scene(110, 150, [28, 40], difficulty=0.7)
+        detections = detector.detect(scene.image)
+        per_scene.append((detections, list(scene.boxes)))
+    return score_detections(per_scene)
+
+
+def _sweep(bundle, axis_name, values, make_kwargs):
+    scores = [_evaluate(bundle, **make_kwargs(v)) for v in values]
+    rel = relative_scores(scores)
+    rows = []
+    for i, value in enumerate(values):
+        rows.append(
+            {
+                axis_name: value,
+                "rel_f1": rel["f1"][i],
+                "rel_precision": rel["precision"][i],
+                "rel_recall": rel["recall"][i],
+                "abs_f1": scores[i].f1,
+            }
+        )
+    return rows
+
+
+def test_fig04_scale_factor_sweep(benchmark, bench_bundle, publish):
+    rows = benchmark.pedantic(
+        lambda: _sweep(
+            bench_bundle,
+            "scale_factor",
+            [1.25, 1.5, 1.75, 2.0],
+            lambda v: {"scale_factor": v, "step_size": 2},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = TextTable(
+        ["scale_factor", "rel_f1", "rel_precision", "rel_recall", "abs_f1"],
+        title="Fig 4c (left): scale factor vs relative accuracy",
+    )
+    table.add_rows(rows)
+    publish("fig04_scale_factor", table.render())
+    # Shape: the finest scale factor is at (or near) peak relative recall.
+    assert rows[0]["rel_recall"] >= rows[-1]["rel_recall"]
+
+
+def test_fig04_static_step_sweep(benchmark, bench_bundle, publish):
+    rows = benchmark.pedantic(
+        lambda: _sweep(
+            bench_bundle,
+            "step_size",
+            [4, 8, 12, 16],
+            lambda v: {"scale_factor": 1.25, "step_size": v},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = TextTable(
+        ["step_size", "rel_f1", "rel_precision", "rel_recall", "abs_f1"],
+        title="Fig 4c (middle): static step size vs relative accuracy",
+    )
+    table.add_rows(rows)
+    publish("fig04_static_step", table.render())
+    # Shape: accuracy collapses at coarse static strides.
+    assert rows[-1]["rel_f1"] < rows[0]["rel_f1"]
+
+
+def test_fig04_adaptive_step_sweep(benchmark, bench_bundle, publish):
+    rows = benchmark.pedantic(
+        lambda: _sweep(
+            bench_bundle,
+            "adaptive_step",
+            [0.05, 0.1, 0.2, 0.3, 0.4],
+            lambda v: {"scale_factor": 1.25, "adaptive_step": v},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = TextTable(
+        ["adaptive_step", "rel_f1", "rel_precision", "rel_recall", "abs_f1"],
+        title="Fig 4c (right): adaptive step size vs relative accuracy",
+    )
+    table.add_rows(rows)
+    publish("fig04_adaptive_step", table.render())
+    assert rows[-1]["rel_f1"] <= rows[0]["rel_f1"] + 1e-9
+
+
+def test_fig04_detector_kernel_throughput(benchmark, bench_bundle):
+    """pytest-benchmark timing anchor: one full-frame scan."""
+    gen = FaceGenerator(seed=89)
+    scene = gen.render_scene(110, 150, [32], difficulty=0.7)
+    detector = SlidingWindowDetector(bench_bundle.cascade, step_size=4)
+    detections = benchmark(lambda: detector.detect(scene.image))
+    assert isinstance(detections, list)

@@ -1,0 +1,127 @@
+"""E8 / Figure 7 — depth-map quality vs bilateral grid size.
+
+Paper: sweeping the grid from 4 to 64 pixels-per-vertex (in all three
+dimensions), a smaller grid is cheaper but degrades MS-SSIM quality of the
+output depth map, from 100% down toward ~60%; the *image resolution*
+(5/7/8 MP) matters far less than the grid size.
+
+Reproduction notes: the solve runs at simulation scale; the "grid size
+(GB)" axis is computed for the corresponding full-resolution grid
+(vertices x 16 B for the value/weight/solution float32 planes). Quality is
+MS-SSIM against the finest-grid output, matching the paper's
+relative-quality axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bilateral.stereo import BssaStereo
+from repro.core.report import TextTable
+from repro.datasets.scenes import random_scene
+from repro.datasets.stereo import render_stereo_pair
+from repro.imaging.metrics import ms_ssim
+
+#: Megapixel points of Figure 7 and their full-res dimensions (4:3).
+RESOLUTIONS = {
+    "5 MP": (1944, 2592),
+    "7 MP": (2304, 3072),
+    "8 MP": (2448, 3264),
+}
+#: Simulation scale: 1/18 of linear resolution keeps the solve fast.
+SIM_SCALE = 18
+#: Pixels-per-vertex sweep (the paper's 4..64).
+SWEEP = (4, 8, 16, 32, 64)
+BYTES_PER_VERTEX = 16.0
+
+
+def _grid_gigabytes(height: int, width: int, pixels_per_vertex: int) -> float:
+    ny = int(np.ceil(height / pixels_per_vertex))
+    nx = int(np.ceil(width / pixels_per_vertex))
+    nz = max(int(round(256.0 / pixels_per_vertex)), 2)
+    return ny * nx * nz * BYTES_PER_VERTEX / 1e9
+
+
+def _quality_sweep(label: str, full_h: int, full_w: int, seed: int):
+    sim_h, sim_w = full_h // SIM_SCALE, full_w // SIM_SCALE
+    scene = random_scene(sim_h, sim_w, n_objects=4, seed=seed,
+                         focal_baseline=30.0)
+    pair = render_stereo_pair(scene)
+    rng = np.random.default_rng(seed)
+    left = np.clip(pair.left + rng.normal(0, 0.06, pair.left.shape), 0, 1)
+    right = np.clip(pair.right + rng.normal(0, 0.06, pair.right.shape), 0, 1)
+    maxd = int(np.ceil(pair.max_disparity)) + 2
+
+    results = {}
+    for ppv in SWEEP:
+        sim_ppv = max(ppv / SIM_SCALE * 4.0, 1.0)  # scale-preserving sigma
+        engine = BssaStereo(
+            max_disparity=maxd,
+            sigma_spatial=sim_ppv,
+            range_bins=max(int(round(256.0 / ppv)), 2),
+        )
+        results[ppv] = engine.compute(left, right)
+
+    reference = results[SWEEP[0]].normalized_refined()
+    rows = []
+    for ppv in SWEEP:
+        quality = ms_ssim(results[ppv].normalized_refined(), reference)
+        rows.append(
+            {
+                "resolution": label,
+                "px_per_vertex": ppv,
+                "grid_gb_fullres": _grid_gigabytes(full_h, full_w, ppv),
+                "quality_msssim": quality,
+            }
+        )
+    return rows
+
+
+def test_fig07_quality_vs_grid_size(benchmark, publish):
+    def run():
+        rows = []
+        for seed, (label, (h, w)) in enumerate(RESOLUTIONS.items()):
+            rows.extend(_quality_sweep(label, h, w, seed=40 + seed))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = TextTable(
+        ["resolution", "px_per_vertex", "grid_gb_fullres", "quality_msssim"],
+        title="Fig 7: depth quality (MS-SSIM) vs bilateral grid size",
+    )
+    table.add_rows(rows)
+    publish("fig07_grid_quality", table.render())
+
+    for label in RESOLUTIONS:
+        series = [r for r in rows if r["resolution"] == label]
+        series.sort(key=lambda r: r["px_per_vertex"])
+        qualities = [r["quality_msssim"] for r in series]
+        # Finest grid defines 100%; coarsest degrades substantially.
+        assert qualities[0] == 1.0
+        assert qualities[-1] < 0.9
+        # Quality is monotone-ish: each halving of the grid loses quality
+        # (allow one small inversion from stochastic scenes).
+        drops = sum(b < a + 0.02 for a, b in zip(qualities, qualities[1:]))
+        assert drops >= len(qualities) - 2
+
+    # Resolution matters less than grid size: at fixed px/vertex the
+    # spread across resolutions is smaller than the spread across the
+    # grid sweep at fixed resolution.
+    at_16 = [r["quality_msssim"] for r in rows if r["px_per_vertex"] == 16]
+    res_spread = max(at_16) - min(at_16)
+    five_mp = sorted(
+        (r for r in rows if r["resolution"] == "5 MP"),
+        key=lambda r: r["px_per_vertex"],
+    )
+    grid_spread = five_mp[0]["quality_msssim"] - five_mp[-1]["quality_msssim"]
+    assert grid_spread > res_spread
+
+
+def test_fig07_solve_kernel(benchmark):
+    """Timing anchor: one full BSSA solve at simulation scale."""
+    scene = random_scene(100, 132, n_objects=3, seed=9, focal_baseline=30.0)
+    pair = render_stereo_pair(scene)
+    engine = BssaStereo(max_disparity=int(pair.max_disparity) + 2,
+                        sigma_spatial=6)
+    result = benchmark(lambda: engine.compute(pair.left, pair.right))
+    assert result.grid.n_vertices > 0

@@ -1,0 +1,91 @@
+"""E9 / Figure 9 — per-block compute share and output data size.
+
+Paper (2 of 16 cameras): compute splits ~5% / 20% / 70% / 5% across
+B1..B4, and the output sizes show B1 *expanding* the stream, B2 the
+largest transfer, B4 the smallest. Compute shares come from profiling the
+functional pipeline; data sizes from the logical 16x4K model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.report import TextTable
+from repro.datasets.rig import CameraRig, PanoramicScene
+from repro.vr.blocks import RigDataModel
+from repro.vr.pipeline import VrPipeline
+
+PAPER_SHARES = {"B1": 0.05, "B2": 0.20, "B3": 0.70, "B4": 0.05}
+
+
+def test_fig09_compute_distribution(benchmark, publish):
+    rig = CameraRig(n_cameras=16, radius=1.0, sim_height=48, sim_width=80)
+    scene = PanoramicScene.random(seed=50, n_objects=6,
+                                  object_distances=(2.0, 6.0))
+    pipeline = VrPipeline(
+        rig,
+        data_model=RigDataModel(),
+        min_depth_m=1.5,
+        sigma_spatial=4,
+        solver_iters=10,
+        pano_width=320,
+    )
+
+    def run():
+        shares = []
+        for seed in range(3):
+            shares.append(pipeline.run_scene(scene, seed=seed).compute_shares())
+        return {
+            block: float(np.mean([s[block] for s in shares]))
+            for block in ("B1", "B2", "B3", "B4")
+        }
+
+    shares = benchmark.pedantic(run, rounds=1, iterations=1)
+    model = RigDataModel()
+    outputs = {o.block: o for o in model.outputs()}
+
+    table = TextTable(
+        ["block", "compute_share_pct", "paper_share_pct", "output_mb_16cam",
+         "output_mb_2cam"],
+        title="Fig 9: per-block compute share and output size",
+    )
+    for block in ("B1", "B2", "B3", "B4"):
+        table.add_row(
+            {
+                "block": block,
+                "compute_share_pct": shares[block] * 100.0,
+                "paper_share_pct": PAPER_SHARES[block] * 100.0,
+                "output_mb_16cam": outputs[block].megabytes,
+                "output_mb_2cam": outputs[block].megabytes / model.n_pairs,
+            }
+        )
+    publish("fig09_block_profile", table.render())
+
+    # Shape: B3 dominates by a wide margin; B1 and B4 are small.
+    assert shares["B3"] == max(shares.values())
+    assert shares["B3"] > 0.45
+    assert shares["B1"] < shares["B3"] / 3
+    assert shares["B4"] < shares["B3"]
+
+    # Data sizes: B1 expands; B2 largest; B4 smallest.
+    sizes = {b: outputs[b].bytes_per_frame for b in outputs}
+    assert sizes["B1"] > sizes["sensor"]
+    assert sizes["B2"] == max(sizes.values())
+    assert sizes["B4"] == min(sizes.values())
+
+
+def test_fig09_pipeline_kernel(benchmark):
+    """Timing anchor: a small end-to-end pipeline run."""
+    rig = CameraRig(n_cameras=8, radius=1.0, sim_height=32, sim_width=48)
+    scene = PanoramicScene.random(seed=51, n_objects=3,
+                                  object_distances=(2.0, 5.0))
+    pipeline = VrPipeline(
+        rig,
+        data_model=RigDataModel(n_cameras=8),
+        min_depth_m=2.0,
+        sigma_spatial=4,
+        solver_iters=5,
+        pano_width=128,
+    )
+    run = benchmark(lambda: pipeline.run_scene(scene, seed=0))
+    assert run.slowest_block() == "B3"

@@ -1,0 +1,58 @@
+"""E4 / Section III-A — accelerator geometry sweep.
+
+Paper: at fixed 30 MHz / 0.9 V, energy per inference is U-shaped in the
+PE count with the optimum at 8 PEs for the 400-8-1 network: fewer PEs
+introduce scheduling inefficiencies (input re-streaming, longer runtime),
+more PEs sit idle on the 8-neuron hidden layer.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import TextTable
+from repro.nn.mlp import MLP
+from repro.snnap.geometry import energy_optimal, sweep_design_space
+from repro.snnap.schedule import schedule_network
+
+PE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def test_pe_geometry_sweep(benchmark, publish):
+    model = MLP((400, 8, 1), seed=0)
+    points = benchmark.pedantic(
+        lambda: sweep_design_space(model, pe_counts=PE_COUNTS, bit_widths=(8,)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for point in points:
+        schedule = schedule_network(model.layer_sizes, point.n_pes)
+        rows.append(
+            {
+                "n_pes": point.n_pes,
+                "cycles": point.cycles_per_inference,
+                "energy_nj": point.energy_per_inference * 1e9,
+                "power_uw": point.power * 1e6,
+                "mac_utilization": schedule.mac_utilization,
+            }
+        )
+    table = TextTable(
+        ["n_pes", "cycles", "energy_nj", "power_uw", "mac_utilization"],
+        title="Sec III-A: PE-count sweep at 30 MHz / 0.9 V (8-bit)",
+    )
+    table.add_rows(rows)
+    publish("nn_pe_sweep", table.render())
+
+    # Paper's finding: the optimum is exactly 8 PEs, with a U shape.
+    assert energy_optimal(points).n_pes == 8
+    energy = {r["n_pes"]: r["energy_nj"] for r in rows}
+    assert energy[1] > energy[2] > energy[4] > energy[8]
+    assert energy[8] < energy[16] <= energy[32]
+
+
+def test_pe_sweep_kernel(benchmark):
+    """Timing anchor: the sweep evaluation itself."""
+    model = MLP((400, 8, 1), seed=1)
+    points = benchmark(
+        lambda: sweep_design_space(model, pe_counts=(4, 8), bit_widths=(8,))
+    )
+    assert len(points) == 2

@@ -1,0 +1,102 @@
+"""E2 / Section III-A — NN topology exploration.
+
+Paper: input windows from 5x5 to 20x20 (and hidden-layer sizes) trade
+accuracy against energy; halving classification error costs about an
+order of magnitude in energy; the chosen compromise is 400-8-1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.report import TextTable
+from repro.datasets.faces import FaceGenerator
+from repro.imaging.resize import resize_bilinear
+from repro.nn.mlp import MLP
+from repro.nn.train import train_rprop
+from repro.snnap.geometry import evaluate_design
+
+
+def _make_auth_data(side: int, n_train: int, n_eval: int, seed: int):
+    """Train and eval splits for ONE enrolled identity.
+
+    Both splits must come from the same generator/identity — the task is
+    recognizing a specific person, so the eval target is the training
+    target under fresh nuisance conditions.
+    """
+    gen = FaceGenerator(seed=seed)
+    target = gen.sample_identity()
+    rng = np.random.default_rng(seed + 1)
+    imposters = gen.sample_identities(10) + [
+        target.perturbed(rng, 0.015) for _ in range(3)
+    ]
+    n_total = n_train + n_eval
+    X20, y = gen.authentication_dataset(
+        target, imposters, n_total, n_total, difficulty=1.0
+    )
+    X = np.stack([resize_bilinear(w, side, side) for w in X20])
+    X = X.reshape(len(X), -1)
+    order = np.random.default_rng(seed + 2).permutation(len(X))
+    train_idx = order[: 2 * n_train]
+    eval_idx = order[2 * n_train :]
+    return X[train_idx], y[train_idx], X[eval_idx], y[eval_idx]
+
+
+def _train_topology(side: int, hidden: int, seed: int = 5):
+    X, y, X_eval, y_eval = _make_auth_data(side, 260, 120, seed)
+    order = np.random.default_rng(seed).permutation(len(X))
+    split = int(0.9 * len(X))
+    tr, te = order[:split], order[split:]
+    model = MLP((side * side, hidden, 1), seed=seed)
+    result = train_rprop(
+        model, X[tr], y[tr], epochs=220, X_val=X[te], y_val=y[te],
+        patience=60, weight_decay=1e-4,
+    )
+    error = result.model.classification_error(X_eval, y_eval)
+    point = evaluate_design(result.model, n_pes=8, data_bits=8)
+    return {
+        "topology": f"{side * side}-{hidden}-1",
+        "input": f"{side}x{side}",
+        "error_pct": error * 100.0,
+        "energy_nj": point.energy_per_inference * 1e9,
+        "cycles": point.cycles_per_inference,
+    }
+
+
+def test_nn_topology_exploration(benchmark, publish):
+    rows = benchmark.pedantic(
+        lambda: [
+            _train_topology(5, 8),
+            _train_topology(10, 8),
+            _train_topology(15, 8),
+            _train_topology(20, 4),
+            _train_topology(20, 8),
+            _train_topology(20, 16),
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    table = TextTable(
+        ["topology", "input", "error_pct", "energy_nj", "cycles"],
+        title="Sec III-A: NN topology vs accuracy and energy (8 PEs, 8-bit)",
+    )
+    table.add_rows(rows)
+    publish("nn_topology", table.render())
+
+    by_topology = {r["topology"]: r for r in rows}
+    tiny = by_topology["25-8-1"]
+    paper_choice = by_topology["400-8-1"]
+    # Shape 1: a 5x5 input window is much less accurate than 20x20.
+    assert tiny["error_pct"] > paper_choice["error_pct"] + 5.0
+    # Shape 2: the accuracy costs energy — 20x20 is an order of magnitude
+    # above 5x5 per inference.
+    assert paper_choice["energy_nj"] > 8.0 * tiny["energy_nj"]
+
+
+def test_nn_inference_kernel(benchmark):
+    """Timing anchor: one batch through the paper's 400-8-1 network."""
+    model = MLP((400, 8, 1), seed=0)
+    X = np.random.default_rng(0).uniform(size=(64, 400))
+    out = benchmark(lambda: model.predict_proba(X))
+    assert out.shape == (64, 1)

@@ -1,0 +1,86 @@
+"""E11 / Table I — FPGA resource requirements.
+
+Paper:
+
+===========  ================  ======================
+resource     Zynq-7000 (eval)  Virtex US+ (target)
+===========  ================  ======================
+FPGA (#)     1                 16
+Cameras      2                 16
+Logic        45.91%            67.10%
+RAM          6.70%             17.60%
+DSP          94.09%            99.98%
+Clock        125 MHz           125 MHz
+===========  ================  ======================
+
+plus the claim that the UltraScale+ part packs 682 compute units. (The
+paper's text says "12 parallel compute units" on the ZC702; with the same
+9-DSP shell that yields 682 CUs on the US+ part, the packing model gives
+11 on the Zynq — see EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import TextTable
+from repro.hw.fpga import FpgaDesign, VIRTEX_ULTRASCALE_PLUS, ZYNQ_7020
+
+PAPER = {
+    "Zynq-7000": {"logic": 45.91, "ram": 6.70, "dsp": 94.09, "fpgas": 1, "cameras": 2},
+    "Virtex UltraScale+": {"logic": 67.10, "ram": 17.60, "dsp": 99.98, "fpgas": 16, "cameras": 16},
+}
+
+
+def test_table1_resource_requirements(benchmark, publish):
+    def run():
+        rows = []
+        for name, device, paper in (
+            ("Zynq-7000", ZYNQ_7020, PAPER["Zynq-7000"]),
+            ("Virtex UltraScale+", VIRTEX_ULTRASCALE_PLUS,
+             PAPER["Virtex UltraScale+"]),
+        ):
+            design = FpgaDesign(device)
+            units = design.max_units()
+            usage = design.usage(units)
+            rows.append(
+                {
+                    "system": name,
+                    "fpgas": paper["fpgas"],
+                    "cameras": paper["cameras"],
+                    "compute_units": units,
+                    "logic_pct": usage.lut_fraction * 100.0,
+                    "paper_logic_pct": paper["logic"],
+                    "ram_pct": usage.bram_fraction * 100.0,
+                    "paper_ram_pct": paper["ram"],
+                    "dsp_pct": usage.dsp_fraction * 100.0,
+                    "paper_dsp_pct": paper["dsp"],
+                    "clock_mhz": design.clock_hz / 1e6,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = TextTable(
+        [
+            "system", "fpgas", "cameras", "compute_units",
+            "logic_pct", "paper_logic_pct",
+            "ram_pct", "paper_ram_pct",
+            "dsp_pct", "paper_dsp_pct",
+            "clock_mhz",
+        ],
+        title="Table I: FPGA resource requirements",
+    )
+    table.add_rows(rows)
+    publish("table1_fpga_resources", table.render())
+
+    for row in rows:
+        assert row["logic_pct"] == pytest.approx(row["paper_logic_pct"], abs=1.0)
+        assert row["ram_pct"] == pytest.approx(row["paper_ram_pct"], abs=1.0)
+        assert row["dsp_pct"] == pytest.approx(row["paper_dsp_pct"], abs=0.5)
+        assert row["clock_mhz"] == 125.0
+        assert row["dsp_pct"] == max(
+            row["dsp_pct"], row["logic_pct"], row["ram_pct"]
+        )  # DSP-bound design
+    # The paper's 682-CU UltraScale+ claim.
+    assert rows[1]["compute_units"] == 682

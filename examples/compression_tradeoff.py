@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Compression as an optional pipeline block (the paper's Section II hook).
+
+Measures a real rate-distortion curve on rig imagery, then asks the
+offload analyzer the paper's question for the codec block: does spending
+in-camera computation on compression beat shipping raw bytes? The answer
+flips with link speed — at 25 GbE a per-camera codec rescues even the
+raw-sensor cut point; at 400 GbE nothing needs rescuing.
+
+Run:
+    python examples/compression_tradeoff.py
+"""
+
+from repro.compression import JpegLikeCodec, compression_block
+from repro.core import (
+    PipelineConfig,
+    TextTable,
+    ThroughputCostModel,
+)
+from repro.core.pipeline import InCameraPipeline
+from repro.datasets.rig import CameraRig, PanoramicScene
+from repro.hw.network import ETHERNET_25G, ETHERNET_400G
+from repro.imaging.image import as_gray
+from repro.vr.blocks import RigDataModel
+
+
+def main() -> None:
+    # Measure compression on actual rig content, not an assumption.
+    rig = CameraRig(n_cameras=4, radius=1.0, sim_height=96, sim_width=160)
+    scene = PanoramicScene.random(seed=3, n_objects=4,
+                                  object_distances=(2.0, 6.0))
+    luma = as_gray(rig.capture(scene, seed=3).rgb[0])
+
+    rd_table = TextTable(["quality", "ratio", "psnr_db", "ssim"],
+                         title="Rate-distortion on rig imagery")
+    measured = {}
+    for quality in (25, 50, 75, 90):
+        result = JpegLikeCodec(quality=quality).roundtrip(luma)
+        measured[quality] = result.compression_ratio
+        rd_table.add_row(
+            {
+                "quality": quality,
+                "ratio": result.compression_ratio,
+                "psnr_db": result.psnr_db,
+                "ssim": result.ssim,
+            }
+        )
+    rd_table.print()
+
+    # Insert the codec right after the sensor and re-ask Figure 10's
+    # question at two link speeds.
+    data_model = RigDataModel()
+    table = TextTable(
+        ["link", "quality", "offload_mb", "total_fps", "realtime"],
+        title="Raw-sensor offload with a per-camera codec",
+    )
+    for link in (ETHERNET_25G, ETHERNET_400G):
+        model = ThroughputCostModel(link)
+        for quality, ratio in measured.items():
+            codec = compression_block(
+                f"C(q{quality})",
+                input_bytes=data_model.sensor_bytes(),
+                measured_ratio=ratio,
+                pixels_per_frame=data_model.n_cameras
+                * data_model.pixels_per_camera,
+                parallel_engines=data_model.n_cameras,
+            )
+            pipeline = InCameraPipeline(
+                name="sensor+codec",
+                sensor_bytes=data_model.sensor_bytes(),
+                blocks=(codec,),
+            )
+            cost = model.evaluate(PipelineConfig(pipeline, ("isp",)))
+            table.add_row(
+                {
+                    "link": link.name,
+                    "quality": quality,
+                    "offload_mb": cost.config.offload_bytes / 1e6,
+                    "total_fps": cost.total_fps,
+                    "realtime": "YES" if cost.meets(30.0) else "no",
+                }
+            )
+    table.print()
+
+    print(
+        "\nAt 25 GbE the codec block pays for itself (raw offload was "
+        "15.7 FPS uncompressed); at 400 GbE the link alone suffices - the "
+        "optional block's value depends entirely on the communication "
+        "constraint, which is the paper's thesis in one table."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Case study A: a battery-free face-authentication camera.
+
+Trains the full recognizer stack (Viola-Jones cascade + 400-8-1
+authentication network) for a synthetic surveillance trace, runs the
+paper's four pipeline variants on fixed-function accelerators and on a
+general-purpose MCU, and shows how progressive filtering changes the
+energy budget — and therefore the frame rate the RF-harvesting power
+supply can sustain.
+
+Run (takes ~30 s; it really trains the models):
+    python examples/face_authentication_camera.py
+"""
+
+from repro.core import TextTable
+from repro.faceauth import build_workload, evaluate_variants, harvest_analysis
+
+
+def main() -> None:
+    print("Training the workload stack (cascade + NN)...")
+    workload = build_workload(seed=5, n_frames=120, event_rate=4.0)
+    summary = workload.video.ground_truth_summary()
+    print(
+        f"  trace: {int(summary['n_frames'])} frames, "
+        f"{int(summary['n_events'])} visits, "
+        f"occupancy {summary['occupancy']:.0%}"
+    )
+    print(f"  NN held-out error: {workload.nn_float_error:.1%}\n")
+
+    rows = evaluate_variants(workload)
+    table = TextTable(
+        ["variant", "platform", "energy_per_frame_uj",
+         "motion_rate", "miss_rate", "event_miss_rate"],
+        title="Pipeline variants x platforms",
+    )
+    table.add_rows(rows)
+    table.print()
+
+    # Turn per-frame energy into an operating range.
+    print("\nAchievable FPS vs RFID-reader distance:")
+    range_table = TextTable(["variant", "distance_m", "harvested_uw", "steady_fps"])
+    for variant in ("tx-everything", "full-fa"):
+        row = next(
+            r for r in rows if r["variant"] == variant and r["platform"] == "asic"
+        )
+        active = sum(o.active_seconds for o in row["result"].outcomes) / max(
+            len(row["result"].outcomes), 1
+        )
+        for point in harvest_analysis(
+            row["energy_per_frame_uj"] * 1e-6, active,
+            distances_m=(1.0, 2.0, 3.0, 4.0),
+        ):
+            range_table.add_row({"variant": variant, **point})
+    range_table.print()
+
+    full = next(
+        r for r in rows if r["variant"] == "full-fa" and r["platform"] == "asic"
+    )
+    print(
+        f"\nThe filtered pipeline authenticates every target visit "
+        f"(event miss rate {full['event_miss_rate']:.0%}) while spending "
+        f"{full['energy_per_frame_uj']:.1f} uJ/frame - "
+        "progressive filtering is what makes battery-free operation work."
+    )
+
+
+if __name__ == "__main__":
+    main()

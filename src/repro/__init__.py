@@ -1,0 +1,68 @@
+"""repro — reproduction of "Exploring Computation-Communication Tradeoffs
+in Camera Systems" (Mazumdar et al., IISWC 2017).
+
+The library decomposes camera applications into *in-camera processing
+pipelines* (:mod:`repro.core`) and provides every substrate the paper's
+two case studies need:
+
+* the harvested-energy face-authentication camera —
+  :mod:`repro.facedet`, :mod:`repro.nn`, :mod:`repro.snnap`,
+  :mod:`repro.motion`, :mod:`repro.vj_hw`, :mod:`repro.harvest`,
+  assembled in :mod:`repro.faceauth`;
+* the real-time 16-camera VR rig — :mod:`repro.bilateral`,
+  :mod:`repro.vr`, with hardware platforms in :mod:`repro.hw`;
+* shared infrastructure — :mod:`repro.imaging`, :mod:`repro.datasets`.
+
+Quickstart::
+
+    from repro.vr.scenarios import build_vr_pipeline, paper_configurations
+    from repro.core import ThroughputCostModel
+    from repro.hw.network import ETHERNET_25G
+
+    pipeline = build_vr_pipeline()
+    model = ThroughputCostModel(ETHERNET_25G)
+    for label, config in paper_configurations(pipeline):
+        cost = model.evaluate(config)
+        print(label, cost.total_fps, cost.meets(30.0))
+"""
+
+__version__ = "1.0.0"
+
+from repro import (
+    bilateral,
+    compression,
+    core,
+    datasets,
+    errors,
+    faceauth,
+    facedet,
+    harvest,
+    hw,
+    imaging,
+    motion,
+    nn,
+    snnap,
+    units,
+    vj_hw,
+    vr,
+)
+
+__all__ = [
+    "__version__",
+    "bilateral",
+    "compression",
+    "core",
+    "datasets",
+    "errors",
+    "faceauth",
+    "facedet",
+    "harvest",
+    "hw",
+    "imaging",
+    "motion",
+    "nn",
+    "snnap",
+    "units",
+    "vj_hw",
+    "vr",
+]

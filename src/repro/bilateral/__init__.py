@@ -1,0 +1,31 @@
+"""Bilateral-space stereo (BSSA) — the VR pipeline's depth engine.
+
+Implements the approach of Barron et al. (CVPR 2015) the paper builds B3
+on: resample the stereo-refinement problem into a *bilateral grid* (space x
+space x range), where cheap local smoothing is equivalent to costly global
+edge-aware filtering in pixel space.
+
+* :mod:`.grid` — the bilateral grid: hard-assignment splat, [1,2,1] blur,
+  slice;
+* :mod:`.filter` — 1-D and image bilateral filtering (Figure 6's demo);
+* :mod:`.solver` — the grid-domain smoothing optimization;
+* :mod:`.stereo` — block-matching initialization + grid refinement, with
+  the grid-size accounting behind Figure 7 and the FPGA throughput model.
+"""
+
+from repro.bilateral.grid import BilateralGrid, GridGeometry
+from repro.bilateral.filter import bilateral_filter_1d, bilateral_filter_image, moving_average_1d
+from repro.bilateral.solver import SolverResult, solve_grid
+from repro.bilateral.stereo import BssaStereo, StereoResult
+
+__all__ = [
+    "BilateralGrid",
+    "GridGeometry",
+    "bilateral_filter_1d",
+    "bilateral_filter_image",
+    "moving_average_1d",
+    "SolverResult",
+    "solve_grid",
+    "BssaStereo",
+    "StereoResult",
+]

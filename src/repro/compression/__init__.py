@@ -1,0 +1,33 @@
+"""In-camera compression — the optional block the paper points at.
+
+Section II: "compression can be treated as an optional block in in-camera
+processing pipelines", trading computation (the codec) for communication
+(smaller offload payloads), with lossy early-stage compression risking
+quality. This package provides a JPEG-style transform codec and the glue
+to drop it into :mod:`repro.core` pipelines, enabling the tradeoff
+analysis the paper leaves open:
+
+* :mod:`.dct` — 8x8 type-II/III DCT, fully vectorized;
+* :mod:`.codec` — quantization, entropy-size estimation, encode/decode,
+  rate-distortion measurement;
+* :mod:`.block` — wrap a codec setting as a pipeline :class:`Block`.
+"""
+
+from repro.compression.dct import blockify, dct2_8x8, deblockify, idct2_8x8
+from repro.compression.codec import (
+    CodecResult,
+    JpegLikeCodec,
+    rate_distortion_sweep,
+)
+from repro.compression.block import compression_block
+
+__all__ = [
+    "blockify",
+    "dct2_8x8",
+    "deblockify",
+    "idct2_8x8",
+    "CodecResult",
+    "JpegLikeCodec",
+    "rate_distortion_sweep",
+    "compression_block",
+]

@@ -1,0 +1,74 @@
+"""Compression as an in-camera pipeline block.
+
+Builds a :class:`repro.core.Block` whose output size is the *measured*
+compressed payload at a codec setting, and whose compute cost comes from
+the codec's per-pixel arithmetic on the chosen platform — letting the
+offload analyzer weigh "spend cycles compressing" against "ship more
+bytes", the exact tradeoff the paper describes for this optional block.
+"""
+
+from __future__ import annotations
+
+from repro.compression.codec import JpegLikeCodec
+from repro.core.block import Block, Implementation
+from repro.errors import ConfigurationError
+
+
+def compression_block(
+    name: str,
+    input_bytes: float,
+    measured_ratio: float,
+    pixels_per_frame: float,
+    parallel_engines: int = 1,
+    isp_px_per_s: float = 1.0e9,
+    asic_energy_per_px: float = 2.0e-12,
+) -> Block:
+    """A compression stage sized from a measured compression ratio.
+
+    Parameters
+    ----------
+    name:
+        Block label (e.g. ``"C(q75)"``).
+    input_bytes:
+        Per-frame payload entering the codec.
+    measured_ratio:
+        Compression ratio achieved on representative content (from
+        :meth:`JpegLikeCodec.roundtrip`); must be >= 1.
+    pixels_per_frame:
+        Total pixels the codec touches per frame (sets compute cost).
+    parallel_engines:
+        Independent codec instances working the frame in parallel — a
+        16-camera rig carries one engine per camera, exactly like its
+        per-camera ISPs.
+    isp_px_per_s:
+        Codec throughput of one engine (hardware JPEG engines run at ISP
+        line rates).
+    asic_energy_per_px:
+        Energy per pixel of a fixed-function codec (energy domain).
+    """
+    if measured_ratio < 1.0:
+        raise ConfigurationError(
+            f"compression ratio must be >= 1, got {measured_ratio}"
+        )
+    if input_bytes <= 0 or pixels_per_frame <= 0:
+        raise ConfigurationError("input size and pixel count must be positive")
+    if parallel_engines < 1:
+        raise ConfigurationError(
+            f"parallel_engines must be >= 1, got {parallel_engines}"
+        )
+    ops = JpegLikeCodec().estimated_ops_per_pixel()
+    pixels_per_engine = pixels_per_frame / parallel_engines
+    fps = isp_px_per_s / (pixels_per_engine * ops / 12.0)
+    return Block(
+        name=name,
+        output_bytes=input_bytes / measured_ratio,
+        implementations={
+            "isp": Implementation(
+                "isp",
+                fps=fps,
+                energy_per_frame=pixels_per_frame * asic_energy_per_px,
+                active_seconds=pixels_per_engine / isp_px_per_s,
+            )
+        },
+        optional=True,
+    )

@@ -1,0 +1,80 @@
+"""8x8 block DCT — the transform core of the JPEG-style codec.
+
+The type-II DCT is applied per 8x8 block via two matrix multiplies with
+the orthonormal DCT basis (``C @ B @ C.T``), which numpy batches across
+all blocks of a frame at once; the type-III (inverse) transform is the
+transpose sandwich. ``dct2_8x8(idct2_8x8(X)) == X`` to float precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+
+BLOCK = 8
+
+
+def _dct_matrix(n: int = BLOCK) -> np.ndarray:
+    k = np.arange(n)[:, None]
+    i = np.arange(n)[None, :]
+    mat = np.cos((2 * i + 1) * k * np.pi / (2 * n))
+    mat[0, :] *= 1.0 / np.sqrt(2.0)
+    return mat * np.sqrt(2.0 / n)
+
+
+_C = _dct_matrix()
+
+
+def blockify(image: np.ndarray) -> tuple[np.ndarray, tuple[int, int]]:
+    """Split an image into 8x8 blocks (edge-padded to a multiple of 8).
+
+    Returns ``(blocks, padded_shape)`` with blocks shaped
+    ``(n_blocks, 8, 8)`` in row-major block order.
+    """
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ImageError(f"expected 2-D image, got {arr.shape}")
+    height, width = arr.shape
+    pad_y = (-height) % BLOCK
+    pad_x = (-width) % BLOCK
+    if pad_y or pad_x:
+        arr = np.pad(arr, ((0, pad_y), (0, pad_x)), mode="edge")
+    ph, pw = arr.shape
+    blocks = (
+        arr.reshape(ph // BLOCK, BLOCK, pw // BLOCK, BLOCK)
+        .swapaxes(1, 2)
+        .reshape(-1, BLOCK, BLOCK)
+    )
+    return blocks, (ph, pw)
+
+
+def deblockify(
+    blocks: np.ndarray, padded_shape: tuple[int, int], out_shape: tuple[int, int]
+) -> np.ndarray:
+    """Reassemble 8x8 blocks into an image and crop the padding."""
+    ph, pw = padded_shape
+    if blocks.shape != (ph // BLOCK * (pw // BLOCK), BLOCK, BLOCK):
+        raise ImageError(
+            f"block count {blocks.shape} inconsistent with padded {padded_shape}"
+        )
+    image = (
+        blocks.reshape(ph // BLOCK, pw // BLOCK, BLOCK, BLOCK)
+        .swapaxes(1, 2)
+        .reshape(ph, pw)
+    )
+    return image[: out_shape[0], : out_shape[1]].copy()
+
+
+def dct2_8x8(blocks: np.ndarray) -> np.ndarray:
+    """Forward 2-D DCT of a stack of 8x8 blocks."""
+    if blocks.ndim != 3 or blocks.shape[1:] != (BLOCK, BLOCK):
+        raise ImageError(f"expected (n, 8, 8) blocks, got {blocks.shape}")
+    return _C @ blocks @ _C.T
+
+
+def idct2_8x8(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse 2-D DCT of a stack of 8x8 coefficient blocks."""
+    if coeffs.ndim != 3 or coeffs.shape[1:] != (BLOCK, BLOCK):
+        raise ImageError(f"expected (n, 8, 8) blocks, got {coeffs.shape}")
+    return _C.T @ coeffs @ _C

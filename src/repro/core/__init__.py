@@ -1,0 +1,57 @@
+"""The paper's organizing contribution: in-camera processing pipelines.
+
+A camera application decomposes into an ordered chain of functional blocks
+(Figure 1). Some prefix of the chain runs *in camera* — each block on some
+platform (ASIC, FPGA, CPU...) with a computation cost — and the output of
+the last in-camera block is *offloaded*, with a communication cost set by
+its size and the uplink. Cloud compute is free; getting data there is not.
+
+This package turns that framing into code:
+
+* :mod:`.block` — blocks, implementations and their costs;
+* :mod:`.pipeline` — the block chain and its cut-point configurations;
+* :mod:`.cost` — the two cost domains the paper uses: throughput
+  (frames/s, VR case study) and energy (joules/frame, FA case study);
+* :mod:`.offload` — configuration enumeration and feasibility analysis
+  (the machinery behind Figure 10);
+* :mod:`.sweep` — parameter-sweep utility used by all benchmarks;
+* :mod:`.report` — fixed-width tables for benchmark output.
+"""
+
+from repro.core.block import Block, Implementation
+from repro.core.pipeline import InCameraPipeline, PipelineConfig
+from repro.core.cost import (
+    ConfigCost,
+    EnergyCostModel,
+    EnergyCost,
+    ThroughputCostModel,
+)
+from repro.core.offload import OffloadAnalyzer, enumerate_configs
+from repro.core.schedule_sim import (
+    SimulationResult,
+    Stage,
+    simulate_pipeline,
+    stages_from_config,
+)
+from repro.core.sweep import SweepResult, parameter_sweep
+from repro.core.report import TextTable
+
+__all__ = [
+    "Block",
+    "Implementation",
+    "InCameraPipeline",
+    "PipelineConfig",
+    "ConfigCost",
+    "EnergyCost",
+    "EnergyCostModel",
+    "ThroughputCostModel",
+    "OffloadAnalyzer",
+    "enumerate_configs",
+    "SimulationResult",
+    "Stage",
+    "simulate_pipeline",
+    "stages_from_config",
+    "SweepResult",
+    "parameter_sweep",
+    "TextTable",
+]

@@ -1,0 +1,91 @@
+"""Configuration enumeration and offload analysis (Figure 10's machinery).
+
+Given a pipeline whose blocks each offer one or more implementations,
+enumerate every (cut point, platform assignment) configuration, evaluate
+them under a cost model, and answer the paper's questions: which
+configurations meet the real-time target on *both* axes, and which block
+placement is optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.core.cost import ConfigCost, ThroughputCostModel
+from repro.core.pipeline import InCameraPipeline, PipelineConfig
+from repro.errors import PipelineError
+
+
+def enumerate_configs(
+    pipeline: InCameraPipeline,
+    max_blocks: int | None = None,
+    include_empty: bool = True,
+) -> list[PipelineConfig]:
+    """All (cut point, platform) configurations of a pipeline.
+
+    Parameters
+    ----------
+    pipeline:
+        The pipeline to enumerate.
+    max_blocks:
+        Cap on the number of in-camera blocks (default: all).
+    include_empty:
+        Include the raw-offload configuration (``S~``).
+    """
+    limit = len(pipeline.blocks) if max_blocks is None else max_blocks
+    if not 0 <= limit <= len(pipeline.blocks):
+        raise PipelineError(f"max_blocks must be in [0, {len(pipeline.blocks)}]")
+    configs: list[PipelineConfig] = []
+    if include_empty:
+        configs.append(PipelineConfig(pipeline=pipeline, platforms=()))
+    for depth in range(1, limit + 1):
+        option_lists = [
+            sorted(block.implementations) for block in pipeline.blocks[:depth]
+        ]
+        if any(not opts for opts in option_lists):
+            break  # a block with no implementation cannot run in camera
+        for choice in product(*option_lists):
+            configs.append(PipelineConfig(pipeline=pipeline, platforms=tuple(choice)))
+    return configs
+
+
+@dataclass(frozen=True)
+class OffloadReport:
+    """Evaluation of every configuration plus the verdicts."""
+
+    costs: list[ConfigCost]
+    target_fps: float
+
+    @property
+    def feasible(self) -> list[ConfigCost]:
+        """Configurations clearing the target on both axes."""
+        return [c for c in self.costs if c.meets(self.target_fps)]
+
+    @property
+    def best(self) -> ConfigCost:
+        """Highest total-throughput configuration."""
+        if not self.costs:
+            raise PipelineError("no configurations evaluated")
+        return max(self.costs, key=lambda c: c.total_fps)
+
+
+class OffloadAnalyzer:
+    """Sweep a pipeline's configuration space under a throughput model."""
+
+    def __init__(self, model: ThroughputCostModel, target_fps: float = 30.0):
+        if target_fps <= 0:
+            raise PipelineError(f"target_fps must be positive, got {target_fps}")
+        self.model = model
+        self.target_fps = target_fps
+
+    def analyze(
+        self,
+        pipeline: InCameraPipeline,
+        configs: list[PipelineConfig] | None = None,
+    ) -> OffloadReport:
+        """Evaluate the given (or all) configurations."""
+        if configs is None:
+            configs = enumerate_configs(pipeline)
+        costs = [self.model.evaluate(config) for config in configs]
+        return OffloadReport(costs=costs, target_fps=self.target_fps)

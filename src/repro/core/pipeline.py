@@ -1,0 +1,114 @@
+"""Pipelines and their configurations (cut point x platform choices).
+
+An :class:`InCameraPipeline` is the sensor plus an ordered block chain. A
+:class:`PipelineConfig` selects how many leading blocks run in camera and
+on which platform each runs; everything after the cut is offloaded. The
+notation mirrors the paper's Figure 10 labels: ``S~`` (offload raw),
+``S B1 B2 B3(fpga)~`` and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.block import Block, Implementation
+from repro.errors import PipelineError
+
+
+@dataclass(frozen=True)
+class InCameraPipeline:
+    """The sensor and its downstream block chain.
+
+    Parameters
+    ----------
+    name:
+        Pipeline label for reports.
+    sensor_bytes:
+        Per-frame size of the raw sensor output (the cut-point payload
+        when nothing runs in camera).
+    blocks:
+        Ordered stages; each consumes its predecessor's output.
+    sensor_energy_per_frame:
+        Energy-domain cost of capturing one frame (image sensor + ADC).
+    """
+
+    name: str
+    sensor_bytes: float
+    blocks: tuple[Block, ...]
+    sensor_energy_per_frame: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sensor_bytes < 0:
+            raise PipelineError("sensor_bytes must be >= 0")
+        names = [b.name for b in self.blocks]
+        if len(set(names)) != len(names):
+            raise PipelineError(f"duplicate block names: {names}")
+
+    def block(self, name: str) -> Block:
+        for b in self.blocks:
+            if b.name == name:
+                return b
+        raise PipelineError(f"no block named {name!r} in pipeline {self.name!r}")
+
+    def output_bytes_after(self, n_in_camera: int) -> float:
+        """Payload crossing the uplink with ``n_in_camera`` leading blocks
+        executed at the camera (0 = raw sensor offload)."""
+        if not 0 <= n_in_camera <= len(self.blocks):
+            raise PipelineError(
+                f"n_in_camera must be in [0, {len(self.blocks)}], got {n_in_camera}"
+            )
+        if n_in_camera == 0:
+            return self.sensor_bytes
+        return self.blocks[n_in_camera - 1].output_bytes
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """One point in the offload design space.
+
+    Parameters
+    ----------
+    pipeline:
+        The pipeline being configured.
+    platforms:
+        Platform name per in-camera block, aligned with the leading
+        blocks of the pipeline; its length *is* the cut point.
+    """
+
+    pipeline: InCameraPipeline
+    platforms: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if len(self.platforms) > len(self.pipeline.blocks):
+            raise PipelineError("more platform choices than blocks")
+        # Validate every choice eagerly: misconfigurations should fail at
+        # construction, not mid-evaluation.
+        for block, platform in zip(self.pipeline.blocks, self.platforms):
+            block.implementation(platform)
+
+    @property
+    def n_in_camera(self) -> int:
+        return len(self.platforms)
+
+    @property
+    def offload_bytes(self) -> float:
+        return self.pipeline.output_bytes_after(self.n_in_camera)
+
+    def in_camera_blocks(self) -> list[tuple[Block, Implementation]]:
+        """The (block, chosen implementation) pairs running at the camera."""
+        return [
+            (block, block.implementation(platform))
+            for block, platform in zip(self.pipeline.blocks, self.platforms)
+        ]
+
+    @property
+    def label(self) -> str:
+        """Figure 10-style label, e.g. ``S B1 B2 B3(fpga)~``."""
+        parts = ["S"]
+        for block, platform in zip(self.pipeline.blocks, self.platforms):
+            impls = block.implementations
+            if len(impls) > 1:
+                parts.append(f"{block.name}({platform})")
+            else:
+                parts.append(block.name)
+        return " ".join(parts) + "~"

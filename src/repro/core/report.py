@@ -1,0 +1,74 @@
+"""Fixed-width text tables for benchmark output.
+
+Every experiment harness prints its paper-correspondence table through
+this class, so EXPERIMENTS.md and the benchmark logs share a format.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+class TextTable:
+    """A simple aligned table.
+
+    >>> t = TextTable(["config", "fps"])
+    >>> t.add_row({"config": "S~", "fps": 15.7})
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: list[str], title: str | None = None):
+        if not columns:
+            raise ConfigurationError("table needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ConfigurationError(f"duplicate columns: {columns}")
+        self.columns = list(columns)
+        self.title = title
+        self._rows: list[list[str]] = []
+
+    @staticmethod
+    def _format(value: Any) -> str:
+        if isinstance(value, float):
+            if value == float("inf"):
+                return "inf"
+            if value == 0:
+                return "0"
+            magnitude = abs(value)
+            if magnitude >= 1000 or magnitude < 0.001:
+                return f"{value:.3g}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    def add_row(self, row: dict[str, Any]) -> None:
+        """Append one row; missing columns render as '-'."""
+        self._rows.append([self._format(row.get(c, "-")) for c in self.columns])
+
+    def add_rows(self, rows: list[dict[str, Any]]) -> None:
+        for row in rows:
+            self.add_row(row)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        """The formatted table as a string."""
+        widths = [
+            max(len(col), *(len(r[i]) for r in self._rows)) if self._rows else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        lines = []
+        if self.title:
+            lines.append(f"== {self.title} ==")
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self._rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the table (captured by pytest -s / tee in bench logs)."""
+        print("\n" + self.render())

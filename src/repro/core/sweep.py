@@ -1,0 +1,69 @@
+"""Parameter sweeps: the scaffolding every benchmark reuses.
+
+A sweep runs a callable over the cartesian product of named parameter
+lists and records one row per point. Rows are plain dicts so benchmarks
+can feed them straight into :class:`repro.core.report.TextTable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class SweepResult:
+    """Collected rows of a sweep, with small query helpers."""
+
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column across all rows."""
+        missing = [i for i, r in enumerate(self.rows) if name not in r]
+        if missing:
+            raise ConfigurationError(f"column {name!r} missing in rows {missing[:5]}")
+        return [r[name] for r in self.rows]
+
+    def best(self, metric: str, minimize: bool = True) -> dict[str, Any]:
+        """Row optimizing a metric."""
+        if not self.rows:
+            raise ConfigurationError("sweep produced no rows")
+        key = lambda r: r[metric]  # noqa: E731
+        return min(self.rows, key=key) if minimize else max(self.rows, key=key)
+
+    def where(self, **conditions: Any) -> "SweepResult":
+        """Rows matching all equality conditions."""
+        rows = [
+            r for r in self.rows if all(r.get(k) == v for k, v in conditions.items())
+        ]
+        return SweepResult(rows=rows)
+
+
+def parameter_sweep(
+    fn: Callable[..., dict[str, Any]],
+    **param_lists: list[Any],
+) -> SweepResult:
+    """Run ``fn(**point)`` over the grid of ``param_lists``.
+
+    ``fn`` must return a dict of measured values; the swept parameters are
+    merged into each row (measured keys win on collision, which lets a
+    function refine a requested parameter, e.g. snapping to a legal
+    value).
+    """
+    if not param_lists:
+        raise ConfigurationError("no parameters to sweep")
+    names = sorted(param_lists)
+    for name in names:
+        if not param_lists[name]:
+            raise ConfigurationError(f"parameter {name!r} has no values")
+    result = SweepResult()
+    for values in product(*(param_lists[name] for name in names)):
+        point = dict(zip(names, values))
+        measured = fn(**point)
+        if not isinstance(measured, dict):
+            raise ConfigurationError("sweep function must return a dict")
+        result.rows.append({**point, **measured})
+    return result

@@ -1,0 +1,416 @@
+"""Parametric synthetic face corpus — the reproduction's stand-in for LFW.
+
+Why this works as a substitute
+------------------------------
+Both algorithms the paper evaluates consume small grayscale windows:
+
+* Viola-Jones learns *contrast structure*: a dark eye band over bright
+  cheeks, a dark mouth below a brighter nose ridge, rough vertical symmetry.
+* The 400-8-1 authentication NN learns a *specific* face from 20x20 crops,
+  so the generator must give each identity persistent geometry (eye spacing,
+  face aspect, brow weight, ...) with nuisance variation (pose, lighting,
+  expression, noise) layered on top.
+
+The renderer below produces exactly those statistics, with fully labeled
+ground truth, and the non-face sampler produces textures, gradients, clutter
+and *face-like confusers* (partial faces, wrong-layout "faces") so detector
+training is not trivially separable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.rng import make_rng
+from repro.errors import DatasetError
+from repro.imaging import draw
+from repro.imaging.image import clip01
+from repro.imaging.resize import resize_bilinear
+
+#: Canonical window side used across the face-authentication case study.
+WINDOW = 20
+
+
+@dataclass(frozen=True)
+class FaceIdentity:
+    """Persistent facial-geometry parameters for one synthetic person.
+
+    All lengths are fractions of the rendered window side, so an identity
+    renders consistently at any resolution.
+    """
+
+    face_width: float  # half-width of the face ellipse
+    face_height: float  # half-height of the face ellipse
+    eye_spacing: float  # horizontal offset of each eye from center
+    eye_height: float  # vertical position of the eye line (from top)
+    eye_radius: float
+    eye_darkness: float  # intensity of the iris/eye region (lower = darker)
+    brow_offset: float  # gap between brow and eye
+    brow_darkness: float
+    nose_length: float
+    mouth_height: float  # vertical position of the mouth (from top)
+    mouth_width: float
+    mouth_darkness: float
+    skin_tone: float
+    hair_darkness: float
+    hairline: float  # fraction of face height covered by hair
+
+    def perturbed(self, rng: np.random.Generator, scale: float = 0.01) -> "FaceIdentity":
+        """A slightly different identity (used to build hard imposters)."""
+        fields = {
+            name: getattr(self, name) + float(rng.normal(0.0, scale))
+            for name in self.__dataclass_fields__
+        }
+        return FaceIdentity(**fields)
+
+
+@dataclass(frozen=True)
+class RenderConditions:
+    """Per-image nuisance parameters (sampled fresh for every render)."""
+
+    dx: float = 0.0  # center offset, fraction of window
+    dy: float = 0.0
+    scale: float = 1.0  # face scale multiplier
+    roll: float = 0.0  # in-plane rotation, radians
+    yaw: float = 0.0  # out-of-plane turn in [-1, 1]; shifts features sideways
+    light_angle: float = 0.0  # direction of the lighting gradient
+    light_strength: float = 0.0  # gradient amplitude
+    brightness: float = 0.0  # global offset
+    expression: float = 0.0  # mouth openness in [0, 1]
+    noise_sigma: float = 0.02
+    background: float = 0.35
+
+
+@dataclass(frozen=True)
+class FaceSceneSample:
+    """A rendered scene with ground-truth face boxes.
+
+    ``boxes`` holds ``(y0, x0, side)`` square boxes (the detector's native
+    hypothesis space); ``identities`` aligns with ``boxes``.
+    """
+
+    image: np.ndarray
+    boxes: tuple[tuple[int, int, int], ...]
+    identities: tuple[int, ...] = field(default=())
+
+
+class FaceGenerator:
+    """Factory for synthetic face windows, non-face windows and scenes.
+
+    Parameters
+    ----------
+    seed:
+        Seed or generator for all sampling in this instance.
+    window:
+        Side of the square face window (default 20, matching the paper's
+        largest NN input).
+    """
+
+    def __init__(self, seed: int | np.random.Generator | None = 0, window: int = WINDOW):
+        if window < 12:
+            raise DatasetError(f"window must be >= 12 px to fit a face, got {window}")
+        self._rng = make_rng(seed)
+        self.window = window
+
+    # ------------------------------------------------------------------
+    # Identities
+    # ------------------------------------------------------------------
+    def sample_identity(self) -> FaceIdentity:
+        """Draw a new identity from the population distribution."""
+        rng = self._rng
+        return FaceIdentity(
+            face_width=float(rng.uniform(0.30, 0.38)),
+            face_height=float(rng.uniform(0.40, 0.48)),
+            eye_spacing=float(rng.uniform(0.13, 0.19)),
+            eye_height=float(rng.uniform(0.38, 0.46)),
+            eye_radius=float(rng.uniform(0.035, 0.06)),
+            eye_darkness=float(rng.uniform(0.05, 0.25)),
+            brow_offset=float(rng.uniform(0.06, 0.10)),
+            brow_darkness=float(rng.uniform(0.10, 0.35)),
+            nose_length=float(rng.uniform(0.10, 0.16)),
+            mouth_height=float(rng.uniform(0.72, 0.80)),
+            mouth_width=float(rng.uniform(0.10, 0.17)),
+            mouth_darkness=float(rng.uniform(0.15, 0.35)),
+            skin_tone=float(rng.uniform(0.55, 0.80)),
+            hair_darkness=float(rng.uniform(0.05, 0.30)),
+            hairline=float(rng.uniform(0.18, 0.30)),
+        )
+
+    def sample_identities(self, count: int) -> list[FaceIdentity]:
+        """Draw ``count`` independent identities."""
+        return [self.sample_identity() for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # Nuisance conditions
+    # ------------------------------------------------------------------
+    def sample_conditions(self, difficulty: float = 1.0) -> RenderConditions:
+        """Sample nuisance parameters.
+
+        ``difficulty`` scales every nuisance range; 0 gives canonical
+        mugshots (the "security workload presents many less-challenging
+        lighting and orientation scenarios" regime from the paper), 1 gives
+        LFW-like in-the-wild variation.
+        """
+        rng = self._rng
+        d = float(np.clip(difficulty, 0.0, 2.0))
+        return RenderConditions(
+            dx=float(rng.normal(0.0, 0.02 * d)),
+            dy=float(rng.normal(0.0, 0.02 * d)),
+            scale=float(rng.uniform(1.0 - 0.08 * d, 1.0 + 0.08 * d)),
+            roll=float(rng.normal(0.0, 0.06 * d)),
+            yaw=float(rng.uniform(-0.5 * d, 0.5 * d)),
+            light_angle=float(rng.uniform(0.0, 2 * np.pi)),
+            light_strength=float(rng.uniform(0.0, 0.25 * d)),
+            brightness=float(rng.normal(0.0, 0.05 * d)),
+            expression=float(rng.uniform(0.0, 0.8 * d)),
+            noise_sigma=float(rng.uniform(0.01, 0.015 + 0.02 * d)),
+            background=float(rng.uniform(0.2, 0.5)),
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_face(
+        self,
+        identity: FaceIdentity,
+        conditions: RenderConditions | None = None,
+        size: int | None = None,
+    ) -> np.ndarray:
+        """Render one face window for ``identity`` under ``conditions``.
+
+        Rendering happens at 3x resolution and is downsampled, which gives
+        smooth sub-pixel feature placement even in a 20x20 output.
+        """
+        if conditions is None:
+            conditions = self.sample_conditions()
+        size = size or self.window
+        hi = size * 3  # supersampling factor
+        img = draw.canvas(hi, hi, conditions.background)
+
+        cx = hi * (0.5 + conditions.dx)
+        cy = hi * (0.5 + conditions.dy)
+        s = hi * conditions.scale
+        yaw_shift = conditions.yaw * identity.eye_spacing * 0.5 * s
+        soft = hi / 24.0
+
+        # Face ellipse over the background.
+        draw.blend_ellipse(
+            img, cy, cx, identity.face_height * s, identity.face_width * s,
+            identity.skin_tone, softness=soft, angle=conditions.roll,
+        )
+        # Hair cap: darker region hugging the top of the face ellipse.
+        hair_cy = cy - identity.face_height * s * (1.0 - identity.hairline)
+        draw.blend_ellipse(
+            img, hair_cy, cx, identity.face_height * s * identity.hairline * 1.4,
+            identity.face_width * s * 1.02, identity.hair_darkness,
+            softness=soft, angle=conditions.roll,
+        )
+
+        cos_r, sin_r = np.cos(conditions.roll), np.sin(conditions.roll)
+
+        def place(fy: float, fx: float) -> tuple[float, float]:
+            """Map face-frame offsets (fractions of window) to canvas px."""
+            oy, ox = fy * s, fx * s + yaw_shift
+            ry = cos_r * oy + sin_r * ox
+            rx = -sin_r * oy + cos_r * ox
+            return cy + ry, cx + rx
+
+        eye_fy = identity.eye_height - 0.5
+        for side in (-1.0, 1.0):
+            ey, ex = place(eye_fy, side * identity.eye_spacing)
+            # Sclera, slightly brighter than skin, then the dark iris.
+            draw.blend_ellipse(img, ey, ex, identity.eye_radius * s * 1.25,
+                               identity.eye_radius * s * 1.9,
+                               min(identity.skin_tone + 0.15, 1.0), softness=soft)
+            draw.blend_ellipse(img, ey, ex, identity.eye_radius * s,
+                               identity.eye_radius * s * 1.15,
+                               identity.eye_darkness, softness=soft)
+            # Brow: short dark bar above the eye.
+            by, bx = place(eye_fy - identity.brow_offset, side * identity.eye_spacing)
+            draw.blend_ellipse(img, by, bx, identity.eye_radius * s * 0.55,
+                               identity.eye_radius * s * 2.3,
+                               identity.brow_darkness, softness=soft,
+                               angle=conditions.roll)
+
+        # Nose: bright ridge down the midline plus a darker base.
+        nose_top_fy = eye_fy + 0.04
+        ny, nx = place(nose_top_fy + identity.nose_length / 2.0, 0.0)
+        draw.blend_ellipse(img, ny, nx, identity.nose_length * s / 2.0,
+                           0.025 * s, min(identity.skin_tone + 0.10, 1.0),
+                           softness=soft, angle=conditions.roll)
+        base_y, base_x = place(nose_top_fy + identity.nose_length, 0.0)
+        draw.blend_ellipse(img, base_y, base_x, 0.018 * s, 0.035 * s,
+                           identity.skin_tone - 0.2, softness=soft)
+
+        # Mouth: dark bar whose height grows with expression (open mouth).
+        mouth_fy = identity.mouth_height - 0.5
+        my, mx = place(mouth_fy, 0.0)
+        mouth_ry = 0.02 * s * (1.0 + 1.5 * conditions.expression)
+        draw.blend_ellipse(img, my, mx, mouth_ry, identity.mouth_width * s,
+                           identity.mouth_darkness, softness=soft,
+                           angle=conditions.roll)
+
+        # Lighting gradient + global brightness.
+        if conditions.light_strength > 0:
+            gy = draw.linear_gradient(hi, hi, -0.5, 0.5, axis=0)
+            gx = draw.linear_gradient(hi, hi, -0.5, 0.5, axis=1)
+            gradient = np.cos(conditions.light_angle) * gy + np.sin(conditions.light_angle) * gx
+            img = img + conditions.light_strength * gradient
+        img = img + conditions.brightness
+
+        out = resize_bilinear(clip01(img), size, size)
+        return draw.add_noise(out, conditions.noise_sigma, self._rng)
+
+    def render_nonface(self, size: int | None = None) -> np.ndarray:
+        """Render one non-face window.
+
+        Mixes easy negatives (textures, gradients) with hard ones (random
+        blob layouts and *scrambled faces*: face parts in the wrong places),
+        which forces cascade stages beyond the first to earn their keep.
+        """
+        size = size or self.window
+        rng = self._rng
+        kind = rng.integers(0, 5)
+        if kind == 0:  # smooth texture
+            img = draw.smooth_texture(size, size, rng,
+                                      scale=int(rng.integers(2, 8)))
+        elif kind == 1:  # oriented gradient
+            img = draw.linear_gradient(size, size,
+                                       float(rng.uniform(0.1, 0.5)),
+                                       float(rng.uniform(0.5, 0.9)),
+                                       axis=int(rng.integers(0, 2)))
+        elif kind == 2:  # checkerboard-ish structure
+            img = draw.checkerboard(size, size, int(rng.integers(2, 6)),
+                                    float(rng.uniform(0.1, 0.4)),
+                                    float(rng.uniform(0.6, 0.9)))
+        elif kind == 3:  # random blob clutter
+            img = draw.canvas(size, size, float(rng.uniform(0.2, 0.7)))
+            for _ in range(int(rng.integers(2, 6))):
+                draw.blend_ellipse(
+                    img,
+                    float(rng.uniform(0, size)), float(rng.uniform(0, size)),
+                    float(rng.uniform(size * 0.05, size * 0.4)),
+                    float(rng.uniform(size * 0.05, size * 0.4)),
+                    float(rng.uniform(0.0, 1.0)), softness=1.0,
+                )
+        else:  # scrambled face: real identity, features shuffled vertically
+            identity = self.sample_identity()
+            flipped = FaceIdentity(
+                **{
+                    **{f: getattr(identity, f) for f in identity.__dataclass_fields__},
+                    "eye_height": identity.mouth_height - 0.25,
+                    "mouth_height": identity.eye_height + 0.25,
+                }
+            )
+            img = self.render_face(flipped, self.sample_conditions(1.5), size)
+        return draw.add_noise(img, float(rng.uniform(0.005, 0.03)), rng)
+
+    # ------------------------------------------------------------------
+    # Labeled window datasets
+    # ------------------------------------------------------------------
+    def detection_dataset(
+        self,
+        n_pos: int,
+        n_neg: int,
+        difficulty: float = 1.0,
+        identities: list[FaceIdentity] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Windows + {1, 0} labels for face/non-face training.
+
+        Returns ``(X, y)`` with ``X`` shaped ``(n, window, window)``.
+        """
+        if n_pos < 0 or n_neg < 0:
+            raise DatasetError("window counts must be non-negative")
+        if identities is None:
+            identities = self.sample_identities(max(n_pos // 4, 1))
+        windows = []
+        for i in range(n_pos):
+            identity = identities[i % len(identities)]
+            windows.append(self.render_face(identity, self.sample_conditions(difficulty)))
+        for _ in range(n_neg):
+            windows.append(self.render_nonface())
+        labels = np.concatenate([np.ones(n_pos), np.zeros(n_neg)])
+        return np.stack(windows) if windows else np.zeros((0, self.window, self.window)), labels
+
+    def authentication_dataset(
+        self,
+        target: FaceIdentity,
+        imposters: list[FaceIdentity],
+        n_target: int,
+        n_imposter: int,
+        difficulty: float = 1.0,
+        size: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Windows + {1, 0} labels for "is this the reference face?".
+
+        Positives are renders of ``target``; negatives are renders of the
+        imposter identities (i.e., *other people's faces*, matching the
+        paper's LFW protocol of recognizing a single person).
+        """
+        if not imposters:
+            raise DatasetError("need at least one imposter identity")
+        size = size or self.window
+        windows = []
+        for _ in range(n_target):
+            windows.append(self.render_face(target, self.sample_conditions(difficulty), size))
+        for i in range(n_imposter):
+            identity = imposters[i % len(imposters)]
+            windows.append(self.render_face(identity, self.sample_conditions(difficulty), size))
+        labels = np.concatenate([np.ones(n_target), np.zeros(n_imposter)])
+        return np.stack(windows), labels
+
+    # ------------------------------------------------------------------
+    # Scenes for the sliding-window detector
+    # ------------------------------------------------------------------
+    def render_scene(
+        self,
+        height: int,
+        width: int,
+        face_sizes: list[int],
+        identities: list[FaceIdentity] | None = None,
+        difficulty: float = 1.0,
+    ) -> FaceSceneSample:
+        """Embed faces into a cluttered scene; returns image + true boxes.
+
+        Faces are placed without overlap (rejection sampling); placement
+        failures raise so tests never silently evaluate empty scenes.
+        """
+        rng = self._rng
+        img = draw.smooth_texture(height, width, rng, scale=12)
+        # Structured clutter: a few rectangles (furniture, windows, ...).
+        for _ in range(int(rng.integers(2, 6))):
+            y0 = int(rng.integers(0, max(height - 8, 1)))
+            x0 = int(rng.integers(0, max(width - 8, 1)))
+            draw.fill_rect(img, y0, x0,
+                           y0 + int(rng.integers(6, height // 2 + 7)),
+                           x0 + int(rng.integers(6, width // 2 + 7)),
+                           float(rng.uniform(0.1, 0.9)))
+
+        if identities is None:
+            identities = self.sample_identities(len(face_sizes))
+        boxes: list[tuple[int, int, int]] = []
+        ids: list[int] = []
+        for idx, side in enumerate(face_sizes):
+            if side > min(height, width):
+                raise DatasetError(f"face size {side} exceeds scene {height}x{width}")
+            placed = False
+            for _ in range(200):
+                y0 = int(rng.integers(0, height - side + 1))
+                x0 = int(rng.integers(0, width - side + 1))
+                if all(
+                    y0 + side <= by or by + bs <= y0 or x0 + side <= bx or bx + bs <= x0
+                    for by, bx, bs in boxes
+                ):
+                    placed = True
+                    break
+            if not placed:
+                raise DatasetError("could not place all faces without overlap")
+            identity = identities[idx % len(identities)]
+            conditions = self.sample_conditions(difficulty)
+            face = self.render_face(identity, conditions, size=side)
+            img[y0 : y0 + side, x0 : x0 + side] = face
+            boxes.append((y0, x0, side))
+            ids.append(idx % len(identities))
+        return FaceSceneSample(image=clip01(img), boxes=tuple(boxes), identities=tuple(ids))

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` from
+misuse of numpy, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+class ImageError(ReproError):
+    """An image does not satisfy the shape/dtype contract of an operation."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator was asked for something it cannot produce."""
+
+
+class TrainingError(ReproError):
+    """Model training failed to run (bad shapes, empty data, ...)."""
+
+
+class HardwareModelError(ReproError):
+    """A hardware model was driven outside its validity envelope."""
+
+
+class ResourceExceededError(HardwareModelError):
+    """A design does not fit the resources of the selected device."""
+
+
+class PipelineError(ReproError):
+    """An in-camera pipeline is malformed or cannot be evaluated."""
+
+
+class SolverError(ReproError):
+    """An iterative solver failed to converge or was misconfigured."""

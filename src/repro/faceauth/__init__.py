@@ -1,0 +1,41 @@
+"""Case study A: battery-free face authentication (Section III).
+
+Assembles the full harvested-energy camera pipeline — motion detection
+(B1, optional) -> Viola-Jones face detection (B2, optional) -> NN face
+authentication (B3, core) — with per-stage functional models and hardware
+costs, runs it over surveillance workloads, and compares platform choices
+(fixed-function accelerators vs. a general-purpose MCU) and pipeline
+variants (how much filtering happens before the radio).
+
+* :mod:`.stages` — stage wrappers binding algorithms to hardware costs;
+* :mod:`.pipeline` — the gated execution engine with energy accounting;
+* :mod:`.workload` — trained-component factory for a workload trace;
+* :mod:`.evaluate` — variant comparison and harvested-power analysis.
+"""
+
+from repro.faceauth.stages import (
+    AuthStage,
+    CaptureStage,
+    DetectStage,
+    MotionStage,
+    StageCost,
+)
+from repro.faceauth.pipeline import FaceAuthPipeline, FrameOutcome, WorkloadResult
+from repro.faceauth.workload import TrainedWorkload, build_workload
+from repro.faceauth.evaluate import PipelineVariant, evaluate_variants, harvest_analysis
+
+__all__ = [
+    "AuthStage",
+    "CaptureStage",
+    "DetectStage",
+    "MotionStage",
+    "StageCost",
+    "FaceAuthPipeline",
+    "FrameOutcome",
+    "WorkloadResult",
+    "TrainedWorkload",
+    "build_workload",
+    "PipelineVariant",
+    "evaluate_variants",
+    "harvest_analysis",
+]

@@ -1,0 +1,145 @@
+"""Variant comparison and harvested-power analysis (Section III's eval).
+
+The pipeline variants span the paper's progressive-filtering argument:
+
+========================  ==================================================
+variant                   behaviour
+========================  ==================================================
+``tx-everything``         WISPCam baseline: capture and transmit every raw
+                          frame, no in-camera processing
+``motion-gated``          transmit raw frames only when the scene moved
+``motion+detect``         transmit face crops only when a face was found
+``full-fa``               the paper's pipeline: transmit a tiny alert only
+                          when the enrolled user is authenticated
+========================  ==================================================
+
+Each variant runs with the compute stages on either fixed-function
+accelerators (``asic``) or the general-purpose MCU baseline (``mcu``), and
+the resulting per-frame energy feeds the harvesting model to answer the
+operational question: what frame rate can this node sustain at a given
+reader distance?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.faceauth.pipeline import FaceAuthPipeline, WorkloadResult
+from repro.faceauth.stages import AuthStage, CaptureStage, DetectStage, MotionStage
+from repro.faceauth.workload import TrainedWorkload
+from repro.harvest.capacitor import Capacitor
+from repro.harvest.harvester import RfHarvester
+from repro.harvest.scheduler import DutyCycleSimulator, FrameTask
+
+
+@dataclass(frozen=True)
+class PipelineVariant:
+    """One pipeline shape to evaluate."""
+
+    name: str
+    use_motion: bool
+    use_detect: bool
+    use_auth: bool
+    tx_policy: str
+
+
+PAPER_VARIANTS = (
+    PipelineVariant("tx-everything", False, False, False, "raw_frame"),
+    PipelineVariant("motion-gated", True, False, False, "raw_frame"),
+    PipelineVariant("motion+detect", True, True, False, "face_crop"),
+    PipelineVariant("full-fa", True, True, True, "alert"),
+)
+
+
+def build_pipeline(
+    variant: PipelineVariant,
+    workload: TrainedWorkload,
+    platform: str,
+    scale_factor: float = 1.4,
+    step_size: int = 2,
+) -> FaceAuthPipeline:
+    """Instantiate a variant over a trained workload on one platform."""
+    capture = CaptureStage()
+    motion = MotionStage(platform=platform) if variant.use_motion else None
+    detect = (
+        DetectStage(
+            workload.make_detector(scale_factor=scale_factor, step_size=step_size),
+            platform=platform,
+        )
+        if variant.use_detect
+        else None
+    )
+    auth = (
+        AuthStage(workload.make_accelerator(), platform=platform)
+        if variant.use_auth
+        else None
+    )
+    return FaceAuthPipeline(
+        capture=capture,
+        motion=motion,
+        detect=detect,
+        auth=auth,
+        tx_policy=variant.tx_policy,
+    )
+
+
+def evaluate_variants(
+    workload: TrainedWorkload,
+    variants: tuple[PipelineVariant, ...] = PAPER_VARIANTS,
+    platforms: tuple[str, ...] = ("asic", "mcu"),
+) -> list[dict]:
+    """Run every (variant, platform) over the workload trace.
+
+    Returns one row per combination with energy, gating, accuracy and the
+    raw :class:`WorkloadResult` attached under ``result``.
+    """
+    if not variants or not platforms:
+        raise ConfigurationError("need at least one variant and platform")
+    rows: list[dict] = []
+    for variant in variants:
+        for platform in platforms:
+            pipeline = build_pipeline(variant, workload, platform)
+            result: WorkloadResult = pipeline.run_workload(workload.video)
+            row = {
+                "variant": variant.name,
+                "platform": platform,
+                "energy_per_frame_uj": result.energy_per_frame * 1e6,
+                "tx_bytes_total": result.total_transmitted_bytes,
+                "result": result,
+            }
+            if variant.use_auth:
+                # Authentication accuracy only exists when the NN runs.
+                row["miss_rate"] = result.miss_rate
+                row["event_miss_rate"] = result.event_miss_rate(workload.video)
+                row["false_alarm_rate"] = result.false_alarm_rate
+            if variant.use_motion:
+                row["motion_rate"] = result.rate("motion")
+            if variant.use_detect:
+                row["detect_rate"] = result.rate("detect")
+            rows.append(row)
+    return rows
+
+
+def harvest_analysis(
+    energy_per_frame_j: float,
+    active_seconds: float,
+    distances_m: tuple[float, ...] = (0.5, 1.0, 2.0, 3.0, 4.0),
+    harvester: RfHarvester | None = None,
+) -> list[dict]:
+    """Achievable frame rate vs. reader distance for a per-frame cost."""
+    if energy_per_frame_j <= 0:
+        raise ConfigurationError("energy per frame must be positive")
+    harvester = harvester or RfHarvester()
+    rows = []
+    for distance in distances_m:
+        simulator = DutyCycleSimulator(harvester, Capacitor(), distance_m=distance)
+        task = FrameTask("frame", energy_per_frame_j, active_seconds)
+        rows.append(
+            {
+                "distance_m": distance,
+                "harvested_uw": harvester.harvested_power(distance) * 1e6,
+                "steady_fps": simulator.steady_state_fps(task),
+            }
+        )
+    return rows

@@ -1,0 +1,259 @@
+"""The gated face-authentication pipeline with energy accounting.
+
+Execution per captured frame (Figure 2's pipeline):
+
+1. capture (always);
+2. motion gate (optional) — no motion, nothing further runs;
+3. face-detection gate (optional) — no face, nothing further runs;
+4. NN authentication on the best detection (core block);
+5. transmission, per policy: the WISPCam baseline sends every raw frame;
+   filtered variants send only what survives (a crop, or a tiny alert).
+
+The run records per-stage energies, gating rates and authentication
+outcomes against ground truth — everything Section III's real-world
+evaluation reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.video import SurveillanceVideo, VideoFrame
+from repro.errors import ConfigurationError
+from repro.faceauth.stages import AuthStage, CaptureStage, DetectStage, MotionStage, StageCost
+from repro.hw.network import LinkModel, RF_BACKSCATTER
+
+#: Transmission policies: what crosses the uplink for a surviving frame.
+TX_POLICIES = ("raw_frame", "face_crop", "alert")
+
+#: Node electronics active power while the radio streams (clocking,
+#: framing, regulator) — the dominant cost of long backscatter transfers.
+NODE_TX_ACTIVE_POWER = 300e-6
+
+#: Payload of an authentication alert message (header + score + box).
+ALERT_BYTES = 64.0
+
+
+@dataclass(frozen=True)
+class FrameOutcome:
+    """Ground truth vs. pipeline behaviour for one frame."""
+
+    index: int
+    motion: bool | None  # None when the stage is absent
+    faces_found: int | None
+    authenticated: bool | None
+    transmitted_bytes: float
+    energy_j: float
+    active_seconds: float
+    truth_has_person: bool
+    truth_has_target: bool
+
+
+@dataclass
+class WorkloadResult:
+    """Aggregated statistics over a workload trace."""
+
+    outcomes: list[FrameOutcome] = field(default_factory=list)
+    stage_energy: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_frames(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def total_energy(self) -> float:
+        return sum(o.energy_j for o in self.outcomes)
+
+    @property
+    def energy_per_frame(self) -> float:
+        return self.total_energy / max(self.n_frames, 1)
+
+    @property
+    def total_transmitted_bytes(self) -> float:
+        return sum(o.transmitted_bytes for o in self.outcomes)
+
+    def rate(self, stage: str) -> float:
+        """Fraction of frames that passed a gate ('motion'/'detect')."""
+        if stage == "motion":
+            flags = [o.motion for o in self.outcomes if o.motion is not None]
+        elif stage == "detect":
+            flags = [
+                (o.faces_found or 0) > 0
+                for o in self.outcomes
+                if o.faces_found is not None
+            ]
+        else:
+            raise ConfigurationError(f"unknown gate {stage!r}")
+        return sum(flags) / len(flags) if flags else 0.0
+
+    # ------------------------------------------------------------------
+    def authentication_confusion(self) -> dict[str, int]:
+        """Frame-level confusion of 'target authenticated' vs. truth.
+
+        Only frames where the pipeline produced a decision influence
+        false positives; misses count any target frame not authenticated
+        (including ones the gates dropped — a gate that drops the target
+        IS a miss, which is why gate thresholds matter).
+        """
+        tp = fp = fn = tn = 0
+        for o in self.outcomes:
+            decided = bool(o.authenticated)
+            if o.truth_has_target:
+                tp += decided
+                fn += not decided
+            else:
+                fp += decided
+                tn += not decided
+        return {"tp": tp, "fp": fp, "fn": fn, "tn": tn}
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of target frames not authenticated."""
+        c = self.authentication_confusion()
+        denom = c["tp"] + c["fn"]
+        return c["fn"] / denom if denom else 0.0
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """Fraction of non-target frames wrongly authenticated."""
+        c = self.authentication_confusion()
+        denom = c["fp"] + c["tn"]
+        return c["fp"] / denom if denom else 0.0
+
+    def event_miss_rate(self, video: SurveillanceVideo) -> float:
+        """Fraction of target *visits* never authenticated (the security
+        metric: one hit during a visit is enough to open the door)."""
+        target_events = [e for e in video.events if e.is_target]
+        if not target_events:
+            return 0.0
+        authed = {o.index for o in self.outcomes if o.authenticated}
+        missed = sum(
+            1
+            for e in target_events
+            if not any(i in authed for i in range(e.start, e.stop))
+        )
+        return missed / len(target_events)
+
+
+class FaceAuthPipeline:
+    """Configured pipeline: which stages exist, platforms, TX policy.
+
+    Parameters
+    ----------
+    capture:
+        Sensor stage (always present).
+    motion, detect, auth:
+        Optional stages; ``None`` removes the block from the pipeline.
+    tx_policy:
+        What gets transmitted when a frame survives all present gates.
+    link:
+        The uplink (WISPCam backscatter by default).
+    """
+
+    def __init__(
+        self,
+        capture: CaptureStage,
+        motion: MotionStage | None,
+        detect: DetectStage | None,
+        auth: AuthStage | None,
+        tx_policy: str = "alert",
+        link: LinkModel = RF_BACKSCATTER,
+        frame_bytes: float | None = None,
+    ):
+        if tx_policy not in TX_POLICIES:
+            raise ConfigurationError(
+                f"tx_policy must be one of {TX_POLICIES}, got {tx_policy!r}"
+            )
+        if auth is not None and detect is None:
+            raise ConfigurationError(
+                "the NN consumes face detections; enable detect with auth"
+            )
+        self.capture = capture
+        self.motion = motion
+        self.detect = detect
+        self.auth = auth
+        self.tx_policy = tx_policy
+        self.link = link
+        self.frame_bytes = frame_bytes
+
+    # ------------------------------------------------------------------
+    def _tx_cost(self, payload_bytes: float) -> StageCost:
+        seconds = self.link.seconds_for_bytes(payload_bytes)
+        energy = (
+            self.link.tx_energy_for_bytes(payload_bytes)
+            + seconds * NODE_TX_ACTIVE_POWER
+        )
+        return StageCost(energy, seconds)
+
+    def process_frame(self, frame: VideoFrame) -> FrameOutcome:
+        """Run one frame through the configured pipeline."""
+        stage_costs: dict[str, StageCost] = {"capture": self.capture.cost()}
+        image = frame.image
+        frame_bytes = self.frame_bytes or float(image.size)  # 8 bpp raw
+
+        survived = True
+        motion_flag: bool | None = None
+        faces_found: int | None = None
+        authenticated: bool | None = None
+        payload = 0.0
+
+        if self.motion is not None:
+            motion_flag, cost = self.motion.run(image)
+            stage_costs["motion"] = cost
+            survived = motion_flag
+
+        detections = []
+        if survived and self.detect is not None:
+            detections, cost = self.detect.run(image)
+            stage_costs["detect"] = cost
+            faces_found = len(detections)
+            survived = faces_found > 0
+
+        if survived and self.auth is not None:
+            best = max(detections, key=lambda d: d.score)
+            authenticated, _, cost = self.auth.run(image, best)
+            stage_costs["auth"] = cost
+            survived = authenticated
+
+        if survived:
+            if self.tx_policy == "raw_frame":
+                payload = frame_bytes
+            elif self.tx_policy == "face_crop":
+                side = detections and max(detections, key=lambda d: d.score).side
+                payload = float(side * side) if side else frame_bytes
+            else:
+                payload = ALERT_BYTES
+            stage_costs["transmit"] = self._tx_cost(payload)
+
+        total = StageCost(0.0, 0.0)
+        for cost in stage_costs.values():
+            total = total + cost
+        outcome = FrameOutcome(
+            index=frame.index,
+            motion=motion_flag,
+            faces_found=faces_found,
+            authenticated=authenticated,
+            transmitted_bytes=payload,
+            energy_j=total.energy_j,
+            active_seconds=total.seconds,
+            truth_has_person=frame.has_person,
+            truth_has_target=frame.has_target,
+        )
+        self._last_stage_costs = stage_costs
+        return outcome
+
+    # ------------------------------------------------------------------
+    def run_workload(self, video: SurveillanceVideo) -> WorkloadResult:
+        """Process every frame of a trace, accumulating statistics."""
+        result = WorkloadResult()
+        if self.motion is not None:
+            self.motion.detector.reset()
+        for frame in video.frames():
+            outcome = self.process_frame(frame)
+            result.outcomes.append(outcome)
+            for name, cost in self._last_stage_costs.items():
+                result.stage_energy[name] = (
+                    result.stage_energy.get(name, 0.0) + cost.energy_j
+                )
+        return result

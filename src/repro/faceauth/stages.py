@@ -1,0 +1,175 @@
+"""Pipeline stages: algorithm + hardware cost, per platform.
+
+Each stage exposes ``run(...)`` (the functional result) and returns a
+:class:`StageCost` for the platform it is configured on: ``asic`` uses the
+fixed-function models (:mod:`repro.motion`, :mod:`repro.vj_hw`,
+:mod:`repro.snnap`), ``mcu`` prices the same algorithm as software on the
+general-purpose microcontroller baseline — the comparison the paper's
+first contribution is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.facedet.detector import Detection, ScanStats, SlidingWindowDetector
+from repro.hw.mcu import MicrocontrollerModel, MCU_CORTEX_M0_CLASS
+from repro.imaging.resize import resize_bilinear
+from repro.motion.detector import MotionDetector, MotionHardwareModel
+from repro.snnap.accelerator import SnnapAccelerator
+from repro.vj_hw.accelerator import ViolaJonesAccelerator
+
+PLATFORMS = ("asic", "mcu")
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Energy and active time one stage spent on one frame."""
+
+    energy_j: float
+    seconds: float
+
+    def __add__(self, other: "StageCost") -> "StageCost":
+        return StageCost(self.energy_j + other.energy_j, self.seconds + other.seconds)
+
+
+def _check_platform(platform: str) -> None:
+    if platform not in PLATFORMS:
+        raise ConfigurationError(
+            f"platform must be one of {PLATFORMS}, got {platform!r}"
+        )
+
+
+@dataclass(frozen=True)
+class CaptureStage:
+    """Image sensor + readout (always runs, platform-independent).
+
+    Defaults model an ultra-low-power QCIF sensor (HM01B0-class):
+    ~15 uJ per frame including ADC and readout into SRAM.
+    """
+
+    energy_per_frame: float = 15e-6
+    seconds_per_frame: float = 33e-3
+
+    def cost(self) -> StageCost:
+        return StageCost(self.energy_per_frame, self.seconds_per_frame)
+
+
+class MotionStage:
+    """B1: frame-difference gate."""
+
+    def __init__(
+        self,
+        platform: str = "asic",
+        detector: MotionDetector | None = None,
+        mcu: MicrocontrollerModel = MCU_CORTEX_M0_CLASS,
+    ):
+        _check_platform(platform)
+        self.platform = platform
+        self.detector = detector or MotionDetector()
+        self._hw = MotionHardwareModel()
+        self._mcu = mcu
+
+    def run(self, frame: np.ndarray) -> tuple[bool, StageCost]:
+        result = self.detector.process(frame)
+        pixels = frame.size
+        if self.platform == "asic":
+            cycles, report = self._hw.frame_cost(pixels)
+            cost = StageCost(report.total, self._hw.energy_model.seconds(cycles))
+        else:
+            report, seconds = self._mcu.run_op_mix({"pixel_diff": float(pixels)})
+            cost = StageCost(report.total, seconds)
+        return result.motion, cost
+
+
+class DetectStage:
+    """B2: Viola-Jones face detection gate."""
+
+    def __init__(
+        self,
+        detector: SlidingWindowDetector,
+        platform: str = "asic",
+        mcu: MicrocontrollerModel = MCU_CORTEX_M0_CLASS,
+    ):
+        _check_platform(platform)
+        self.platform = platform
+        self.detector = detector
+        self._hw = ViolaJonesAccelerator()
+        self._mcu = mcu
+
+    def run(self, frame: np.ndarray) -> tuple[list[Detection], StageCost]:
+        detections, stats = self.detector.detect(frame, return_stats=True)
+        cost = self._cost_from_stats(stats, frame.size)
+        return detections, cost
+
+    def _cost_from_stats(self, stats: ScanStats, pixels: int) -> StageCost:
+        if self.platform == "asic":
+            scan = self._hw.scan_cost(stats, pixels)
+            return StageCost(scan.total_joules, scan.seconds)
+        report, seconds = self._mcu.run_op_mix(
+            {
+                "haar_rect": stats.feature_evaluations * 2.8,
+                "compare": float(stats.feature_evaluations),
+                "add": float(pixels * 2),  # integral image pass
+                "store": float(pixels),
+                "branch": float(stats.windows_visited),
+            }
+        )
+        return StageCost(report.total, seconds)
+
+
+class AuthStage:
+    """B3: the core NN face-authentication block.
+
+    Consumes the best detection's crop (resized to the NN input window)
+    and answers "is this the enrolled user?".
+    """
+
+    def __init__(
+        self,
+        accelerator: SnnapAccelerator,
+        platform: str = "asic",
+        threshold: float = 0.5,
+        mcu: MicrocontrollerModel = MCU_CORTEX_M0_CLASS,
+    ):
+        _check_platform(platform)
+        self.platform = platform
+        self.accelerator = accelerator
+        self.threshold = threshold
+        self._mcu = mcu
+        input_side = int(np.sqrt(accelerator.model.layer_sizes[0]))
+        if input_side * input_side != accelerator.model.layer_sizes[0]:
+            raise ConfigurationError(
+                f"NN input size {accelerator.model.layer_sizes[0]} is not square"
+            )
+        self.input_side = input_side
+
+    def run(self, frame: np.ndarray, detection: Detection) -> tuple[bool, float, StageCost]:
+        """Authenticate one detected face; returns (match, score, cost)."""
+        crop = frame[
+            detection.y0 : detection.y0 + detection.side,
+            detection.x0 : detection.x0 + detection.side,
+        ]
+        window = resize_bilinear(crop, self.input_side, self.input_side)
+        x = window.reshape(1, -1)
+        run = self.accelerator.run(x)
+        score = float(run.outputs[0, 0])
+        match = score >= self.threshold
+        if self.platform == "asic":
+            cost = StageCost(
+                run.energy_per_sample.total,
+                run.seconds_per_sample(self.accelerator.energy_model.clock_hz),
+            )
+        else:
+            model = self.accelerator.model
+            report, seconds = self._mcu.run_op_mix(
+                {
+                    "mac8": float(model.n_macs()),
+                    "sigmoid_sw": float(sum(model.layer_sizes[1:])),
+                }
+            )
+            cost = StageCost(report.total, seconds)
+        return match, score, cost

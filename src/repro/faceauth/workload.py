@@ -1,0 +1,168 @@
+"""Workload construction: train every component for one video trace.
+
+Given a surveillance trace, build the matched recognizer stack: a
+Viola-Jones cascade (generic face/non-face) and a 400-8-1 authentication
+network trained to recognize the trace's enrolled user against imposters.
+Training data mimics the deployment path — faces rendered at the sizes
+people appear in the video, then resized to the NN window, exactly what
+detector crops will look like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.rng import make_rng
+from repro.datasets.video import SurveillanceVideo
+from repro.errors import TrainingError
+from repro.facedet.cascade import CascadeClassifier
+from repro.facedet.detector import SlidingWindowDetector
+from repro.facedet.training import train_reference_cascade
+from repro.imaging.resize import resize_bilinear
+from repro.nn.mlp import MLP
+from repro.nn.train import train_rprop
+from repro.snnap.accelerator import SnnapAccelerator
+
+
+@dataclass(frozen=True)
+class TrainedWorkload:
+    """A video trace plus the recognizer stack trained for it."""
+
+    video: SurveillanceVideo
+    cascade: CascadeClassifier
+    nn_model: MLP
+    nn_float_error: float  # held-out classification error of the float NN
+
+    def make_detector(
+        self,
+        scale_factor: float = 1.4,
+        step_size: int = 2,
+        adaptive_step: float | None = None,
+    ) -> SlidingWindowDetector:
+        """A sliding-window detector over the trained cascade."""
+        return SlidingWindowDetector(
+            self.cascade,
+            scale_factor=scale_factor,
+            step_size=step_size,
+            adaptive_step=adaptive_step,
+            min_window=24,
+            max_window=64,
+        )
+
+    def make_accelerator(self, n_pes: int = 8, data_bits: int = 8) -> SnnapAccelerator:
+        """The deployed NN accelerator (paper's chosen configuration)."""
+        return SnnapAccelerator(self.nn_model, n_pes=n_pes, data_bits=data_bits)
+
+
+def _jittered_crop(
+    face: np.ndarray, rng: np.random.Generator, window: int
+) -> np.ndarray:
+    """Mimic a Viola-Jones detection box around a rendered face.
+
+    Detector boxes are never pixel-aligned with the face: they come with
+    scale slack (the detector's discrete scale ladder) and positional
+    slack (the stride). Training on jittered crops closes that
+    deployment gap.
+    """
+    side = face.shape[0]
+    pad = max(int(side * 0.3), 2)
+    canvas = np.pad(face, pad, mode="edge")
+    crop_side = int(round(side * rng.uniform(0.9, 1.35)))
+    center_y = pad + side / 2.0 + rng.uniform(-0.12, 0.12) * side
+    center_x = pad + side / 2.0 + rng.uniform(-0.12, 0.12) * side
+    y0 = int(np.clip(center_y - crop_side / 2.0, 0, canvas.shape[0] - crop_side))
+    x0 = int(np.clip(center_x - crop_side / 2.0, 0, canvas.shape[1] - crop_side))
+    crop = canvas[y0 : y0 + crop_side, x0 : x0 + crop_side]
+    return resize_bilinear(crop, window, window)
+
+
+def _deployment_windows(
+    video: SurveillanceVideo,
+    identity_indices: list[int] | None,
+    count: int,
+    rng: np.random.Generator,
+    window: int,
+    difficulty: float,
+) -> np.ndarray:
+    """Render faces at video-realistic sizes through detection-box jitter.
+
+    ``identity_indices`` of None means the enrolled target; otherwise the
+    listed imposters.
+    """
+    gen = video.face_generator
+    out = []
+    for _ in range(count):
+        if identity_indices is None:
+            identity = video.target_identity
+        else:
+            identity = video.imposters[
+                identity_indices[int(rng.integers(0, len(identity_indices)))]
+            ]
+        side = int(rng.integers(28, 48))  # the video's face-size range
+        face = gen.render_face(identity, gen.sample_conditions(difficulty), size=side)
+        out.append(_jittered_crop(face, rng, window))
+    return np.stack(out)
+
+
+def build_workload(
+    seed: int = 0,
+    n_frames: int = 240,
+    event_rate: float = 4.0,
+    target_fraction: float = 0.5,
+    n_train_per_class: int = 350,
+    nn_epochs: int = 250,
+    difficulty: float = 0.6,
+) -> TrainedWorkload:
+    """Build a trace and train the full recognizer stack for it."""
+    video = SurveillanceVideo(
+        n_frames=n_frames,
+        event_rate=event_rate,
+        target_fraction=target_fraction,
+        seed=seed,
+    )
+    rng = make_rng(seed + 1)
+
+    bundle = train_reference_cascade(seed=seed + 2)
+    window = bundle.generator.window
+
+    imposter_idx = list(range(len(video.imposters)))
+    pos = _deployment_windows(video, None, n_train_per_class, rng, window, difficulty)
+    neg = _deployment_windows(
+        video, imposter_idx, n_train_per_class, rng, window, difficulty
+    )
+    X = np.vstack([pos, neg]).reshape(2 * n_train_per_class, -1)
+    y = np.concatenate([np.ones(n_train_per_class), np.zeros(n_train_per_class)])
+
+    order = rng.permutation(len(X))
+    split = int(0.9 * len(X))
+    train_idx, val_idx = order[:split], order[split:]
+
+    model = MLP((window * window, 8, 1), seed=seed + 3)
+    result = train_rprop(
+        model,
+        X[train_idx],
+        y[train_idx],
+        epochs=nn_epochs,
+        X_val=X[val_idx],
+        y_val=y[val_idx],
+        patience=60,
+        weight_decay=1e-4,
+    )
+
+    # Held-out error on a fresh draw (the paper's 90/10 protocol).
+    pos_t = _deployment_windows(video, None, 120, rng, window, difficulty)
+    neg_t = _deployment_windows(video, imposter_idx, 120, rng, window, difficulty)
+    X_test = np.vstack([pos_t, neg_t]).reshape(240, -1)
+    y_test = np.concatenate([np.ones(120), np.zeros(120)])
+    error = result.model.classification_error(X_test, y_test)
+    if not np.isfinite(error):
+        raise TrainingError("NN evaluation produced a non-finite error")
+
+    return TrainedWorkload(
+        video=video,
+        cascade=bundle.cascade,
+        nn_model=result.model,
+        nn_float_error=float(error),
+    )

@@ -1,0 +1,38 @@
+"""Viola-Jones face detection: features, boosting, cascade, detector.
+
+This package implements the paper's optional "face detection" pipeline
+block (B2 of the face-authentication case study) from scratch:
+
+* :mod:`.features` — Haar-like rectangular features over integral images,
+  defined as weighted sums of rectangle *means* so they are scale-invariant
+  by construction.
+* :mod:`.adaboost` — decision-stump AdaBoost (the VJ stage learner).
+* :mod:`.cascade` — attentional cascade training with negative
+  bootstrapping, the structure of Figure 4(b).
+* :mod:`.detector` — sliding-window detection with the exact knobs swept in
+  Figure 4(c): scale factor, static step size, adaptive step size.
+* :mod:`.metrics` — precision/recall/F1 against ground-truth boxes.
+"""
+
+from repro.facedet.features import HaarFeature, Rect, generate_feature_pool
+from repro.facedet.adaboost import DecisionStump, adaboost_train
+from repro.facedet.cascade import CascadeClassifier, CascadeStage, train_cascade
+from repro.facedet.detector import Detection, SlidingWindowDetector, non_max_suppression
+from repro.facedet.metrics import DetectionScore, match_detections, score_detections
+
+__all__ = [
+    "HaarFeature",
+    "Rect",
+    "generate_feature_pool",
+    "DecisionStump",
+    "adaboost_train",
+    "CascadeClassifier",
+    "CascadeStage",
+    "train_cascade",
+    "Detection",
+    "SlidingWindowDetector",
+    "non_max_suppression",
+    "DetectionScore",
+    "match_detections",
+    "score_detections",
+]

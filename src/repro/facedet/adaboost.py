@@ -1,0 +1,186 @@
+"""Decision-stump AdaBoost — the Viola-Jones stage learner.
+
+Each weak learner is a threshold on one Haar feature. Training follows the
+discrete AdaBoost of the original paper: at every round, pick the
+(feature, threshold, polarity) with minimum weighted error, reweight, and
+accumulate the stump with voting weight ``alpha = log((1 - err) / err)``.
+
+The threshold search is fully vectorized: samples are argsorted per feature
+once, and each round computes every possible threshold's weighted error
+with two cumulative sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+@dataclass(frozen=True)
+class DecisionStump:
+    """Weak classifier: ``polarity * value < polarity * threshold`` => face.
+
+    ``alpha`` is the AdaBoost voting weight; ``feature_index`` refers into
+    the feature pool the stump was trained against.
+    """
+
+    feature_index: int
+    threshold: float
+    polarity: int  # +1 or -1
+    alpha: float
+
+    def predict(self, values: np.ndarray) -> np.ndarray:
+        """Binary {0,1} predictions for a column of feature values."""
+        return (self.polarity * values < self.polarity * self.threshold).astype(np.float64)
+
+
+def _best_stump(
+    values: np.ndarray,
+    order: np.ndarray,
+    labels: np.ndarray,
+    weights: np.ndarray,
+) -> tuple[int, float, int, float]:
+    """Find the minimum-weighted-error stump across all features.
+
+    Parameters
+    ----------
+    values:
+        (n_samples, n_features) feature matrix.
+    order:
+        Precomputed argsort of ``values`` along axis 0.
+    labels:
+        {0, 1} labels.
+    weights:
+        Current sample weights (sum to 1).
+
+    Returns
+    -------
+    (feature_index, threshold, polarity, error)
+
+    Notes
+    -----
+    For each feature, scanning thresholds in sorted order: classifying
+    everything *below* the threshold as positive has weighted error
+    ``S_plus_above + S_minus_below``; cumulative sums give both terms for
+    every cut point at once. The opposite polarity is the complement.
+    """
+    n_samples, n_features = values.shape
+    sorted_labels = labels[order]  # (n, f)
+    sorted_weights = weights[order]
+    w_pos = np.where(sorted_labels > 0.5, sorted_weights, 0.0)
+    w_neg = sorted_weights - w_pos
+
+    total_pos = w_pos.sum(axis=0)  # identical across features, kept general
+    # Below-cut cumulative masses, including the current element.
+    cum_pos = np.cumsum(w_pos, axis=0)
+    cum_neg = np.cumsum(w_neg, axis=0)
+
+    # Polarity +1: predict positive when value < threshold.
+    # Error(cut k) = negatives below + positives above.
+    err_plus = cum_neg + (total_pos[None, :] - cum_pos)
+    err_minus = 1.0 - err_plus  # opposite polarity flips every decision
+
+    best_plus = np.argmin(err_plus, axis=0)
+    best_minus = np.argmin(err_minus, axis=0)
+    min_plus = err_plus[best_plus, np.arange(n_features)]
+    min_minus = err_minus[best_minus, np.arange(n_features)]
+
+    use_minus = min_minus < min_plus
+    per_feature_err = np.where(use_minus, min_minus, min_plus)
+    feature = int(np.argmin(per_feature_err))
+    error = float(per_feature_err[feature])
+    polarity = -1 if use_minus[feature] else 1
+    cut = int(best_minus[feature] if use_minus[feature] else best_plus[feature])
+
+    # Threshold halfway between the cut sample and the next one.
+    col = values[order[:, feature], feature]
+    if cut + 1 < n_samples:
+        threshold = float((col[cut] + col[cut + 1]) / 2.0)
+    else:
+        threshold = float(col[cut] + 1e-9)
+    return feature, threshold, polarity, error
+
+
+def adaboost_train(
+    values: np.ndarray,
+    labels: np.ndarray,
+    n_rounds: int,
+    initial_weights: np.ndarray | None = None,
+) -> list[DecisionStump]:
+    """Train ``n_rounds`` boosted stumps on a precomputed feature matrix.
+
+    Parameters
+    ----------
+    values:
+        (n_samples, n_features) feature values.
+    labels:
+        {0, 1} array of length n_samples.
+    n_rounds:
+        Number of weak learners to fit.
+    initial_weights:
+        Optional starting weights (default: VJ's class-balanced init).
+
+    Raises
+    ------
+    TrainingError
+        On degenerate inputs (single class, shape mismatch, ...).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if values.ndim != 2:
+        raise TrainingError(f"values must be 2-D, got {values.shape}")
+    if labels.shape != (values.shape[0],):
+        raise TrainingError("labels must align with the rows of values")
+    n_pos = int(labels.sum())
+    n_neg = len(labels) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise TrainingError("training set must contain both classes")
+    if n_rounds < 1:
+        raise TrainingError(f"n_rounds must be >= 1, got {n_rounds}")
+
+    if initial_weights is None:
+        weights = np.where(labels > 0.5, 0.5 / n_pos, 0.5 / n_neg)
+    else:
+        weights = np.asarray(initial_weights, dtype=np.float64).copy()
+        if weights.shape != labels.shape or weights.min() < 0:
+            raise TrainingError("initial_weights must be non-negative, aligned")
+        weights = weights / weights.sum()
+
+    order = np.argsort(values, axis=0, kind="stable")
+    stumps: list[DecisionStump] = []
+    for _ in range(n_rounds):
+        feature, threshold, polarity, error = _best_stump(values, order, labels, weights)
+        error = min(max(error, 1e-10), 1 - 1e-10)
+        beta = error / (1.0 - error)
+        alpha = float(np.log(1.0 / beta))
+        stump = DecisionStump(feature, threshold, polarity, alpha)
+        stumps.append(stump)
+
+        predictions = stump.predict(values[:, feature])
+        correct = predictions == labels
+        # Down-weight samples the stump got right.
+        weights = np.where(correct, weights * beta, weights)
+        total = weights.sum()
+        if total <= 0:
+            break  # perfectly separated; later rounds add nothing
+        weights = weights / total
+    return stumps
+
+
+def boosted_score(
+    stumps: list[DecisionStump], values: np.ndarray
+) -> np.ndarray:
+    """Weighted vote of a stump ensemble on a feature matrix.
+
+    Returns the score ``sum(alpha_t * h_t(x))``; the conventional decision
+    threshold is ``0.5 * sum(alpha_t)``.
+    """
+    if values.ndim != 2:
+        raise TrainingError(f"values must be 2-D, got {values.shape}")
+    score = np.zeros(values.shape[0], dtype=np.float64)
+    for stump in stumps:
+        score += stump.alpha * stump.predict(values[:, stump.feature_index])
+    return score

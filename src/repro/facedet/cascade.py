@@ -1,0 +1,235 @@
+"""Attentional cascade: training and window-level evaluation.
+
+The cascade is the computational structure that makes Viola-Jones cheap on
+non-faces (Figure 4b of the paper): early stages have very few features and
+reject most windows; windows surviving every stage are detections. Stage
+thresholds are tuned to a per-stage true-positive-rate target, and each
+stage trains against the *false positives of the cascade so far*
+(bootstrapping), exactly as in the original algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.facedet.adaboost import DecisionStump, adaboost_train, boosted_score
+from repro.facedet.features import (
+    HaarFeature,
+    evaluate_features,
+    window_stds,
+    windows_to_integrals,
+)
+
+
+@dataclass(frozen=True)
+class CascadeStage:
+    """One boosted stage plus its tuned decision threshold."""
+
+    stumps: tuple[DecisionStump, ...]
+    threshold: float
+
+    @property
+    def n_features(self) -> int:
+        return len(self.stumps)
+
+    def scores(self, values: np.ndarray) -> np.ndarray:
+        """Boosted scores for a (n_windows, n_pool_features) value matrix."""
+        return boosted_score(list(self.stumps), values)
+
+    def passes(self, values: np.ndarray) -> np.ndarray:
+        """Boolean pass/fail per window."""
+        return self.scores(values) >= self.threshold
+
+
+@dataclass(frozen=True)
+class CascadeClassifier:
+    """An ordered sequence of stages over a shared feature pool."""
+
+    features: tuple[HaarFeature, ...]
+    stages: tuple[CascadeStage, ...]
+    window: int
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise TrainingError("cascade must have at least one stage")
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def features_per_stage(self) -> tuple[int, ...]:
+        return tuple(stage.n_features for stage in self.stages)
+
+    def used_feature_indices(self) -> list[int]:
+        """Indices of pool features actually referenced by some stump."""
+        used = {stump.feature_index for stage in self.stages for stump in stage.stumps}
+        return sorted(used)
+
+    # ------------------------------------------------------------------
+    def classify_windows(
+        self, windows: np.ndarray, return_stage_counts: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Run the full cascade on a stack of base-size windows.
+
+        Parameters
+        ----------
+        windows:
+            (n, window, window) grayscale stack.
+        return_stage_counts:
+            If true, also return how many stages each window survived —
+            the statistic behind the accelerator's expected-work model.
+
+        Returns
+        -------
+        Boolean detections (and optionally per-window stage counts).
+        """
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim != 3 or windows.shape[1:] != (self.window, self.window):
+            raise TrainingError(
+                f"expected (n, {self.window}, {self.window}) windows, got {windows.shape}"
+            )
+        integrals = windows_to_integrals(windows)
+        stds = window_stds(windows)
+        n = windows.shape[0]
+        alive = np.ones(n, dtype=bool)
+        survived = np.zeros(n, dtype=np.int64)
+        for stage in self.stages:
+            if not alive.any():
+                break
+            idx = np.flatnonzero(alive)
+            needed = [self.features[s.feature_index] for s in stage.stumps]
+            # Evaluate only this stage's features on the surviving windows,
+            # then scatter them into pool-indexed columns for scoring.
+            values_local = evaluate_features(needed, integrals[idx], stds[idx])
+            values = np.zeros((len(idx), len(self.features)), dtype=np.float64)
+            for col, stump in enumerate(stage.stumps):
+                values[:, stump.feature_index] = values_local[:, col]
+            passed = stage.passes(values)
+            survived[idx] += passed.astype(np.int64)
+            alive[idx] = passed
+        if return_stage_counts:
+            return alive, survived
+        return alive
+
+
+def train_cascade(
+    pos_windows: np.ndarray,
+    neg_windows: np.ndarray,
+    features: list[HaarFeature],
+    stage_sizes: tuple[int, ...] = (3, 6, 12, 24),
+    min_stage_tpr: float = 0.995,
+    neg_factory: Callable[[int], np.ndarray] | None = None,
+    min_negatives_per_stage: int = 50,
+) -> CascadeClassifier:
+    """Train an attentional cascade with negative bootstrapping.
+
+    Parameters
+    ----------
+    pos_windows, neg_windows:
+        Stacks of base-size grayscale windows.
+    features:
+        The Haar feature pool stumps may select from.
+    stage_sizes:
+        Number of boosted features per stage, front-to-back — the classic
+        few-then-many shape (paper Figure 4b shows 3/15/53/...).
+    min_stage_tpr:
+        Each stage's threshold is lowered until at least this fraction of
+        positives pass (detection rate is preserved multiplicatively).
+    neg_factory:
+        Optional callable mining fresh negatives, invoked when the negatives
+        surviving the cascade so far run low; candidates it returns are
+        filtered through the current cascade before use.
+    min_negatives_per_stage:
+        Stop adding stages early if fewer survivors than this remain and no
+        factory can replenish them (the cascade has effectively converged).
+
+    Returns
+    -------
+    CascadeClassifier
+    """
+    pos_windows = np.asarray(pos_windows, dtype=np.float64)
+    neg_windows = np.asarray(neg_windows, dtype=np.float64)
+    if pos_windows.ndim != 3 or neg_windows.ndim != 3:
+        raise TrainingError("windows must be (n, H, W) stacks")
+    if len(pos_windows) < 10:
+        raise TrainingError("need at least 10 positive windows")
+    if not 0.5 < min_stage_tpr <= 1.0:
+        raise TrainingError(f"min_stage_tpr must be in (0.5, 1], got {min_stage_tpr}")
+    window = pos_windows.shape[1]
+
+    pos_integrals = windows_to_integrals(pos_windows)
+    pos_stds = window_stds(pos_windows)
+    pos_values = evaluate_features(features, pos_integrals, pos_stds)
+
+    current_negs = neg_windows
+    stages: list[CascadeStage] = []
+
+    for size in stage_sizes:
+        if len(current_negs) < min_negatives_per_stage and neg_factory is not None:
+            current_negs = _replenish_negatives(
+                current_negs, neg_factory, stages, features, window,
+                target=max(min_negatives_per_stage * 4, 200),
+            )
+        if len(current_negs) < 2:
+            break  # nothing left to reject: cascade converged
+
+        neg_integrals = windows_to_integrals(current_negs)
+        neg_stds = window_stds(current_negs)
+        neg_values = evaluate_features(features, neg_integrals, neg_stds)
+
+        values = np.vstack([pos_values, neg_values])
+        labels = np.concatenate([np.ones(len(pos_values)), np.zeros(len(neg_values))])
+        stumps = adaboost_train(values, labels, n_rounds=size)
+
+        scores_pos = boosted_score(stumps, pos_values)
+        # Threshold at the TPR target: the (1 - tpr) quantile of positives.
+        threshold = float(np.quantile(scores_pos, 1.0 - min_stage_tpr))
+        stage = CascadeStage(stumps=tuple(stumps), threshold=threshold)
+        stages.append(stage)
+
+        # Bootstrap: keep only negatives this stage still accepts.
+        passed = stage.passes(neg_values)
+        current_negs = current_negs[passed]
+
+    if not stages:
+        raise TrainingError("no stage could be trained (no negatives?)")
+    return CascadeClassifier(features=tuple(features), stages=tuple(stages), window=window)
+
+
+def _replenish_negatives(
+    current: np.ndarray,
+    factory: Callable[[int], np.ndarray],
+    stages: list[CascadeStage],
+    features: list[HaarFeature],
+    window: int,
+    target: int,
+    max_batches: int = 10,
+) -> np.ndarray:
+    """Mine negatives that fool the cascade built so far."""
+    collected = [current] if len(current) else []
+    total = len(current)
+    partial = CascadeClassifier(
+        features=tuple(features), stages=tuple(stages), window=window
+    ) if stages else None
+    for attempt in range(max_batches):
+        if total >= target:
+            break
+        # Later attempts request more candidates: the deeper the cascade,
+        # the rarer the crops that still fool it.
+        batch = np.asarray(factory(target * (1 + attempt)), dtype=np.float64)
+        if batch.ndim != 3 or batch.shape[1] != window:
+            raise TrainingError("neg_factory must return (n, window, window)")
+        if partial is not None:
+            keep = partial.classify_windows(batch)
+            batch = batch[keep]
+        if len(batch):
+            collected.append(batch)
+            total += len(batch)
+    if not collected:
+        return np.zeros((0, window, window))
+    return np.vstack(collected)

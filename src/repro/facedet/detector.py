@@ -1,0 +1,250 @@
+"""Sliding-window face detection with the Figure 4(c) parameter knobs.
+
+The detector scans a trained cascade across the image at a pyramid of
+window sizes. Its three knobs are exactly the ones the paper sweeps:
+
+* ``scale_factor`` — multiplicative growth of the window between passes
+  (1.25 ... 2.0 in Fig. 4c). Larger = fewer scales = cheaper = less
+  accurate.
+* ``step_size`` (static) — stride in *pixels*, constant across scales
+  (4 ... 16 in Fig. 4c). At large windows a fixed stride is relatively
+  finer, so cost concentrates at coarse scales.
+* ``adaptive_step`` — stride as a *fraction of the window side*
+  (0.0 ... 0.4 in Fig. 4c), so the stride grows with the window and the
+  number of visited positions per scale stays roughly constant.
+
+Exactly one stepping mode is active at a time. The detector also reports
+how many windows it visited and how many cascade stages each survived —
+the statistics that drive the hardware cost model in :mod:`repro.vj_hw`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.facedet.cascade import CascadeClassifier
+from repro.imaging.image import ensure_gray
+from repro.imaging.integral import integral_image, integral_of_squares
+
+
+@dataclass(frozen=True)
+class Detection:
+    """A detected square window with the cascade's confidence score."""
+
+    y0: int
+    x0: int
+    side: int
+    score: float
+
+    @property
+    def box(self) -> tuple[int, int, int]:
+        return (self.y0, self.x0, self.side)
+
+
+@dataclass
+class ScanStats:
+    """Work accounting for one detector invocation."""
+
+    windows_visited: int = 0
+    windows_accepted: int = 0
+    stage_evaluations: int = 0
+    feature_evaluations: int = 0
+    scales: int = 0
+    per_stage_survivors: list[int] = field(default_factory=list)
+
+
+def _iou(a: Detection, b: Detection) -> float:
+    """Intersection-over-union of two square detections."""
+    ay1, ax1 = a.y0 + a.side, a.x0 + a.side
+    by1, bx1 = b.y0 + b.side, b.x0 + b.side
+    ih = max(0, min(ay1, by1) - max(a.y0, b.y0))
+    iw = max(0, min(ax1, bx1) - max(a.x0, b.x0))
+    inter = ih * iw
+    union = a.side**2 + b.side**2 - inter
+    return inter / union if union > 0 else 0.0
+
+
+def non_max_suppression(
+    detections: list[Detection], iou_threshold: float = 0.3
+) -> list[Detection]:
+    """Greedy NMS: keep highest-scoring boxes, drop overlapping ones."""
+    if not 0.0 <= iou_threshold <= 1.0:
+        raise ConfigurationError(f"iou_threshold must be in [0,1], got {iou_threshold}")
+    kept: list[Detection] = []
+    for det in sorted(detections, key=lambda d: -d.score):
+        if all(_iou(det, other) < iou_threshold for other in kept):
+            kept.append(det)
+    return kept
+
+
+class SlidingWindowDetector:
+    """Multi-scale cascade detector.
+
+    Parameters
+    ----------
+    cascade:
+        Trained :class:`CascadeClassifier`.
+    scale_factor:
+        Window growth per scale pass, must be > 1.
+    step_size:
+        Static stride in pixels (used when ``adaptive_step`` is None).
+    adaptive_step:
+        Stride as a fraction of the current window side; overrides
+        ``step_size`` when set. 0.0 degenerates to a 1-pixel stride.
+    min_window, max_window:
+        Window-size limits in pixels (defaults: cascade base .. image side).
+    iou_threshold:
+        NMS overlap threshold applied to raw hits.
+    """
+
+    def __init__(
+        self,
+        cascade: CascadeClassifier,
+        scale_factor: float = 1.25,
+        step_size: int = 2,
+        adaptive_step: float | None = None,
+        min_window: int | None = None,
+        max_window: int | None = None,
+        iou_threshold: float = 0.3,
+    ):
+        if scale_factor <= 1.0:
+            raise ConfigurationError(f"scale_factor must be > 1, got {scale_factor}")
+        if adaptive_step is None and step_size < 1:
+            raise ConfigurationError(f"step_size must be >= 1, got {step_size}")
+        if adaptive_step is not None and not 0.0 <= adaptive_step < 1.0:
+            raise ConfigurationError(
+                f"adaptive_step must be in [0, 1), got {adaptive_step}"
+            )
+        self.cascade = cascade
+        self.scale_factor = scale_factor
+        self.step_size = step_size
+        self.adaptive_step = adaptive_step
+        self.min_window = min_window or cascade.window
+        self.max_window = max_window
+        self.iou_threshold = iou_threshold
+        # Cache of per-scale rectangle tables: scale -> list per stage of
+        # (stump array metadata, rect arrays).
+        self._scale_cache: dict[float, list] = {}
+
+    # ------------------------------------------------------------------
+    def _stride_for(self, window: int) -> int:
+        if self.adaptive_step is not None:
+            return max(1, int(round(self.adaptive_step * window)))
+        return self.step_size
+
+    def _stage_tables(self, scale: float) -> list:
+        """Precompute scaled rects grouped by stage for one scale."""
+        if scale in self._scale_cache:
+            return self._scale_cache[scale]
+        tables = []
+        for stage in self.cascade.stages:
+            stage_entries = []
+            for stump in stage.stumps:
+                feature = self.cascade.features[stump.feature_index]
+                rects = feature.scaled_rects(scale)
+                stage_entries.append((stump, rects))
+            tables.append((stage, stage_entries))
+        self._scale_cache[scale] = tables
+        return tables
+
+    # ------------------------------------------------------------------
+    def detect(
+        self, image: np.ndarray, return_stats: bool = False
+    ) -> list[Detection] | tuple[list[Detection], ScanStats]:
+        """Detect faces; optionally return the work statistics."""
+        arr = ensure_gray(image)
+        height, width = arr.shape
+        ii = integral_image(arr)
+        ii_sq = integral_of_squares(arr)
+        stats = ScanStats()
+        raw: list[Detection] = []
+
+        window = self.min_window
+        limit = self.max_window or min(height, width)
+        while window <= min(limit, height, width):
+            scale = window / self.cascade.window
+            stride = self._stride_for(window)
+            ys = np.arange(0, height - window + 1, stride, dtype=np.intp)
+            xs = np.arange(0, width - window + 1, stride, dtype=np.intp)
+            if len(ys) == 0 or len(xs) == 0:
+                break
+            oy, ox = np.meshgrid(ys, xs, indexing="ij")
+            oy = oy.ravel()
+            ox = ox.ravel()
+            stats.scales += 1
+            stats.windows_visited += len(oy)
+            self._scan_scale(ii, ii_sq, oy, ox, window, scale, raw, stats)
+            next_window = int(round(window * self.scale_factor))
+            window = max(next_window, window + 1)
+
+        detections = non_max_suppression(raw, self.iou_threshold)
+        stats.windows_accepted = len(detections)
+        if return_stats:
+            return detections, stats
+        return detections
+
+    # ------------------------------------------------------------------
+    def _scan_scale(
+        self,
+        ii: np.ndarray,
+        ii_sq: np.ndarray,
+        oy: np.ndarray,
+        ox: np.ndarray,
+        window: int,
+        scale: float,
+        raw: list[Detection],
+        stats: ScanStats,
+    ) -> None:
+        """Run the cascade over all origins of one scale, batched."""
+        area = window * window
+
+        def rect_sum(table: np.ndarray, y0: int, x0: int, y1: int, x1: int) -> np.ndarray:
+            return (
+                table[oy + y1, ox + x1]
+                - table[oy + y0, ox + x1]
+                - table[oy + y1, ox + x0]
+                + table[oy + y0, ox + x0]
+            )
+
+        total = rect_sum(ii, 0, 0, window, window)
+        total_sq = rect_sum(ii_sq, 0, 0, window, window)
+        mean = total / area
+        std = np.sqrt(np.maximum(total_sq / area - mean * mean, 0.0))
+        std = np.maximum(std, 1e-3)
+
+        alive = np.ones(len(oy), dtype=bool)
+        scores = np.zeros(len(oy), dtype=np.float64)
+        for stage, entries in self._stage_tables(scale):
+            idx = np.flatnonzero(alive)
+            if len(idx) == 0:
+                return
+            stats.stage_evaluations += len(idx)
+            stage_score = np.zeros(len(idx), dtype=np.float64)
+            sel_y, sel_x, sel_std = oy[idx], ox[idx], std[idx]
+            for stump, rects in entries:
+                stats.feature_evaluations += len(idx)
+                value = np.zeros(len(idx), dtype=np.float64)
+                for (y0, x0, y1, x1, weight) in rects:
+                    r_area = (y1 - y0) * (x1 - x0)
+                    sums = (
+                        ii[sel_y + y1, sel_x + x1]
+                        - ii[sel_y + y0, sel_x + x1]
+                        - ii[sel_y + y1, sel_x + x0]
+                        + ii[sel_y + y0, sel_x + x0]
+                    )
+                    value += weight * sums / r_area
+                value /= sel_std
+                vote = (stump.polarity * value < stump.polarity * stump.threshold)
+                stage_score += stump.alpha * vote
+            passed = stage_score >= stage.threshold
+            stats.per_stage_survivors.append(int(passed.sum()))
+            scores[idx] = stage_score  # last stage's margin becomes the score
+            alive[idx] = passed
+
+        for i in np.flatnonzero(alive):
+            raw.append(
+                Detection(y0=int(oy[i]), x0=int(ox[i]), side=window, score=float(scores[i]))
+            )

@@ -1,0 +1,261 @@
+"""Haar-like rectangular features over integral images.
+
+A feature is a weighted sum of rectangle *means* within the detection
+window. Using means (rather than raw sums) makes the feature value invariant
+to window scale, so the same trained feature evaluates at any window size by
+scaling its rectangles — this is what lets the sliding-window detector reuse
+one cascade across the whole image pyramid.
+
+Feature kinds (the classic VJ set):
+
+* ``edge_h`` / ``edge_v`` — two abutting rectangles, dark/bright split;
+* ``line_h`` / ``line_v`` — three rectangles, bright-dark-bright;
+* ``quad`` — four rectangles in a checker layout (diagonal structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.rng import make_rng
+from repro.errors import ConfigurationError
+
+#: Minimum edge of a feature rectangle in the base window, pixels.
+_MIN_RECT = 2
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle in base-window coordinates with a weight."""
+
+    y0: int
+    x0: int
+    y1: int
+    x1: int
+    weight: float
+
+    def __post_init__(self) -> None:
+        if not (self.y0 < self.y1 and self.x0 < self.x1):
+            raise ConfigurationError(f"degenerate rect {self}")
+
+    @property
+    def area(self) -> int:
+        return (self.y1 - self.y0) * (self.x1 - self.x0)
+
+
+@dataclass(frozen=True)
+class HaarFeature:
+    """A Haar-like feature: weighted sum of rectangle means.
+
+    ``window`` is the side of the base window the coordinates refer to.
+    """
+
+    rects: tuple[Rect, ...]
+    window: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        if not self.rects:
+            raise ConfigurationError("feature needs at least one rect")
+        for rect in self.rects:
+            if rect.y1 > self.window or rect.x1 > self.window:
+                raise ConfigurationError(f"rect {rect} exceeds window {self.window}")
+
+    def scaled_rects(self, scale: float) -> tuple[tuple[int, int, int, int, float], ...]:
+        """Integer rectangle coordinates at ``scale`` x the base window.
+
+        Rounding can slightly unbalance rectangle areas; evaluation divides
+        by each rectangle's *actual* scaled area, so the mean-based feature
+        stays consistent.
+        """
+        out = []
+        for rect in self.rects:
+            y0 = int(round(rect.y0 * scale))
+            x0 = int(round(rect.x0 * scale))
+            y1 = max(int(round(rect.y1 * scale)), y0 + 1)
+            x1 = max(int(round(rect.x1 * scale)), x0 + 1)
+            out.append((y0, x0, y1, x1, rect.weight))
+        return tuple(out)
+
+
+def _two_rect_h(y0: int, x0: int, h: int, w: int, window: int) -> HaarFeature:
+    """Left-bright / right-dark vertical edge feature."""
+    mid = x0 + w // 2
+    return HaarFeature(
+        rects=(
+            Rect(y0, x0, y0 + h, mid, +1.0),
+            Rect(y0, mid, y0 + h, x0 + w, -1.0),
+        ),
+        window=window,
+        kind="edge_h",
+    )
+
+
+def _two_rect_v(y0: int, x0: int, h: int, w: int, window: int) -> HaarFeature:
+    """Top-bright / bottom-dark horizontal edge feature."""
+    mid = y0 + h // 2
+    return HaarFeature(
+        rects=(
+            Rect(y0, x0, mid, x0 + w, +1.0),
+            Rect(mid, x0, y0 + h, x0 + w, -1.0),
+        ),
+        window=window,
+        kind="edge_v",
+    )
+
+
+def _three_rect_h(y0: int, x0: int, h: int, w: int, window: int) -> HaarFeature:
+    """Bright-dark-bright vertical line feature (eyes flanking the nose)."""
+    third = w // 3
+    return HaarFeature(
+        rects=(
+            Rect(y0, x0, y0 + h, x0 + third, +1.0),
+            Rect(y0, x0 + third, y0 + h, x0 + 2 * third, -2.0),
+            Rect(y0, x0 + 2 * third, y0 + h, x0 + 3 * third, +1.0),
+        ),
+        window=window,
+        kind="line_h",
+    )
+
+
+def _three_rect_v(y0: int, x0: int, h: int, w: int, window: int) -> HaarFeature:
+    """Bright-dark-bright horizontal band feature (the eye band)."""
+    third = h // 3
+    return HaarFeature(
+        rects=(
+            Rect(y0, x0, y0 + third, x0 + w, +1.0),
+            Rect(y0 + third, x0, y0 + 2 * third, x0 + w, -2.0),
+            Rect(y0 + 2 * third, x0, y0 + 3 * third, x0 + w, +1.0),
+        ),
+        window=window,
+        kind="line_v",
+    )
+
+
+def _four_rect(y0: int, x0: int, h: int, w: int, window: int) -> HaarFeature:
+    """Checkerboard feature capturing diagonal contrast."""
+    my = y0 + h // 2
+    mx = x0 + w // 2
+    return HaarFeature(
+        rects=(
+            Rect(y0, x0, my, mx, +1.0),
+            Rect(y0, mx, my, x0 + w, -1.0),
+            Rect(my, x0, y0 + h, mx, -1.0),
+            Rect(my, mx, y0 + h, x0 + w, +1.0),
+        ),
+        window=window,
+        kind="quad",
+    )
+
+
+_BUILDERS = {
+    "edge_h": (_two_rect_h, 2, 1),  # builder, min w units, min h units
+    "edge_v": (_two_rect_v, 1, 2),
+    "line_h": (_three_rect_h, 3, 1),
+    "line_v": (_three_rect_v, 1, 3),
+    "quad": (_four_rect, 2, 2),
+}
+
+
+def generate_feature_pool(
+    window: int = 20,
+    max_features: int = 2500,
+    seed: int | np.random.Generator | None = 0,
+    kinds: tuple[str, ...] = ("edge_h", "edge_v", "line_h", "line_v", "quad"),
+) -> list[HaarFeature]:
+    """Sample a diverse pool of Haar features over the base window.
+
+    The exhaustive VJ pool has ~160k features for a 24x24 window; training
+    needs only a representative subsample. Sampling is uniform over kind,
+    position and size, deduplicated, deterministic under ``seed``.
+    """
+    if window < 8:
+        raise ConfigurationError(f"window must be >= 8, got {window}")
+    unknown = set(kinds) - set(_BUILDERS)
+    if unknown:
+        raise ConfigurationError(f"unknown feature kinds: {sorted(unknown)}")
+    rng = make_rng(seed)
+    pool: list[HaarFeature] = []
+    seen: set[tuple] = set()
+    attempts = 0
+    max_attempts = max_features * 50
+    while len(pool) < max_features and attempts < max_attempts:
+        attempts += 1
+        kind = kinds[int(rng.integers(0, len(kinds)))]
+        builder, wx_units, hy_units = _BUILDERS[kind]
+        w = int(rng.integers(_MIN_RECT * wx_units, window + 1))
+        h = int(rng.integers(_MIN_RECT * hy_units, window + 1))
+        w -= w % wx_units  # keep sub-rectangles integral
+        h -= h % hy_units
+        if w < _MIN_RECT * wx_units or h < _MIN_RECT * hy_units:
+            continue
+        y0 = int(rng.integers(0, window - h + 1))
+        x0 = int(rng.integers(0, window - w + 1))
+        key = (kind, y0, x0, h, w)
+        if key in seen:
+            continue
+        seen.add(key)
+        pool.append(builder(y0, x0, h, w, window))
+    return pool
+
+
+# ---------------------------------------------------------------------------
+# Batch evaluation on stacks of windows (training path)
+# ---------------------------------------------------------------------------
+def windows_to_integrals(windows: np.ndarray) -> np.ndarray:
+    """Integral images for a stack of windows, shape (n, H+1, W+1)."""
+    windows = np.asarray(windows, dtype=np.float64)
+    if windows.ndim != 3:
+        raise ConfigurationError(f"expected (n, H, W) windows, got {windows.shape}")
+    n, height, width = windows.shape
+    out = np.zeros((n, height + 1, width + 1), dtype=np.float64)
+    out[:, 1:, 1:] = windows.cumsum(axis=1).cumsum(axis=2)
+    return out
+
+
+def window_stds(windows: np.ndarray) -> np.ndarray:
+    """Per-window standard deviation (lighting normalization factor)."""
+    windows = np.asarray(windows, dtype=np.float64)
+    return windows.reshape(windows.shape[0], -1).std(axis=1)
+
+
+def evaluate_features(
+    features: list[HaarFeature],
+    integrals: np.ndarray,
+    stds: np.ndarray | None = None,
+) -> np.ndarray:
+    """Evaluate every feature on every window.
+
+    Parameters
+    ----------
+    features:
+        Feature list (all with the same base window as the integrals).
+    integrals:
+        Stack from :func:`windows_to_integrals`, shape (n, H+1, W+1).
+    stds:
+        Optional per-window stds; if given, feature values are divided by
+        ``max(std, eps)`` (variance normalization).
+
+    Returns
+    -------
+    np.ndarray
+        Matrix of shape (n_windows, n_features).
+    """
+    n = integrals.shape[0]
+    values = np.zeros((n, len(features)), dtype=np.float64)
+    for j, feature in enumerate(features):
+        acc = np.zeros(n, dtype=np.float64)
+        for rect in feature.rects:
+            sums = (
+                integrals[:, rect.y1, rect.x1]
+                - integrals[:, rect.y0, rect.x1]
+                - integrals[:, rect.y1, rect.x0]
+                + integrals[:, rect.y0, rect.x0]
+            )
+            acc += rect.weight * sums / rect.area
+        values[:, j] = acc
+    if stds is not None:
+        values /= np.maximum(stds, 1e-3)[:, None]
+    return values

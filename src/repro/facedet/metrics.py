@@ -1,0 +1,115 @@
+"""Detection scoring: IoU matching and precision/recall/F1.
+
+Figure 4(c) reports *relative* accuracy (each metric normalized to the best
+configuration in its sweep); :func:`relative_scores` implements that
+normalization so the benchmark prints the same units as the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.facedet.detector import Detection
+
+
+@dataclass(frozen=True)
+class DetectionScore:
+    """Counts and derived detection metrics for a set of scenes."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    def __add__(self, other: "DetectionScore") -> "DetectionScore":
+        return DetectionScore(
+            self.true_positives + other.true_positives,
+            self.false_positives + other.false_positives,
+            self.false_negatives + other.false_negatives,
+        )
+
+
+def _box_iou(det: Detection, box: tuple[int, int, int]) -> float:
+    by, bx, bs = box
+    ay1, ax1 = det.y0 + det.side, det.x0 + det.side
+    by1, bx1 = by + bs, bx + bs
+    ih = max(0, min(ay1, by1) - max(det.y0, by))
+    iw = max(0, min(ax1, bx1) - max(det.x0, bx))
+    inter = ih * iw
+    union = det.side**2 + bs**2 - inter
+    return inter / union if union > 0 else 0.0
+
+
+def match_detections(
+    detections: list[Detection],
+    truth_boxes: list[tuple[int, int, int]],
+    iou_threshold: float = 0.4,
+) -> DetectionScore:
+    """Greedy best-first matching of detections to ground-truth boxes.
+
+    Each truth box can satisfy at most one detection. Unmatched detections
+    are false positives, unmatched boxes false negatives.
+    """
+    if not 0.0 < iou_threshold <= 1.0:
+        raise ConfigurationError(f"iou_threshold must be in (0,1], got {iou_threshold}")
+    unmatched = list(range(len(truth_boxes)))
+    tp = 0
+    fp = 0
+    for det in sorted(detections, key=lambda d: -d.score):
+        best_j = -1
+        best_iou = iou_threshold
+        for j in unmatched:
+            iou = _box_iou(det, truth_boxes[j])
+            if iou >= best_iou:
+                best_iou = iou
+                best_j = j
+        if best_j >= 0:
+            tp += 1
+            unmatched.remove(best_j)
+        else:
+            fp += 1
+    return DetectionScore(
+        true_positives=tp, false_positives=fp, false_negatives=len(unmatched)
+    )
+
+
+def score_detections(
+    per_scene: list[tuple[list[Detection], list[tuple[int, int, int]]]],
+    iou_threshold: float = 0.4,
+) -> DetectionScore:
+    """Aggregate matching across scenes."""
+    total = DetectionScore(0, 0, 0)
+    for detections, boxes in per_scene:
+        total = total + match_detections(detections, boxes, iou_threshold)
+    return total
+
+
+def relative_scores(scores: list[DetectionScore]) -> dict[str, np.ndarray]:
+    """Normalize each metric to its maximum across a sweep (Fig. 4c units).
+
+    Returns arrays aligned with ``scores`` for keys ``f1``, ``precision``
+    and ``recall``; a sweep whose best value is 0 normalizes to all zeros.
+    """
+    out: dict[str, np.ndarray] = {}
+    for name in ("f1", "precision", "recall"):
+        vals = np.array([getattr(s, name) for s in scores], dtype=np.float64)
+        peak = vals.max()
+        out[name] = vals / peak if peak > 0 else vals
+    return out

@@ -1,0 +1,24 @@
+"""Energy-harvesting substrate for the WISPCam-class camera node.
+
+The paper's first case study runs "solely on energy harvested from RFID
+readers": an RF harvester charges a capacitor, and the node duty-cycles —
+capture, process, (maybe) transmit — whenever enough charge accumulates.
+This package models that loop:
+
+* :mod:`.harvester` — Friis-law RF power delivery + rectifier efficiency;
+* :mod:`.capacitor` — storage element with usable-energy window;
+* :mod:`.scheduler` — the duty-cycle simulator that turns per-frame task
+  energies into an achievable frame rate.
+"""
+
+from repro.harvest.harvester import RfHarvester
+from repro.harvest.capacitor import Capacitor
+from repro.harvest.scheduler import DutyCycleSimulator, FrameTask, HarvestTimeline
+
+__all__ = [
+    "RfHarvester",
+    "Capacitor",
+    "DutyCycleSimulator",
+    "FrameTask",
+    "HarvestTimeline",
+]

@@ -1,0 +1,99 @@
+"""Storage capacitor model with a usable-voltage window.
+
+The WISPCam buffers harvested charge in a capacitor and can only operate
+while the rail stays above the regulator dropout; the usable energy is
+therefore ``0.5 * C * (v_max^2 - v_min^2)``, not the full stored energy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Capacitor:
+    """A capacitor charged by the harvester and drained by tasks.
+
+    Parameters
+    ----------
+    capacitance_f:
+        Capacitance in farads (WISPCam-class: millifarad supercaps).
+    v_max:
+        Charge target / clamp voltage.
+    v_min:
+        Minimum operating voltage (regulator dropout); below this the node
+        browns out.
+    v_initial:
+        Starting voltage (defaults to ``v_min``: cold start).
+    """
+
+    def __init__(
+        self,
+        capacitance_f: float = 6.3e-3,
+        v_max: float = 2.4,
+        v_min: float = 1.8,
+        v_initial: float | None = None,
+    ):
+        if capacitance_f <= 0:
+            raise ConfigurationError(f"capacitance must be positive, got {capacitance_f}")
+        if not 0 < v_min < v_max:
+            raise ConfigurationError(f"need 0 < v_min < v_max, got {v_min}, {v_max}")
+        self.capacitance = capacitance_f
+        self.v_max = v_max
+        self.v_min = v_min
+        self.voltage = v_initial if v_initial is not None else v_min
+        if not 0 <= self.voltage <= v_max:
+            raise ConfigurationError(f"v_initial {self.voltage} outside [0, {v_max}]")
+
+    # ------------------------------------------------------------------
+    @property
+    def usable_energy(self) -> float:
+        """Joules available before brown-out."""
+        v_eff = max(self.voltage, self.v_min)
+        return 0.5 * self.capacitance * (v_eff**2 - self.v_min**2)
+
+    @property
+    def capacity(self) -> float:
+        """Usable joules when fully charged."""
+        return 0.5 * self.capacitance * (self.v_max**2 - self.v_min**2)
+
+    @property
+    def is_full(self) -> bool:
+        return self.voltage >= self.v_max - 1e-9
+
+    # ------------------------------------------------------------------
+    def charge(self, power_w: float, seconds: float) -> None:
+        """Integrate harvested power into stored charge (clamped)."""
+        if power_w < 0 or seconds < 0:
+            raise ConfigurationError("power and time must be >= 0")
+        energy = 0.5 * self.capacitance * self.voltage**2 + power_w * seconds
+        self.voltage = min(np.sqrt(2.0 * energy / self.capacitance), self.v_max)
+
+    def can_supply(self, joules: float) -> bool:
+        """Whether a task of ``joules`` fits in the usable window."""
+        return joules <= self.usable_energy + 1e-15
+
+    def discharge(self, joules: float) -> None:
+        """Withdraw task energy.
+
+        Raises
+        ------
+        ConfigurationError
+            If the withdrawal would brown the node out; callers must check
+            :meth:`can_supply` first (that is the scheduler's job).
+        """
+        if joules < 0:
+            raise ConfigurationError(f"joules must be >= 0, got {joules}")
+        if not self.can_supply(joules):
+            raise ConfigurationError(
+                f"discharge of {joules:.2e} J exceeds usable {self.usable_energy:.2e} J"
+            )
+        energy = 0.5 * self.capacitance * self.voltage**2 - joules
+        self.voltage = np.sqrt(max(2.0 * energy / self.capacitance, 0.0))
+
+    def seconds_to_store(self, joules: float, power_w: float) -> float:
+        """Charging time needed to add ``joules`` of usable energy."""
+        if power_w <= 0:
+            return float("inf")
+        return joules / power_w

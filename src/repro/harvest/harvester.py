@@ -1,0 +1,98 @@
+"""RF energy harvesting: Friis-law delivery plus rectifier efficiency.
+
+Models the WISPCam power source: a UHF RFID reader (4 W EIRP is the FCC
+limit the WISP literature assumes) illuminating a tag antenna; the
+rectifier converts a fraction of the received RF to DC, with efficiency
+falling off at low input power (threshold behaviour of the charge pump).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Speed of light, m/s.
+_C = 299_792_458.0
+
+
+@dataclass(frozen=True)
+class RfHarvester:
+    """RF-to-DC harvesting front end.
+
+    Parameters
+    ----------
+    eirp_w:
+        Reader effective isotropic radiated power (FCC cap: 4 W).
+    frequency_hz:
+        Carrier (UHF RFID: 915 MHz).
+    antenna_gain:
+        Tag antenna gain, linear (2 dBi ~= 1.58).
+    peak_efficiency:
+        Best-case RF-to-DC conversion efficiency of the rectifier.
+    sensitivity_w:
+        Received power below which the rectifier cannot start (-
+        typical WISP-class CMOS rectifiers: ~ -14 dBm ~= 40 uW).
+    """
+
+    eirp_w: float = 4.0
+    frequency_hz: float = 915e6
+    antenna_gain: float = 1.58
+    peak_efficiency: float = 0.30
+    sensitivity_w: float = 40e-6
+
+    def __post_init__(self) -> None:
+        if self.eirp_w <= 0 or self.frequency_hz <= 0:
+            raise ConfigurationError("eirp and frequency must be positive")
+        if not 0 < self.peak_efficiency <= 1:
+            raise ConfigurationError("peak_efficiency must be in (0, 1]")
+
+    @property
+    def wavelength(self) -> float:
+        return _C / self.frequency_hz
+
+    # ------------------------------------------------------------------
+    def received_power(self, distance_m: float) -> float:
+        """Friis free-space RF power at the tag antenna, watts."""
+        if distance_m <= 0:
+            raise ConfigurationError(f"distance must be positive, got {distance_m}")
+        path_gain = (self.wavelength / (4.0 * np.pi * distance_m)) ** 2
+        return self.eirp_w * self.antenna_gain * path_gain
+
+    def rectifier_efficiency(self, received_w: float) -> float:
+        """Conversion efficiency at a given input power.
+
+        Zero below the sensitivity threshold, then rising smoothly to the
+        peak — the standard charge-pump efficiency curve shape.
+        """
+        if received_w <= self.sensitivity_w:
+            return 0.0
+        # Saturating rise: reaches ~63% of peak one decade above threshold.
+        excess = np.log10(received_w / self.sensitivity_w)
+        return float(self.peak_efficiency * (1.0 - np.exp(-excess)))
+
+    def harvested_power(self, distance_m: float) -> float:
+        """DC power available for storage at a reader distance, watts."""
+        received = self.received_power(distance_m)
+        return received * self.rectifier_efficiency(received)
+
+    def max_range(self, load_power_w: float, resolution_m: float = 0.01) -> float:
+        """Largest distance at which the harvester sustains a load.
+
+        Scans outward at ``resolution_m`` steps; returns 0 if the load
+        cannot be sustained even at 10 cm.
+        """
+        if load_power_w <= 0:
+            raise ConfigurationError("load power must be positive")
+        distance = 0.1
+        best = 0.0
+        while distance < 30.0:
+            if self.harvested_power(distance) >= load_power_w:
+                best = distance
+            else:
+                if best > 0:
+                    break
+            distance += resolution_m
+        return best

@@ -1,0 +1,137 @@
+"""Duty-cycle simulation: harvested power in, achievable frame rate out.
+
+The WISPCam loop: the node sleeps while the capacitor charges; when enough
+usable energy is stored for the next frame's tasks, it wakes, captures,
+processes (through whatever pipeline configuration is being evaluated) and
+possibly transmits, then sleeps again. The achievable frame rate is set by
+the charging time — i.e. directly by the per-frame energy, which is what
+the in-camera filtering blocks reduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.harvest.capacitor import Capacitor
+from repro.harvest.harvester import RfHarvester
+
+
+@dataclass(frozen=True)
+class FrameTask:
+    """Energy/latency demand of one frame under some pipeline config."""
+
+    name: str
+    energy_j: float
+    active_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.energy_j < 0 or self.active_seconds < 0:
+            raise ConfigurationError("task energy and time must be >= 0")
+
+
+@dataclass
+class HarvestTimeline:
+    """Record of a simulated run."""
+
+    frames_completed: int = 0
+    elapsed_seconds: float = 0.0
+    charge_seconds: float = 0.0
+    active_seconds: float = 0.0
+    frame_times: list[float] = field(default_factory=list)
+
+    @property
+    def achieved_fps(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.frames_completed / self.elapsed_seconds
+
+
+class DutyCycleSimulator:
+    """Event-driven simulation of the charge/execute loop.
+
+    Parameters
+    ----------
+    harvester:
+        RF power source model.
+    capacitor:
+        Storage element (its state mutates during simulation).
+    distance_m:
+        Reader-to-node distance; fixes the harvested power.
+    sleep_power_w:
+        Node floor draw while charging (RTC + retention + harvester
+        controller) — subtracted from the harvested power.
+    """
+
+    def __init__(
+        self,
+        harvester: RfHarvester,
+        capacitor: Capacitor,
+        distance_m: float,
+        sleep_power_w: float = 0.5e-6,
+    ):
+        self.harvester = harvester
+        self.capacitor = capacitor
+        self.distance_m = distance_m
+        self.sleep_power = sleep_power_w
+        self.net_charge_power = max(
+            harvester.harvested_power(distance_m) - sleep_power_w, 0.0
+        )
+
+    # ------------------------------------------------------------------
+    def sustainable(self, task: FrameTask) -> bool:
+        """Whether the task can ever run (fits the capacitor, power > 0)."""
+        return (
+            self.net_charge_power > 0
+            and task.energy_j <= self.capacitor.capacity + 1e-15
+        )
+
+    def steady_state_fps(self, task: FrameTask) -> float:
+        """Long-run frame rate: energy balance, ignoring capacitor size.
+
+        ``fps = P_net / E_frame`` capped by the active-time limit
+        ``1 / t_active``. Returns 0 when the task can never run.
+        """
+        if not self.sustainable(task):
+            return 0.0
+        if task.energy_j <= 0:
+            return float("inf") if task.active_seconds <= 0 else 1.0 / task.active_seconds
+        fps_energy = self.net_charge_power / task.energy_j
+        if task.active_seconds > 0:
+            return min(fps_energy, 1.0 / task.active_seconds)
+        return fps_energy
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        task: FrameTask,
+        duration_seconds: float,
+        max_frames: int | None = None,
+    ) -> HarvestTimeline:
+        """Simulate the loop for ``duration_seconds`` of wall-clock time."""
+        if duration_seconds <= 0:
+            raise ConfigurationError("duration must be positive")
+        timeline = HarvestTimeline()
+        if not self.sustainable(task):
+            timeline.elapsed_seconds = duration_seconds
+            return timeline
+
+        while timeline.elapsed_seconds < duration_seconds:
+            if max_frames is not None and timeline.frames_completed >= max_frames:
+                break
+            if not self.capacitor.can_supply(task.energy_j):
+                deficit = task.energy_j - self.capacitor.usable_energy
+                wait = self.capacitor.seconds_to_store(deficit, self.net_charge_power)
+                wait = max(wait, 1e-6)
+                self.capacitor.charge(self.net_charge_power, wait)
+                timeline.charge_seconds += wait
+                timeline.elapsed_seconds += wait
+                continue
+            self.capacitor.discharge(task.energy_j)
+            # Harvesting continues during the (short) active phase.
+            self.capacitor.charge(self.net_charge_power, task.active_seconds)
+            timeline.active_seconds += task.active_seconds
+            timeline.elapsed_seconds += task.active_seconds
+            timeline.frames_completed += 1
+            timeline.frame_times.append(timeline.elapsed_seconds)
+        return timeline

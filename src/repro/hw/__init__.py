@@ -1,0 +1,51 @@
+"""Hardware platform models.
+
+Everything the paper measures on silicon is *modeled* here (the repro band
+notes hardware energy data is the non-reproducible ingredient). The models
+are deliberately simple and documented: per-operation energies anchored to
+published numbers (Horowitz, ISSCC 2014) with standard scaling laws, FPGA
+resource packing from device datasheets, and link models from line rates.
+
+Absolute joules are estimates; every paper-facing experiment depends only
+on *relative* behaviour (orderings, ratios, crossover points), which these
+models preserve.
+"""
+
+from repro.hw.energy import EnergyReport
+from repro.hw.technology import TechParams, TECH_28NM
+from repro.hw.asic import AsicEnergyModel
+from repro.hw.mcu import MicrocontrollerModel, MCU_CORTEX_M0_CLASS
+from repro.hw.fpga import (
+    FpgaDevice,
+    FpgaDesign,
+    ResourceUsage,
+    ZYNQ_7020,
+    VIRTEX_ULTRASCALE_PLUS,
+)
+from repro.hw.gpu import GpuModel, QUADRO_K2200_CLASS
+from repro.hw.network import (
+    LinkModel,
+    ETHERNET_25G,
+    ETHERNET_400G,
+    RF_BACKSCATTER,
+)
+
+__all__ = [
+    "EnergyReport",
+    "TechParams",
+    "TECH_28NM",
+    "AsicEnergyModel",
+    "MicrocontrollerModel",
+    "MCU_CORTEX_M0_CLASS",
+    "FpgaDevice",
+    "FpgaDesign",
+    "ResourceUsage",
+    "ZYNQ_7020",
+    "VIRTEX_ULTRASCALE_PLUS",
+    "GpuModel",
+    "QUADRO_K2200_CLASS",
+    "LinkModel",
+    "ETHERNET_25G",
+    "ETHERNET_400G",
+    "RF_BACKSCATTER",
+]

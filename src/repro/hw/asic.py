@@ -1,0 +1,86 @@
+"""Shared base for fixed-function ASIC block models.
+
+An :class:`AsicEnergyModel` binds a technology, a clock and a voltage, and
+provides the primitive-operation energies every accelerator model in this
+repo composes (SNNAP PEs, the Viola-Jones cascade engine, the motion
+detector). Cycle counting lives in each block's own simulator; this class
+turns (operation counts, cycle counts) into joules and watts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hw.energy import EnergyReport
+from repro.hw.technology import TECH_28NM, TechParams
+
+
+@dataclass(frozen=True)
+class AsicEnergyModel:
+    """Operating point of an on-chip fixed-function block.
+
+    Parameters
+    ----------
+    tech:
+        Process parameters.
+    clock_hz:
+        Block clock (paper's NN accelerator: 30 MHz).
+    voltage:
+        Supply voltage (paper: 0.9 V).
+    kilo_gates:
+        Logic size in thousands of gate-equivalents, for leakage.
+    """
+
+    tech: TechParams = TECH_28NM
+    clock_hz: float = 30e6
+    voltage: float = 0.9
+    kilo_gates: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise HardwareModelError(f"clock must be positive, got {self.clock_hz}")
+
+    # ------------------------------------------------------------------
+    def mac_energy(self, bits: int) -> float:
+        return self.tech.mac_energy(bits, self.voltage)
+
+    def add_energy(self, bits: int) -> float:
+        return self.tech.add_energy(bits, self.voltage)
+
+    def register_energy(self, bits: int) -> float:
+        return self.tech.register_energy(bits, self.voltage)
+
+    def sram_read_energy(self, word_bits: int, capacity_bytes: float) -> float:
+        return self.tech.sram_read_energy(word_bits, capacity_bytes, self.voltage)
+
+    def sram_write_energy(self, word_bits: int, capacity_bytes: float) -> float:
+        return self.tech.sram_write_energy(word_bits, capacity_bytes, self.voltage)
+
+    # ------------------------------------------------------------------
+    def leakage_power(self) -> float:
+        """Static power of the block in watts."""
+        return self.tech.leakage_power(self.kilo_gates, self.voltage)
+
+    def leakage_energy(self, cycles: int) -> float:
+        """Static energy over ``cycles`` at this clock."""
+        if cycles < 0:
+            raise HardwareModelError(f"cycles must be >= 0, got {cycles}")
+        return self.leakage_power() * cycles / self.clock_hz
+
+    def seconds(self, cycles: int) -> float:
+        """Wall-clock time of ``cycles``."""
+        return cycles / self.clock_hz
+
+    def report_with_leakage(self, report: EnergyReport, cycles: int) -> EnergyReport:
+        """Attach the leakage term for a run of ``cycles`` to a report."""
+        return EnergyReport(dict(report.components)).add(
+            "leakage", self.leakage_energy(cycles)
+        )
+
+    def average_power(self, report: EnergyReport, cycles: int) -> float:
+        """Mean power over a run: total energy / elapsed time."""
+        seconds = self.seconds(cycles)
+        if seconds <= 0:
+            raise HardwareModelError("cannot compute power over zero time")
+        return report.total / seconds

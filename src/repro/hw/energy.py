@@ -1,0 +1,66 @@
+"""Energy accounting: a composable per-component energy report.
+
+Every hardware model returns an :class:`EnergyReport` so that pipeline
+aggregation (sum across blocks, compare configurations) is uniform and the
+benchmarks can print per-component breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HardwareModelError
+
+
+@dataclass
+class EnergyReport:
+    """Energy broken down by named component, in joules."""
+
+    components: dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, joules: float) -> "EnergyReport":
+        """Accumulate ``joules`` into component ``name`` (in place)."""
+        if joules < 0:
+            raise HardwareModelError(f"negative energy for {name}: {joules}")
+        self.components[name] = self.components.get(name, 0.0) + joules
+        return self
+
+    @property
+    def total(self) -> float:
+        """Total energy in joules."""
+        return sum(self.components.values())
+
+    def scaled(self, factor: float) -> "EnergyReport":
+        """A new report with every component multiplied by ``factor``."""
+        if factor < 0:
+            raise HardwareModelError(f"negative scale factor {factor}")
+        return EnergyReport({k: v * factor for k, v in self.components.items()})
+
+    def merged(self, other: "EnergyReport") -> "EnergyReport":
+        """Component-wise sum of two reports."""
+        out = EnergyReport(dict(self.components))
+        for name, joules in other.components.items():
+            out.add(name, joules)
+        return out
+
+    def __add__(self, other: "EnergyReport") -> "EnergyReport":
+        return self.merged(other)
+
+    def fraction(self, name: str) -> float:
+        """Share of the total attributed to ``name`` (0 if absent)."""
+        total = self.total
+        if total <= 0:
+            return 0.0
+        return self.components.get(name, 0.0) / total
+
+    def pretty(self, unit: str = "uJ") -> str:
+        """Human-readable table used by benchmark printouts."""
+        scale = {"J": 1.0, "mJ": 1e3, "uJ": 1e6, "nJ": 1e9, "pJ": 1e12}.get(unit)
+        if scale is None:
+            raise HardwareModelError(f"unknown unit {unit!r}")
+        lines = [
+            f"  {name:<24s} {value * scale:12.4f} {unit}"
+            for name, value in sorted(self.components.items())
+        ]
+        lines.append(f"  {'TOTAL':<24s} {self.total * scale:12.4f} {unit}")
+        return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""FPGA device database and compute-unit packing model (Table I).
+
+The paper's BSSA accelerator instantiates streaming compute units (CUs) of
+18 DSP slices each at 125 MHz, packs as many as the device allows, and
+reports per-resource utilization for a Zynq-7020 (evaluation) and a
+Virtex UltraScale+ (16-camera target). :class:`FpgaDesign` reproduces that
+packing: per-CU resource vectors plus a fixed shell overhead (DMA, AXI
+interconnect, HDMI/Ethernet cores in Figure 8).
+
+Calibration: per-CU and overhead LUT/BRAM vectors are solved from the two
+utilization columns of Table I; DSPs use the paper's stated 18/CU. With a
+9-DSP shell the UltraScale+ packs exactly the paper's 682 CUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, ResourceExceededError
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Resource inventory of an FPGA part."""
+
+    name: str
+    luts: int
+    bram_blocks: float  # 36 Kb block equivalents
+    dsps: int
+    max_clock_hz: float
+
+    def __post_init__(self) -> None:
+        if min(self.luts, self.dsps) <= 0 or self.bram_blocks <= 0:
+            raise ConfigurationError(f"device {self.name} has non-positive resources")
+
+
+#: Zynq-7020 programmable logic (ZC702 board) — the paper's evaluation part.
+ZYNQ_7020 = FpgaDevice(
+    name="Zynq-7000 (XC7Z020)",
+    luts=53_200,
+    bram_blocks=140,
+    dsps=220,
+    max_clock_hz=250e6,
+)
+
+#: VU13P-class UltraScale+ — the paper's 16-camera target part.
+VIRTEX_ULTRASCALE_PLUS = FpgaDevice(
+    name="Virtex UltraScale+ (VU13P-class)",
+    luts=1_728_000,
+    bram_blocks=2_688,
+    dsps=12_288,
+    max_clock_hz=500e6,
+)
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Absolute and fractional utilization of one design on one device."""
+
+    luts: float
+    bram_blocks: float
+    dsps: float
+    lut_fraction: float
+    bram_fraction: float
+    dsp_fraction: float
+
+    def fits(self) -> bool:
+        return max(self.lut_fraction, self.bram_fraction, self.dsp_fraction) <= 1.0
+
+    def bottleneck(self) -> str:
+        """Which resource binds first."""
+        fractions = {
+            "logic": self.lut_fraction,
+            "ram": self.bram_fraction,
+            "dsp": self.dsp_fraction,
+        }
+        return max(fractions, key=fractions.get)
+
+
+@dataclass(frozen=True)
+class FpgaDesign:
+    """A replicated-compute-unit streaming design on a device.
+
+    Parameters
+    ----------
+    device:
+        Target part.
+    clock_hz:
+        Design clock (paper: 125 MHz).
+    cu_luts, cu_bram_blocks, cu_dsps:
+        Per-compute-unit resource vector.
+    overhead_luts, overhead_bram_blocks, overhead_dsps:
+        Fixed shell cost (DMA engine, interconnect, I/O cores).
+    items_per_cycle_per_cu:
+        Streaming throughput of one CU in processed items (grid vertices)
+        per clock cycle.
+    """
+
+    device: FpgaDevice
+    clock_hz: float = 125e6
+    cu_luts: float = 1_692.0
+    cu_bram_blocks: float = 0.69
+    cu_dsps: float = 18.0
+    overhead_luts: float = 5_816.0
+    overhead_bram_blocks: float = 1.79
+    overhead_dsps: float = 9.0
+    items_per_cycle_per_cu: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0 or self.clock_hz > self.device.max_clock_hz:
+            raise ConfigurationError(
+                f"clock {self.clock_hz/1e6:.0f} MHz outside (0, "
+                f"{self.device.max_clock_hz/1e6:.0f}] MHz for {self.device.name}"
+            )
+        if self.cu_dsps <= 0:
+            raise ConfigurationError("compute unit must use at least one DSP")
+
+    # ------------------------------------------------------------------
+    def max_units(self) -> int:
+        """Largest CU count that fits after the shell overhead.
+
+        The binding resource is whichever runs out first (DSPs for this
+        design, matching the paper's "DSP 94-100%" rows).
+        """
+        budgets = [
+            (self.device.luts - self.overhead_luts, self.cu_luts),
+            (self.device.bram_blocks - self.overhead_bram_blocks, self.cu_bram_blocks),
+            (self.device.dsps - self.overhead_dsps, self.cu_dsps),
+        ]
+        counts = []
+        for budget, per_cu in budgets:
+            if budget < 0:
+                return 0
+            counts.append(int(budget // per_cu) if per_cu > 0 else 10**9)
+        return max(min(counts), 0)
+
+    def usage(self, n_units: int) -> ResourceUsage:
+        """Utilization of ``n_units`` CUs plus the shell.
+
+        Raises
+        ------
+        ResourceExceededError
+            If the configuration does not fit on the device.
+        """
+        if n_units < 0:
+            raise ConfigurationError(f"n_units must be >= 0, got {n_units}")
+        luts = self.overhead_luts + n_units * self.cu_luts
+        bram = self.overhead_bram_blocks + n_units * self.cu_bram_blocks
+        dsps = self.overhead_dsps + n_units * self.cu_dsps
+        usage = ResourceUsage(
+            luts=luts,
+            bram_blocks=bram,
+            dsps=dsps,
+            lut_fraction=luts / self.device.luts,
+            bram_fraction=bram / self.device.bram_blocks,
+            dsp_fraction=dsps / self.device.dsps,
+        )
+        if not usage.fits():
+            raise ResourceExceededError(
+                f"{n_units} CUs exceed {self.device.name}: "
+                f"logic {usage.lut_fraction:.1%}, ram {usage.bram_fraction:.1%}, "
+                f"dsp {usage.dsp_fraction:.1%}"
+            )
+        return usage
+
+    # ------------------------------------------------------------------
+    def items_per_second(self, n_units: int | None = None) -> float:
+        """Aggregate streaming throughput in items (vertices) per second."""
+        units = self.max_units() if n_units is None else n_units
+        if units < 1:
+            return 0.0
+        return units * self.items_per_cycle_per_cu * self.clock_hz
+
+    def seconds_for_items(self, n_items: float, n_units: int | None = None) -> float:
+        """Time to stream ``n_items`` through the CU array."""
+        if n_items < 0:
+            raise ConfigurationError(f"n_items must be >= 0, got {n_items}")
+        rate = self.items_per_second(n_units)
+        if rate <= 0:
+            raise ResourceExceededError("design has no compute units")
+        return n_items / rate

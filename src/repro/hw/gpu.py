@@ -1,0 +1,77 @@
+"""GPU throughput model (the paper's NVIDIA Quadro K2200 baseline).
+
+A roofline-style model: a kernel's execution time is the maximum of its
+compute time (at an achievable fraction of peak FLOPS) and its memory time
+(at an achievable fraction of peak bandwidth), plus a fixed launch/driver
+overhead per kernel. Bilateral-grid filtering is irregular (scattered
+grid-vertex access), so the achievable fractions are well below peak — the
+defaults encode that, calibrated against the Halide-tuned baseline the
+paper measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """Roofline throughput model of a discrete GPU.
+
+    Parameters
+    ----------
+    name:
+        Label for reports.
+    peak_flops:
+        Single-precision peak, FLOP/s.
+    peak_bytes_per_s:
+        Memory bandwidth.
+    compute_efficiency, bandwidth_efficiency:
+        Achievable fractions of the peaks for the modeled kernel class.
+    launch_overhead_s:
+        Fixed per-kernel overhead (launch + sync).
+    idle_power, active_power:
+        For energy estimates (board power).
+    """
+
+    name: str
+    peak_flops: float
+    peak_bytes_per_s: float
+    compute_efficiency: float = 0.25
+    bandwidth_efficiency: float = 0.5
+    launch_overhead_s: float = 50e-6
+    idle_power: float = 10.0
+    active_power: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.peak_bytes_per_s <= 0:
+            raise HardwareModelError("peaks must be positive")
+        if not 0 < self.compute_efficiency <= 1:
+            raise HardwareModelError("compute_efficiency must be in (0, 1]")
+        if not 0 < self.bandwidth_efficiency <= 1:
+            raise HardwareModelError("bandwidth_efficiency must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    def kernel_seconds(self, flops: float, bytes_moved: float, kernels: int = 1) -> float:
+        """Roofline execution time of a kernel (or fused kernel sequence)."""
+        if flops < 0 or bytes_moved < 0 or kernels < 0:
+            raise HardwareModelError("workload terms must be >= 0")
+        compute = flops / (self.peak_flops * self.compute_efficiency)
+        memory = bytes_moved / (self.peak_bytes_per_s * self.bandwidth_efficiency)
+        return max(compute, memory) + kernels * self.launch_overhead_s
+
+    def kernel_energy(self, seconds: float) -> float:
+        """Board energy over an active period."""
+        if seconds < 0:
+            raise HardwareModelError(f"seconds must be >= 0, got {seconds}")
+        return self.active_power * seconds
+
+
+#: Quadro K2200-class: 640 cores @ ~1.1 GHz => ~1.4 TFLOPS SP, 80 GB/s.
+QUADRO_K2200_CLASS = GpuModel(
+    name="Quadro K2200-class",
+    peak_flops=1.4e12,
+    peak_bytes_per_s=80e9,
+)

@@ -1,0 +1,103 @@
+"""General-purpose microcontroller baseline.
+
+The paper's low-power case study claims "performance and energy efficiency
+improvements over a general purpose microprocessor"; this model is that
+baseline: a Cortex-M0-class MCU executing the pipeline stages in software.
+
+The model is (cycles-per-primitive) x (energy-per-cycle): standard
+microbenchmark-style accounting. Energy per cycle (~10-30 pJ at sub-50 MHz
+in 28-40 nm flows, i.e. 10-30 uW/MHz) comes from vendor datasheets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HardwareModelError
+from repro.hw.energy import EnergyReport
+
+#: Software cycle costs of the primitives the vision stages use.
+DEFAULT_CYCLES_PER_OP = {
+    "mac8": 6.0,  # load x2, 32x32 multiply (1-cycle HW mult), add, store amortized
+    "mac16": 8.0,
+    "mac_float": 60.0,  # soft-float on an M0-class core
+    "add": 1.0,
+    "compare": 1.0,
+    "load": 2.0,
+    "store": 2.0,
+    "branch": 2.0,
+    "sigmoid_sw": 40.0,  # polynomial/LUT hybrid in software
+    "pixel_diff": 5.0,  # load-load-sub-abs-compare for motion detection
+    "haar_rect": 14.0,  # 4 loads + 3 adds + weight multiply (integral image)
+}
+
+
+@dataclass(frozen=True)
+class MicrocontrollerModel:
+    """Energy/latency model of a small in-order MCU.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports.
+    clock_hz:
+        Core clock.
+    energy_per_cycle:
+        Joules per core cycle (includes flash/SRAM fetch overheads).
+    sleep_power:
+        Deep-sleep floor in watts (retention + RTC).
+    cycles_per_op:
+        Primitive costs; override entries to model a different core.
+    """
+
+    name: str = "cortex-m0-class"
+    clock_hz: float = 48e6
+    energy_per_cycle: float = 20e-12
+    sleep_power: float = 1e-6
+    cycles_per_op: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_CYCLES_PER_OP)
+    )
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0 or self.energy_per_cycle <= 0:
+            raise HardwareModelError("clock and energy/cycle must be positive")
+
+    # ------------------------------------------------------------------
+    def cycles_for(self, op: str, count: float = 1.0) -> float:
+        """Cycle cost of ``count`` primitives of type ``op``."""
+        if op not in self.cycles_per_op:
+            raise HardwareModelError(
+                f"unknown primitive {op!r}; known: {sorted(self.cycles_per_op)}"
+            )
+        if count < 0:
+            raise HardwareModelError(f"count must be >= 0, got {count}")
+        return self.cycles_per_op[op] * count
+
+    def energy_for(self, op: str, count: float = 1.0) -> float:
+        """Energy in joules of ``count`` primitives."""
+        return self.cycles_for(op, count) * self.energy_per_cycle
+
+    def seconds_for(self, op: str, count: float = 1.0) -> float:
+        """Wall-clock time of ``count`` primitives."""
+        return self.cycles_for(op, count) / self.clock_hz
+
+    # ------------------------------------------------------------------
+    def run_op_mix(self, op_counts: dict[str, float]) -> tuple[EnergyReport, float]:
+        """Execute an operation mix; returns (energy report, seconds)."""
+        report = EnergyReport()
+        cycles = 0.0
+        for op, count in op_counts.items():
+            c = self.cycles_for(op, count)
+            cycles += c
+            report.add(f"mcu:{op}", c * self.energy_per_cycle)
+        return report, cycles / self.clock_hz
+
+    def sleep_energy(self, seconds: float) -> float:
+        """Energy burned sleeping for ``seconds``."""
+        if seconds < 0:
+            raise HardwareModelError(f"seconds must be >= 0, got {seconds}")
+        return self.sleep_power * seconds
+
+
+#: Default baseline instance used throughout the benchmarks.
+MCU_CORTEX_M0_CLASS = MicrocontrollerModel()

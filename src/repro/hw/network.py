@@ -1,0 +1,89 @@
+"""Communication link models.
+
+The paper's central quantity is the *communication cost* of offloading a
+block's output. For the VR rig that cost is a frame rate over Ethernet; for
+the harvested-energy camera it is joules per bit over an RF uplink. One
+class covers both: a link has a line rate, a protocol efficiency, and a
+transmit energy per bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.units import GBPS, KBPS, bytes_to_bits
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """A point-to-point uplink.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports.
+    raw_bps:
+        Line rate in bits/second.
+    efficiency:
+        Fraction of the line rate usable as goodput (protocol overhead).
+    tx_energy_per_bit:
+        Transmit-side energy in joules/bit (0 for mains-powered links
+        where the paper treats communication as a pure throughput cost).
+    """
+
+    name: str
+    raw_bps: float
+    efficiency: float = 1.0
+    tx_energy_per_bit: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.raw_bps <= 0:
+            raise HardwareModelError(f"link rate must be positive, got {self.raw_bps}")
+        if not 0 < self.efficiency <= 1:
+            raise HardwareModelError(
+                f"efficiency must be in (0, 1], got {self.efficiency}"
+            )
+        if self.tx_energy_per_bit < 0:
+            raise HardwareModelError("tx energy per bit must be >= 0")
+
+    @property
+    def goodput_bps(self) -> float:
+        """Usable bits per second."""
+        return self.raw_bps * self.efficiency
+
+    def seconds_for_bytes(self, num_bytes: float) -> float:
+        """Transfer time for a payload."""
+        if num_bytes < 0:
+            raise HardwareModelError(f"payload must be >= 0 bytes, got {num_bytes}")
+        return bytes_to_bits(num_bytes) / self.goodput_bps
+
+    def fps_for_bytes(self, bytes_per_frame: float) -> float:
+        """Sustainable frame rate for a per-frame payload (inf for zero)."""
+        if bytes_per_frame <= 0:
+            return float("inf")
+        return self.goodput_bps / bytes_to_bits(bytes_per_frame)
+
+    def tx_energy_for_bytes(self, num_bytes: float) -> float:
+        """Transmit energy for a payload in joules."""
+        if num_bytes < 0:
+            raise HardwareModelError(f"payload must be >= 0 bytes, got {num_bytes}")
+        return bytes_to_bits(num_bytes) * self.tx_energy_per_bit
+
+
+#: The paper's evaluation link ("we assumed transfer speeds of 25 Gigabit
+#: Ethernet"); efficiency 1.0 keeps the numbers directly comparable.
+ETHERNET_25G = LinkModel(name="25GbE", raw_bps=25 * GBPS)
+
+#: The paper's hypothetical future link for the scaling discussion.
+ETHERNET_400G = LinkModel(name="400GbE", raw_bps=400 * GBPS)
+
+#: WISPCam-class backscatter uplink: EPC Gen2-style rates. Backscatter
+#: modulation itself is nearly free; the per-bit figure covers the
+#: modulator, clocking and framing overhead on the tag side.
+RF_BACKSCATTER = LinkModel(
+    name="rf-backscatter",
+    raw_bps=256 * KBPS,
+    efficiency=0.8,
+    tx_energy_per_bit=60e-12,
+)

@@ -1,0 +1,147 @@
+"""Technology parameters and scaling laws for the ASIC energy models.
+
+Anchor numbers follow Horowitz's widely-cited ISSCC 2014 energy table
+(45 nm, ~0.9 V), scaled to a 28 nm-class process (the paper's accelerators
+and the Zynq are TSMC 28 nm). Scaling laws used:
+
+* dynamic energy scales with ``(V / V_nominal)^2``;
+* multiplier energy scales roughly quadratically with operand width;
+* adder/register/mux energy scales linearly with width;
+* SRAM read energy scales with word width and weakly (log) with capacity;
+* leakage power is per-gate-equivalent and exponential-ish in voltage —
+  modeled linearly around the nominal point, which is adequate for the
+  0.6-1.0 V window explored here.
+
+Absolute values are estimates (the repro band flags hardware energy as the
+non-reproducible input); all paper-facing conclusions rest on ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import HardwareModelError
+from repro.units import PJ
+
+
+@dataclass(frozen=True)
+class TechParams:
+    """Per-process energy anchors, all at nominal voltage, in joules."""
+
+    name: str
+    nominal_voltage: float
+    # Anchors at reference widths (8-bit ops, 32-bit SRAM word).
+    mac8_energy: float  # 8-bit multiply-accumulate
+    add8_energy: float  # 8-bit add
+    register8_energy: float  # 8-bit flop bank toggle
+    sram_read32_energy_8kb: float  # 32-bit read from an 8 KiB SRAM
+    leakage_per_kgate: float  # watts per 1000 gate-equivalents
+    gate_cap_speed: float  # relative delay unit (for f-max checks)
+    #: Fraction of an SRAM access burned in width-independent periphery
+    #: (decoder, wordline, sense-amp enable); the rest scales with width.
+    sram_fixed_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.nominal_voltage <= 0:
+            raise HardwareModelError("nominal voltage must be positive")
+
+    # ------------------------------------------------------------------
+    def voltage_factor(self, voltage: float) -> float:
+        """Dynamic-energy multiplier for operation at ``voltage``."""
+        if not 0.4 <= voltage <= 1.3:
+            raise HardwareModelError(
+                f"voltage {voltage} outside the model's [0.4, 1.3] V envelope"
+            )
+        return (voltage / self.nominal_voltage) ** 2
+
+    def mac_energy(self, bits: int, voltage: float | None = None) -> float:
+        """Energy of one ``bits``-wide multiply-accumulate.
+
+        Multiplier area/energy grows ~quadratically with operand width; the
+        accumulate term is linear and folded into the anchor.
+        """
+        if bits < 1:
+            raise HardwareModelError(f"bits must be >= 1, got {bits}")
+        v = voltage if voltage is not None else self.nominal_voltage
+        return self.mac8_energy * (bits / 8.0) ** 2 * self.voltage_factor(v)
+
+    def add_energy(self, bits: int, voltage: float | None = None) -> float:
+        """Energy of one ``bits``-wide addition (linear in width)."""
+        v = voltage if voltage is not None else self.nominal_voltage
+        return self.add8_energy * (bits / 8.0) * self.voltage_factor(v)
+
+    def register_energy(self, bits: int, voltage: float | None = None) -> float:
+        """Energy to clock ``bits`` of pipeline registers once."""
+        v = voltage if voltage is not None else self.nominal_voltage
+        return self.register8_energy * (bits / 8.0) * self.voltage_factor(v)
+
+    def sram_read_energy(
+        self, word_bits: int, capacity_bytes: float, voltage: float | None = None
+    ) -> float:
+        """Energy of one SRAM read.
+
+        Width scaling is affine: a fixed periphery term (decoder, wordline,
+        sense-amp enable) plus a per-bit term, anchored at a 32-bit word.
+        Capacity grows the access ~15% per doubling beyond the 8 KiB
+        anchor (bitline/decoder growth).
+        """
+        if word_bits < 1 or capacity_bytes <= 0:
+            raise HardwareModelError("word_bits and capacity must be positive")
+        v = voltage if voltage is not None else self.nominal_voltage
+        width_factor = self.sram_fixed_fraction + (1.0 - self.sram_fixed_fraction) * (
+            word_bits / 32.0
+        )
+        base = self.sram_read32_energy_8kb * width_factor
+        cap_factor = 1.0 + 0.15 * max(np.log2(capacity_bytes / 8192.0), -2.0)
+        return base * max(cap_factor, 0.3) * self.voltage_factor(v)
+
+    def sram_write_energy(
+        self, word_bits: int, capacity_bytes: float, voltage: float | None = None
+    ) -> float:
+        """SRAM write, modeled at ~1.2x the read energy."""
+        return 1.2 * self.sram_read_energy(word_bits, capacity_bytes, voltage)
+
+    def leakage_power(self, kilo_gates: float, voltage: float | None = None) -> float:
+        """Static power of ``kilo_gates`` thousand gate-equivalents."""
+        if kilo_gates < 0:
+            raise HardwareModelError(f"kilo_gates must be >= 0, got {kilo_gates}")
+        v = voltage if voltage is not None else self.nominal_voltage
+        # Leakage drops roughly linearly with voltage in this window.
+        return self.leakage_per_kgate * kilo_gates * (v / self.nominal_voltage)
+
+    def max_clock_at(self, voltage: float, clock_at_nominal: float,
+                     threshold_voltage: float = 0.35) -> float:
+        """Achievable clock at a supply voltage (alpha-power delay law).
+
+        ``f(V) ~ (V - Vth)^1.3 / V``, normalized so the design's nominal
+        operating point maps to ``clock_at_nominal``. This is the standard
+        above-threshold DVFS scaling used for voltage-frequency sweeps.
+        """
+        if clock_at_nominal <= 0:
+            raise HardwareModelError("nominal clock must be positive")
+        if voltage <= threshold_voltage:
+            raise HardwareModelError(
+                f"voltage {voltage} at or below threshold {threshold_voltage}"
+            )
+        self.voltage_factor(voltage)  # reuse the envelope check
+        alpha = 1.3
+
+        def speed(v: float) -> float:
+            return (v - threshold_voltage) ** alpha / v
+
+        return clock_at_nominal * speed(voltage) / speed(self.nominal_voltage)
+
+
+#: 28 nm-class process: Horowitz 45 nm anchors scaled by ~0.5x capacitance.
+TECH_28NM = TechParams(
+    name="28nm-class",
+    nominal_voltage=0.9,
+    mac8_energy=0.15 * PJ,
+    add8_energy=0.02 * PJ,
+    register8_energy=0.012 * PJ,
+    sram_read32_energy_8kb=2.5 * PJ,
+    leakage_per_kgate=6.0e-9,  # 6 nW per kGE — low-leakage flavor
+    gate_cap_speed=1.0,
+)

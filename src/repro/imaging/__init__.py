@@ -1,0 +1,68 @@
+"""Imaging substrate: the numpy image-processing layer everything builds on.
+
+Conventions
+-----------
+* A *grayscale image* is a 2-D ``float64`` array with values nominally in
+  ``[0, 1]``.
+* A *color image* is an ``(H, W, 3)`` ``float64`` array, RGB order.
+* A *raw Bayer frame* is a 2-D array in RGGB layout (see :mod:`.bayer`).
+* Functions never modify their inputs; they return new arrays.
+"""
+
+from repro.imaging.image import (
+    as_gray,
+    clip01,
+    ensure_color,
+    ensure_gray,
+    image_energy,
+    normalize,
+    pad_reflect,
+    to_uint8,
+)
+from repro.imaging.bayer import bayer_mosaic, demosaic_bilinear
+from repro.imaging.integral import integral_image, integral_of_squares, window_sum
+from repro.imaging.filters import (
+    box_filter,
+    convolve_separable,
+    gaussian_filter,
+    gaussian_kernel1d,
+    gradient_magnitude,
+    sobel,
+)
+from repro.imaging.resize import downsample2x, gaussian_pyramid, resize_bilinear
+from repro.imaging.geometry import remap_bilinear, translate, warp_affine
+from repro.imaging.metrics import mse, ms_ssim, psnr, ssim
+from repro.imaging import draw
+
+__all__ = [
+    "as_gray",
+    "clip01",
+    "ensure_color",
+    "ensure_gray",
+    "image_energy",
+    "normalize",
+    "pad_reflect",
+    "to_uint8",
+    "bayer_mosaic",
+    "demosaic_bilinear",
+    "integral_image",
+    "integral_of_squares",
+    "window_sum",
+    "box_filter",
+    "convolve_separable",
+    "gaussian_filter",
+    "gaussian_kernel1d",
+    "gradient_magnitude",
+    "sobel",
+    "downsample2x",
+    "gaussian_pyramid",
+    "resize_bilinear",
+    "remap_bilinear",
+    "translate",
+    "warp_affine",
+    "mse",
+    "ms_ssim",
+    "psnr",
+    "ssim",
+    "draw",
+]

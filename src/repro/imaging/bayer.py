@@ -1,0 +1,87 @@
+"""Bayer color-filter-array simulation: mosaic and bilinear demosaic.
+
+The VR rig's sensors produce raw Bayer frames; the pipeline's pre-processing
+block (B1) demosaics them. The paper's data-size accounting hinges on this
+step *expanding* the data (1 sample/pixel raw -> 3 samples/pixel RGB), so the
+substrate implements both directions faithfully.
+
+Layout: RGGB ::
+
+    R G R G ...
+    G B G B ...
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+from repro.imaging.image import ensure_color, ensure_gray
+
+
+def bayer_mosaic(rgb: np.ndarray) -> np.ndarray:
+    """Sample an RGB image through an RGGB Bayer mosaic.
+
+    Returns a 2-D array the same height/width as the input where each pixel
+    holds the single color sample its filter admits.
+    """
+    arr = ensure_color(rgb, "rgb")
+    height, width = arr.shape[:2]
+    raw = np.empty((height, width), dtype=np.float64)
+    raw[0::2, 0::2] = arr[0::2, 0::2, 0]  # R
+    raw[0::2, 1::2] = arr[0::2, 1::2, 1]  # G on red rows
+    raw[1::2, 0::2] = arr[1::2, 0::2, 1]  # G on blue rows
+    raw[1::2, 1::2] = arr[1::2, 1::2, 2]  # B
+    return raw
+
+
+def _interpolate_channel(samples: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Fill missing samples of one color plane by normalized box filtering.
+
+    ``samples`` holds valid values where ``mask`` is 1 and zeros elsewhere.
+    A 3x3 sum of values divided by a 3x3 sum of the mask interpolates every
+    missing location from its available neighbors, which is exactly bilinear
+    interpolation for the regular Bayer sampling lattices.
+    """
+    kernel = np.ones((3, 3), dtype=np.float64)
+    # Manual same-size correlation via padding keeps this dependency-free.
+    padded_vals = np.pad(samples, 1, mode="reflect")
+    padded_mask = np.pad(mask, 1, mode="reflect")
+    num = np.zeros_like(samples)
+    den = np.zeros_like(samples)
+    for dy in range(3):
+        for dx in range(3):
+            weight = kernel[dy, dx]
+            num += weight * padded_vals[dy : dy + samples.shape[0], dx : dx + samples.shape[1]]
+            den += weight * padded_mask[dy : dy + samples.shape[0], dx : dx + samples.shape[1]]
+    den = np.where(den == 0, 1.0, den)
+    filled = num / den
+    # Keep exact sensor samples where we have them.
+    return np.where(mask > 0, samples, filled)
+
+
+def demosaic_bilinear(raw: np.ndarray) -> np.ndarray:
+    """Reconstruct an (H, W, 3) RGB image from an RGGB Bayer frame.
+
+    Bilinear demosaicing: each missing color sample is the average of its
+    nearest same-color neighbors. This is what lightweight in-camera ISPs
+    (and the paper's B1 block) implement.
+    """
+    arr = ensure_gray(raw, "raw")
+    height, width = arr.shape
+    if height < 2 or width < 2:
+        raise ImageError(f"Bayer frame must be at least 2x2, got {arr.shape}")
+
+    red_mask = np.zeros((height, width), dtype=np.float64)
+    green_mask = np.zeros((height, width), dtype=np.float64)
+    blue_mask = np.zeros((height, width), dtype=np.float64)
+    red_mask[0::2, 0::2] = 1.0
+    green_mask[0::2, 1::2] = 1.0
+    green_mask[1::2, 0::2] = 1.0
+    blue_mask[1::2, 1::2] = 1.0
+
+    rgb = np.empty((height, width, 3), dtype=np.float64)
+    rgb[:, :, 0] = _interpolate_channel(arr * red_mask, red_mask)
+    rgb[:, :, 1] = _interpolate_channel(arr * green_mask, green_mask)
+    rgb[:, :, 2] = _interpolate_channel(arr * blue_mask, blue_mask)
+    return rgb

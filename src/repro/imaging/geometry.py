@@ -1,0 +1,95 @@
+"""Geometric warps: affine transforms and generic bilinear remapping.
+
+The VR alignment block (B2) rectifies neighboring camera views into a common
+projection; the stereo generator shifts views by per-pixel disparity. Both
+reduce to :func:`remap_bilinear`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+from repro.imaging.image import ensure_gray
+
+
+def remap_bilinear(
+    image: np.ndarray,
+    map_y: np.ndarray,
+    map_x: np.ndarray,
+    fill: float = 0.0,
+) -> np.ndarray:
+    """Sample ``image`` at fractional coordinates ``(map_y, map_x)``.
+
+    Parameters
+    ----------
+    image:
+        Source grayscale image.
+    map_y, map_x:
+        Arrays of identical shape giving, for every output pixel, the source
+        coordinate to sample. Out-of-bounds samples produce ``fill``.
+    fill:
+        Value used where the source coordinate falls outside the image.
+
+    Returns
+    -------
+    np.ndarray
+        Array shaped like ``map_y`` with bilinearly interpolated samples.
+    """
+    arr = ensure_gray(image)
+    map_y = np.asarray(map_y, dtype=np.float64)
+    map_x = np.asarray(map_x, dtype=np.float64)
+    if map_y.shape != map_x.shape:
+        raise ImageError(f"map shapes differ: {map_y.shape} vs {map_x.shape}")
+
+    height, width = arr.shape
+    valid = (
+        (map_y >= 0.0)
+        & (map_y <= height - 1.0)
+        & (map_x >= 0.0)
+        & (map_x <= width - 1.0)
+    )
+    yc = np.clip(map_y, 0.0, height - 1.0)
+    xc = np.clip(map_x, 0.0, width - 1.0)
+
+    y0 = np.floor(yc).astype(np.intp)
+    x0 = np.floor(xc).astype(np.intp)
+    y1 = np.minimum(y0 + 1, height - 1)
+    x1 = np.minimum(x0 + 1, width - 1)
+    wy = yc - y0
+    wx = xc - x0
+
+    top = arr[y0, x0] * (1 - wx) + arr[y0, x1] * wx
+    bottom = arr[y1, x0] * (1 - wx) + arr[y1, x1] * wx
+    out = top * (1 - wy) + bottom * wy
+    return np.where(valid, out, fill)
+
+
+def warp_affine(
+    image: np.ndarray,
+    matrix: np.ndarray,
+    out_shape: tuple[int, int] | None = None,
+    fill: float = 0.0,
+) -> np.ndarray:
+    """Apply a 2x3 affine transform (output -> source convention).
+
+    ``matrix`` maps output pixel coordinates ``(x, y, 1)`` to source
+    coordinates, i.e. it is the *inverse* warp, which avoids holes.
+    """
+    arr = ensure_gray(image)
+    mat = np.asarray(matrix, dtype=np.float64)
+    if mat.shape != (2, 3):
+        raise ImageError(f"affine matrix must be 2x3, got {mat.shape}")
+    if out_shape is None:
+        out_shape = arr.shape
+    height, width = out_shape
+    ys, xs = np.mgrid[0:height, 0:width].astype(np.float64)
+    src_x = mat[0, 0] * xs + mat[0, 1] * ys + mat[0, 2]
+    src_y = mat[1, 0] * xs + mat[1, 1] * ys + mat[1, 2]
+    return remap_bilinear(arr, src_y, src_x, fill=fill)
+
+
+def translate(image: np.ndarray, dy: float, dx: float, fill: float = 0.0) -> np.ndarray:
+    """Shift an image by ``(dy, dx)`` pixels with bilinear resampling."""
+    matrix = np.array([[1.0, 0.0, -dx], [0.0, 1.0, -dy]])
+    return warp_affine(image, matrix, fill=fill)

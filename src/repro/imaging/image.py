@@ -1,0 +1,100 @@
+"""Core image containers and conversions.
+
+The library keeps images as plain numpy arrays rather than a wrapper class;
+these helpers centralize the shape/dtype contract so every other module can
+validate inputs with one call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+
+# ITU-R BT.601 luma coefficients, the classic "perceived brightness" weights.
+_LUMA_WEIGHTS = np.array([0.299, 0.587, 0.114])
+
+
+def ensure_gray(image: np.ndarray, name: str = "image") -> np.ndarray:
+    """Validate that ``image`` is a 2-D float array and return it as float64.
+
+    Parameters
+    ----------
+    image:
+        Candidate grayscale image.
+    name:
+        Name used in error messages.
+
+    Raises
+    ------
+    ImageError
+        If the array is not two-dimensional or is empty.
+    """
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ImageError(f"{name} must be 2-D grayscale, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ImageError(f"{name} is empty")
+    return arr
+
+
+def ensure_color(image: np.ndarray, name: str = "image") -> np.ndarray:
+    """Validate that ``image`` is an (H, W, 3) float array, return float64."""
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ImageError(f"{name} must be (H, W, 3) RGB, got shape {arr.shape}")
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise ImageError(f"{name} is empty")
+    return arr
+
+
+def as_gray(image: np.ndarray) -> np.ndarray:
+    """Convert a color image to grayscale; pass grayscale through.
+
+    Uses BT.601 luma weights, matching what a camera ISP luma path and the
+    classic Viola-Jones pipeline operate on.
+    """
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim == 2:
+        return arr
+    arr = ensure_color(arr)
+    return arr @ _LUMA_WEIGHTS
+
+
+def clip01(image: np.ndarray) -> np.ndarray:
+    """Clamp an image to the nominal [0, 1] range."""
+    return np.clip(np.asarray(image, dtype=np.float64), 0.0, 1.0)
+
+
+def normalize(image: np.ndarray) -> np.ndarray:
+    """Linearly rescale an image to span [0, 1].
+
+    A constant image maps to all zeros (there is no contrast to preserve).
+    """
+    arr = np.asarray(image, dtype=np.float64)
+    lo = float(arr.min())
+    hi = float(arr.max())
+    if hi - lo <= 0:
+        return np.zeros_like(arr)
+    return (arr - lo) / (hi - lo)
+
+
+def to_uint8(image: np.ndarray) -> np.ndarray:
+    """Quantize a [0, 1] image to uint8, rounding to nearest."""
+    return np.round(clip01(image) * 255.0).astype(np.uint8)
+
+
+def pad_reflect(image: np.ndarray, pad: int) -> np.ndarray:
+    """Reflect-pad a grayscale image by ``pad`` pixels on every side."""
+    if pad < 0:
+        raise ImageError(f"pad must be non-negative, got {pad}")
+    arr = ensure_gray(image)
+    if pad == 0:
+        return arr.copy()
+    return np.pad(arr, pad, mode="reflect")
+
+
+def image_energy(image: np.ndarray) -> float:
+    """Mean squared intensity — a cheap activity statistic used by tests."""
+    arr = np.asarray(image, dtype=np.float64)
+    return float(np.mean(arr * arr))

@@ -1,0 +1,91 @@
+"""Integral images (summed-area tables).
+
+The Viola-Jones detector evaluates thousands of rectangular-sum features per
+window; the integral image reduces each rectangle sum to four lookups. The
+convention here matches the original paper: ``ii`` has one extra row and
+column of zeros, so that the sum over rows ``[y0, y1)`` and columns
+``[x0, x1)`` is::
+
+    ii[y1, x1] - ii[y0, x1] - ii[y1, x0] + ii[y0, x0]
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+from repro.imaging.image import ensure_gray
+
+
+def integral_image(image: np.ndarray) -> np.ndarray:
+    """Compute the (H+1, W+1) summed-area table of a grayscale image."""
+    arr = ensure_gray(image)
+    ii = np.zeros((arr.shape[0] + 1, arr.shape[1] + 1), dtype=np.float64)
+    ii[1:, 1:] = arr.cumsum(axis=0).cumsum(axis=1)
+    return ii
+
+
+def integral_of_squares(image: np.ndarray) -> np.ndarray:
+    """Summed-area table of squared intensities (for window variance)."""
+    arr = ensure_gray(image)
+    return integral_image(arr * arr)
+
+
+def window_sum(ii: np.ndarray, y0: int, x0: int, y1: int, x1: int) -> float:
+    """Sum over the half-open window ``[y0, y1) x [x0, x1)``.
+
+    Parameters
+    ----------
+    ii:
+        An integral image produced by :func:`integral_image`.
+    y0, x0, y1, x1:
+        Window bounds; must satisfy ``0 <= y0 <= y1 < ii.shape[0]`` and the
+        analogous constraint for x.
+    """
+    if not (0 <= y0 <= y1 < ii.shape[0] and 0 <= x0 <= x1 < ii.shape[1]):
+        raise ImageError(
+            f"window ({y0},{x0})-({y1},{x1}) outside integral image {ii.shape}"
+        )
+    return float(ii[y1, x1] - ii[y0, x1] - ii[y1, x0] + ii[y0, x0])
+
+
+def window_sums_batch(
+    ii: np.ndarray,
+    ys: np.ndarray,
+    xs: np.ndarray,
+    height: int,
+    width: int,
+) -> np.ndarray:
+    """Vectorized rectangle sums for many window origins at once.
+
+    ``ys``/``xs`` are arrays of top-left corners; every window has the same
+    ``height`` x ``width``. Returns an array of sums aligned with the inputs.
+    This is the hot path of the sliding-window detector.
+    """
+    ys = np.asarray(ys, dtype=np.intp)
+    xs = np.asarray(xs, dtype=np.intp)
+    return (
+        ii[ys + height, xs + width]
+        - ii[ys, xs + width]
+        - ii[ys + height, xs]
+        + ii[ys, xs]
+    )
+
+
+def window_mean_and_std(
+    ii: np.ndarray, ii_sq: np.ndarray, y0: int, x0: int, y1: int, x1: int
+) -> tuple[float, float]:
+    """Mean and standard deviation of a window from the two integral images.
+
+    Variance is clamped at zero to absorb floating-point cancellation on
+    near-constant windows. Used by the detector for lighting normalization
+    (the same trick the original Viola-Jones implementation uses).
+    """
+    area = (y1 - y0) * (x1 - x0)
+    if area <= 0:
+        raise ImageError("window must have positive area")
+    total = window_sum(ii, y0, x0, y1, x1)
+    total_sq = window_sum(ii_sq, y0, x0, y1, x1)
+    mean = total / area
+    variance = max(total_sq / area - mean * mean, 0.0)
+    return mean, float(np.sqrt(variance))

@@ -1,0 +1,76 @@
+"""Resampling: bilinear resize, dyadic downsampling, Gaussian pyramids.
+
+Resolution scaling shows up in three places in the paper: the sliding-window
+detector rescales its search window, the NN consumes fixed 20x20 crops, and
+the MS-SSIM metric evaluates a dyadic pyramid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+from repro.imaging.filters import gaussian_filter
+from repro.imaging.image import ensure_gray
+
+
+def resize_bilinear(image: np.ndarray, out_height: int, out_width: int) -> np.ndarray:
+    """Resize a grayscale image with bilinear interpolation.
+
+    Uses half-pixel-centered sampling (the ``align_corners=False``
+    convention), which is what camera ISP scalers implement.
+    """
+    arr = ensure_gray(image)
+    if out_height < 1 or out_width < 1:
+        raise ImageError(f"output size must be positive, got {out_height}x{out_width}")
+    in_height, in_width = arr.shape
+    if (out_height, out_width) == (in_height, in_width):
+        return arr.copy()
+
+    scale_y = in_height / out_height
+    scale_x = in_width / out_width
+    ys = (np.arange(out_height) + 0.5) * scale_y - 0.5
+    xs = (np.arange(out_width) + 0.5) * scale_x - 0.5
+    ys = np.clip(ys, 0.0, in_height - 1.0)
+    xs = np.clip(xs, 0.0, in_width - 1.0)
+
+    y0 = np.floor(ys).astype(np.intp)
+    x0 = np.floor(xs).astype(np.intp)
+    y1 = np.minimum(y0 + 1, in_height - 1)
+    x1 = np.minimum(x0 + 1, in_width - 1)
+    wy = (ys - y0)[:, None]
+    wx = (xs - x0)[None, :]
+
+    top = arr[np.ix_(y0, x0)] * (1 - wx) + arr[np.ix_(y0, x1)] * wx
+    bottom = arr[np.ix_(y1, x0)] * (1 - wx) + arr[np.ix_(y1, x1)] * wx
+    return top * (1 - wy) + bottom * wy
+
+
+def downsample2x(image: np.ndarray, blur_sigma: float = 1.0) -> np.ndarray:
+    """Anti-aliased 2x downsample: Gaussian pre-blur then 2:1 decimation."""
+    arr = ensure_gray(image)
+    if min(arr.shape) < 2:
+        raise ImageError(f"image too small to downsample: {arr.shape}")
+    blurred = gaussian_filter(arr, blur_sigma)
+    return blurred[::2, ::2].copy()
+
+
+def gaussian_pyramid(image: np.ndarray, levels: int) -> list[np.ndarray]:
+    """Dyadic Gaussian pyramid with ``levels`` entries (level 0 = input).
+
+    Raises
+    ------
+    ImageError
+        If the image is too small to produce the requested level count.
+    """
+    if levels < 1:
+        raise ImageError(f"levels must be >= 1, got {levels}")
+    arr = ensure_gray(image)
+    pyramid = [arr.copy()]
+    for _ in range(levels - 1):
+        if min(pyramid[-1].shape) < 4:
+            raise ImageError(
+                f"image {image.shape} too small for a {levels}-level pyramid"
+            )
+        pyramid.append(downsample2x(pyramid[-1]))
+    return pyramid

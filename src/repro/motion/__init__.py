@@ -1,0 +1,11 @@
+"""Motion detection — the cheapest optional block of the FA pipeline.
+
+The paper's point about this block: it "can reduce the bandwidth and
+ensuing power consumption of core blocks" by gating everything downstream
+on scene activity. The functional detector and its hardware cost model
+live in :mod:`.detector`.
+"""
+
+from repro.motion.detector import MotionDetector, MotionHardwareModel, MotionResult
+
+__all__ = ["MotionDetector", "MotionHardwareModel", "MotionResult"]

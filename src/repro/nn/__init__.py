@@ -1,0 +1,29 @@
+"""Neural-network substrate for the face-authentication case study.
+
+The paper trains small fully-connected networks with FANN and deploys them
+on a SNNAP-style fixed-point accelerator. This package provides the same
+ingredients from scratch:
+
+* :mod:`.mlp` — sigmoid MLPs (e.g. the paper's 400-8-1 topology);
+* :mod:`.train` — RPROP (FANN's default) and SGD trainers;
+* :mod:`.sigmoid` — exact sigmoid and the 256-entry hardware LUT;
+* :mod:`.quantize` — fixed-point formats and the bit-exact quantized
+  forward pass the accelerator simulator reproduces cycle by cycle.
+"""
+
+from repro.nn.mlp import MLP
+from repro.nn.sigmoid import SigmoidLUT, sigmoid
+from repro.nn.train import TrainResult, train_rprop, train_sgd
+from repro.nn.quantize import FixedPointFormat, QuantizedMLP, quantize_array
+
+__all__ = [
+    "MLP",
+    "SigmoidLUT",
+    "sigmoid",
+    "TrainResult",
+    "train_rprop",
+    "train_sgd",
+    "FixedPointFormat",
+    "QuantizedMLP",
+    "quantize_array",
+]

@@ -1,0 +1,150 @@
+"""Fully-connected sigmoid networks (the FANN-class model family).
+
+The paper's face-authentication network is a 400-8-1 MLP: 400 inputs
+(20x20 pixels), 8 hidden sigmoid neurons, 1 sigmoid output thresholded at
+0.5. :class:`MLP` keeps the implementation general (any layer list), since
+the topology exploration of Section III-A trains many shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.rng import make_rng
+from repro.errors import TrainingError
+from repro.nn.sigmoid import sigmoid
+
+
+class MLP:
+    """Multi-layer perceptron with sigmoid activations throughout.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Neuron counts per layer including input and output, e.g.
+        ``(400, 8, 1)``.
+    seed:
+        Seed for Nguyen-Widrow-style weight initialization.
+
+    Attributes
+    ----------
+    weights:
+        List of ``(fan_out, fan_in)`` arrays.
+    biases:
+        List of ``(fan_out,)`` arrays.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: tuple[int, ...] | list[int],
+        seed: int | np.random.Generator | None = 0,
+    ):
+        sizes = tuple(int(s) for s in layer_sizes)
+        if len(sizes) < 2:
+            raise TrainingError(f"need at least input+output layers, got {sizes}")
+        if any(s < 1 for s in sizes):
+            raise TrainingError(f"layer sizes must be positive, got {sizes}")
+        self.layer_sizes = sizes
+        rng = make_rng(seed)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            # Scaled uniform init keeps sigmoid pre-activations in the
+            # responsive region regardless of fan-in.
+            bound = np.sqrt(6.0 / (fan_in + fan_out)) * 4.0
+            self.weights.append(rng.uniform(-bound, bound, size=(fan_out, fan_in)))
+            self.biases.append(rng.uniform(-0.1, 0.1, size=fan_out))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_layers(self) -> int:
+        """Number of weight layers (hidden + output)."""
+        return len(self.weights)
+
+    @property
+    def n_parameters(self) -> int:
+        """Total trainable parameter count."""
+        return sum(w.size + b.size for w, b in zip(self.weights, self.biases))
+
+    def n_macs(self) -> int:
+        """Multiply-accumulate operations per forward pass of one sample."""
+        return sum(w.size for w in self.weights)
+
+    # ------------------------------------------------------------------
+    def _check_inputs(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.ndim != 2 or X.shape[1] != self.layer_sizes[0]:
+            raise TrainingError(
+                f"expected inputs with {self.layer_sizes[0]} features, got {X.shape}"
+            )
+        return X
+
+    def forward(
+        self,
+        X: np.ndarray,
+        activation: Callable[[np.ndarray], np.ndarray] | None = None,
+    ) -> list[np.ndarray]:
+        """All layer activations, input first, output last.
+
+        ``activation`` overrides the sigmoid (used to study LUT
+        approximations without retraining).
+        """
+        act = activation or sigmoid
+        current = self._check_inputs(X)
+        activations = [current]
+        for W, b in zip(self.weights, self.biases):
+            current = act(current @ W.T + b)
+            activations.append(current)
+        return activations
+
+    def predict_proba(
+        self,
+        X: np.ndarray,
+        activation: Callable[[np.ndarray], np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Output activations, shape (n, output_size)."""
+        return self.forward(X, activation)[-1]
+
+    def predict(
+        self,
+        X: np.ndarray,
+        threshold: float = 0.5,
+        activation: Callable[[np.ndarray], np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """{0,1} decisions for a single-output network."""
+        proba = self.predict_proba(X, activation)
+        if proba.shape[1] != 1:
+            raise TrainingError("predict() requires a single-output network")
+        return (proba[:, 0] >= threshold).astype(np.int64)
+
+    def classification_error(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        activation: Callable[[np.ndarray], np.ndarray] | None = None,
+    ) -> float:
+        """Fraction of misclassified samples (single output)."""
+        y = np.asarray(y, dtype=np.float64).ravel()
+        pred = self.predict(X, activation=activation)
+        if pred.shape != y.shape:
+            raise TrainingError(f"label shape {y.shape} misaligned with {pred.shape}")
+        return float(np.mean(pred != y))
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "MLP":
+        """Deep copy (used by trainers for best-model tracking)."""
+        clone = MLP(self.layer_sizes, seed=0)
+        clone.weights = [w.copy() for w in self.weights]
+        clone.biases = [b.copy() for b in self.biases]
+        return clone
+
+    def weight_span(self) -> float:
+        """Largest absolute weight/bias — sets the fixed-point format."""
+        return max(
+            max(float(np.abs(w).max()) for w in self.weights),
+            max(float(np.abs(b).max()) for b in self.biases),
+        )

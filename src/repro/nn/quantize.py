@@ -1,0 +1,238 @@
+"""Fixed-point quantization and the bit-exact quantized MLP forward pass.
+
+This module defines the arithmetic contract of the accelerator datapath
+(Figure 3 of the paper): unsigned fixed-point activations on the ``d_in``
+bus, signed fixed-point weights in per-PE SRAM, wide integer accumulation,
+and a LUT sigmoid whose output is re-quantized onto the activation bus.
+:class:`repro.snnap.SnnapAccelerator` replays exactly this arithmetic while
+counting cycles — equality of the two is asserted in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.mlp import MLP
+from repro.nn.sigmoid import SigmoidLUT
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A fixed-point number format.
+
+    Parameters
+    ----------
+    total_bits:
+        Word width including the sign bit when ``signed``.
+    frac_bits:
+        Bits to the right of the binary point (scale = 2**frac_bits).
+    signed:
+        Two's-complement when true, else unsigned.
+    """
+
+    total_bits: int
+    frac_bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2:
+            raise ConfigurationError(f"total_bits must be >= 2, got {self.total_bits}")
+        if self.frac_bits < 0 or self.frac_bits > self.total_bits:
+            raise ConfigurationError(
+                f"frac_bits must be in [0, total_bits], got {self.frac_bits}"
+            )
+
+    @property
+    def scale(self) -> float:
+        return float(2**self.frac_bits)
+
+    @property
+    def min_int(self) -> int:
+        return -(2 ** (self.total_bits - 1)) if self.signed else 0
+
+    @property
+    def max_int(self) -> int:
+        return (2 ** (self.total_bits - 1)) - 1 if self.signed else (2**self.total_bits) - 1
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable increment."""
+        return 1.0 / self.scale
+
+    def quantize(self, values: np.ndarray | float) -> np.ndarray:
+        """Real values -> saturating integer codes."""
+        arr = np.asarray(values, dtype=np.float64)
+        codes = np.round(arr * self.scale)
+        return np.clip(codes, self.min_int, self.max_int).astype(np.int64)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Integer codes -> real values."""
+        return np.asarray(codes, dtype=np.float64) / self.scale
+
+    def roundtrip(self, values: np.ndarray | float) -> np.ndarray:
+        """Quantize-then-dequantize (the representable approximation)."""
+        return self.dequantize(self.quantize(values))
+
+
+def quantize_array(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Convenience wrapper: representable approximation of ``values``."""
+    return fmt.roundtrip(values)
+
+
+def weight_format_for_span(span: float, total_bits: int) -> FixedPointFormat:
+    """Pick the signed format with maximal fraction bits covering ``span``.
+
+    This mirrors the standard deployment flow: inspect the trained weight
+    span, allocate integer bits to cover it, spend the rest on precision.
+    When the word is too narrow to cover the span at all (e.g. 4-bit words
+    for weights beyond +/-8), the format saturates outliers — the network
+    degrades, exactly the behaviour the precision study measures.
+    """
+    span = max(float(span), 1e-12)
+    int_bits = max(int(np.ceil(np.log2(span))), 0)
+    frac_bits = max(total_bits - 1 - int_bits, 0)
+    return FixedPointFormat(total_bits=total_bits, frac_bits=frac_bits, signed=True)
+
+
+def weight_format_for(model: MLP, total_bits: int) -> FixedPointFormat:
+    """Single format covering every layer of ``model`` (see span variant)."""
+    return weight_format_for_span(model.weight_span(), total_bits)
+
+
+class QuantizedMLP:
+    """Bit-exact fixed-point inference for a trained :class:`MLP`.
+
+    Parameters
+    ----------
+    model:
+        The trained floating-point network.
+    data_bits:
+        Width of the unsigned activation bus (paper sweeps 4/8/16).
+    weight_bits:
+        Width of the signed weight words (defaults to ``data_bits``,
+        matching the paper's common datapath width).
+    lut_entries:
+        Sigmoid LUT size; ``None`` uses the exact sigmoid on the
+        accumulator (isolating weight/activation quantization effects).
+
+    Notes
+    -----
+    Activations are unsigned with ``frac = data_bits`` (covering [0, 1)),
+    exactly representing what an 8-bit ``d_in``/``d_out`` bus carries.
+    Accumulation is exact 64-bit integer arithmetic; real hardware uses
+    the width reported by :meth:`required_accumulator_bits` (26 bits for
+    the paper's 8-PE, 8-bit configuration).
+    """
+
+    def __init__(
+        self,
+        model: MLP,
+        data_bits: int = 8,
+        weight_bits: int | None = None,
+        lut_entries: int | None = 256,
+    ):
+        if data_bits < 2:
+            raise ConfigurationError(f"data_bits must be >= 2, got {data_bits}")
+        weight_bits = weight_bits if weight_bits is not None else data_bits
+        self.model = model
+        self.data_bits = data_bits
+        self.weight_bits = weight_bits
+        self.activation_format = FixedPointFormat(
+            total_bits=data_bits, frac_bits=data_bits, signed=False
+        )
+        # Per-layer weight formats: each layer's weight SRAM carries its own
+        # implied binary point, sized to that layer's weight span.
+        self.weight_formats = [
+            weight_format_for_span(float(np.abs(w).max(initial=0.0)), weight_bits)
+            for w in model.weights
+        ]
+        # Bias enters the accumulator, so it is quantized at the product
+        # scale (activation_scale * weight_scale) of its layer.
+        self._acc_scales = [
+            self.activation_format.scale * fmt.scale for fmt in self.weight_formats
+        ]
+        self.weight_codes = [
+            fmt.quantize(w) for fmt, w in zip(self.weight_formats, model.weights)
+        ]
+        self.bias_codes = [
+            np.clip(np.round(b * scale), -(2**62), 2**62).astype(np.int64)
+            for b, scale in zip(model.biases, self._acc_scales)
+        ]
+        if lut_entries is None:
+            self.lut: SigmoidLUT | None = None
+        else:
+            self.lut = SigmoidLUT(
+                n_entries=lut_entries, output_levels=2**data_bits
+            )
+
+    # ------------------------------------------------------------------
+    def quantize_inputs(self, X: np.ndarray) -> np.ndarray:
+        """Real-valued inputs in [0, 1] -> activation-bus codes."""
+        return self.activation_format.quantize(np.clip(X, 0.0, 1.0))
+
+    def _activate(self, acc_real: np.ndarray) -> np.ndarray:
+        if self.lut is not None:
+            return np.asarray(self.lut(acc_real))
+        from repro.nn.sigmoid import sigmoid
+
+        return np.asarray(sigmoid(acc_real))
+
+    def forward_codes(self, X: np.ndarray) -> list[np.ndarray]:
+        """Layer-by-layer integer activations (input codes first)."""
+        codes = self.quantize_inputs(np.atleast_2d(np.asarray(X, dtype=np.float64)))
+        trace = [codes]
+        for W_int, b_int, scale in zip(
+            self.weight_codes, self.bias_codes, self._acc_scales
+        ):
+            acc = codes.astype(np.int64) @ W_int.T.astype(np.int64) + b_int
+            acc_real = acc / scale
+            act = self._activate(acc_real)
+            codes = self.activation_format.quantize(act)
+            trace.append(codes)
+        return trace
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Output activations as reals (dequantized bus codes)."""
+        return self.activation_format.dequantize(self.forward_codes(X)[-1])
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """{0,1} decisions for a single-output network."""
+        proba = self.predict_proba(X)
+        if proba.shape[1] != 1:
+            raise ConfigurationError("predict() requires a single-output network")
+        return (proba[:, 0] >= threshold).astype(np.int64)
+
+    def classification_error(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Fraction misclassified, comparable to ``MLP.classification_error``."""
+        y = np.asarray(y, dtype=np.float64).ravel()
+        pred = self.predict(X)
+        return float(np.mean(pred != y))
+
+    # ------------------------------------------------------------------
+    def required_accumulator_bits(self) -> int:
+        """Accumulator width that can never overflow for this network.
+
+        Worst case |acc| <= n_in * max_act_code * max|w_code| + |bias|.
+        """
+        worst = 0
+        for W_int, b_int in zip(self.weight_codes, self.bias_codes):
+            n_in = W_int.shape[1]
+            bound = (
+                n_in * self.activation_format.max_int * int(np.abs(W_int).max(initial=1))
+                + int(np.abs(b_int).max(initial=0))
+            )
+            worst = max(worst, bound)
+        return int(np.ceil(np.log2(worst + 1))) + 1  # +1 sign bit
+
+    def accuracy_loss_vs_float(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Absolute classification-accuracy loss vs. the float model.
+
+        Positive values mean the fixed-point network is worse — the metric
+        reported in the paper's numerical-precision study.
+        """
+        float_err = self.model.classification_error(X, y)
+        fixed_err = self.classification_error(X, y)
+        return fixed_err - float_err

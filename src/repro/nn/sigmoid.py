@@ -1,0 +1,92 @@
+"""Sigmoid activation: exact form and the hardware look-up-table version.
+
+The paper approximates the activation with a "simple 256-entry look-up
+table (LUT)" in the accelerator's sigmoid unit and finds the accuracy
+impact negligible; :class:`SigmoidLUT` is that unit's functional model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def sigmoid(x: np.ndarray | float) -> np.ndarray | float:
+    """Numerically stable logistic function."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    expx = np.exp(x[~pos])
+    out[~pos] = expx / (1.0 + expx)
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+class SigmoidLUT:
+    """Uniform look-up-table approximation of the sigmoid.
+
+    Parameters
+    ----------
+    n_entries:
+        Table size (paper: 256).
+    x_min, x_max:
+        Input interval covered by the table; inputs outside clamp to the
+        first/last entry (where the sigmoid is within ~3e-4 of 0/1 for the
+        default +/-8 range).
+    output_levels:
+        If given, table entries are additionally quantized to this many
+        uniform levels in [0, 1] — modeling a fixed-point output datapath
+        (e.g. 256 levels for an 8-bit activation bus).
+    """
+
+    def __init__(
+        self,
+        n_entries: int = 256,
+        x_min: float = -8.0,
+        x_max: float = 8.0,
+        output_levels: int | None = None,
+    ):
+        if n_entries < 2:
+            raise ConfigurationError(f"n_entries must be >= 2, got {n_entries}")
+        if not x_min < x_max:
+            raise ConfigurationError(f"need x_min < x_max, got [{x_min}, {x_max}]")
+        if output_levels is not None and output_levels < 2:
+            raise ConfigurationError(f"output_levels must be >= 2, got {output_levels}")
+        self.n_entries = n_entries
+        self.x_min = float(x_min)
+        self.x_max = float(x_max)
+        self.output_levels = output_levels
+        centers = x_min + (np.arange(n_entries) + 0.5) * (x_max - x_min) / n_entries
+        table = np.asarray(sigmoid(centers), dtype=np.float64)
+        if output_levels is not None:
+            table = np.round(table * (output_levels - 1)) / (output_levels - 1)
+        self.table = table
+
+    def __call__(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate the LUT approximation element-wise."""
+        arr = np.asarray(x, dtype=np.float64)
+        scale = self.n_entries / (self.x_max - self.x_min)
+        idx = np.floor((arr - self.x_min) * scale).astype(np.int64)
+        idx = np.clip(idx, 0, self.n_entries - 1)
+        out = self.table[idx]
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    def indices(self, x: np.ndarray) -> np.ndarray:
+        """Table indices addressed for inputs ``x`` (hardware visibility)."""
+        arr = np.asarray(x, dtype=np.float64)
+        scale = self.n_entries / (self.x_max - self.x_min)
+        return np.clip(
+            np.floor((arr - self.x_min) * scale).astype(np.int64),
+            0,
+            self.n_entries - 1,
+        )
+
+    def max_abs_error(self, n_probe: int = 100_000) -> float:
+        """Worst-case LUT error over the covered interval (diagnostic)."""
+        xs = np.linspace(self.x_min, self.x_max - 1e-9, n_probe)
+        return float(np.max(np.abs(self(xs) - sigmoid(xs))))

@@ -1,0 +1,206 @@
+"""Trainers: RPROP (FANN's default algorithm) and plain mini-batch SGD.
+
+Both minimize mean-squared error on sigmoid outputs — the FANN objective —
+so a trained network transfers directly onto the fixed-point accelerator
+(whose LUT sigmoid approximates the same activation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.rng import make_rng
+from repro.errors import TrainingError
+from repro.nn.mlp import MLP
+from repro.nn.sigmoid import sigmoid
+
+
+@dataclass
+class TrainResult:
+    """Training trace and the best model found."""
+
+    model: MLP
+    train_losses: list[float] = field(default_factory=list)
+    val_errors: list[float] = field(default_factory=list)
+    best_epoch: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        return self.train_losses[-1] if self.train_losses else float("nan")
+
+
+def _prepare(X: np.ndarray, y: np.ndarray, model: MLP) -> tuple[np.ndarray, np.ndarray]:
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if X.ndim != 2:
+        raise TrainingError(f"X must be 2-D, got {X.shape}")
+    if X.shape[1] != model.layer_sizes[0]:
+        raise TrainingError(
+            f"X has {X.shape[1]} features, model expects {model.layer_sizes[0]}"
+        )
+    if y.ndim == 1:
+        y = y[:, None]
+    if y.shape[0] != X.shape[0]:
+        raise TrainingError("X and y row counts differ")
+    if y.shape[1] != model.layer_sizes[-1]:
+        raise TrainingError(
+            f"y has {y.shape[1]} outputs, model expects {model.layer_sizes[-1]}"
+        )
+    if X.shape[0] == 0:
+        raise TrainingError("empty training set")
+    return X, y
+
+
+def _gradients(
+    model: MLP, X: np.ndarray, y: np.ndarray
+) -> tuple[list[np.ndarray], list[np.ndarray], float]:
+    """Backprop of 0.5 * mean squared error through sigmoid layers."""
+    activations = [X]
+    current = X
+    for W, b in zip(model.weights, model.biases):
+        current = sigmoid(current @ W.T + b)
+        activations.append(current)
+    output = activations[-1]
+    n = X.shape[0]
+    loss = float(0.5 * np.mean(np.sum((output - y) ** 2, axis=1)))
+
+    grads_w: list[np.ndarray] = [np.zeros_like(w) for w in model.weights]
+    grads_b: list[np.ndarray] = [np.zeros_like(b) for b in model.biases]
+    # delta: dLoss/d(pre-activation), starting from the output layer.
+    delta = (output - y) * output * (1.0 - output) / n
+    for layer in range(model.n_layers - 1, -1, -1):
+        grads_w[layer] = delta.T @ activations[layer]
+        grads_b[layer] = delta.sum(axis=0)
+        if layer > 0:
+            back = delta @ model.weights[layer]
+            prev = activations[layer]
+            delta = back * prev * (1.0 - prev)
+    return grads_w, grads_b, loss
+
+
+def train_rprop(
+    model: MLP,
+    X: np.ndarray,
+    y: np.ndarray,
+    epochs: int = 200,
+    X_val: np.ndarray | None = None,
+    y_val: np.ndarray | None = None,
+    step_init: float = 0.05,
+    step_min: float = 1e-6,
+    step_max: float = 5.0,
+    eta_plus: float = 1.2,
+    eta_minus: float = 0.5,
+    patience: int | None = None,
+    weight_decay: float = 0.0,
+) -> TrainResult:
+    """Full-batch resilient backpropagation (iRPROP-).
+
+    RPROP adapts a per-weight step size from gradient *signs* only, which
+    is what makes FANN fast on small dense networks. With validation data,
+    the best-validation model is returned (early "selection", matching the
+    common FANN recipe); ``patience`` optionally stops training early.
+    ``weight_decay`` adds an L2 pull toward zero, which keeps the trained
+    weight span small — directly improving fixed-point deployability.
+    """
+    if weight_decay < 0:
+        raise TrainingError(f"weight_decay must be >= 0, got {weight_decay}")
+    if epochs < 1:
+        raise TrainingError(f"epochs must be >= 1, got {epochs}")
+    X, y = _prepare(X, y, model)
+    has_val = X_val is not None and y_val is not None
+    if has_val:
+        X_val = np.asarray(X_val, dtype=np.float64)
+        y_val = np.asarray(y_val, dtype=np.float64).ravel()
+
+    steps_w = [np.full_like(w, step_init) for w in model.weights]
+    steps_b = [np.full_like(b, step_init) for b in model.biases]
+    prev_gw = [np.zeros_like(w) for w in model.weights]
+    prev_gb = [np.zeros_like(b) for b in model.biases]
+
+    result = TrainResult(model=model)
+    best_val = float("inf")
+    best_model = model.copy()
+    stall = 0
+
+    def rprop_update(
+        param: np.ndarray, grad: np.ndarray, prev: np.ndarray, step: np.ndarray
+    ) -> np.ndarray:
+        sign_change = grad * prev
+        step[sign_change > 0] = np.minimum(step[sign_change > 0] * eta_plus, step_max)
+        step[sign_change < 0] = np.maximum(step[sign_change < 0] * eta_minus, step_min)
+        # iRPROP-: where the sign flipped, skip the update this epoch.
+        effective = np.where(sign_change < 0, 0.0, -np.sign(grad) * step)
+        param += effective
+        return np.where(sign_change < 0, 0.0, grad)
+
+    for epoch in range(epochs):
+        grads_w, grads_b, loss = _gradients(model, X, y)
+        if weight_decay > 0:
+            for layer in range(model.n_layers):
+                grads_w[layer] = grads_w[layer] + weight_decay * model.weights[layer]
+        result.train_losses.append(loss)
+        for layer in range(model.n_layers):
+            prev_gw[layer] = rprop_update(
+                model.weights[layer], grads_w[layer], prev_gw[layer], steps_w[layer]
+            )
+            prev_gb[layer] = rprop_update(
+                model.biases[layer], grads_b[layer], prev_gb[layer], steps_b[layer]
+            )
+        if has_val:
+            err = model.classification_error(X_val, y_val)
+            result.val_errors.append(err)
+            if err < best_val:
+                best_val = err
+                best_model = model.copy()
+                result.best_epoch = epoch
+                stall = 0
+            else:
+                stall += 1
+                if patience is not None and stall > patience:
+                    break
+
+    if has_val:
+        result.model = best_model
+    return result
+
+
+def train_sgd(
+    model: MLP,
+    X: np.ndarray,
+    y: np.ndarray,
+    epochs: int = 100,
+    batch_size: int = 32,
+    learning_rate: float = 0.5,
+    momentum: float = 0.9,
+    seed: int | np.random.Generator | None = 0,
+) -> TrainResult:
+    """Mini-batch SGD with momentum (baseline trainer for comparisons)."""
+    if epochs < 1 or batch_size < 1:
+        raise TrainingError("epochs and batch_size must be >= 1")
+    if learning_rate <= 0:
+        raise TrainingError(f"learning_rate must be positive, got {learning_rate}")
+    X, y = _prepare(X, y, model)
+    rng = make_rng(seed)
+    n = X.shape[0]
+    vel_w = [np.zeros_like(w) for w in model.weights]
+    vel_b = [np.zeros_like(b) for b in model.biases]
+    result = TrainResult(model=model)
+
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            grads_w, grads_b, loss = _gradients(model, X[idx], y[idx])
+            epoch_loss += loss
+            batches += 1
+            for layer in range(model.n_layers):
+                vel_w[layer] = momentum * vel_w[layer] - learning_rate * grads_w[layer]
+                vel_b[layer] = momentum * vel_b[layer] - learning_rate * grads_b[layer]
+                model.weights[layer] += vel_w[layer]
+                model.biases[layer] += vel_b[layer]
+        result.train_losses.append(epoch_loss / max(batches, 1))
+    return result

@@ -1,0 +1,30 @@
+"""SNNAP-style systolic neural-network accelerator model.
+
+Figure 3 of the paper: one processing unit (PU) containing a chain of
+fixed-point processing elements (PEs) with private weight SRAMs, a shared
+input bus, a LUT-based sigmoid unit, and a vertically micro-coded sequencer.
+The paper explores its design space along two axes — PE count (energy
+optimum at 8) and datapath width (8-bit chosen, 41% power saving vs 16-bit).
+
+Three layers of model live here:
+
+* :mod:`.schedule` — closed-form cycle counts of the systolic schedule;
+* :mod:`.accelerator` — functional simulation (bit-exact with
+  :class:`repro.nn.QuantizedMLP`) plus per-component energy accounting;
+* :mod:`.geometry` — the design-space sweep utilities behind the paper's
+  geometry and bit-width studies.
+"""
+
+from repro.snnap.schedule import LayerSchedule, NetworkSchedule, schedule_network
+from repro.snnap.accelerator import AcceleratorRun, SnnapAccelerator
+from repro.snnap.geometry import DesignPoint, sweep_design_space
+
+__all__ = [
+    "LayerSchedule",
+    "NetworkSchedule",
+    "schedule_network",
+    "AcceleratorRun",
+    "SnnapAccelerator",
+    "DesignPoint",
+    "sweep_design_space",
+]

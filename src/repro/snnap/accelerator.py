@@ -1,0 +1,213 @@
+"""Functional + energy simulation of the SNNAP-style PU.
+
+:class:`SnnapAccelerator` executes a quantized MLP exactly as the hardware
+would (the arithmetic contract lives in :class:`repro.nn.QuantizedMLP`;
+equality is asserted in tests) and charges every micro-architectural event
+to an energy component:
+
+========================  ====================================================
+component                 events charged
+========================  ====================================================
+``pe_mac``                one fixed-point MAC per (input, neuron) pair
+``weight_sram``           one weight read per MAC from the PE's private SRAM
+``input_buffer``          one input read + bus broadcast per streamed input
+                          (re-streamed once per neuron group — the few-PE
+                          penalty)
+``pe_idle``               clock energy of idle PEs in partially-filled
+                          groups (the many-PE penalty)
+``sigmoid``               one LUT read per neuron
+``control``               sequencer + microcode energy per cycle
+``leakage``               static power x runtime, area grows with PE count
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hw.asic import AsicEnergyModel
+from repro.hw.energy import EnergyReport
+from repro.nn.mlp import MLP
+from repro.nn.quantize import QuantizedMLP
+from repro.snnap.schedule import NetworkSchedule, schedule_network
+
+#: Control-path energy per cycle, expressed in 8-bit register-equivalents.
+_CONTROL_REG_EQUIV = 6.0
+#: Logic size of the PU shell (sequencer, bus, sigmoid unit) in kGE.
+_BASE_KILO_GATES = 12.0
+#: Logic size per PE (multiplier, adder, latches) in kGE per 8-bit slice.
+_PE_KILO_GATES_8BIT = 3.0
+
+
+@dataclass(frozen=True)
+class AcceleratorRun:
+    """Result of running a batch through the accelerator."""
+
+    outputs: np.ndarray  # dequantized output activations, (n, n_out)
+    cycles_per_sample: int
+    energy_per_sample: EnergyReport
+    schedule: NetworkSchedule
+
+    def seconds_per_sample(self, clock_hz: float) -> float:
+        return self.cycles_per_sample / clock_hz
+
+    def average_power(self, clock_hz: float) -> float:
+        """Mean power while actively processing one sample."""
+        return self.energy_per_sample.total / self.seconds_per_sample(clock_hz)
+
+
+class SnnapAccelerator:
+    """A configured PU: quantized network + geometry + operating point.
+
+    Parameters
+    ----------
+    model:
+        Trained float MLP to deploy.
+    n_pes:
+        Number of processing elements (paper sweeps 1..32, picks 8).
+    data_bits:
+        Datapath width for activations and weights (paper picks 8).
+    energy_model:
+        Operating point; defaults to the paper's 30 MHz / 0.9 V point.
+    lut_entries:
+        Sigmoid LUT size (256 in the paper).
+    """
+
+    def __init__(
+        self,
+        model: MLP,
+        n_pes: int = 8,
+        data_bits: int = 8,
+        energy_model: AsicEnergyModel | None = None,
+        lut_entries: int = 256,
+    ):
+        if n_pes < 1:
+            raise ConfigurationError(f"n_pes must be >= 1, got {n_pes}")
+        self.model = model
+        self.n_pes = n_pes
+        self.data_bits = data_bits
+        self.quantized = QuantizedMLP(model, data_bits=data_bits, lut_entries=lut_entries)
+        kilo_gates = _BASE_KILO_GATES + _PE_KILO_GATES_8BIT * n_pes * (data_bits / 8.0)
+        base = energy_model or AsicEnergyModel()
+        self.energy_model = AsicEnergyModel(
+            tech=base.tech,
+            clock_hz=base.clock_hz,
+            voltage=base.voltage,
+            kilo_gates=kilo_gates,
+        )
+        self.schedule = schedule_network(model.layer_sizes, n_pes)
+        # Per-PE weight SRAM sized for this network's largest residency.
+        weights_per_pe = max(
+            -(-layer.n_out // n_pes) * layer.n_in for layer in self.schedule.layers
+        )
+        self.weight_sram_bytes = max(weights_per_pe * data_bits / 8.0, 64.0)
+        self.input_buffer_bytes = max(
+            max(model.layer_sizes) * data_bits / 8.0, 64.0
+        )
+
+    # ------------------------------------------------------------------
+    def _energy_per_sample(self) -> EnergyReport:
+        em = self.energy_model
+        bits = self.data_bits
+        report = EnergyReport()
+        for layer in self.schedule.layers:
+            report.add("pe_mac", layer.macs * em.mac_energy(bits))
+            report.add(
+                "weight_sram",
+                layer.macs * em.sram_read_energy(bits, self.weight_sram_bytes),
+            )
+            streamed = layer.input_streams * layer.n_in
+            report.add(
+                "input_buffer",
+                streamed
+                * (
+                    em.sram_read_energy(bits, self.input_buffer_bytes)
+                    + em.register_energy(bits)  # bus broadcast latch
+                ),
+            )
+            # Idle PEs burn ~30% of an active PE's register energy
+            # (clock tree + enables; datapath is gated).
+            report.add(
+                "pe_idle",
+                layer.idle_pe_cycles * 0.3 * em.register_energy(bits),
+            )
+            report.add(
+                "sigmoid",
+                layer.n_out * em.sram_read_energy(bits, 256 * bits / 8.0),
+            )
+        cycles = self.schedule.total_cycles
+        report.add(
+            "control", cycles * _CONTROL_REG_EQUIV * em.register_energy(8)
+        )
+        report.add("leakage", em.leakage_energy(cycles))
+        return report
+
+    # ------------------------------------------------------------------
+    def run(self, X: np.ndarray) -> AcceleratorRun:
+        """Process a batch; outputs are bit-exact with the quantized model."""
+        outputs = self.quantized.predict_proba(X)
+        return AcceleratorRun(
+            outputs=outputs,
+            cycles_per_sample=self.schedule.total_cycles,
+            energy_per_sample=self._energy_per_sample(),
+            schedule=self.schedule,
+        )
+
+    def run_systolic_trace(self, x: np.ndarray) -> np.ndarray:
+        """Explicit cycle-by-cycle systolic execution of one sample.
+
+        Slow by construction; exists to validate that the vectorized path
+        and the schedule's group/broadcast structure compute the same
+        thing a PE-by-PE walk does.
+        """
+        x = np.asarray(x, dtype=np.float64).ravel()
+        q = self.quantized
+        codes = q.quantize_inputs(x[None, :])[0]
+        for layer_idx, (W_int, b_int, scale) in enumerate(
+            zip(q.weight_codes, q.bias_codes, q._acc_scales)
+        ):
+            n_out, n_in = W_int.shape
+            out_codes = np.zeros(n_out, dtype=np.int64)
+            groups = -(-n_out // self.n_pes)
+            for group in range(groups):
+                neuron_ids = [
+                    group * self.n_pes + pe
+                    for pe in range(self.n_pes)
+                    if group * self.n_pes + pe < n_out
+                ]
+                accumulators = {n: int(b_int[n]) for n in neuron_ids}
+                # Stream inputs one per cycle; every PE MACs in lockstep.
+                for i in range(n_in):
+                    broadcast = int(codes[i])
+                    for neuron in neuron_ids:
+                        accumulators[neuron] += broadcast * int(W_int[neuron, i])
+                for neuron in neuron_ids:
+                    acc_real = accumulators[neuron] / scale
+                    act = q._activate(np.asarray(acc_real))
+                    out_codes[neuron] = q.activation_format.quantize(act)
+            codes = out_codes
+        return q.activation_format.dequantize(codes)
+
+    # ------------------------------------------------------------------
+    def inference_power(self) -> float:
+        """Average power while continuously running inferences, watts."""
+        run_energy = self._energy_per_sample().total
+        seconds = self.schedule.total_cycles / self.energy_model.clock_hz
+        return run_energy / seconds
+
+    def duty_cycled_power(self, frames_per_second: float) -> float:
+        """Average power at a capture rate, idle leakage between frames."""
+        if frames_per_second <= 0:
+            raise ConfigurationError("frames_per_second must be positive")
+        active_energy = self._energy_per_sample().total
+        period = 1.0 / frames_per_second
+        active_time = self.schedule.total_cycles / self.energy_model.clock_hz
+        if active_time > period:
+            raise ConfigurationError(
+                f"cannot sustain {frames_per_second} FPS: frame takes {active_time}s"
+            )
+        idle_energy = self.energy_model.leakage_power() * (period - active_time)
+        return (active_energy + idle_energy) / period

@@ -1,0 +1,131 @@
+"""Design-space exploration for the PU geometry and datapath width.
+
+Reproduces the two hardware studies of Section III-A:
+
+* *geometry*: sweep PE count at fixed frequency/voltage, measure energy per
+  inference — the paper finds a U-shape with the optimum at 8 PEs for the
+  400-8-1 network;
+* *precision*: sweep datapath width, measure power and accuracy — the
+  paper picks 8-bit for a 41% power reduction over 16-bit at ~0.4%
+  accuracy cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hw.asic import AsicEnergyModel
+from repro.nn.mlp import MLP
+from repro.snnap.accelerator import SnnapAccelerator
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One accelerator configuration and its measured costs."""
+
+    n_pes: int
+    data_bits: int
+    cycles_per_inference: int
+    energy_per_inference: float  # joules
+    power: float  # watts, while actively inferring
+    throughput: float  # inferences per second
+    accuracy_error: float | None = None  # classification error, if evaluated
+
+    @property
+    def energy_delay_product(self) -> float:
+        return self.energy_per_inference * (1.0 / self.throughput)
+
+
+def evaluate_design(
+    model: MLP,
+    n_pes: int,
+    data_bits: int,
+    energy_model: AsicEnergyModel | None = None,
+    X_eval: np.ndarray | None = None,
+    y_eval: np.ndarray | None = None,
+) -> DesignPoint:
+    """Instantiate one configuration and measure its costs."""
+    accelerator = SnnapAccelerator(
+        model, n_pes=n_pes, data_bits=data_bits, energy_model=energy_model
+    )
+    energy = accelerator._energy_per_sample().total
+    cycles = accelerator.schedule.total_cycles
+    clock = accelerator.energy_model.clock_hz
+    error = None
+    if X_eval is not None and y_eval is not None:
+        error = accelerator.quantized.classification_error(X_eval, y_eval)
+    return DesignPoint(
+        n_pes=n_pes,
+        data_bits=data_bits,
+        cycles_per_inference=cycles,
+        energy_per_inference=energy,
+        power=energy / (cycles / clock),
+        throughput=clock / cycles,
+        accuracy_error=error,
+    )
+
+
+def sweep_design_space(
+    model: MLP,
+    pe_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    bit_widths: tuple[int, ...] = (8,),
+    energy_model: AsicEnergyModel | None = None,
+    X_eval: np.ndarray | None = None,
+    y_eval: np.ndarray | None = None,
+) -> list[DesignPoint]:
+    """Cartesian sweep over geometry x precision."""
+    if not pe_counts or not bit_widths:
+        raise ConfigurationError("sweep axes must be non-empty")
+    points = []
+    for bits in bit_widths:
+        for n_pes in pe_counts:
+            points.append(
+                evaluate_design(
+                    model, n_pes, bits, energy_model, X_eval, y_eval
+                )
+            )
+    return points
+
+
+def energy_optimal(points: list[DesignPoint]) -> DesignPoint:
+    """The sweep point minimizing energy per inference."""
+    if not points:
+        raise ConfigurationError("no design points given")
+    return min(points, key=lambda p: p.energy_per_inference)
+
+
+def sweep_voltage(
+    model: MLP,
+    voltages: tuple[float, ...] = (0.6, 0.7, 0.8, 0.9, 1.0, 1.1),
+    n_pes: int = 8,
+    data_bits: int = 8,
+    nominal_clock_hz: float = 30e6,
+) -> list[dict]:
+    """DVFS sweep at fixed geometry — an extension beyond the paper.
+
+    The paper fixes 30 MHz / 0.9 V; this sweep explores the
+    voltage-frequency curve around that point: the clock tracks the
+    alpha-power delay law, dynamic energy scales ~V^2, and leakage energy
+    grows as the runtime stretches at low voltage.
+    """
+    if not voltages:
+        raise ConfigurationError("voltages must be non-empty")
+    base = AsicEnergyModel()
+    rows = []
+    for voltage in voltages:
+        clock = base.tech.max_clock_at(voltage, nominal_clock_hz)
+        em = AsicEnergyModel(tech=base.tech, clock_hz=clock, voltage=voltage)
+        point = evaluate_design(model, n_pes, data_bits, energy_model=em)
+        rows.append(
+            {
+                "voltage": voltage,
+                "clock_mhz": clock / 1e6,
+                "energy_nj": point.energy_per_inference * 1e9,
+                "power_uw": point.power * 1e6,
+                "throughput_inf_s": point.throughput,
+            }
+        )
+    return rows

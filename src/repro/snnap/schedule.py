@@ -1,0 +1,121 @@
+"""Closed-form cycle model of the systolic PU schedule.
+
+Execution of one fully-connected layer with ``n_in`` inputs, ``n_out``
+neurons and ``P`` PEs:
+
+1. Neurons are assigned to PEs round-robin in *groups* of ``P`` (PE ``p``
+   computes neurons ``p, p+P, ...``); a layer needs ``ceil(n_out / P)``
+   groups.
+2. Within a group, inputs stream over the shared bus one per cycle; every
+   PE MACs the broadcast input against its private weight — ``n_in``
+   cycles per group, plus a small pipeline fill.
+3. Accumulators drain through the sigmoid unit (one value per cycle after
+   a fixed latency).
+
+Two structural inefficiencies fall straight out of this schedule, and they
+are exactly the ones the paper reports:
+
+* **Too few PEs** — more groups, so the input vector is re-streamed (and
+  re-read from the input buffer) once per group, and control/leakage
+  energy scales with the longer runtime ("scheduling inefficiencies").
+* **Too many PEs** — the final group has idle PEs that still burn clock
+  and leakage energy ("underutilized resources"): a 400-8-1 network can
+  never use more than 8 PEs in its hidden layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Pipeline fill cycles per group (bus + PE + accumulator latches).
+GROUP_FILL_CYCLES = 4
+#: Sigmoid unit latency before its 1-value-per-cycle drain.
+SIGMOID_LATENCY = 2
+#: Fixed sequencer cycles to launch a layer (microcode dispatch, DMA setup).
+LAYER_OVERHEAD_CYCLES = 8
+
+
+@dataclass(frozen=True)
+class LayerSchedule:
+    """Cycle/work accounting for one layer on a given PE count."""
+
+    n_in: int
+    n_out: int
+    n_pes: int
+    groups: int
+    mac_cycles: int
+    sigmoid_cycles: int
+    total_cycles: int
+    macs: int
+    idle_pe_cycles: int
+    input_streams: int  # how many times the input vector crosses the bus
+
+    @property
+    def pe_utilization(self) -> float:
+        """Fraction of PE-cycles during the MAC phase doing useful MACs."""
+        busy = self.mac_cycles * self.n_pes
+        return self.macs / busy if busy > 0 else 0.0
+
+
+def schedule_layer(n_in: int, n_out: int, n_pes: int) -> LayerSchedule:
+    """Schedule one fully-connected layer."""
+    if n_in < 1 or n_out < 1:
+        raise ConfigurationError(f"layer dims must be >= 1, got {n_in}x{n_out}")
+    if n_pes < 1:
+        raise ConfigurationError(f"n_pes must be >= 1, got {n_pes}")
+    groups = -(-n_out // n_pes)  # ceil division
+    mac_cycles = groups * n_in
+    sigmoid_cycles = SIGMOID_LATENCY + n_out
+    total = LAYER_OVERHEAD_CYCLES + groups * (n_in + GROUP_FILL_CYCLES) + sigmoid_cycles
+    macs = n_in * n_out
+    idle = mac_cycles * n_pes - macs
+    return LayerSchedule(
+        n_in=n_in,
+        n_out=n_out,
+        n_pes=n_pes,
+        groups=groups,
+        mac_cycles=mac_cycles,
+        sigmoid_cycles=sigmoid_cycles,
+        total_cycles=total,
+        macs=macs,
+        idle_pe_cycles=idle,
+        input_streams=groups,
+    )
+
+
+@dataclass(frozen=True)
+class NetworkSchedule:
+    """Schedule of a whole MLP: per-layer schedules plus totals."""
+
+    layers: tuple[LayerSchedule, ...]
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(layer.total_cycles for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_idle_pe_cycles(self) -> int:
+        return sum(layer.idle_pe_cycles for layer in self.layers)
+
+    @property
+    def mac_utilization(self) -> float:
+        """Useful MACs over PE-cycles across the whole network's MAC phases."""
+        busy = sum(l.mac_cycles * l.n_pes for l in self.layers)
+        return self.total_macs / busy if busy > 0 else 0.0
+
+
+def schedule_network(layer_sizes: tuple[int, ...], n_pes: int) -> NetworkSchedule:
+    """Schedule every layer of an MLP given as neuron counts per layer."""
+    if len(layer_sizes) < 2:
+        raise ConfigurationError(f"need >= 2 layers, got {layer_sizes}")
+    layers = tuple(
+        schedule_layer(n_in, n_out, n_pes)
+        for n_in, n_out in zip(layer_sizes[:-1], layer_sizes[1:])
+    )
+    return NetworkSchedule(layers=layers)

@@ -1,0 +1,88 @@
+"""Unit helpers and conversion constants.
+
+The library mixes quantities from very different regimes (nanojoules on the
+harvested-energy node, gigabytes per second on the VR rig), so all public
+APIs document their units explicitly and use these helpers for conversions.
+Internally everything is SI base units: seconds, joules, watts, bytes,
+bits/second, hertz.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Data sizes (bytes). Decimal prefixes, matching how link rates are quoted.
+# ---------------------------------------------------------------------------
+KB = 1e3
+MB = 1e6
+GB = 1e9
+
+# Binary prefixes for memory capacities (SRAM/BRAM sizing).
+KIB = 1024.0
+MIB = 1024.0**2
+
+# ---------------------------------------------------------------------------
+# Link rates (bits per second).
+# ---------------------------------------------------------------------------
+KBPS = 1e3
+MBPS = 1e6
+GBPS = 1e9
+
+# ---------------------------------------------------------------------------
+# Time.
+# ---------------------------------------------------------------------------
+US = 1e-6
+MS = 1e-3
+MINUTE = 60.0
+HOUR = 3600.0
+
+# ---------------------------------------------------------------------------
+# Energy / power.
+# ---------------------------------------------------------------------------
+PJ = 1e-12
+NJ = 1e-9
+UJ = 1e-6
+MJ_ = 1e-3  # millijoule (MJ would read as megajoule)
+UW = 1e-6
+MW_ = 1e-3  # milliwatt
+NW = 1e-9
+
+# ---------------------------------------------------------------------------
+# Frequency.
+# ---------------------------------------------------------------------------
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+
+def bytes_to_bits(num_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return num_bytes * 8.0
+
+
+def bits_to_bytes(num_bits: float) -> float:
+    """Convert a bit count to bytes."""
+    return num_bits / 8.0
+
+
+def transfer_seconds(num_bytes: float, bits_per_second: float) -> float:
+    """Time to move ``num_bytes`` over a link of ``bits_per_second``.
+
+    Raises
+    ------
+    ValueError
+        If the link rate is not positive.
+    """
+    if bits_per_second <= 0:
+        raise ValueError(f"link rate must be positive, got {bits_per_second}")
+    return bytes_to_bits(num_bytes) / bits_per_second
+
+
+def frames_per_second(seconds_per_frame: float) -> float:
+    """Invert a per-frame latency into a throughput.
+
+    A non-positive latency means "free" and maps to ``inf`` so that cost
+    aggregation with :func:`min` keeps working.
+    """
+    if seconds_per_frame <= 0:
+        return float("inf")
+    return 1.0 / seconds_per_frame

@@ -1,0 +1,12 @@
+"""Hardware cost model of the Viola-Jones cascade accelerator.
+
+The paper uses VJ face detection as an *optional filtering block* in front
+of the NN authenticator; its hardware value is that the cascade spends
+almost no work on empty windows. This package turns the software detector's
+work statistics (windows visited, features evaluated) into cycles and
+joules for an on-chip fixed-function engine.
+"""
+
+from repro.vj_hw.accelerator import ViolaJonesAccelerator, VjScanCost
+
+__all__ = ["ViolaJonesAccelerator", "VjScanCost"]

@@ -1,0 +1,128 @@
+"""Cycle/energy model for a streaming Viola-Jones engine.
+
+Microarchitecture assumptions (in line with published FPGA/ASIC VJ engines,
+e.g. Hiromoto et al. CVPR'07, Cho et al. ASAP'09, cited by the paper):
+
+* the integral image and squared-integral image are computed in one
+  streaming pass over the frame (two adds + one multiply per pixel, one
+  write per table);
+* feature evaluation is pipelined at one rectangle per cycle; a rectangle
+  costs four table reads and three adds, plus one MAC for the weight;
+* per-window setup (variance normalization) costs two rectangle reads and
+  a square root, amortized as a fixed cycle count.
+
+The engine's inputs are the *measured* scan statistics of the software
+detector (:class:`repro.facedet.detector.ScanStats`), so hardware cost
+follows the actual data-dependent cascade behaviour — the whole point of
+the cascade as a pre-filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.facedet.detector import ScanStats
+from repro.hw.asic import AsicEnergyModel
+from repro.hw.energy import EnergyReport
+
+#: Average rectangles per Haar feature (2/3/4-rect mix).
+_RECTS_PER_FEATURE = 2.8
+#: Integral-table reads per rectangle sum.
+_READS_PER_RECT = 4
+#: Cycles per window for setup (origin dispatch + variance normalization).
+_WINDOW_SETUP_CYCLES = 6
+#: Streaming integral-image pass: pixels per cycle.
+_INTEGRAL_PIXELS_PER_CYCLE = 2.0
+
+
+@dataclass(frozen=True)
+class VjScanCost:
+    """Cycle and energy cost of scanning one frame."""
+
+    cycles: int
+    energy: EnergyReport
+    seconds: float
+
+    @property
+    def total_joules(self) -> float:
+        return self.energy.total
+
+
+class ViolaJonesAccelerator:
+    """Fixed-function cascade engine bound to an operating point.
+
+    Parameters
+    ----------
+    energy_model:
+        Technology/clock/voltage; defaults to the same 30 MHz, 0.9 V
+        island as the NN accelerator (they share the sensor SoC).
+    integral_word_bits:
+        Width of integral-image words (24 bits covers QCIF sums).
+    frame_buffer_bytes:
+        Size of the integral-image SRAM (sets read energy).
+    """
+
+    def __init__(
+        self,
+        energy_model: AsicEnergyModel | None = None,
+        integral_word_bits: int = 24,
+        frame_buffer_bytes: float = 64 * 1024,
+    ):
+        if integral_word_bits < 8:
+            raise HardwareModelError("integral words must be >= 8 bits")
+        base = energy_model or AsicEnergyModel()
+        # ~25 kGE: integral pipeline, feature datapath, window sequencer.
+        self.energy_model = AsicEnergyModel(
+            tech=base.tech, clock_hz=base.clock_hz, voltage=base.voltage,
+            kilo_gates=25.0,
+        )
+        self.integral_word_bits = integral_word_bits
+        self.frame_buffer_bytes = frame_buffer_bytes
+
+    # ------------------------------------------------------------------
+    def integral_pass_cost(self, pixels: int) -> tuple[int, EnergyReport]:
+        """Cost of building both integral tables for a frame."""
+        if pixels < 0:
+            raise HardwareModelError(f"pixels must be >= 0, got {pixels}")
+        em = self.energy_model
+        cycles = int(pixels / _INTEGRAL_PIXELS_PER_CYCLE)
+        report = EnergyReport()
+        bits = self.integral_word_bits
+        # Per pixel: ii add + row-buffer add, square MAC for ii_sq, and two
+        # table writes.
+        report.add("vj:integral_adds", pixels * 2 * em.add_energy(bits))
+        report.add("vj:integral_square", pixels * em.mac_energy(8))
+        report.add(
+            "vj:integral_writes",
+            pixels * 2 * em.sram_write_energy(bits, self.frame_buffer_bytes),
+        )
+        return cycles, report
+
+    def scan_cost(self, stats: ScanStats, pixels: int) -> VjScanCost:
+        """Total frame cost given the detector's measured work stats."""
+        em = self.energy_model
+        bits = self.integral_word_bits
+        int_cycles, report = self.integral_pass_cost(pixels)
+
+        rects = stats.feature_evaluations * _RECTS_PER_FEATURE
+        table_reads = rects * _READS_PER_RECT + stats.windows_visited * 2 * _READS_PER_RECT
+        report.add(
+            "vj:table_reads",
+            table_reads * em.sram_read_energy(bits, self.frame_buffer_bytes),
+        )
+        report.add("vj:rect_adds", rects * 3 * em.add_energy(bits))
+        report.add("vj:feature_macs", stats.feature_evaluations * em.mac_energy(16))
+        report.add(
+            "vj:window_setup",
+            stats.windows_visited * _WINDOW_SETUP_CYCLES * em.register_energy(16),
+        )
+
+        feature_cycles = int(rects)  # one rectangle per cycle, pipelined
+        window_cycles = stats.windows_visited * _WINDOW_SETUP_CYCLES
+        cycles = int_cycles + feature_cycles + window_cycles
+        report.add("vj:control", cycles * 4 * em.register_energy(8))
+        report = self.energy_model.report_with_leakage(report, cycles)
+        return VjScanCost(
+            cycles=cycles, energy=report, seconds=em.seconds(cycles)
+        )

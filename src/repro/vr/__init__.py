@@ -1,0 +1,58 @@
+"""The real-time VR video pipeline (case study B).
+
+Four blocks transform a 16-camera rig capture into a stereo panorama:
+
+======  =================  =========================================
+block   stage              implementation
+======  =================  =========================================
+B1      pre-processing     :mod:`.preprocess` (demosaic, vignette, WB)
+B2      image alignment    :mod:`.align` (pairwise rectification)
+B3      depth estimation   :mod:`.depth` (bilateral-space stereo)
+B4      image stitching    :mod:`.stitch` (ODS panorama synthesis)
+======  =================  =========================================
+
+Two parallel descriptions coexist:
+
+* the **functional** pipeline (:mod:`.pipeline`) renders/aligns/solves
+  actual pixels at simulation scale;
+* the **logical** data model (:mod:`.blocks`) and platform throughput
+  models (:mod:`.platforms`) account for the full-scale 16x4K system the
+  paper evaluates (Figures 9 and 10, Table I).
+"""
+
+from repro.vr.blocks import RigDataModel, BlockOutput
+from repro.vr.preprocess import preprocess_frame, preprocess_rig
+from repro.vr.align import AlignedPair, align_pair, align_rig
+from repro.vr.depth import compute_pair_depth, compute_rig_depth
+from repro.vr.stitch import PanoramaPair, stitch_panorama
+from repro.vr.pipeline import VrPipeline, PipelineRun
+from repro.vr.platforms import (
+    B3Workload,
+    PlatformThroughput,
+    arm_block_fps,
+    b3_cpu_fps,
+    b3_fpga_fps,
+    b3_gpu_fps,
+)
+
+__all__ = [
+    "RigDataModel",
+    "BlockOutput",
+    "preprocess_frame",
+    "preprocess_rig",
+    "AlignedPair",
+    "align_pair",
+    "align_rig",
+    "compute_pair_depth",
+    "compute_rig_depth",
+    "PanoramaPair",
+    "stitch_panorama",
+    "VrPipeline",
+    "PipelineRun",
+    "B3Workload",
+    "PlatformThroughput",
+    "arm_block_fps",
+    "b3_cpu_fps",
+    "b3_fpga_fps",
+    "b3_gpu_fps",
+]

@@ -1,0 +1,133 @@
+"""B2 — image alignment: pairwise rectification into a common projection.
+
+Adjacent cameras on the ring face different directions; before stereo
+matching, both views of a pair are re-projected onto a shared virtual
+image plane facing the pair's mid-azimuth. For outward ring cameras with
+small vertical FOV this reduces to a per-column horizontal remap:
+
+    x_target  ->  azimuth phi = mid_yaw + atan((x_t - c_t) / f_t)
+    x_source  =  c_s + f_s * tan(phi - camera_yaw)
+
+The output footprint is padded (``expansion``) so both re-projections fit,
+which is why this stage *grows* the data stream (see
+:class:`repro.vr.blocks.RigDataModel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.rig import CameraRig
+from repro.errors import ConfigurationError
+from repro.imaging.geometry import remap_bilinear
+from repro.imaging.image import as_gray
+
+
+@dataclass(frozen=True)
+class AlignedPair:
+    """A rectified stereo pair ready for depth estimation."""
+
+    left_index: int
+    right_index: int
+    left: np.ndarray  # rectified luma, left camera of the pair
+    right: np.ndarray
+    left_color: np.ndarray  # rectified reference view (RGB) for stitching
+    mid_yaw: float
+    focal: float
+    baseline: float
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.left.shape
+
+
+def _rectify_view(
+    image: np.ndarray,
+    rig: CameraRig,
+    camera_index: int,
+    mid_yaw: float,
+    out_width: int,
+    out_focal: float,
+) -> np.ndarray:
+    """Re-project one camera's image onto the pair's virtual plane."""
+    height = rig.sim_height
+    cx_t = (out_width - 1) / 2.0
+    cx_s = (rig.sim_width - 1) / 2.0
+    xs_t = np.arange(out_width, dtype=np.float64)
+    phi = mid_yaw + np.arctan((xs_t - cx_t) / out_focal)
+    delta = phi - rig.camera_yaw(camera_index)
+    # Clamp to the source FOV; outside samples fall to the fill value.
+    xs_s = cx_s + rig.focal * np.tan(np.clip(delta, -np.pi / 2 + 0.02, np.pi / 2 - 0.02))
+    map_x = np.broadcast_to(xs_s[None, :], (height, out_width))
+    map_y = np.broadcast_to(
+        np.arange(height, dtype=np.float64)[:, None], (height, out_width)
+    )
+    return remap_bilinear(image, map_y, map_x, fill=0.0)
+
+
+def align_pair(
+    frames_rgb: list[np.ndarray],
+    rig: CameraRig,
+    left_index: int,
+    right_index: int,
+    expansion: float = 4.0 / 3.0,
+) -> AlignedPair:
+    """Rectify one adjacent-camera pair into its common projection."""
+    if expansion < 1.0:
+        raise ConfigurationError(f"expansion must be >= 1, got {expansion}")
+    yaw_l = rig.camera_yaw(left_index)
+    yaw_r = rig.camera_yaw(right_index)
+    # Mid-azimuth on the short arc between the two cameras.
+    delta = (yaw_r - yaw_l + np.pi) % (2 * np.pi) - np.pi
+    mid_yaw = yaw_l + delta / 2.0
+
+    out_width = int(round(rig.sim_width * expansion))
+    out_focal = rig.focal  # same angular resolution as the source cameras
+
+    luma_l = as_gray(frames_rgb[left_index])
+    luma_r = as_gray(frames_rgb[right_index])
+    left = _rectify_view(luma_l, rig, left_index, mid_yaw, out_width, out_focal)
+    right = _rectify_view(luma_r, rig, right_index, mid_yaw, out_width, out_focal)
+    color = np.stack(
+        [
+            _rectify_view(
+                frames_rgb[left_index][:, :, c], rig, left_index, mid_yaw,
+                out_width, out_focal,
+            )
+            for c in range(3)
+        ],
+        axis=-1,
+    )
+    return AlignedPair(
+        left_index=left_index,
+        right_index=right_index,
+        left=left,
+        right=right,
+        left_color=color,
+        mid_yaw=float(mid_yaw),
+        focal=float(out_focal),
+        baseline=rig.pair_baseline(),
+    )
+
+
+def align_rig(
+    frames_rgb: list[np.ndarray],
+    rig: CameraRig,
+    expansion: float = 4.0 / 3.0,
+) -> list[AlignedPair]:
+    """Rectify every adjacent pair of the rig."""
+    if len(frames_rgb) != rig.n_cameras:
+        raise ConfigurationError(
+            f"got {len(frames_rgb)} frames for a {rig.n_cameras}-camera rig"
+        )
+    return [
+        align_pair(frames_rgb, rig, i, j, expansion) for i, j in rig.stereo_pairs()
+    ]
+
+
+def estimated_ops_per_pixel() -> float:
+    """Arithmetic per output pixel: bilinear remap (4 taps) x 4 channels
+    plus the per-column angle math amortized over rows."""
+    return 40.0

@@ -1,0 +1,144 @@
+"""Logical data-size model of the 16x4K pipeline (Figures 9 and 10).
+
+Every block's output format is spelled out below; the resulting per-frame
+byte counts — and therefore the communication FPS of every offload cut
+point in Figure 10 — follow mechanically. Calibration detail lives in
+DESIGN.md; the punchlines:
+
+* the raw sensor stream is 12-bit Bayer (199 MB per 16-camera frame set,
+  47.7 Gb/s at 30 FPS — the paper's "over 32 Gb/s");
+* B1 *expands* data 3x by demosaicing (the paper's "computational stages
+  that expand the data size are inefficient in isolation");
+* B2 expands further (pairwise rectification pads each view to the pair's
+  common footprint) and is the largest inter-block transfer, the one B3
+  consumes;
+* B3 collapses each pair to a depth map + one reference view;
+* B4's stitched stereo panorama is the only output small enough to upload
+  in real time over 25 GbE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class BlockOutput:
+    """One block's logical output for a full 16-camera frame set."""
+
+    block: str
+    description: str
+    bytes_per_frame: float
+
+    @property
+    def megabytes(self) -> float:
+        return self.bytes_per_frame / MB
+
+
+@dataclass(frozen=True)
+class RigDataModel:
+    """Logical geometry and per-stage formats of the camera rig.
+
+    Parameters
+    ----------
+    n_cameras:
+        Cameras on the ring (16 in the paper; must be even — the rig is
+        consumed as adjacent pairs).
+    width, height:
+        Per-camera sensor geometry (4K).
+    sensor_bits_per_pixel:
+        Raw Bayer depth (12-bit packed).
+    align_expansion:
+        Footprint growth of pairwise rectification (common-projection
+        padding), ~4/3.
+    pano_width, pano_height:
+        Per-eye equirectangular output geometry.
+    """
+
+    n_cameras: int = 16
+    width: int = 3840
+    height: int = 2160
+    sensor_bits_per_pixel: float = 12.0
+    demosaic_bytes_per_pixel: float = 4.5  # 12-bit planar RGB
+    align_expansion: float = 4.0 / 3.0
+    depth_bytes_per_pixel: float = 2.0  # 16-bit disparity
+    reference_bytes_per_pixel: float = 2.25  # 12-bit YUV420 reference view
+    pano_width: int = 7680
+    pano_height: int = 2880
+    pano_bytes_per_pixel: float = 2.25  # 12-bit YUV420 per eye
+
+    def __post_init__(self) -> None:
+        if self.n_cameras < 2 or self.n_cameras % 2 != 0:
+            raise ConfigurationError(
+                f"n_cameras must be even and >= 2, got {self.n_cameras}"
+            )
+        if self.width < 1 or self.height < 1:
+            raise ConfigurationError("camera geometry must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def pixels_per_camera(self) -> int:
+        return self.width * self.height
+
+    @property
+    def n_pairs(self) -> int:
+        return self.n_cameras // 2
+
+    # ------------------------------------------------------------------
+    def sensor_bytes(self) -> float:
+        """Raw Bayer capture, all cameras."""
+        return self.n_cameras * self.pixels_per_camera * self.sensor_bits_per_pixel / 8.0
+
+    def b1_bytes(self) -> float:
+        """Demosaiced planar RGB, all cameras (expands the raw stream)."""
+        return self.n_cameras * self.pixels_per_camera * self.demosaic_bytes_per_pixel
+
+    def b2_bytes(self) -> float:
+        """Rectified pair views: every camera re-projected with padding."""
+        return (
+            self.n_cameras
+            * self.pixels_per_camera
+            * self.align_expansion
+            * self.demosaic_bytes_per_pixel
+        )
+
+    def b3_bytes(self) -> float:
+        """Per pair: a full-resolution depth map plus one reference view."""
+        per_pair = self.pixels_per_camera * (
+            self.depth_bytes_per_pixel + self.reference_bytes_per_pixel
+        )
+        return self.n_pairs * per_pair
+
+    def b4_bytes(self) -> float:
+        """Two stitched equirectangular eyes."""
+        return 2 * self.pano_width * self.pano_height * self.pano_bytes_per_pixel
+
+    # ------------------------------------------------------------------
+    def outputs(self) -> list[BlockOutput]:
+        """Figure 9's data series: output size after each stage."""
+        return [
+            BlockOutput("sensor", "12-bit Bayer raw, 16 cameras", self.sensor_bytes()),
+            BlockOutput("B1", "demosaiced 12-bit planar RGB", self.b1_bytes()),
+            BlockOutput("B2", "rectified + padded pair views", self.b2_bytes()),
+            BlockOutput("B3", "16-bit depth + YUV420 reference per pair", self.b3_bytes()),
+            BlockOutput("B4", "stereo equirect panorama, YUV420", self.b4_bytes()),
+        ]
+
+    def output_after(self, last_block: str) -> float:
+        """Bytes per frame crossing the uplink if ``last_block`` is the
+        final in-camera stage ('sensor', 'B1', ... 'B4')."""
+        table = {o.block: o.bytes_per_frame for o in self.outputs()}
+        if last_block not in table:
+            raise ConfigurationError(
+                f"unknown block {last_block!r}; expected one of {sorted(table)}"
+            )
+        return table[last_block]
+
+    def sensor_bit_rate(self, fps: float = 30.0) -> float:
+        """Aggregate capture rate in bits/s (the paper's 'over 32 Gb/s')."""
+        if fps <= 0:
+            raise ConfigurationError(f"fps must be positive, got {fps}")
+        return self.sensor_bytes() * 8.0 * fps

@@ -1,0 +1,90 @@
+"""B3 — depth estimation: bilateral-space stereo on every rectified pair.
+
+This is the pipeline's dominant block (70% of compute in Figure 9, the
+FPGA-accelerated stage of Figure 10). The functional solve is
+:class:`repro.bilateral.BssaStereo`; this module binds it to the rig's
+pair geometry and converts disparity to metric depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bilateral.stereo import BssaStereo, StereoResult
+from repro.errors import ConfigurationError
+from repro.vr.align import AlignedPair
+
+
+@dataclass(frozen=True)
+class PairDepth:
+    """Depth output of one pair: stereo result plus metric conversion."""
+
+    pair: AlignedPair
+    stereo: StereoResult
+    depth_m: np.ndarray  # metric depth of the refined disparity
+
+
+def disparity_to_depth(
+    disparity: np.ndarray, focal_px: float, baseline_m: float, max_depth: float = 50.0
+) -> np.ndarray:
+    """Triangulate: ``z = f * B / d`` with a far-plane clamp for d -> 0."""
+    if focal_px <= 0 or baseline_m <= 0:
+        raise ConfigurationError("focal and baseline must be positive")
+    d = np.asarray(disparity, dtype=np.float64)
+    with np.errstate(divide="ignore"):
+        z = focal_px * baseline_m / np.maximum(d, 1e-9)
+    return np.clip(z, 0.0, max_depth)
+
+
+def max_disparity_for(
+    pair: AlignedPair, min_depth_m: float = 1.0
+) -> int:
+    """Search range needed to resolve surfaces down to ``min_depth_m``."""
+    if min_depth_m <= 0:
+        raise ConfigurationError(f"min_depth must be positive, got {min_depth_m}")
+    return max(int(np.ceil(pair.focal * pair.baseline / min_depth_m)), 1)
+
+
+def compute_pair_depth(
+    pair: AlignedPair,
+    min_depth_m: float = 1.0,
+    sigma_spatial: float = 8.0,
+    solver_iters: int = 15,
+    smoothness: float = 0.5,
+    block_radius: int = 2,
+) -> PairDepth:
+    """Run BSSA on one rectified pair and triangulate."""
+    engine = BssaStereo(
+        max_disparity=max_disparity_for(pair, min_depth_m),
+        sigma_spatial=sigma_spatial,
+        solver_iters=solver_iters,
+        smoothness=smoothness,
+        block_radius=block_radius,
+    )
+    stereo = engine.compute(pair.left, pair.right)
+    depth = disparity_to_depth(
+        stereo.disparity_refined, pair.focal, pair.baseline
+    )
+    return PairDepth(pair=pair, stereo=stereo, depth_m=depth)
+
+
+def compute_rig_depth(
+    pairs: list[AlignedPair],
+    min_depth_m: float = 1.0,
+    sigma_spatial: float = 8.0,
+    solver_iters: int = 15,
+) -> list[PairDepth]:
+    """Run B3 over every pair of the rig."""
+    if not pairs:
+        raise ConfigurationError("no pairs to process")
+    return [
+        compute_pair_depth(
+            pair,
+            min_depth_m=min_depth_m,
+            sigma_spatial=sigma_spatial,
+            solver_iters=solver_iters,
+        )
+        for pair in pairs
+    ]

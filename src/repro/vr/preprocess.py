@@ -1,0 +1,66 @@
+"""B1 — pre-processing: demosaic, vignette correction, white balance.
+
+The ISP front end every camera feed passes through before geometric
+processing. Note the data-size consequence modeled in
+:mod:`repro.vr.blocks`: this stage *expands* the stream (1 Bayer sample
+per pixel in, 3 color samples per pixel out).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.rig import RigFrameSet
+from repro.errors import ImageError
+from repro.imaging.bayer import demosaic_bilinear
+from repro.imaging.image import clip01
+
+
+def vignette_profile(height: int, width: int, strength: float = 0.3) -> np.ndarray:
+    """cos^4-law lens falloff map (1.0 at center, darker at corners)."""
+    if not 0.0 <= strength < 1.0:
+        raise ImageError(f"strength must be in [0, 1), got {strength}")
+    ys = (np.arange(height) - (height - 1) / 2.0) / max(height / 2.0, 1)
+    xs = (np.arange(width) - (width - 1) / 2.0) / max(width / 2.0, 1)
+    r2 = ys[:, None] ** 2 + xs[None, :] ** 2
+    falloff = 1.0 - strength * np.clip(r2 / 2.0, 0.0, 1.0) ** 2
+    return falloff
+
+
+def preprocess_frame(
+    raw: np.ndarray,
+    vignette_strength: float = 0.0,
+    white_balance: tuple[float, float, float] = (1.0, 1.0, 1.0),
+) -> np.ndarray:
+    """Demosaic one Bayer frame, undo vignetting, apply white balance.
+
+    Returns an (H, W, 3) RGB image in [0, 1].
+    """
+    rgb = demosaic_bilinear(raw)
+    if vignette_strength > 0:
+        profile = vignette_profile(*raw.shape, strength=vignette_strength)
+        rgb = rgb / profile[:, :, None]
+    gains = np.asarray(white_balance, dtype=np.float64)
+    if gains.shape != (3,) or gains.min() <= 0:
+        raise ImageError("white_balance must be three positive gains")
+    return clip01(rgb * gains[None, None, :])
+
+
+def preprocess_rig(
+    frames: RigFrameSet,
+    vignette_strength: float = 0.0,
+) -> list[np.ndarray]:
+    """Run B1 over every camera of a rig capture."""
+    return [
+        preprocess_frame(raw, vignette_strength=vignette_strength)
+        for raw in frames.raw
+    ]
+
+
+def estimated_ops_per_pixel() -> float:
+    """Arithmetic per output pixel for the throughput models.
+
+    Bilinear demosaic: ~9 MACs over the 3x3 neighborhood per missing
+    channel (x2 channels) + vignette divide + 3 WB multiplies.
+    """
+    return 24.0

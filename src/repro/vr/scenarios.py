@@ -1,0 +1,95 @@
+"""Assembly of the Figure 10 experiment: pipeline + nine configurations.
+
+Builds the VR pipeline as an :class:`repro.core.InCameraPipeline` with
+every block's platform implementations priced by :mod:`.platforms`, and
+enumerates the paper's nine configurations: offload after the sensor, B1,
+B2, B3 on {CPU, GPU, FPGA}, and the full pipeline with B4 co-located on
+B3's platform.
+"""
+
+from __future__ import annotations
+
+from repro.core.block import Block, Implementation
+from repro.core.pipeline import InCameraPipeline, PipelineConfig
+from repro.hw.fpga import FpgaDesign
+from repro.vr.blocks import RigDataModel
+from repro.vr.platforms import (
+    B3Workload,
+    arm_block_fps,
+    b3_cpu_fps,
+    b3_fpga_fps,
+    b3_gpu_fps,
+    b4_fps,
+)
+
+
+def build_vr_pipeline(
+    model: RigDataModel | None = None,
+    workload: B3Workload | None = None,
+    fpga_design: FpgaDesign | None = None,
+) -> InCameraPipeline:
+    """The 16-camera VR pipeline with all platform options priced in."""
+    model = model or RigDataModel()
+    workload = workload or B3Workload.from_data_model(model)
+
+    b1 = Block(
+        name="B1",
+        output_bytes=model.b1_bytes(),
+        implementations={"arm": Implementation("arm", fps=arm_block_fps("B1", model).fps)},
+    )
+    b2 = Block(
+        name="B2",
+        output_bytes=model.b2_bytes(),
+        implementations={"arm": Implementation("arm", fps=arm_block_fps("B2", model).fps)},
+    )
+    b3 = Block(
+        name="B3",
+        output_bytes=model.b3_bytes(),
+        implementations={
+            "cpu": Implementation("cpu", fps=b3_cpu_fps(workload).fps),
+            "gpu": Implementation("gpu", fps=b3_gpu_fps(workload).fps),
+            "fpga": Implementation(
+                "fpga", fps=b3_fpga_fps(workload, design=fpga_design).fps
+            ),
+        },
+    )
+    b4 = Block(
+        name="B4",
+        output_bytes=model.b4_bytes(),
+        implementations={
+            "cpu": Implementation("cpu", fps=b4_fps("cpu", model).fps),
+            "gpu": Implementation("gpu", fps=b4_fps("gpu", model).fps),
+            "fpga": Implementation("fpga", fps=b4_fps("fpga", model).fps),
+        },
+    )
+    return InCameraPipeline(
+        name="vr-16cam",
+        sensor_bytes=model.sensor_bytes(),
+        blocks=(b1, b2, b3, b4),
+    )
+
+
+def paper_configurations(
+    pipeline: InCameraPipeline,
+) -> list[tuple[str, PipelineConfig]]:
+    """The nine configurations of Figure 10, in the paper's order."""
+    configs: list[tuple[str, PipelineConfig]] = [
+        ("S~", PipelineConfig(pipeline, ())),
+        ("S B1~", PipelineConfig(pipeline, ("arm",))),
+        ("S B1 B2~", PipelineConfig(pipeline, ("arm", "arm"))),
+    ]
+    for platform in ("cpu", "gpu", "fpga"):
+        configs.append(
+            (
+                f"S B1 B2 B3({platform})~",
+                PipelineConfig(pipeline, ("arm", "arm", platform)),
+            )
+        )
+    for platform in ("cpu", "gpu", "fpga"):
+        configs.append(
+            (
+                f"S B1 B2 B3({platform}) B4({platform})~",
+                PipelineConfig(pipeline, ("arm", "arm", platform, platform)),
+            )
+        )
+    return configs

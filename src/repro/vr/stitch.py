@@ -1,0 +1,118 @@
+"""B4 — image stitching: compose pair outputs into an ODS stereo panorama.
+
+Each rectified pair contributes a wedge of azimuth around its mid-yaw.
+For every output column the stitcher samples the wedge's reference view,
+displacing it horizontally by the refined disparity scaled per eye
+(omni-directional stereo view synthesis), and feathers overlapping wedges
+by angular distance. The output is the only data product small enough to
+stream in real time (Figure 10's B4 cut point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.imaging.geometry import remap_bilinear
+from repro.vr.depth import PairDepth
+
+
+@dataclass(frozen=True)
+class PanoramaPair:
+    """Stereo equirectangular panorama: one image per eye."""
+
+    left_eye: np.ndarray  # (H, W, 3)
+    right_eye: np.ndarray
+    coverage: np.ndarray  # (W,) total feather weight per column
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.left_eye.shape[:2]
+
+
+def _wrap_angle(a: np.ndarray | float) -> np.ndarray | float:
+    return (a + np.pi) % (2.0 * np.pi) - np.pi
+
+
+def stitch_panorama(
+    pair_depths: list[PairDepth],
+    pano_width: int = 512,
+    pano_height: int | None = None,
+    eye_disparity_scale: float = 0.5,
+) -> PanoramaPair:
+    """Synthesize the two ODS eyes from every pair's color + depth.
+
+    Parameters
+    ----------
+    pair_depths:
+        Output of :func:`repro.vr.depth.compute_rig_depth`.
+    pano_width:
+        Output panorama width (full 360 degrees of azimuth).
+    pano_height:
+        Output height; defaults to the pair image height.
+    eye_disparity_scale:
+        Fraction of the measured pair disparity applied as inter-eye
+        displacement (0.5 puts the virtual eyes halfway between the
+        physical cameras).
+    """
+    if not pair_depths:
+        raise ConfigurationError("no pair outputs to stitch")
+    if pano_width < 8:
+        raise ConfigurationError(f"pano_width must be >= 8, got {pano_width}")
+    height = pano_height or pair_depths[0].pair.shape[0]
+
+    azimuths = (np.arange(pano_width) + 0.5) / pano_width * 2.0 * np.pi
+    eyes = {
+        "left": np.zeros((height, pano_width, 3), dtype=np.float64),
+        "right": np.zeros((height, pano_width, 3), dtype=np.float64),
+    }
+    weight_acc = np.zeros(pano_width, dtype=np.float64)
+
+    # Feather half-width: half the angular pitch between pairs.
+    pitch = 2.0 * np.pi / len(pair_depths)
+    feather = pitch * 0.75
+
+    for pd in pair_depths:
+        pair = pd.pair
+        pair_h, pair_w = pair.shape
+        cx = (pair_w - 1) / 2.0
+        delta = np.asarray(_wrap_angle(azimuths - pair.mid_yaw))
+        in_view = np.abs(delta) < feather
+        if not in_view.any():
+            continue
+        cols = np.flatnonzero(in_view)
+        # Column in the pair's rectified view for each covered azimuth.
+        src_x = cx + pair.focal * np.tan(delta[cols])
+        weights = np.clip(1.0 - np.abs(delta[cols]) / feather, 0.0, 1.0)
+
+        ys = np.arange(height, dtype=np.float64)[:, None] * (pair_h / height)
+        ys = np.clip(ys, 0, pair_h - 1)
+        map_y = np.broadcast_to(ys, (height, len(cols))).copy()
+        base_x = np.broadcast_to(src_x[None, :], (height, len(cols)))
+
+        disp = remap_bilinear(pd.stereo.disparity_refined, map_y, base_x, fill=0.0)
+        for eye, sign in (("left", +1.0), ("right", -1.0)):
+            map_x = base_x + sign * eye_disparity_scale * disp / 2.0
+            for c in range(3):
+                sampled = remap_bilinear(
+                    pair.left_color[:, :, c], map_y, map_x, fill=0.0
+                )
+                eyes[eye][:, cols, c] += sampled * weights[None, :]
+        weight_acc[cols] += weights
+
+    safe = np.maximum(weight_acc, 1e-12)[None, :, None]
+    left = eyes["left"] / safe
+    right = eyes["right"] / safe
+    return PanoramaPair(
+        left_eye=np.clip(left, 0.0, 1.0),
+        right_eye=np.clip(right, 0.0, 1.0),
+        coverage=weight_acc,
+    )
+
+
+def estimated_ops_per_pixel() -> float:
+    """Per output pixel: disparity lookup + 2 eyes x 3 channels x 4-tap
+    bilinear sampling + blend."""
+    return 60.0

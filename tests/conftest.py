@@ -1,0 +1,63 @@
+"""Shared fixtures.
+
+Expensive trained artifacts (cascade, workload, stereo scenes) are
+session-scoped: they train once and every test that needs them reuses the
+same object. Tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.faces import FaceGenerator
+from repro.datasets.rig import CameraRig, PanoramicScene
+from repro.datasets.scenes import random_scene
+from repro.datasets.stereo import StereoPair, render_stereo_pair
+from repro.facedet.training import TrainedDetectorBundle, train_reference_cascade
+
+
+@pytest.fixture(scope="session")
+def face_generator() -> FaceGenerator:
+    return FaceGenerator(seed=101)
+
+
+@pytest.fixture(scope="session")
+def detector_bundle() -> TrainedDetectorBundle:
+    """A modest but real trained cascade (shared across the suite)."""
+    return train_reference_cascade(
+        seed=7, n_pos=250, n_neg=500, pool_size=700, stage_sizes=(3, 6, 12)
+    )
+
+
+@pytest.fixture(scope="session")
+def stereo_pair() -> StereoPair:
+    """A clean synthetic stereo pair with ground truth."""
+    scene = random_scene(80, 112, n_objects=4, seed=11, focal_baseline=40.0)
+    return render_stereo_pair(scene)
+
+
+@pytest.fixture(scope="session")
+def noisy_stereo_pair(stereo_pair: StereoPair) -> StereoPair:
+    """The same pair with sensor noise on both views."""
+    rng = np.random.default_rng(12)
+    return StereoPair(
+        left=np.clip(stereo_pair.left + rng.normal(0, 0.08, stereo_pair.left.shape), 0, 1),
+        right=np.clip(
+            stereo_pair.right + rng.normal(0, 0.08, stereo_pair.right.shape), 0, 1
+        ),
+        disparity=stereo_pair.disparity,
+        max_disparity=stereo_pair.max_disparity,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_rig() -> CameraRig:
+    return CameraRig(n_cameras=16, radius=1.0, sim_height=40, sim_width=64)
+
+
+@pytest.fixture(scope="session")
+def rig_scene() -> PanoramicScene:
+    return PanoramicScene.random(
+        seed=13, n_objects=5, object_distances=(2.0, 6.0)
+    )

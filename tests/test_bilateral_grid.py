@@ -1,0 +1,134 @@
+"""Bilateral grid: splat/blur/slice semantics and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bilateral.grid import BilateralGrid
+from repro.errors import ConfigurationError, ImageError
+
+
+@pytest.fixture()
+def guide():
+    rng = np.random.default_rng(0)
+    from repro.imaging.draw import smooth_texture
+
+    return smooth_texture(24, 32, rng, scale=4)
+
+
+def test_grid_validation(guide):
+    with pytest.raises(ConfigurationError):
+        BilateralGrid(guide, sigma_spatial=0, sigma_range=0.1)
+    with pytest.raises(ConfigurationError):
+        BilateralGrid(guide, sigma_spatial=4, sigma_range=0)
+
+
+def test_grid_shape_follows_sigmas(guide):
+    grid = BilateralGrid(guide, sigma_spatial=4, sigma_range=0.25)
+    ny, nx, nz = grid.shape
+    assert ny == 24 // 4 + 1 or ny == int(np.floor(23 / 4)) + 1
+    assert nz == 5  # floor(1/0.25)+1
+
+
+def test_coarser_grid_fewer_vertices(guide):
+    fine = BilateralGrid(guide, 2, 1 / 32)
+    coarse = BilateralGrid(guide, 8, 1 / 8)
+    assert coarse.n_vertices < fine.n_vertices
+
+
+def test_geometry_accounting(guide):
+    grid = BilateralGrid(guide, 4, 0.125)
+    geom = grid.geometry()
+    assert geom.n_pixels == guide.size
+    assert 0 < geom.occupied_vertices <= geom.n_vertices
+    assert geom.pixels_per_vertex >= 1.0
+    assert geom.storage_bytes(8.0) == geom.n_vertices * 8.0
+
+
+def test_splat_conserves_mass(guide):
+    grid = BilateralGrid(guide, 4, 0.125)
+    values = np.random.default_rng(1).uniform(size=guide.shape)
+    vsum, wsum = grid.splat(values)
+    assert vsum.sum() == pytest.approx(values.sum())
+    assert wsum.sum() == pytest.approx(guide.size)
+
+
+def test_splat_with_weights(guide):
+    grid = BilateralGrid(guide, 4, 0.125)
+    values = np.ones_like(guide)
+    weights = np.random.default_rng(2).uniform(size=guide.shape)
+    vsum, wsum = grid.splat(values, weights)
+    assert vsum.sum() == pytest.approx(weights.sum())
+    assert wsum.sum() == pytest.approx(weights.sum())
+
+
+def test_splat_validation(guide):
+    grid = BilateralGrid(guide, 4, 0.125)
+    with pytest.raises(ImageError):
+        grid.splat(np.ones((5, 5)))
+    with pytest.raises(ImageError):
+        grid.splat(np.ones_like(guide), -np.ones_like(guide))
+
+
+def test_slice_inverts_splat_for_constant(guide):
+    grid = BilateralGrid(guide, 4, 0.125)
+    field = np.full(grid.shape, 0.7)
+    assert np.allclose(grid.slice(field), 0.7)
+
+
+def test_slice_shape_validated(guide):
+    grid = BilateralGrid(guide, 4, 0.125)
+    with pytest.raises(ImageError):
+        grid.slice(np.zeros((2, 2, 2)))
+
+
+def test_blur_preserves_constant_field():
+    field = np.full((5, 6, 4), 1.3)
+    assert np.allclose(BilateralGrid.blur(field, passes=3), 1.3)
+
+
+def test_blur_conserves_interior_mass():
+    """[1,2,1]/4 with clamped boundaries conserves the total in 1-D
+    uniform fields; for general fields it must stay bounded."""
+    rng = np.random.default_rng(3)
+    field = rng.uniform(size=(6, 6, 6))
+    out = BilateralGrid.blur(field)
+    assert out.min() >= field.min() - 1e-12
+    assert out.max() <= field.max() + 1e-12
+
+
+def test_blur_passes_validated():
+    with pytest.raises(ConfigurationError):
+        BilateralGrid.blur(np.zeros((2, 2, 2)), passes=-1)
+
+
+def test_filter_preserves_constant_signal(guide):
+    grid = BilateralGrid(guide, 4, 0.125)
+    out = grid.filter(np.full_like(guide, 0.4))
+    assert np.allclose(out, 0.4, atol=1e-9)
+
+
+def test_filter_is_edge_aware():
+    """Values do not leak across a strong guide edge."""
+    guide = np.zeros((20, 40))
+    guide[:, 20:] = 1.0
+    values = np.where(guide > 0.5, 10.0, 2.0)
+    grid = BilateralGrid(guide, sigma_spatial=4, sigma_range=0.2)
+    out = grid.filter(values, blur_passes=3)
+    assert np.allclose(out[:, :18], 2.0, atol=0.3)
+    assert np.allclose(out[:, 22:], 10.0, atol=0.3)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 300), ss=st.integers(2, 8))
+def test_property_filter_output_within_value_range(seed, ss):
+    """Filtering is an averaging operator: output stays inside the input
+    value range."""
+    rng = np.random.default_rng(seed)
+    guide = rng.uniform(size=(16, 16))
+    values = rng.uniform(-3.0, 5.0, size=(16, 16))
+    grid = BilateralGrid(guide, ss, 0.2)
+    out = grid.filter(values)
+    assert out.min() >= values.min() - 1e-9
+    assert out.max() <= values.max() + 1e-9

@@ -1,0 +1,121 @@
+"""Bilateral-space stereo: matching, refinement, work accounting."""
+
+import numpy as np
+import pytest
+
+from repro.bilateral.stereo import BssaStereo, depth_quality
+from repro.errors import ConfigurationError, ImageError
+
+
+def _engine(pair, **kwargs):
+    maxd = int(np.ceil(pair.max_disparity)) + 2
+    return BssaStereo(max_disparity=maxd, **kwargs)
+
+
+def test_engine_validation():
+    with pytest.raises(ConfigurationError):
+        BssaStereo(max_disparity=0)
+    with pytest.raises(ConfigurationError):
+        BssaStereo(max_disparity=10, block_radius=0)
+    with pytest.raises(ConfigurationError):
+        BssaStereo(max_disparity=10, range_bins=1)
+
+
+def test_range_bins_coupled_to_spatial_sigma():
+    """'4 ... to 64 in each of three dimensions': coarser spatial grids
+    get coarser range axes automatically."""
+    fine = BssaStereo(max_disparity=10, sigma_spatial=4)
+    coarse = BssaStereo(max_disparity=10, sigma_spatial=64)
+    assert fine.sigma_range < coarse.sigma_range
+
+
+def test_initial_disparity_recovers_layers(stereo_pair):
+    engine = _engine(stereo_pair)
+    disparity, confidence = engine.initial_disparity(
+        stereo_pair.left, stereo_pair.right
+    )
+    assert disparity.shape == stereo_pair.shape
+    valid = confidence > 0.2
+    err = np.abs(disparity - stereo_pair.disparity)[valid]
+    assert np.median(err) <= 1.0
+
+
+def test_initial_disparity_validation(stereo_pair):
+    engine = _engine(stereo_pair)
+    with pytest.raises(ImageError):
+        engine.initial_disparity(stereo_pair.left, stereo_pair.right[:10])
+    with pytest.raises(ConfigurationError):
+        BssaStereo(max_disparity=10_000).initial_disparity(
+            stereo_pair.left, stereo_pair.right
+        )
+
+
+def test_confidence_in_unit_range(stereo_pair):
+    engine = _engine(stereo_pair)
+    _, confidence = engine.initial_disparity(stereo_pair.left, stereo_pair.right)
+    assert confidence.min() >= 0.0 and confidence.max() <= 1.0
+
+
+def test_compute_full_pipeline(stereo_pair):
+    engine = _engine(stereo_pair, sigma_spatial=6)
+    result = engine.compute(stereo_pair.left, stereo_pair.right)
+    assert result.disparity_refined.shape == stereo_pair.shape
+    assert result.disparity_refined.min() >= 0.0
+    assert result.disparity_refined.max() <= engine.max_disparity
+    assert result.grid.n_vertices > 0
+    assert result.work.vertex_stream_length == (
+        result.grid.n_vertices * result.solver.iterations
+    )
+
+
+def test_refinement_improves_noisy_input(noisy_stereo_pair):
+    """The paper's premise for B3: grid refinement cleans up a noisy
+    local matcher."""
+    engine = _engine(noisy_stereo_pair, sigma_spatial=6)
+    result = engine.compute(noisy_stereo_pair.left, noisy_stereo_pair.right)
+    mae_init = np.abs(
+        result.disparity_initial - noisy_stereo_pair.disparity
+    ).mean()
+    mae_refined = np.abs(
+        result.disparity_refined - noisy_stereo_pair.disparity
+    ).mean()
+    assert mae_refined < mae_init
+
+
+def test_quality_decreases_with_coarser_grid(noisy_stereo_pair):
+    """Figure 7's monotone shape: score each grid against the finest."""
+    from repro.imaging.metrics import ms_ssim
+
+    results = {}
+    for ss in (2, 8, 24):
+        engine = _engine(noisy_stereo_pair, sigma_spatial=ss)
+        results[ss] = engine.compute(
+            noisy_stereo_pair.left, noisy_stereo_pair.right
+        )
+    ref = results[2].normalized_refined()
+    q8 = ms_ssim(results[8].normalized_refined(), ref)
+    q24 = ms_ssim(results[24].normalized_refined(), ref)
+    assert q8 > q24
+    assert results[2].grid.n_vertices > results[8].grid.n_vertices > results[24].grid.n_vertices
+
+
+def test_depth_quality_metrics(stereo_pair):
+    engine = _engine(stereo_pair, sigma_spatial=6)
+    result = engine.compute(stereo_pair.left, stereo_pair.right)
+    q = depth_quality(result, stereo_pair.disparity, "ms_ssim")
+    assert 0.0 < q <= 1.0
+    mae = depth_quality(result, stereo_pair.disparity, "mae")
+    assert mae >= 0.0
+    bad = depth_quality(result, stereo_pair.disparity, "bad2")
+    assert 0.0 <= bad <= 1.0
+    with pytest.raises(ConfigurationError):
+        depth_quality(result, stereo_pair.disparity, "nope")
+    with pytest.raises(ImageError):
+        depth_quality(result, stereo_pair.disparity[:5], "mae")
+
+
+def test_normalized_refined_unit_range(stereo_pair):
+    engine = _engine(stereo_pair)
+    result = engine.compute(stereo_pair.left, stereo_pair.right)
+    norm = result.normalized_refined()
+    assert norm.min() >= 0.0 and norm.max() <= 1.0

@@ -1,0 +1,170 @@
+"""Compression substrate: DCT, codec, rate-distortion, pipeline block."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.block import compression_block
+from repro.compression.codec import CodecResult, JpegLikeCodec, rate_distortion_sweep
+from repro.compression.dct import blockify, dct2_8x8, deblockify, idct2_8x8
+from repro.errors import ConfigurationError, ImageError
+from repro.imaging import draw
+
+
+@pytest.fixture(scope="module")
+def texture():
+    rng = np.random.default_rng(0)
+    return draw.add_noise(draw.smooth_texture(96, 128, rng, scale=6), 0.02, rng)
+
+
+# ---------------------------------------------------------------------------
+# DCT
+# ---------------------------------------------------------------------------
+def test_blockify_pads_and_roundtrips(texture):
+    cropped = texture[:93, :121]  # not multiples of 8
+    blocks, padded = blockify(cropped)
+    assert padded == (96, 128)
+    assert blocks.shape == (12 * 16, 8, 8)
+    back = deblockify(blocks, padded, cropped.shape)
+    assert np.allclose(back, cropped)
+
+
+def test_blockify_rejects_3d():
+    with pytest.raises(ImageError):
+        blockify(np.zeros((8, 8, 3)))
+
+
+def test_deblockify_shape_checked():
+    with pytest.raises(ImageError):
+        deblockify(np.zeros((3, 8, 8)), (16, 16), (16, 16))
+
+
+def test_dct_orthonormal_roundtrip(texture):
+    blocks, _ = blockify(texture)
+    coeffs = dct2_8x8(blocks)
+    back = idct2_8x8(coeffs)
+    assert np.allclose(back, blocks, atol=1e-10)
+
+
+def test_dct_energy_conservation(texture):
+    """Orthonormal transform: Parseval holds per block."""
+    blocks, _ = blockify(texture)
+    coeffs = dct2_8x8(blocks)
+    assert np.allclose(
+        np.sum(blocks**2, axis=(1, 2)), np.sum(coeffs**2, axis=(1, 2))
+    )
+
+
+def test_dct_constant_block_is_pure_dc():
+    block = np.full((1, 8, 8), 3.0)
+    coeffs = dct2_8x8(block)
+    assert coeffs[0, 0, 0] == pytest.approx(24.0)  # 3 * 8 (orthonormal DC)
+    assert np.allclose(coeffs[0].ravel()[1:], 0.0, atol=1e-12)
+
+
+def test_dct_shape_contract():
+    with pytest.raises(ImageError):
+        dct2_8x8(np.zeros((4, 4)))
+    with pytest.raises(ImageError):
+        idct2_8x8(np.zeros((2, 8, 9)))
+
+
+# ---------------------------------------------------------------------------
+# Codec
+# ---------------------------------------------------------------------------
+def test_codec_quality_validated():
+    with pytest.raises(ConfigurationError):
+        JpegLikeCodec(quality=0)
+    with pytest.raises(ConfigurationError):
+        JpegLikeCodec(quality=101)
+
+
+def test_quality_50_is_base_table():
+    codec = JpegLikeCodec(quality=50)
+    from repro.compression.codec import JPEG_LUMA_Q
+
+    assert np.allclose(codec.q_table, JPEG_LUMA_Q)
+
+
+def test_higher_quality_finer_table():
+    coarse = JpegLikeCodec(quality=20).q_table
+    fine = JpegLikeCodec(quality=90).q_table
+    assert np.all(fine <= coarse)
+
+
+def test_roundtrip_result_fields(texture):
+    result = JpegLikeCodec(quality=75).roundtrip(texture)
+    assert isinstance(result, CodecResult)
+    assert result.reconstructed.shape == texture.shape
+    assert result.coded_bytes < result.raw_bytes
+    assert result.compression_ratio > 1.0
+    assert 0.0 < result.ssim <= 1.0
+    assert result.psnr_db > 25.0
+
+
+def test_rate_distortion_monotone(texture):
+    rows = rate_distortion_sweep(texture, qualities=(10, 50, 90))
+    bpp = [r["bits_per_pixel"] for r in rows]
+    quality = [r["psnr_db"] for r in rows]
+    assert bpp[0] < bpp[1] < bpp[2]
+    assert quality[0] < quality[1] < quality[2]
+
+
+def test_rate_distortion_requires_qualities(texture):
+    with pytest.raises(ConfigurationError):
+        rate_distortion_sweep(texture, qualities=())
+
+
+def test_flat_image_compresses_extremely():
+    flat = np.full((64, 64), 0.5)
+    result = JpegLikeCodec(quality=75).roundtrip(flat)
+    assert result.compression_ratio > 50.0
+    assert np.allclose(result.reconstructed, 0.5, atol=0.01)
+
+
+@settings(max_examples=15, deadline=None)
+@given(quality=st.integers(5, 95), seed=st.integers(0, 100))
+def test_property_reconstruction_in_range(quality, seed):
+    rng = np.random.default_rng(seed)
+    img = rng.uniform(size=(32, 32))
+    result = JpegLikeCodec(quality=quality).roundtrip(img)
+    assert result.reconstructed.min() >= 0.0
+    assert result.reconstructed.max() <= 1.0
+    assert result.coded_bytes > 0
+
+
+# ---------------------------------------------------------------------------
+# Pipeline block
+# ---------------------------------------------------------------------------
+def test_compression_block_construction():
+    block = compression_block(
+        "C(q75)", input_bytes=1e6, measured_ratio=5.0, pixels_per_frame=1e6
+    )
+    assert block.output_bytes == pytest.approx(2e5)
+    assert block.optional
+    impl = block.implementation("isp")
+    assert impl.fps > 0 and impl.energy_per_frame > 0
+
+
+def test_compression_block_validation():
+    with pytest.raises(ConfigurationError):
+        compression_block("C", 1e6, measured_ratio=0.5, pixels_per_frame=1e6)
+    with pytest.raises(ConfigurationError):
+        compression_block("C", 0.0, measured_ratio=2.0, pixels_per_frame=1e6)
+    with pytest.raises(ConfigurationError):
+        compression_block("C", 1e6, measured_ratio=2.0, pixels_per_frame=1e6,
+                          parallel_engines=0)
+
+
+def test_compression_block_parallel_engines_scale_throughput():
+    one = compression_block("C", 1e6, 4.0, pixels_per_frame=1e7)
+    many = compression_block("C", 1e6, 4.0, pixels_per_frame=1e7,
+                             parallel_engines=16)
+    assert many.implementation("isp").fps == pytest.approx(
+        16 * one.implementation("isp").fps
+    )
+    # Total energy is unchanged: same pixels, more engines.
+    assert many.implementation("isp").energy_per_frame == pytest.approx(
+        one.implementation("isp").energy_per_frame
+    )

@@ -1,0 +1,135 @@
+"""Configuration enumeration, the analyzer, sweeps and tables."""
+
+import pytest
+
+from repro.core.block import Block, Implementation
+from repro.core.offload import OffloadAnalyzer, enumerate_configs
+from repro.core.cost import ThroughputCostModel
+from repro.core.pipeline import InCameraPipeline
+from repro.core.report import TextTable
+from repro.core.sweep import parameter_sweep
+from repro.errors import ConfigurationError, PipelineError
+from repro.hw.network import LinkModel
+
+
+@pytest.fixture()
+def pipeline():
+    a = Block(name="A", output_bytes=40.0,
+              implementations={"asic": Implementation("asic", fps=100.0)})
+    b = Block(
+        name="B",
+        output_bytes=10.0,
+        implementations={
+            "cpu": Implementation("cpu", fps=1.0),
+            "fpga": Implementation("fpga", fps=40.0),
+        },
+    )
+    return InCameraPipeline(name="p", sensor_bytes=80.0, blocks=(a, b))
+
+
+def test_enumerate_counts(pipeline):
+    configs = enumerate_configs(pipeline)
+    # 1 empty + 1 (A) + 2 (A, B on cpu/fpga).
+    assert len(configs) == 4
+    labels = {c.label for c in configs}
+    assert "S~" in labels and "S A B(fpga)~" in labels
+
+
+def test_enumerate_max_blocks(pipeline):
+    configs = enumerate_configs(pipeline, max_blocks=1)
+    assert len(configs) == 2
+    with pytest.raises(PipelineError):
+        enumerate_configs(pipeline, max_blocks=5)
+
+
+def test_enumerate_without_empty(pipeline):
+    configs = enumerate_configs(pipeline, include_empty=False)
+    assert all(c.n_in_camera >= 1 for c in configs)
+
+
+def test_enumerate_stops_at_unimplementable_block():
+    a = Block(name="A", output_bytes=1.0)  # no implementations
+    p = InCameraPipeline(name="p", sensor_bytes=2.0, blocks=(a,))
+    configs = enumerate_configs(p)
+    assert len(configs) == 1  # only raw offload
+
+
+def test_analyzer_feasible_and_best(pipeline):
+    link = LinkModel(name="l", raw_bps=8 * 40.0 * 35)  # B out at 140 FPS...
+    model = ThroughputCostModel(link)
+    analyzer = OffloadAnalyzer(model, target_fps=30.0)
+    report = analyzer.analyze(pipeline)
+    assert len(report.costs) == 4
+    best = report.best
+    assert best.total_fps == max(c.total_fps for c in report.costs)
+    for cost in report.feasible:
+        assert cost.meets(30.0)
+
+
+def test_analyzer_validation(pipeline):
+    model = ThroughputCostModel(LinkModel(name="l", raw_bps=1e6))
+    with pytest.raises(PipelineError):
+        OffloadAnalyzer(model, target_fps=0.0)
+
+
+def test_parameter_sweep_grid():
+    result = parameter_sweep(
+        lambda a, b: {"product": a * b},
+        a=[1, 2, 3],
+        b=[10, 20],
+    )
+    assert len(result.rows) == 6
+    assert set(result.column("product")) == {10, 20, 30, 40, 60}
+
+
+def test_parameter_sweep_best_and_where():
+    result = parameter_sweep(lambda x: {"y": (x - 2) ** 2}, x=[0, 1, 2, 3])
+    assert result.best("y")["x"] == 2
+    assert result.best("y", minimize=False)["x"] == 0
+    assert len(result.where(x=1).rows) == 1
+
+
+def test_parameter_sweep_validation():
+    with pytest.raises(ConfigurationError):
+        parameter_sweep(lambda: {})
+    with pytest.raises(ConfigurationError):
+        parameter_sweep(lambda x: {"y": x}, x=[])
+    with pytest.raises(ConfigurationError):
+        parameter_sweep(lambda x: x, x=[1])  # not a dict
+
+
+def test_sweep_column_missing_raises():
+    result = parameter_sweep(lambda x: {"y": x}, x=[1, 2])
+    with pytest.raises(ConfigurationError):
+        result.column("z")
+
+
+def test_text_table_renders_aligned():
+    table = TextTable(["config", "fps"], title="demo")
+    table.add_row({"config": "S~", "fps": 15.7})
+    table.add_row({"config": "S B1~", "fps": float("inf")})
+    text = table.render()
+    assert "demo" in text
+    assert "S~" in text and "15.7" in text and "inf" in text
+    assert table.n_rows == 2
+
+
+def test_text_table_missing_column_dash():
+    table = TextTable(["a", "b"])
+    table.add_row({"a": 1})
+    assert "-" in table.render()
+
+
+def test_text_table_validation():
+    with pytest.raises(ConfigurationError):
+        TextTable([])
+    with pytest.raises(ConfigurationError):
+        TextTable(["a", "a"])
+
+
+def test_text_table_float_formatting():
+    table = TextTable(["x"])
+    table.add_rows([{"x": 0.0001}, {"x": 12345.6}, {"x": 0.5}])
+    text = table.render()
+    assert "0.0001" in text
+    assert "0.5" in text

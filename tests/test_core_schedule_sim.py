@@ -1,0 +1,104 @@
+"""Pipelined-execution simulator: the min-rule as a checked property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule_sim import Stage, simulate_pipeline, stages_from_config
+from repro.errors import PipelineError
+
+
+def test_stage_validation():
+    with pytest.raises(PipelineError):
+        Stage("x", -1.0)
+
+
+def test_simulate_requires_stages_and_frames():
+    with pytest.raises(PipelineError):
+        simulate_pipeline([])
+    with pytest.raises(PipelineError):
+        simulate_pipeline([Stage("a", 0.1)], n_frames=0)
+
+
+def test_single_stage_throughput():
+    result = simulate_pipeline([Stage("a", 0.25)], n_frames=32)
+    assert result.steady_state_fps == pytest.approx(4.0, rel=1e-6)
+    assert result.first_frame_latency == pytest.approx(0.25)
+
+
+def test_min_rule_holds_for_mixed_stages():
+    stages = [Stage("fast", 0.01), Stage("slow", 0.08), Stage("mid", 0.03)]
+    result = simulate_pipeline(stages, n_frames=128)
+    assert result.bottleneck.name == "slow"
+    assert result.steady_state_fps == pytest.approx(result.predicted_fps(),
+                                                    rel=1e-6)
+
+
+def test_first_frame_latency_is_sum_of_stages():
+    stages = [Stage("a", 0.02), Stage("b", 0.05), Stage("c", 0.01)]
+    result = simulate_pipeline(stages, n_frames=8)
+    assert result.first_frame_latency == pytest.approx(0.08)
+
+
+def test_capture_interval_rate_limits():
+    """A slow source caps throughput below the pipeline's capability."""
+    stages = [Stage("a", 0.01)]
+    result = simulate_pipeline(stages, n_frames=64, capture_interval=0.1)
+    assert result.steady_state_fps == pytest.approx(10.0, rel=1e-3)
+
+
+def test_steady_state_needs_frames():
+    result = simulate_pipeline([Stage("a", 0.1)], n_frames=2)
+    with pytest.raises(PipelineError):
+        _ = result.steady_state_fps
+
+
+def test_zero_time_stage_is_transparent():
+    with_free = simulate_pipeline(
+        [Stage("free", 0.0), Stage("slow", 0.05)], n_frames=32
+    )
+    without = simulate_pipeline([Stage("slow", 0.05)], n_frames=32)
+    assert with_free.steady_state_fps == pytest.approx(
+        without.steady_state_fps, rel=1e-9
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    times=st.lists(st.floats(0.001, 0.2), min_size=1, max_size=6),
+)
+def test_property_min_rule(times):
+    """For ANY stage-time vector, simulated steady-state throughput equals
+    1 / max(stage_time) — the paper's pipelining assumption."""
+    stages = [Stage(f"s{i}", t) for i, t in enumerate(times)]
+    result = simulate_pipeline(stages, n_frames=96)
+    assert result.steady_state_fps == pytest.approx(
+        1.0 / max(times), rel=1e-6
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(times=st.lists(st.floats(0.001, 0.2), min_size=1, max_size=5))
+def test_property_latency_lower_bound(times):
+    """End-to-end latency of frame 0 is exactly the sum of stage times."""
+    stages = [Stage(f"s{i}", t) for i, t in enumerate(times)]
+    result = simulate_pipeline(stages, n_frames=4)
+    assert result.first_frame_latency == pytest.approx(sum(times), rel=1e-9)
+
+
+def test_stages_from_vr_config_match_cost_model():
+    """Simulating the Figure 10 winner reproduces the analytic total."""
+    from repro.core.cost import ThroughputCostModel
+    from repro.hw.network import ETHERNET_25G
+    from repro.vr.scenarios import build_vr_pipeline, paper_configurations
+
+    pipeline = build_vr_pipeline()
+    configs = dict(paper_configurations(pipeline))
+    model = ThroughputCostModel(ETHERNET_25G)
+    for label in ("S B1 B2 B3(fpga) B4(fpga)~", "S B1 B2 B3(gpu)~"):
+        config = configs[label]
+        stages = stages_from_config(config, ETHERNET_25G)
+        sim = simulate_pipeline(stages, n_frames=64)
+        analytic = model.evaluate(config).total_fps
+        assert sim.steady_state_fps == pytest.approx(analytic, rel=1e-3), label

@@ -1,0 +1,135 @@
+"""Synthetic face corpus: structure, determinism, separability."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.faces import FaceGenerator, FaceIdentity
+from repro.errors import DatasetError
+
+
+def test_window_size_contract():
+    gen = FaceGenerator(seed=0, window=24)
+    face = gen.render_face(gen.sample_identity())
+    assert face.shape == (24, 24)
+    with pytest.raises(DatasetError):
+        FaceGenerator(seed=0, window=8)
+
+
+def test_identity_sampling_in_declared_ranges(face_generator):
+    identity = face_generator.sample_identity()
+    assert 0.30 <= identity.face_width <= 0.38
+    assert 0.13 <= identity.eye_spacing <= 0.19
+    assert 0.72 <= identity.mouth_height <= 0.80
+
+
+def test_faces_have_dark_eye_band():
+    """The contrast structure Viola-Jones features rely on must exist:
+    the eye band is darker than the cheek band below it."""
+    gen = FaceGenerator(seed=3)
+    darker = 0
+    for _ in range(20):
+        identity = gen.sample_identity()
+        conditions = gen.sample_conditions(difficulty=0.0)
+        face = gen.render_face(identity, conditions)
+        eye_row = int(identity.eye_height * 20)
+        eye_band = face[max(eye_row - 1, 0) : eye_row + 2, 5:15].mean()
+        cheek_band = face[eye_row + 3 : eye_row + 6, 5:15].mean()
+        darker += eye_band < cheek_band
+    assert darker >= 17
+
+
+def test_same_identity_same_conditions_is_deterministic():
+    gen_a = FaceGenerator(seed=5)
+    gen_b = FaceGenerator(seed=5)
+    ident_a = gen_a.sample_identity()
+    ident_b = gen_b.sample_identity()
+    cond_a = gen_a.sample_conditions()
+    cond_b = gen_b.sample_conditions()
+    assert ident_a == ident_b
+    face_a = gen_a.render_face(ident_a, cond_a)
+    face_b = gen_b.render_face(ident_b, cond_b)
+    assert np.array_equal(face_a, face_b)
+
+
+def test_identities_are_visually_distinct(face_generator):
+    """Different identities under identical conditions differ more than
+    the same identity under fresh noise."""
+    gen = FaceGenerator(seed=6)
+    a = gen.sample_identity()
+    b = gen.sample_identity()
+    conditions = gen.sample_conditions(difficulty=0.0)
+    face_a = gen.render_face(a, conditions)
+    face_b = gen.render_face(b, conditions)
+    face_a2 = gen.render_face(a, conditions)
+    inter = np.abs(face_a - face_b).mean()
+    intra = np.abs(face_a - face_a2).mean()  # only sensor noise differs
+    assert inter > intra
+
+
+def test_perturbed_identity_is_close_but_not_equal():
+    gen = FaceGenerator(seed=7)
+    base = gen.sample_identity()
+    near = base.perturbed(np.random.default_rng(0), scale=0.01)
+    assert near != base
+    assert abs(near.eye_spacing - base.eye_spacing) < 0.05
+
+
+def test_detection_dataset_shapes_and_labels(face_generator):
+    X, y = face_generator.detection_dataset(10, 15)
+    assert X.shape == (25, face_generator.window, face_generator.window)
+    assert y.sum() == 10
+    assert set(np.unique(y)) == {0.0, 1.0}
+
+
+def test_detection_dataset_rejects_negative_counts(face_generator):
+    with pytest.raises(DatasetError):
+        face_generator.detection_dataset(-1, 5)
+
+
+def test_authentication_dataset_uses_imposters(face_generator):
+    target = face_generator.sample_identity()
+    imposters = face_generator.sample_identities(3)
+    X, y = face_generator.authentication_dataset(target, imposters, 8, 12)
+    assert X.shape[0] == 20
+    assert y[:8].all() and not y[8:].any()
+
+
+def test_authentication_dataset_needs_imposters(face_generator):
+    with pytest.raises(DatasetError):
+        face_generator.authentication_dataset(
+            face_generator.sample_identity(), [], 4, 4
+        )
+
+
+def test_render_scene_boxes_within_bounds_and_disjoint():
+    gen = FaceGenerator(seed=8)
+    scene = gen.render_scene(100, 140, [24, 32])
+    assert scene.image.shape == (100, 140)
+    for y0, x0, side in scene.boxes:
+        assert 0 <= y0 and y0 + side <= 100
+        assert 0 <= x0 and x0 + side <= 140
+    (ay, ax, a_s), (by, bx, b_s) = scene.boxes
+    no_overlap = (
+        ay + a_s <= by or by + b_s <= ay or ax + a_s <= bx or bx + b_s <= ax
+    )
+    assert no_overlap
+
+
+def test_render_scene_rejects_oversized_faces():
+    gen = FaceGenerator(seed=9)
+    with pytest.raises(DatasetError):
+        gen.render_scene(50, 50, [60])
+
+
+def test_difficulty_zero_gives_canonical_conditions(face_generator):
+    conditions = face_generator.sample_conditions(difficulty=0.0)
+    assert conditions.dx == pytest.approx(0.0, abs=1e-9)
+    assert conditions.yaw == pytest.approx(0.0, abs=1e-9)
+    assert conditions.scale == pytest.approx(1.0, abs=1e-9)
+
+
+def test_nonface_windows_are_valid_images(face_generator):
+    for _ in range(10):
+        window = face_generator.render_nonface()
+        assert window.shape == (20, 20)
+        assert window.min() >= 0.0 and window.max() <= 1.0

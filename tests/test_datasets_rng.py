@@ -1,0 +1,40 @@
+"""Seeded RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.rng import make_rng, spawn_rngs
+
+
+def test_make_rng_from_int_is_deterministic():
+    a = make_rng(42).uniform(size=5)
+    b = make_rng(42).uniform(size=5)
+    assert np.array_equal(a, b)
+
+
+def test_make_rng_passthrough_generator():
+    gen = np.random.default_rng(0)
+    assert make_rng(gen) is gen
+
+
+def test_make_rng_none_gives_generator():
+    assert isinstance(make_rng(None), np.random.Generator)
+
+
+def test_spawn_rngs_independent_streams():
+    kids = spawn_rngs(7, 3)
+    draws = [k.uniform(size=4) for k in kids]
+    assert not np.allclose(draws[0], draws[1])
+    assert not np.allclose(draws[1], draws[2])
+
+
+def test_spawn_rngs_deterministic():
+    a = [g.uniform() for g in spawn_rngs(3, 4)]
+    b = [g.uniform() for g in spawn_rngs(3, 4)]
+    assert a == b
+
+
+def test_spawn_rngs_count_validation():
+    assert spawn_rngs(0, 0) == []
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)

@@ -1,0 +1,90 @@
+"""Layered scenes: structure validation and rendering semantics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.scenes import Layer, LayeredScene, random_scene
+from repro.errors import DatasetError
+
+
+def _flat_layer(h, w, value, depth, mask=None):
+    texture = np.full((h, w), value)
+    mask = np.ones((h, w)) if mask is None else mask
+    return Layer(texture=texture, mask=mask, depth=depth)
+
+
+def test_layer_validation():
+    with pytest.raises(DatasetError):
+        Layer(texture=np.ones((4, 4)), mask=np.ones((4, 5)), depth=1.0)
+    with pytest.raises(DatasetError):
+        Layer(texture=np.ones((4, 4)), mask=np.ones((4, 4)), depth=0.0)
+
+
+def test_scene_requires_back_to_front_order():
+    bg = _flat_layer(8, 8, 0.5, 10.0)
+    near = _flat_layer(8, 8, 0.9, 2.0)
+    LayeredScene(layers=(bg, near), focal_baseline=10.0)  # correct order
+    with pytest.raises(DatasetError):
+        LayeredScene(layers=(near, bg), focal_baseline=10.0)
+
+
+def test_scene_requires_opaque_background():
+    mask = np.ones((8, 8))
+    mask[0, 0] = 0.0
+    bg = Layer(texture=np.ones((8, 8)), mask=mask, depth=10.0)
+    with pytest.raises(DatasetError):
+        LayeredScene(layers=(bg,), focal_baseline=10.0)
+
+
+def test_disparity_inverse_to_depth():
+    bg = _flat_layer(8, 8, 0.5, 10.0)
+    scene = LayeredScene(layers=(bg,), focal_baseline=30.0)
+    assert scene.disparity_of(bg) == pytest.approx(3.0)
+
+
+def test_render_reference_view_composition():
+    h, w = 10, 20
+    bg = _flat_layer(h, w, 0.2, 10.0)
+    mask = np.zeros((h, w))
+    mask[3:7, 8:14] = 1.0
+    fg = Layer(texture=np.full((h, w), 0.9), mask=mask, depth=2.0)
+    scene = LayeredScene(layers=(bg, fg), focal_baseline=10.0)
+    image, disparity = scene.render(0.0)
+    assert image[5, 10] == pytest.approx(0.9)
+    assert image[0, 0] == pytest.approx(0.2)
+    assert disparity[5, 10] == pytest.approx(5.0)
+    assert disparity[0, 0] == pytest.approx(1.0)
+
+
+def test_render_shifted_view_moves_foreground():
+    h, w = 10, 30
+    bg = _flat_layer(h, w, 0.2, 1e6)  # effectively zero disparity
+    mask = np.zeros((h, w))
+    mask[:, 14:18] = 1.0
+    fg = Layer(texture=np.full((h, w), 0.9), mask=mask, depth=2.0)
+    scene = LayeredScene(layers=(bg, fg), focal_baseline=8.0)
+    right, _ = scene.render(1.0)
+    # Foreground disparity = 4 px: the bar moves 4 px to the left.
+    assert right[5, 12] == pytest.approx(0.9, abs=1e-6)
+    assert right[5, 16] == pytest.approx(0.2, abs=1e-6)
+
+
+def test_random_scene_structure():
+    scene = random_scene(40, 60, n_objects=3, seed=0)
+    assert len(scene.layers) == 4
+    assert scene.shape == (40, 60)
+    image, disparity = scene.render()
+    assert image.shape == (40, 60)
+    assert disparity.min() > 0.0
+
+
+def test_random_scene_determinism():
+    a = random_scene(30, 30, seed=5).render()
+    b = random_scene(30, 30, seed=5).render()
+    assert np.array_equal(a[0], b[0])
+    assert np.array_equal(a[1], b[1])
+
+
+def test_random_scene_rejects_negative_objects():
+    with pytest.raises(DatasetError):
+        random_scene(20, 20, n_objects=-1)

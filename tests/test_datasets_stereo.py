@@ -1,0 +1,65 @@
+"""Stereo pair rendering against ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.scenes import random_scene
+from repro.datasets.stereo import StereoPair, render_stereo_pair, random_stereo_pair
+from repro.errors import DatasetError
+
+
+def test_pair_shapes_consistent(stereo_pair):
+    assert stereo_pair.left.shape == stereo_pair.right.shape
+    assert stereo_pair.disparity.shape == stereo_pair.left.shape
+
+
+def test_max_disparity_bounds_ground_truth(stereo_pair):
+    assert stereo_pair.disparity.max() <= stereo_pair.max_disparity + 1e-9
+    assert stereo_pair.disparity.min() > 0.0
+
+
+def test_normalized_disparity_in_unit_range(stereo_pair):
+    norm = stereo_pair.normalized_disparity()
+    assert norm.min() >= 0.0 and norm.max() <= 1.0
+
+
+def test_normalized_disparity_requires_positive_range():
+    pair = StereoPair(
+        left=np.zeros((4, 4)),
+        right=np.zeros((4, 4)),
+        disparity=np.zeros((4, 4)),
+        max_disparity=0.0,
+    )
+    with pytest.raises(DatasetError):
+        pair.normalized_disparity()
+
+
+def test_views_differ_where_parallax_exists(stereo_pair):
+    assert np.abs(stereo_pair.left - stereo_pair.right).mean() > 1e-3
+
+
+def test_ground_truth_shift_consistency():
+    """Shifting the left view by GT disparity approximates the right view
+    on non-occluded pixels."""
+    scene = random_scene(60, 90, n_objects=2, seed=33, focal_baseline=24.0)
+    pair = render_stereo_pair(scene)
+    h, w = pair.shape
+    errors = []
+    for y in range(5, h - 5, 7):
+        for x in range(int(pair.max_disparity) + 2, w - 5, 11):
+            d = pair.disparity[y, x]
+            xs = x - d
+            x0 = int(np.floor(xs))
+            frac = xs - x0
+            if 0 <= x0 < w - 1:
+                right_val = (1 - frac) * pair.right[y, x0] + frac * pair.right[y, x0 + 1]
+                errors.append(abs(pair.left[y, x] - right_val))
+    # Most sampled pixels should match well (occlusions excluded by majority).
+    assert np.median(errors) < 0.05
+
+
+def test_random_stereo_pair_determinism():
+    a = random_stereo_pair(40, 50, seed=9)
+    b = random_stereo_pair(40, 50, seed=9)
+    assert np.array_equal(a.left, b.left)
+    assert np.array_equal(a.disparity, b.disparity)

@@ -1,0 +1,92 @@
+"""Surveillance trace generator: events, ground truth, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.video import SurveillanceVideo
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def video():
+    return SurveillanceVideo(n_frames=80, event_rate=5.0, seed=21)
+
+
+def test_frame_count_validation():
+    with pytest.raises(DatasetError):
+        SurveillanceVideo(n_frames=0)
+
+
+def test_target_fraction_validation():
+    with pytest.raises(DatasetError):
+        SurveillanceVideo(n_frames=10, target_fraction=1.5)
+
+
+def test_events_are_ordered_and_disjoint(video):
+    stops = 0
+    for event in video.events:
+        assert event.start >= stops
+        assert event.stop <= video.n_frames
+        assert event.duration > 0
+        stops = event.stop
+
+
+def test_at_least_one_event_when_rate_positive():
+    vid = SurveillanceVideo(n_frames=40, event_rate=1.0, seed=3)
+    assert len(vid.events) >= 1
+
+
+def test_ground_truth_matches_events(video):
+    for frame in video.frames():
+        in_event = any(e.start <= frame.index < e.stop for e in video.events)
+        assert frame.has_person == in_event
+        if frame.has_person:
+            assert frame.face_box is not None
+        else:
+            assert frame.face_box is None and not frame.has_target
+
+
+def test_face_box_within_frame(video):
+    for frame in video.frames():
+        if frame.face_box is not None:
+            y0, x0, side = frame.face_box
+            assert 0 <= y0 and y0 + side <= video.height
+            assert 0 <= x0 and x0 + side <= video.width
+
+
+def test_frames_are_replayable_identically(video):
+    """Re-rendering the same frame must give identical pixels: pipeline
+    variants are compared on the same inputs."""
+    a = video.render_frame(10).image
+    b = video.render_frame(10).image
+    assert np.array_equal(a, b)
+
+
+def test_render_frame_bounds(video):
+    with pytest.raises(DatasetError):
+        video.render_frame(video.n_frames)
+    with pytest.raises(DatasetError):
+        video.render_frame(-1)
+
+
+def test_summary_consistent(video):
+    summary = video.ground_truth_summary()
+    assert summary["n_frames"] == video.n_frames
+    assert summary["person_frames"] == sum(e.duration for e in video.events)
+    assert 0.0 <= summary["occupancy"] <= 1.0
+
+
+def test_empty_frames_differ_only_by_noise_and_drift(video):
+    empty = [f for f in video.frames() if not f.has_person]
+    if len(empty) >= 2:
+        diff = np.abs(empty[0].image - empty[1].image).mean()
+        assert diff < 0.1  # background is static
+
+
+def test_person_frames_differ_from_background(video):
+    frames = list(video.frames())
+    people = [f for f in frames if f.has_person]
+    empty = [f for f in frames if not f.has_person]
+    if people and empty:
+        diff = np.abs(people[0].image - empty[0].image).mean()
+        assert diff > 0.01

@@ -1,0 +1,102 @@
+"""Gated pipeline execution and workload accounting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.video import SurveillanceVideo
+from repro.errors import ConfigurationError
+from repro.faceauth.pipeline import ALERT_BYTES, FaceAuthPipeline, WorkloadResult
+from repro.faceauth.stages import AuthStage, CaptureStage, MotionStage
+from repro.nn.mlp import MLP
+from repro.snnap.accelerator import SnnapAccelerator
+
+
+def _bare_pipeline(tx_policy="raw_frame", motion=True):
+    return FaceAuthPipeline(
+        capture=CaptureStage(),
+        motion=MotionStage() if motion else None,
+        detect=None,
+        auth=None,
+        tx_policy=tx_policy,
+    )
+
+
+def test_tx_policy_validated():
+    with pytest.raises(ConfigurationError):
+        _bare_pipeline(tx_policy="carrier_pigeon")
+
+
+def test_auth_requires_detect():
+    model = MLP((400, 8, 1), seed=0)
+    with pytest.raises(ConfigurationError):
+        FaceAuthPipeline(
+            capture=CaptureStage(),
+            motion=None,
+            detect=None,
+            auth=AuthStage(SnnapAccelerator(model)),
+        )
+
+
+def test_no_processing_transmits_every_frame():
+    video = SurveillanceVideo(n_frames=12, event_rate=5.0, seed=1)
+    pipeline = _bare_pipeline(motion=False)
+    result = pipeline.run_workload(video)
+    assert result.n_frames == 12
+    assert all(o.transmitted_bytes > 0 for o in result.outcomes)
+    assert "transmit" in result.stage_energy
+    assert "motion" not in result.stage_energy
+
+
+def test_motion_gate_reduces_transmissions():
+    video = SurveillanceVideo(n_frames=40, event_rate=3.0, seed=2)
+    everything = _bare_pipeline(motion=False).run_workload(video)
+    gated = _bare_pipeline(motion=True).run_workload(video)
+    assert gated.total_transmitted_bytes < everything.total_transmitted_bytes
+    assert gated.energy_per_frame < everything.energy_per_frame
+
+
+def test_motion_rate_tracks_occupancy():
+    video = SurveillanceVideo(n_frames=60, event_rate=4.0, seed=3)
+    result = _bare_pipeline(motion=True).run_workload(video)
+    occupancy = video.ground_truth_summary()["occupancy"]
+    assert result.rate("motion") == pytest.approx(occupancy, abs=0.15)
+
+
+def test_rate_unknown_gate_rejected():
+    result = WorkloadResult()
+    with pytest.raises(ConfigurationError):
+        result.rate("teleport")
+
+
+def test_alert_policy_payload_size():
+    video = SurveillanceVideo(n_frames=10, event_rate=0.0, seed=4)
+    # Without gates every frame "survives": alert payload per frame.
+    pipeline = _bare_pipeline(tx_policy="alert", motion=False)
+    result = pipeline.run_workload(video)
+    assert all(o.transmitted_bytes == ALERT_BYTES for o in result.outcomes)
+
+
+def test_confusion_and_miss_rates_bounds():
+    result = WorkloadResult()
+    from repro.faceauth.pipeline import FrameOutcome
+
+    result.outcomes = [
+        FrameOutcome(0, True, 1, True, 64, 1e-6, 0.1, True, True),  # TP
+        FrameOutcome(1, True, 1, False, 0, 1e-6, 0.1, True, True),  # FN
+        FrameOutcome(2, False, None, None, 0, 1e-6, 0.1, False, False),  # TN
+        FrameOutcome(3, True, 1, True, 64, 1e-6, 0.1, True, False),  # FP
+    ]
+    confusion = result.authentication_confusion()
+    assert confusion == {"tp": 1, "fn": 1, "fp": 1, "tn": 1}
+    assert result.miss_rate == pytest.approx(0.5)
+    assert result.false_alarm_rate == pytest.approx(0.5)
+
+
+def test_stage_energy_accumulates():
+    video = SurveillanceVideo(n_frames=8, event_rate=5.0, seed=5)
+    pipeline = _bare_pipeline(motion=True)
+    result = pipeline.run_workload(video)
+    assert result.stage_energy["capture"] == pytest.approx(
+        8 * CaptureStage().energy_per_frame
+    )
+    assert result.stage_energy["motion"] > 0

@@ -1,0 +1,108 @@
+"""Stage wrappers: platform costs and functional behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faceauth.stages import (
+    AuthStage,
+    CaptureStage,
+    DetectStage,
+    MotionStage,
+    StageCost,
+)
+from repro.facedet.detector import Detection, SlidingWindowDetector
+from repro.nn.mlp import MLP
+from repro.snnap.accelerator import SnnapAccelerator
+
+
+def test_stage_cost_addition():
+    total = StageCost(1e-6, 0.1) + StageCost(2e-6, 0.2)
+    assert total.energy_j == pytest.approx(3e-6)
+    assert total.seconds == pytest.approx(0.3)
+
+
+def test_capture_stage_cost():
+    cost = CaptureStage().cost()
+    assert cost.energy_j > 0 and cost.seconds > 0
+
+
+def test_platform_validated():
+    with pytest.raises(ConfigurationError):
+        MotionStage(platform="gpu")
+
+
+def test_motion_stage_asic_cheaper_than_mcu():
+    frame = np.random.default_rng(0).uniform(size=(72, 88))
+    asic = MotionStage(platform="asic")
+    mcu = MotionStage(platform="mcu")
+    _, cost_asic = asic.run(frame)
+    _, cost_mcu = mcu.run(frame)
+    assert cost_asic.energy_j < cost_mcu.energy_j
+
+
+def test_motion_stage_decision_independent_of_platform():
+    rng = np.random.default_rng(1)
+    base = rng.uniform(size=(40, 40))
+    moved = base.copy()
+    moved[:20] = 1.0 - moved[:20]
+    for platform in ("asic", "mcu"):
+        stage = MotionStage(platform=platform)
+        first, _ = stage.run(base)
+        second, _ = stage.run(moved)
+        assert not first
+        assert second
+
+
+def test_detect_stage_costs_track_work(detector_bundle):
+    gen = detector_bundle.generator
+    scene = gen.render_scene(90, 110, [32], difficulty=0.4)
+    empty = gen.render_scene(90, 110, [], difficulty=0.4)
+    detector = SlidingWindowDetector(detector_bundle.cascade, step_size=3)
+    stage = DetectStage(detector, platform="asic")
+    dets_face, cost_face = stage.run(scene.image)
+    dets_empty, cost_empty = stage.run(empty.image)
+    assert len(dets_face) >= 1
+    assert cost_face.energy_j > 0 and cost_empty.energy_j > 0
+    # Cascade economics: the empty scene costs no more than the face scene.
+    assert cost_empty.energy_j <= cost_face.energy_j * 1.5
+
+
+def test_detect_stage_mcu_costs_more(detector_bundle):
+    gen = detector_bundle.generator
+    scene = gen.render_scene(80, 100, [28], difficulty=0.4)
+    detector = SlidingWindowDetector(detector_bundle.cascade, step_size=3)
+    asic = DetectStage(detector, platform="asic")
+    mcu = DetectStage(detector, platform="mcu")
+    _, cost_asic = asic.run(scene.image)
+    _, cost_mcu = mcu.run(scene.image)
+    assert cost_mcu.energy_j > cost_asic.energy_j
+
+
+def test_auth_stage_crop_and_decision():
+    model = MLP((400, 8, 1), seed=0)
+    acc = SnnapAccelerator(model)
+    stage = AuthStage(acc, platform="asic")
+    frame = np.random.default_rng(2).uniform(size=(100, 100))
+    detection = Detection(y0=10, x0=10, side=40, score=1.0)
+    match, score, cost = stage.run(frame, detection)
+    assert isinstance(match, bool)
+    assert 0.0 <= score <= 1.0
+    assert cost.energy_j > 0
+
+
+def test_auth_stage_requires_square_input_network():
+    model = MLP((300, 4, 1), seed=0)  # 300 is not a perfect square
+    acc = SnnapAccelerator(model)
+    with pytest.raises(ConfigurationError):
+        AuthStage(acc)
+
+
+def test_auth_stage_mcu_vs_asic_energy():
+    model = MLP((400, 8, 1), seed=1)
+    acc = SnnapAccelerator(model)
+    frame = np.random.default_rng(3).uniform(size=(80, 80))
+    detection = Detection(5, 5, 40, 1.0)
+    _, _, asic_cost = AuthStage(acc, platform="asic").run(frame, detection)
+    _, _, mcu_cost = AuthStage(acc, platform="mcu").run(frame, detection)
+    assert mcu_cost.energy_j > 10 * asic_cost.energy_j

@@ -1,0 +1,88 @@
+"""AdaBoost stump training."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.facedet.adaboost import DecisionStump, adaboost_train, boosted_score
+
+
+def _separable_data(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = (rng.uniform(size=n) > 0.5).astype(float)
+    # Feature 0: informative; features 1-2: noise.
+    values = rng.uniform(size=(n, 3))
+    values[:, 0] = labels + rng.normal(0, 0.1, size=n)
+    return values, labels
+
+
+def test_stump_predict_polarity():
+    stump = DecisionStump(feature_index=0, threshold=0.5, polarity=1, alpha=1.0)
+    values = np.array([0.2, 0.8])
+    assert list(stump.predict(values)) == [1.0, 0.0]
+    flipped = DecisionStump(feature_index=0, threshold=0.5, polarity=-1, alpha=1.0)
+    assert list(flipped.predict(values)) == [0.0, 1.0]
+
+
+def test_adaboost_picks_informative_feature():
+    values, labels = _separable_data()
+    stumps = adaboost_train(values, labels, n_rounds=1)
+    assert stumps[0].feature_index == 0
+    assert stumps[0].alpha > 0
+
+
+def test_adaboost_training_error_decreases():
+    rng = np.random.default_rng(1)
+    n = 200
+    labels = (rng.uniform(size=n) > 0.5).astype(float)
+    values = rng.uniform(size=(n, 10))
+    # Two weakly informative features: boosting should combine them.
+    values[:, 0] += 0.3 * labels
+    values[:, 1] -= 0.3 * labels
+
+    def error(stumps):
+        score = boosted_score(stumps, values)
+        threshold = 0.5 * sum(s.alpha for s in stumps)
+        pred = (score >= threshold).astype(float)
+        return np.mean(pred != labels)
+
+    few = adaboost_train(values, labels, n_rounds=1)
+    many = adaboost_train(values, labels, n_rounds=15)
+    assert error(many) <= error(few)
+
+
+def test_adaboost_validates_inputs():
+    values, labels = _separable_data()
+    with pytest.raises(TrainingError):
+        adaboost_train(values, labels[:10], n_rounds=1)
+    with pytest.raises(TrainingError):
+        adaboost_train(values, np.ones_like(labels), n_rounds=1)  # one class
+    with pytest.raises(TrainingError):
+        adaboost_train(values, labels, n_rounds=0)
+
+
+def test_adaboost_custom_weights():
+    values, labels = _separable_data()
+    weights = np.ones_like(labels)
+    stumps = adaboost_train(values, labels, n_rounds=2, initial_weights=weights)
+    assert len(stumps) == 2
+    with pytest.raises(TrainingError):
+        adaboost_train(values, labels, 1, initial_weights=-weights)
+
+
+def test_boosted_score_shape_contract():
+    stumps = [DecisionStump(0, 0.5, 1, 1.0)]
+    with pytest.raises(TrainingError):
+        boosted_score(stumps, np.ones(5))
+
+
+def test_alphas_weight_confident_stumps_higher():
+    """A stump with lower weighted error receives a larger alpha."""
+    rng = np.random.default_rng(2)
+    n = 300
+    labels = (rng.uniform(size=n) > 0.5).astype(float)
+    strong = (labels + rng.normal(0, 0.25, n))[:, None]  # good, not perfect
+    weak = (labels + rng.normal(0, 1.2, n))[:, None]
+    alpha_strong = adaboost_train(strong, labels, n_rounds=1)[0].alpha
+    alpha_weak = adaboost_train(weak, labels, n_rounds=1)[0].alpha
+    assert alpha_strong > alpha_weak > 0

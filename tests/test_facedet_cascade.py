@@ -1,0 +1,111 @@
+"""Cascade structure, training, and gating behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.facedet.cascade import CascadeClassifier, CascadeStage, train_cascade
+from repro.facedet.features import generate_feature_pool
+
+
+def test_cascade_requires_stages(detector_bundle):
+    with pytest.raises(TrainingError):
+        CascadeClassifier(
+            features=detector_bundle.feature_pool, stages=(), window=20
+        )
+
+
+def test_cascade_stage_shape(detector_bundle):
+    cascade = detector_bundle.cascade
+    assert cascade.n_stages >= 2
+    # Few-then-many structure: later stages have at least as many features.
+    sizes = cascade.features_per_stage
+    assert sizes == tuple(sorted(sizes))
+
+
+def test_used_features_subset_of_pool(detector_bundle):
+    cascade = detector_bundle.cascade
+    used = cascade.used_feature_indices()
+    assert used
+    assert max(used) < len(cascade.features)
+
+
+def test_classify_windows_accepts_faces(detector_bundle):
+    gen = detector_bundle.generator
+    X, _ = gen.detection_dataset(60, 0, difficulty=0.5)
+    accepted = detector_bundle.cascade.classify_windows(X)
+    assert accepted.mean() > 0.8
+
+
+def test_classify_windows_rejects_nonfaces(detector_bundle):
+    gen = detector_bundle.generator
+    X = np.stack([gen.render_nonface() for _ in range(80)])
+    accepted = detector_bundle.cascade.classify_windows(X)
+    assert accepted.mean() < 0.2
+
+
+def test_stage_counts_monotone(detector_bundle):
+    """Windows surviving k stages include all windows surviving k+1."""
+    gen = detector_bundle.generator
+    X, _ = gen.detection_dataset(30, 30)
+    accepted, survived = detector_bundle.cascade.classify_windows(
+        X, return_stage_counts=True
+    )
+    n_stages = detector_bundle.cascade.n_stages
+    assert np.all(survived <= n_stages)
+    assert np.all(accepted == (survived == n_stages))
+
+
+def test_nonfaces_exit_early(detector_bundle):
+    """The cascade's whole point: rejected windows leave in early stages."""
+    gen = detector_bundle.generator
+    nonfaces = np.stack([gen.render_nonface() for _ in range(100)])
+    _, survived = detector_bundle.cascade.classify_windows(
+        nonfaces, return_stage_counts=True
+    )
+    rejected = survived[survived < detector_bundle.cascade.n_stages]
+    assert len(rejected) > 0
+    assert rejected.mean() < detector_bundle.cascade.n_stages - 0.5
+
+
+def test_classify_windows_shape_contract(detector_bundle):
+    with pytest.raises(TrainingError):
+        detector_bundle.cascade.classify_windows(np.ones((3, 10, 10)))
+
+
+def test_train_cascade_input_validation():
+    pool = generate_feature_pool(window=20, max_features=50, seed=0)
+    pos = np.random.default_rng(0).uniform(size=(5, 20, 20))
+    neg = np.random.default_rng(1).uniform(size=(30, 20, 20))
+    with pytest.raises(TrainingError):
+        train_cascade(pos, neg, pool)  # too few positives
+    pos = np.random.default_rng(0).uniform(size=(30, 20, 20))
+    with pytest.raises(TrainingError):
+        train_cascade(pos, neg, pool, min_stage_tpr=0.3)
+
+
+def test_train_cascade_stage_tpr_respected():
+    """Each stage keeps at least min_stage_tpr of training positives."""
+    rng = np.random.default_rng(5)
+    # Synthetic separable windows: bright blob center vs. noise.
+    pos = np.clip(rng.uniform(0.4, 0.6, (80, 20, 20)), 0, 1)
+    pos[:, 6:14, 6:14] += 0.3
+    neg = rng.uniform(0, 1, (160, 20, 20))
+    pool = generate_feature_pool(window=20, max_features=150, seed=6)
+    cascade = train_cascade(pos, neg, pool, stage_sizes=(2, 4), min_stage_tpr=0.99)
+    accepted = cascade.classify_windows(pos)
+    assert accepted.mean() >= 0.95
+
+
+def test_stage_scores_and_passes_consistent(detector_bundle):
+    cascade = detector_bundle.cascade
+    stage: CascadeStage = cascade.stages[0]
+    gen = detector_bundle.generator
+    X, _ = gen.detection_dataset(10, 10)
+    from repro.facedet.features import evaluate_features, window_stds, windows_to_integrals
+
+    integrals = windows_to_integrals(X)
+    stds = window_stds(X)
+    values = evaluate_features(list(cascade.features), integrals, stds)
+    scores = stage.scores(values)
+    assert np.array_equal(stage.passes(values), scores >= stage.threshold)

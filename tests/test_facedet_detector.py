@@ -1,0 +1,106 @@
+"""Sliding-window detector: knobs, stats, NMS."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.facedet.detector import Detection, SlidingWindowDetector, non_max_suppression
+
+
+def test_detector_parameter_validation(detector_bundle):
+    cascade = detector_bundle.cascade
+    with pytest.raises(ConfigurationError):
+        SlidingWindowDetector(cascade, scale_factor=1.0)
+    with pytest.raises(ConfigurationError):
+        SlidingWindowDetector(cascade, step_size=0)
+    with pytest.raises(ConfigurationError):
+        SlidingWindowDetector(cascade, adaptive_step=1.5)
+
+
+def test_detects_planted_face(detector_bundle):
+    gen = detector_bundle.generator
+    scene = gen.render_scene(100, 120, [32], difficulty=0.4)
+    detector = SlidingWindowDetector(detector_bundle.cascade, step_size=2)
+    detections = detector.detect(scene.image)
+    (ty, tx, ts) = scene.boxes[0]
+    hit = any(
+        abs(d.y0 - ty) < ts and abs(d.x0 - tx) < ts and 0.5 < d.side / ts < 2.0
+        for d in detections
+    )
+    assert hit
+
+
+def test_scan_stats_accounting(detector_bundle):
+    gen = detector_bundle.generator
+    scene = gen.render_scene(80, 100, [28], difficulty=0.4)
+    detector = SlidingWindowDetector(detector_bundle.cascade, step_size=4)
+    detections, stats = detector.detect(scene.image, return_stats=True)
+    assert stats.windows_visited > 0
+    assert stats.scales >= 2
+    assert stats.feature_evaluations >= stats.stage_evaluations
+    assert stats.windows_accepted == len(detections)
+
+
+def test_larger_step_visits_fewer_windows(detector_bundle):
+    gen = detector_bundle.generator
+    scene = gen.render_scene(80, 100, [], difficulty=0.4)
+    counts = []
+    for step in (2, 4, 8):
+        detector = SlidingWindowDetector(detector_bundle.cascade, step_size=step)
+        _, stats = detector.detect(scene.image, return_stats=True)
+        counts.append(stats.windows_visited)
+    assert counts[0] > counts[1] > counts[2]
+
+
+def test_larger_scale_factor_visits_fewer_scales(detector_bundle):
+    gen = detector_bundle.generator
+    scene = gen.render_scene(120, 120, [], difficulty=0.4)
+    scales = []
+    for sf in (1.2, 1.5, 2.0):
+        detector = SlidingWindowDetector(detector_bundle.cascade, scale_factor=sf)
+        _, stats = detector.detect(scene.image, return_stats=True)
+        scales.append(stats.scales)
+    assert scales[0] > scales[1] >= scales[2]
+
+
+def test_adaptive_step_stride_grows_with_window(detector_bundle):
+    detector = SlidingWindowDetector(detector_bundle.cascade, adaptive_step=0.25)
+    assert detector._stride_for(20) == 5
+    assert detector._stride_for(40) == 10
+    zero = SlidingWindowDetector(detector_bundle.cascade, adaptive_step=0.0)
+    assert zero._stride_for(40) == 1
+
+
+def test_nms_keeps_highest_score():
+    dets = [
+        Detection(10, 10, 20, score=1.0),
+        Detection(12, 11, 20, score=0.5),  # heavy overlap, lower score
+        Detection(60, 60, 20, score=0.8),
+    ]
+    kept = non_max_suppression(dets, iou_threshold=0.3)
+    assert len(kept) == 2
+    assert kept[0].score == 1.0
+
+
+def test_nms_threshold_validation():
+    with pytest.raises(ConfigurationError):
+        non_max_suppression([], iou_threshold=1.5)
+
+
+def test_min_max_window_limits(detector_bundle):
+    gen = detector_bundle.generator
+    scene = gen.render_scene(100, 100, [], difficulty=0.4)
+    detector = SlidingWindowDetector(
+        detector_bundle.cascade, min_window=24, max_window=40, step_size=4
+    )
+    _, stats = detector.detect(scene.image, return_stats=True)
+    # Window sizes 24, 30, 38 (then 47 > 40 stops): exactly 3 scales.
+    assert stats.scales == 3
+
+
+def test_empty_scene_few_detections(detector_bundle):
+    gen = detector_bundle.generator
+    scene = gen.render_scene(90, 110, [], difficulty=0.4)
+    detector = SlidingWindowDetector(detector_bundle.cascade, step_size=2)
+    detections = detector.detect(scene.image)
+    assert len(detections) <= 3

@@ -1,0 +1,122 @@
+"""Haar features: construction, evaluation, scale invariance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.facedet.features import (
+    HaarFeature,
+    Rect,
+    evaluate_features,
+    generate_feature_pool,
+    window_stds,
+    windows_to_integrals,
+)
+
+
+def test_rect_validation():
+    with pytest.raises(ConfigurationError):
+        Rect(0, 0, 0, 4, 1.0)  # zero height
+    rect = Rect(0, 0, 4, 5, -1.0)
+    assert rect.area == 20
+
+
+def test_feature_rect_bounds_checked():
+    with pytest.raises(ConfigurationError):
+        HaarFeature(rects=(Rect(0, 0, 25, 4, 1.0),), window=20, kind="edge_h")
+
+
+def test_pool_generation_size_and_determinism():
+    a = generate_feature_pool(window=20, max_features=200, seed=1)
+    b = generate_feature_pool(window=20, max_features=200, seed=1)
+    assert len(a) == 200
+    assert all(fa == fb for fa, fb in zip(a, b))
+
+
+def test_pool_rejects_unknown_kind():
+    with pytest.raises(ConfigurationError):
+        generate_feature_pool(kinds=("edge_h", "spiral"))
+
+
+def test_pool_contains_all_kinds():
+    pool = generate_feature_pool(window=20, max_features=500, seed=2)
+    kinds = {f.kind for f in pool}
+    assert kinds == {"edge_h", "edge_v", "line_h", "line_v", "quad"}
+
+
+def test_feature_weights_balance_on_constant_window():
+    """Every feature kind gives ~0 on a constant image (weighted rect
+    means cancel)."""
+    pool = generate_feature_pool(window=20, max_features=100, seed=3)
+    windows = np.full((1, 20, 20), 0.5)
+    integrals = windows_to_integrals(windows)
+    values = evaluate_features(pool, integrals)
+    assert np.allclose(values, 0.0, atol=1e-9)
+
+
+def test_edge_feature_detects_edge():
+    feature = HaarFeature(
+        rects=(Rect(0, 0, 20, 10, 1.0), Rect(0, 10, 20, 20, -1.0)),
+        window=20,
+        kind="edge_h",
+    )
+    window = np.zeros((1, 20, 20))
+    window[0, :, :10] = 1.0  # bright left half
+    integrals = windows_to_integrals(window)
+    value = evaluate_features([feature], integrals)[0, 0]
+    assert value == pytest.approx(1.0)
+
+
+def test_evaluate_features_std_normalization():
+    feature = HaarFeature(
+        rects=(Rect(0, 0, 20, 10, 1.0), Rect(0, 10, 20, 20, -1.0)),
+        window=20,
+        kind="edge_h",
+    )
+    window = np.zeros((1, 20, 20))
+    window[0, :, :10] = 0.5
+    integrals = windows_to_integrals(window)
+    stds = window_stds(window)
+    raw = evaluate_features([feature], integrals)[0, 0]
+    normed = evaluate_features([feature], integrals, stds)[0, 0]
+    assert normed == pytest.approx(raw / stds[0])
+
+
+def test_scaled_rects_round_and_stay_positive():
+    feature = HaarFeature(
+        rects=(Rect(2, 3, 8, 9, 1.0),), window=20, kind="edge_h"
+    )
+    scaled = feature.scaled_rects(1.6)
+    (y0, x0, y1, x1, w) = scaled[0]
+    assert y1 > y0 and x1 > x0
+    assert w == 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(scale=st.integers(1, 4), seed=st.integers(0, 500))
+def test_property_feature_value_scale_invariant(scale, seed):
+    """Mean-based features are exactly invariant to integer upscaling:
+    replicating every pixel s x s leaves all rectangle means unchanged."""
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(size=(20, 20))
+    pool = generate_feature_pool(window=20, max_features=5, seed=seed)
+    feature = pool[0]
+
+    big = np.repeat(np.repeat(base, scale, axis=0), scale, axis=1)
+
+    base_ii = windows_to_integrals(base[None])
+    value_base = evaluate_features([feature], base_ii)[0, 0]
+
+    big_ii = windows_to_integrals(big[None])[0]
+    acc = 0.0
+    for (y0, x0, y1, x1, w) in feature.scaled_rects(float(scale)):
+        s = big_ii[y1, x1] - big_ii[y0, x1] - big_ii[y1, x0] + big_ii[y0, x0]
+        acc += w * s / ((y1 - y0) * (x1 - x0))
+    assert acc == pytest.approx(value_base, abs=1e-9)
+
+
+def test_windows_to_integrals_shape_contract():
+    with pytest.raises(ConfigurationError):
+        windows_to_integrals(np.ones((20, 20)))

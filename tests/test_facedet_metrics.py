@@ -1,0 +1,99 @@
+"""Detection scoring and Fig. 4c's relative normalization."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.facedet.detector import Detection
+from repro.facedet.metrics import (
+    DetectionScore,
+    match_detections,
+    relative_scores,
+    score_detections,
+)
+
+
+def test_score_derived_metrics():
+    score = DetectionScore(true_positives=8, false_positives=2, false_negatives=2)
+    assert score.precision == pytest.approx(0.8)
+    assert score.recall == pytest.approx(0.8)
+    assert score.f1 == pytest.approx(0.8)
+
+
+def test_score_zero_denominators():
+    empty = DetectionScore(0, 0, 0)
+    assert empty.precision == 0.0
+    assert empty.recall == 0.0
+    assert empty.f1 == 0.0
+
+
+def test_score_addition():
+    a = DetectionScore(1, 2, 3)
+    b = DetectionScore(4, 5, 6)
+    c = a + b
+    assert (c.true_positives, c.false_positives, c.false_negatives) == (5, 7, 9)
+
+
+def test_match_exact_hit():
+    dets = [Detection(10, 10, 20, 1.0)]
+    score = match_detections(dets, [(10, 10, 20)])
+    assert score.true_positives == 1
+    assert score.false_positives == 0
+    assert score.false_negatives == 0
+
+
+def test_match_near_hit_counts_with_iou():
+    dets = [Detection(12, 12, 20, 1.0)]
+    score = match_detections(dets, [(10, 10, 20)], iou_threshold=0.4)
+    assert score.true_positives == 1
+
+
+def test_match_miss_and_false_positive():
+    dets = [Detection(50, 50, 20, 1.0)]
+    score = match_detections(dets, [(0, 0, 20)])
+    assert score.true_positives == 0
+    assert score.false_positives == 1
+    assert score.false_negatives == 1
+
+
+def test_one_truth_matches_at_most_once():
+    dets = [Detection(10, 10, 20, 1.0), Detection(11, 11, 20, 0.9)]
+    score = match_detections(dets, [(10, 10, 20)])
+    assert score.true_positives == 1
+    assert score.false_positives == 1
+
+
+def test_higher_score_matches_first():
+    dets = [Detection(10, 10, 20, 0.5), Detection(10, 10, 20, 2.0)]
+    score = match_detections(dets, [(10, 10, 20)])
+    assert score.true_positives == 1
+
+
+def test_iou_threshold_validated():
+    with pytest.raises(ConfigurationError):
+        match_detections([], [], iou_threshold=0.0)
+
+
+def test_score_detections_aggregates():
+    per_scene = [
+        ([Detection(0, 0, 20, 1.0)], [(0, 0, 20)]),
+        ([], [(5, 5, 20)]),
+    ]
+    total = score_detections(per_scene)
+    assert total.true_positives == 1
+    assert total.false_negatives == 1
+
+
+def test_relative_scores_normalizes_to_peak():
+    scores = [
+        DetectionScore(10, 0, 0),  # perfect
+        DetectionScore(5, 5, 5),
+    ]
+    rel = relative_scores(scores)
+    assert rel["f1"][0] == pytest.approx(1.0)
+    assert 0.0 < rel["f1"][1] < 1.0
+    assert rel["precision"][0] == pytest.approx(1.0)
+
+
+def test_relative_scores_all_zero_sweep():
+    rel = relative_scores([DetectionScore(0, 1, 1), DetectionScore(0, 2, 2)])
+    assert list(rel["f1"]) == [0.0, 0.0]

@@ -1,0 +1,49 @@
+"""High-level cascade training recipe."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.facedet.training import scene_crop_negatives, train_reference_cascade
+
+
+def test_scene_crop_negatives_shape(face_generator):
+    crops = scene_crop_negatives(face_generator, 30, seed=0)
+    assert crops.shape == (30, 20, 20)
+    assert crops.min() >= 0.0 and crops.max() <= 1.0
+
+
+def test_scene_crop_negatives_count_validation(face_generator):
+    with pytest.raises(TrainingError):
+        scene_crop_negatives(face_generator, 0)
+
+
+def test_scene_crops_are_diverse(face_generator):
+    crops = scene_crop_negatives(face_generator, 20, seed=1)
+    stds = crops.reshape(20, -1).std(axis=1)
+    assert (stds > 1e-3).sum() >= 15  # most crops have texture
+
+
+def test_reference_cascade_end_to_end(detector_bundle):
+    """The session-trained bundle separates held-out faces from scenes."""
+    cascade = detector_bundle.cascade
+    gen = detector_bundle.generator
+    faces, _ = gen.detection_dataset(50, 0, difficulty=0.6)
+    crops = scene_crop_negatives(gen, 100, seed=2)
+    tpr = cascade.classify_windows(faces).mean()
+    fpr = cascade.classify_windows(crops).mean()
+    assert tpr > 0.75
+    assert fpr < 0.25
+    assert tpr > fpr + 0.5
+
+
+def test_reference_cascade_deterministic_structure():
+    a = train_reference_cascade(seed=3, n_pos=60, n_neg=120, pool_size=200,
+                                stage_sizes=(2, 4))
+    b = train_reference_cascade(seed=3, n_pos=60, n_neg=120, pool_size=200,
+                                stage_sizes=(2, 4))
+    assert a.cascade.features_per_stage == b.cascade.features_per_stage
+    sa = a.cascade.stages[0].stumps[0]
+    sb = b.cascade.stages[0].stumps[0]
+    assert sa.feature_index == sb.feature_index
+    assert sa.threshold == pytest.approx(sb.threshold)

@@ -1,0 +1,162 @@
+"""Failure injection: degenerate inputs every component must survive.
+
+Real camera nodes see saturated sensors, textureless scenes, dead links
+and empty traces; nothing here may crash, hang, or silently produce
+out-of-contract values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bilateral.stereo import BssaStereo
+from repro.core.block import Block, Implementation
+from repro.core.cost import ThroughputCostModel
+from repro.core.pipeline import InCameraPipeline, PipelineConfig
+from repro.facedet.detector import SlidingWindowDetector
+from repro.harvest import Capacitor, DutyCycleSimulator, FrameTask, RfHarvester
+from repro.hw.network import LinkModel
+from repro.imaging.metrics import ms_ssim, ssim
+from repro.motion.detector import MotionDetector
+from repro.nn.mlp import MLP
+from repro.nn.quantize import QuantizedMLP
+from repro.snnap.accelerator import SnnapAccelerator
+
+
+# ---------------------------------------------------------------------------
+# Saturated / constant imagery
+# ---------------------------------------------------------------------------
+def test_detector_survives_constant_frame(detector_bundle):
+    detector = SlidingWindowDetector(detector_bundle.cascade, step_size=4)
+    for value in (0.0, 0.5, 1.0):
+        detections = detector.detect(np.full((60, 80), value))
+        assert detections == [] or all(d.side >= 20 for d in detections)
+
+
+def test_motion_detector_survives_saturated_frames():
+    det = MotionDetector()
+    det.process(np.zeros((20, 20)))
+    result = det.process(np.ones((20, 20)))  # full-frame flash
+    assert result.motion
+    assert result.changed_fraction == pytest.approx(1.0)
+
+
+def test_stereo_on_textureless_pair_is_bounded():
+    """No texture = no signal; output must stay in the disparity range,
+    not NaN or explode."""
+    flat = np.full((40, 60), 0.5)
+    engine = BssaStereo(max_disparity=8, sigma_spatial=4)
+    result = engine.compute(flat, flat)
+    assert np.all(np.isfinite(result.disparity_refined))
+    assert result.disparity_refined.min() >= 0.0
+    assert result.disparity_refined.max() <= 8.0
+
+
+def test_ssim_of_constant_images_defined():
+    a = np.full((32, 32), 0.3)
+    assert ssim(a, a) == pytest.approx(1.0)
+    assert ms_ssim(a, a) == pytest.approx(1.0)
+    b = np.full((32, 32), 0.8)
+    value = ssim(a, b)
+    assert 0.0 <= value < 1.0
+
+
+# ---------------------------------------------------------------------------
+# Saturated networks / quantization extremes
+# ---------------------------------------------------------------------------
+def test_quantized_mlp_survives_extreme_inputs():
+    model = MLP((8, 4, 1), seed=0)
+    q = QuantizedMLP(model, data_bits=8)
+    extremes = np.array([[0.0] * 8, [1.0] * 8, [-5.0] * 8, [100.0] * 8])
+    proba = q.predict_proba(extremes)
+    assert np.all((proba >= 0.0) & (proba <= 1.0))
+
+
+def test_accelerator_with_one_neuron_layers():
+    model = MLP((1, 1, 1), seed=0)
+    acc = SnnapAccelerator(model, n_pes=4, data_bits=8)
+    run = acc.run(np.array([[0.5]]))
+    assert run.outputs.shape == (1, 1)
+    assert run.cycles_per_sample > 0
+
+
+def test_huge_weight_span_saturates_not_crashes():
+    model = MLP((4, 2, 1), seed=0)
+    model.weights[0] *= 1e6  # pathological training outcome
+    q = QuantizedMLP(model, data_bits=8)
+    out = q.predict_proba(np.ones((1, 4)))
+    assert np.all(np.isfinite(out))
+
+
+# ---------------------------------------------------------------------------
+# Dead / degenerate links and pipelines
+# ---------------------------------------------------------------------------
+def test_zero_byte_offload_is_free():
+    block = Block(name="sink", output_bytes=0.0,
+                  implementations={"p": Implementation("p", fps=10.0)})
+    pipeline = InCameraPipeline(name="x", sensor_bytes=100.0, blocks=(block,))
+    model = ThroughputCostModel(LinkModel(name="slow", raw_bps=1.0))
+    cost = model.evaluate(PipelineConfig(pipeline, ("p",)))
+    assert cost.communication_fps == float("inf")
+    assert cost.total_fps == 10.0
+
+
+def test_absurdly_slow_link_still_evaluates():
+    pipeline = InCameraPipeline(
+        name="x", sensor_bytes=1e9,
+        blocks=(Block(name="b", output_bytes=1e9,
+                      implementations={"p": Implementation("p", fps=1.0)}),),
+    )
+    model = ThroughputCostModel(LinkModel(name="drip", raw_bps=1.0))
+    cost = model.evaluate(PipelineConfig(pipeline, ()))
+    assert cost.total_fps < 1e-8
+    assert not cost.meets(1e-9) or cost.total_fps >= 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Harvesting corner cases
+# ---------------------------------------------------------------------------
+def test_harvester_beyond_range_yields_zero():
+    harvester = RfHarvester()
+    assert harvester.harvested_power(25.0) == 0.0  # below sensitivity
+    sim = DutyCycleSimulator(harvester, Capacitor(), distance_m=25.0)
+    task = FrameTask("t", 1e-6, 0.0)
+    assert sim.steady_state_fps(task) == 0.0
+    timeline = sim.run(task, duration_seconds=5.0)
+    assert timeline.frames_completed == 0
+
+
+def test_zero_energy_task_is_rate_limited_by_active_time():
+    harvester = RfHarvester()
+    sim = DutyCycleSimulator(harvester, Capacitor(), distance_m=1.0)
+    task = FrameTask("free", 0.0, active_seconds=0.25)
+    assert sim.steady_state_fps(task) == pytest.approx(4.0)
+
+
+def test_capacitor_exact_capacity_discharge():
+    cap = Capacitor(capacitance_f=1e-3, v_max=2.0, v_min=1.0)
+    cap.charge(1.0, 10.0)  # overfill -> clamped at v_max
+    cap.discharge(cap.usable_energy)  # drain exactly to the floor
+    assert cap.voltage == pytest.approx(cap.v_min, abs=1e-9)
+    assert cap.usable_energy == pytest.approx(0.0, abs=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Empty traces
+# ---------------------------------------------------------------------------
+def test_empty_workload_result_metrics():
+    from repro.faceauth.pipeline import WorkloadResult
+
+    result = WorkloadResult()
+    assert result.n_frames == 0
+    assert result.total_energy == 0.0
+    assert result.miss_rate == 0.0
+    assert result.false_alarm_rate == 0.0
+
+
+def test_video_with_zero_event_rate_has_one_forced_event():
+    from repro.datasets.video import SurveillanceVideo
+
+    video = SurveillanceVideo(n_frames=30, event_rate=0.0, seed=1)
+    assert video.events == ()  # rate 0 means genuinely empty
+    frames = list(video.frames())
+    assert all(not f.has_person for f in frames)

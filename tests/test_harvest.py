@@ -1,0 +1,178 @@
+"""Energy harvesting: Friis power, capacitor dynamics, duty cycling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.harvest.capacitor import Capacitor
+from repro.harvest.harvester import RfHarvester
+from repro.harvest.scheduler import DutyCycleSimulator, FrameTask
+
+
+# ---------------------------------------------------------------------------
+# Harvester
+# ---------------------------------------------------------------------------
+def test_harvester_validation():
+    with pytest.raises(ConfigurationError):
+        RfHarvester(eirp_w=0)
+    with pytest.raises(ConfigurationError):
+        RfHarvester(peak_efficiency=0)
+
+
+def test_received_power_inverse_square():
+    h = RfHarvester()
+    assert h.received_power(1.0) == pytest.approx(4 * h.received_power(2.0))
+    with pytest.raises(ConfigurationError):
+        h.received_power(0.0)
+
+
+def test_rectifier_threshold_behaviour():
+    h = RfHarvester()
+    assert h.rectifier_efficiency(h.sensitivity_w / 2) == 0.0
+    assert 0 < h.rectifier_efficiency(h.sensitivity_w * 10) <= h.peak_efficiency
+
+
+def test_harvested_power_realistic_regime():
+    """WISP-class nodes harvest tens to hundreds of uW at 1-3 m."""
+    h = RfHarvester()
+    at_1m = h.harvested_power(1.0)
+    at_3m = h.harvested_power(3.0)
+    assert 100e-6 < at_1m < 5e-3
+    assert 10e-6 < at_3m < at_1m
+
+
+def test_max_range_consistent_with_power():
+    h = RfHarvester()
+    rng = h.max_range(50e-6)
+    assert rng > 0
+    assert h.harvested_power(rng) >= 50e-6
+    with pytest.raises(ConfigurationError):
+        h.max_range(0.0)
+
+
+# ---------------------------------------------------------------------------
+# Capacitor
+# ---------------------------------------------------------------------------
+def test_capacitor_validation():
+    with pytest.raises(ConfigurationError):
+        Capacitor(capacitance_f=0)
+    with pytest.raises(ConfigurationError):
+        Capacitor(v_max=1.0, v_min=2.0)
+    with pytest.raises(ConfigurationError):
+        Capacitor(v_initial=10.0)
+
+
+def test_capacity_formula():
+    cap = Capacitor(capacitance_f=1e-3, v_max=2.0, v_min=1.0)
+    assert cap.capacity == pytest.approx(0.5 * 1e-3 * (4.0 - 1.0))
+
+
+def test_cold_start_has_no_usable_energy():
+    cap = Capacitor()
+    assert cap.usable_energy == pytest.approx(0.0)
+    assert not cap.can_supply(1e-6)
+
+
+def test_charge_then_discharge_roundtrip():
+    cap = Capacitor(capacitance_f=1e-3, v_max=3.0, v_min=1.0)
+    cap.charge(power_w=1e-3, seconds=1.0)  # add 1 mJ
+    assert cap.usable_energy == pytest.approx(1e-3, rel=1e-6)
+    cap.discharge(0.5e-3)
+    assert cap.usable_energy == pytest.approx(0.5e-3, rel=1e-6)
+
+
+def test_charge_clamps_at_vmax():
+    cap = Capacitor(capacitance_f=1e-6, v_max=2.0, v_min=1.0)
+    cap.charge(1.0, 100.0)  # absurd energy
+    assert cap.voltage == pytest.approx(2.0)
+
+
+def test_discharge_overdraw_rejected():
+    cap = Capacitor()
+    with pytest.raises(ConfigurationError):
+        cap.discharge(1.0)
+    with pytest.raises(ConfigurationError):
+        cap.discharge(-1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    power=st.floats(1e-6, 1e-2),
+    seconds=st.floats(0.01, 100.0),
+)
+def test_property_charge_conserves_energy(power, seconds):
+    """Below the clamp, stored energy increases exactly by P*t."""
+    cap = Capacitor(capacitance_f=10.0, v_max=5.0, v_min=1.0)  # huge cap
+    before = 0.5 * cap.capacitance * cap.voltage**2
+    cap.charge(power, seconds)
+    after = 0.5 * cap.capacitance * cap.voltage**2
+    assert after - before == pytest.approx(power * seconds, rel=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Scheduler
+# ---------------------------------------------------------------------------
+def test_frame_task_validation():
+    with pytest.raises(ConfigurationError):
+        FrameTask("bad", energy_j=-1.0, active_seconds=0.0)
+
+
+def test_steady_state_fps_energy_balance():
+    h = RfHarvester()
+    sim = DutyCycleSimulator(h, Capacitor(), distance_m=2.0, sleep_power_w=0.0)
+    task = FrameTask("t", energy_j=100e-6, active_seconds=0.0)
+    expected = h.harvested_power(2.0) / 100e-6
+    assert sim.steady_state_fps(task) == pytest.approx(expected, rel=1e-6)
+
+
+def test_steady_state_capped_by_active_time():
+    h = RfHarvester()
+    sim = DutyCycleSimulator(h, Capacitor(), distance_m=0.3)
+    task = FrameTask("t", energy_j=1e-9, active_seconds=0.5)
+    assert sim.steady_state_fps(task) == pytest.approx(2.0)
+
+
+def test_unsustainable_task_gives_zero_fps():
+    h = RfHarvester()
+    cap = Capacitor()
+    sim = DutyCycleSimulator(h, cap, distance_m=2.0)
+    too_big = FrameTask("t", energy_j=cap.capacity * 10, active_seconds=0.1)
+    assert sim.steady_state_fps(too_big) == 0.0
+    timeline = sim.run(too_big, duration_seconds=10.0)
+    assert timeline.frames_completed == 0
+
+
+def test_simulated_fps_approaches_steady_state():
+    h = RfHarvester()
+    sim = DutyCycleSimulator(h, Capacitor(), distance_m=2.0)
+    task = FrameTask("t", energy_j=200e-6, active_seconds=0.05)
+    timeline = sim.run(task, duration_seconds=300.0)
+    assert timeline.frames_completed > 10
+    assert timeline.achieved_fps == pytest.approx(
+        sim.steady_state_fps(task), rel=0.15
+    )
+
+
+def test_run_respects_max_frames():
+    h = RfHarvester()
+    sim = DutyCycleSimulator(h, Capacitor(), distance_m=1.0)
+    task = FrameTask("t", energy_j=50e-6, active_seconds=0.01)
+    timeline = sim.run(task, duration_seconds=1000.0, max_frames=5)
+    assert timeline.frames_completed == 5
+
+
+def test_run_duration_validated():
+    h = RfHarvester()
+    sim = DutyCycleSimulator(h, Capacitor(), distance_m=1.0)
+    with pytest.raises(ConfigurationError):
+        sim.run(FrameTask("t", 1e-6, 0.0), duration_seconds=0.0)
+
+
+def test_closer_reader_higher_fps():
+    h = RfHarvester()
+    task = FrameTask("t", energy_j=300e-6, active_seconds=0.05)
+    near = DutyCycleSimulator(h, Capacitor(), 1.0).steady_state_fps(task)
+    far = DutyCycleSimulator(h, Capacitor(), 3.0).steady_state_fps(task)
+    assert near > far > 0

@@ -1,0 +1,85 @@
+"""ASIC operating point and MCU baseline models."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw.asic import AsicEnergyModel
+from repro.hw.energy import EnergyReport
+from repro.hw.mcu import MCU_CORTEX_M0_CLASS, MicrocontrollerModel
+
+
+def test_asic_clock_validated():
+    with pytest.raises(HardwareModelError):
+        AsicEnergyModel(clock_hz=0)
+
+
+def test_asic_seconds_and_leakage():
+    em = AsicEnergyModel(clock_hz=30e6, kilo_gates=10.0)
+    assert em.seconds(30_000_000) == pytest.approx(1.0)
+    leak_1s = em.leakage_energy(30_000_000)
+    assert leak_1s == pytest.approx(em.leakage_power())
+    with pytest.raises(HardwareModelError):
+        em.leakage_energy(-1)
+
+
+def test_asic_report_with_leakage_adds_component():
+    em = AsicEnergyModel(kilo_gates=5.0)
+    report = EnergyReport({"mac": 1e-9})
+    out = em.report_with_leakage(report, 1000)
+    assert "leakage" in out.components
+    assert "leakage" not in report.components  # original untouched
+
+
+def test_asic_average_power():
+    em = AsicEnergyModel(clock_hz=1e6)
+    report = EnergyReport({"x": 1e-6})
+    assert em.average_power(report, 1_000_000) == pytest.approx(1e-6)
+    with pytest.raises(HardwareModelError):
+        em.average_power(report, 0)
+
+
+def test_mcu_validation():
+    with pytest.raises(HardwareModelError):
+        MicrocontrollerModel(clock_hz=0)
+
+
+def test_mcu_cycles_and_energy_consistent():
+    mcu = MCU_CORTEX_M0_CLASS
+    cycles = mcu.cycles_for("mac8", 100)
+    assert mcu.energy_for("mac8", 100) == pytest.approx(
+        cycles * mcu.energy_per_cycle
+    )
+    assert mcu.seconds_for("mac8", 100) == pytest.approx(cycles / mcu.clock_hz)
+
+
+def test_mcu_unknown_op_rejected():
+    with pytest.raises(HardwareModelError):
+        MCU_CORTEX_M0_CLASS.cycles_for("fft")
+    with pytest.raises(HardwareModelError):
+        MCU_CORTEX_M0_CLASS.cycles_for("mac8", -1)
+
+
+def test_mcu_op_mix_report():
+    report, seconds = MCU_CORTEX_M0_CLASS.run_op_mix(
+        {"mac8": 1000, "sigmoid_sw": 10}
+    )
+    assert "mcu:mac8" in report.components
+    assert seconds > 0
+    assert report.total > 0
+
+
+def test_mcu_sleep_energy():
+    assert MCU_CORTEX_M0_CLASS.sleep_energy(10.0) == pytest.approx(
+        10.0 * MCU_CORTEX_M0_CLASS.sleep_power
+    )
+    with pytest.raises(HardwareModelError):
+        MCU_CORTEX_M0_CLASS.sleep_energy(-1.0)
+
+
+def test_asic_beats_mcu_on_macs():
+    """The structural claim behind the whole case study: a fixed-function
+    MAC costs orders of magnitude less than a software MAC."""
+    em = AsicEnergyModel()
+    asic = em.mac_energy(8) + em.sram_read_energy(8, 4096)
+    mcu = MCU_CORTEX_M0_CLASS.energy_for("mac8")
+    assert mcu > 20 * asic

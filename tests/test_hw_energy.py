@@ -1,0 +1,51 @@
+"""Energy report composition."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw.energy import EnergyReport
+
+
+def test_add_accumulates():
+    report = EnergyReport()
+    report.add("mac", 1e-9).add("mac", 2e-9).add("sram", 3e-9)
+    assert report.components["mac"] == pytest.approx(3e-9)
+    assert report.total == pytest.approx(6e-9)
+
+
+def test_add_rejects_negative():
+    with pytest.raises(HardwareModelError):
+        EnergyReport().add("x", -1.0)
+
+
+def test_scaled_produces_new_report():
+    report = EnergyReport({"a": 2.0})
+    doubled = report.scaled(2.0)
+    assert doubled.components["a"] == 4.0
+    assert report.components["a"] == 2.0
+    with pytest.raises(HardwareModelError):
+        report.scaled(-1.0)
+
+
+def test_merge_and_operator():
+    a = EnergyReport({"x": 1.0, "y": 2.0})
+    b = EnergyReport({"y": 3.0, "z": 4.0})
+    c = a + b
+    assert c.components == {"x": 1.0, "y": 5.0, "z": 4.0}
+    # Inputs untouched.
+    assert a.components["y"] == 2.0
+
+
+def test_fraction():
+    report = EnergyReport({"a": 1.0, "b": 3.0})
+    assert report.fraction("b") == pytest.approx(0.75)
+    assert report.fraction("missing") == 0.0
+    assert EnergyReport().fraction("a") == 0.0
+
+
+def test_pretty_formats_and_validates_unit():
+    report = EnergyReport({"mac": 1e-6})
+    text = report.pretty("uJ")
+    assert "mac" in text and "TOTAL" in text
+    with pytest.raises(HardwareModelError):
+        report.pretty("furlongs")

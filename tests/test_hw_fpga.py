@@ -1,0 +1,88 @@
+"""FPGA packing model and Table I reproduction."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ResourceExceededError
+from repro.hw.fpga import (
+    FpgaDesign,
+    FpgaDevice,
+    VIRTEX_ULTRASCALE_PLUS,
+    ZYNQ_7020,
+)
+
+
+def test_device_validation():
+    with pytest.raises(ConfigurationError):
+        FpgaDevice(name="bad", luts=0, bram_blocks=10, dsps=10, max_clock_hz=1e8)
+
+
+def test_design_clock_validated():
+    with pytest.raises(ConfigurationError):
+        FpgaDesign(ZYNQ_7020, clock_hz=1e9)  # above device max
+    with pytest.raises(ConfigurationError):
+        FpgaDesign(ZYNQ_7020, clock_hz=0)
+
+
+def test_zynq_packs_11_cus_dsp_limited():
+    design = FpgaDesign(ZYNQ_7020)
+    assert design.max_units() == 11
+    usage = design.usage(11)
+    assert usage.bottleneck() == "dsp"
+
+
+def test_ultrascale_packs_682_cus():
+    """The paper: 'we can parallelize up to 682 compute units'."""
+    design = FpgaDesign(VIRTEX_ULTRASCALE_PLUS)
+    assert design.max_units() == 682
+
+
+def test_table1_utilization_zynq():
+    """Table I evaluation column: logic 45.91%, RAM 6.70%, DSP 94.09%."""
+    design = FpgaDesign(ZYNQ_7020)
+    usage = design.usage(design.max_units())
+    assert usage.lut_fraction == pytest.approx(0.4591, abs=0.01)
+    assert usage.bram_fraction == pytest.approx(0.0670, abs=0.005)
+    assert usage.dsp_fraction == pytest.approx(0.9409, abs=0.005)
+
+
+def test_table1_utilization_ultrascale():
+    """Table I target column: logic 67.10%, RAM 17.60%, DSP 99.98%."""
+    design = FpgaDesign(VIRTEX_ULTRASCALE_PLUS)
+    usage = design.usage(design.max_units())
+    assert usage.lut_fraction == pytest.approx(0.6710, abs=0.01)
+    assert usage.bram_fraction == pytest.approx(0.1760, abs=0.01)
+    assert usage.dsp_fraction == pytest.approx(0.9998, abs=0.001)
+
+
+def test_usage_overflow_raises():
+    design = FpgaDesign(ZYNQ_7020)
+    with pytest.raises(ResourceExceededError):
+        design.usage(100)
+    with pytest.raises(ConfigurationError):
+        design.usage(-1)
+
+
+def test_throughput_scales_with_units():
+    design = FpgaDesign(ZYNQ_7020)
+    assert design.items_per_second(10) == pytest.approx(10 * 125e6)
+    assert design.items_per_second(5) == pytest.approx(design.items_per_second(10) / 2)
+
+
+def test_seconds_for_items():
+    design = FpgaDesign(ZYNQ_7020)
+    assert design.seconds_for_items(125e6, n_units=1) == pytest.approx(1.0)
+    with pytest.raises(ConfigurationError):
+        design.seconds_for_items(-1)
+
+
+def test_zero_units_design_cannot_stream():
+    tiny = FpgaDevice(name="tiny", luts=100, bram_blocks=1, dsps=4, max_clock_hz=2e8)
+    design = FpgaDesign(tiny)
+    assert design.max_units() == 0
+    with pytest.raises(ResourceExceededError):
+        design.seconds_for_items(100)
+
+
+def test_cu_dsps_validated():
+    with pytest.raises(ConfigurationError):
+        FpgaDesign(ZYNQ_7020, cu_dsps=0)

@@ -1,0 +1,95 @@
+"""GPU roofline and link models."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw.gpu import GpuModel, QUADRO_K2200_CLASS
+from repro.hw.network import (
+    ETHERNET_25G,
+    ETHERNET_400G,
+    LinkModel,
+    RF_BACKSCATTER,
+)
+
+
+def test_gpu_validation():
+    with pytest.raises(HardwareModelError):
+        GpuModel(name="x", peak_flops=0, peak_bytes_per_s=1)
+    with pytest.raises(HardwareModelError):
+        GpuModel(name="x", peak_flops=1, peak_bytes_per_s=1, compute_efficiency=0)
+
+
+def test_gpu_compute_bound_kernel():
+    gpu = QUADRO_K2200_CLASS
+    flops = gpu.peak_flops * gpu.compute_efficiency  # 1 second of compute
+    t = gpu.kernel_seconds(flops=flops, bytes_moved=0)
+    assert t == pytest.approx(1.0 + gpu.launch_overhead_s)
+
+
+def test_gpu_memory_bound_kernel():
+    gpu = QUADRO_K2200_CLASS
+    bw = gpu.peak_bytes_per_s * gpu.bandwidth_efficiency
+    t = gpu.kernel_seconds(flops=0, bytes_moved=bw * 2)
+    assert t == pytest.approx(2.0 + gpu.launch_overhead_s)
+
+
+def test_gpu_roofline_takes_max():
+    gpu = QUADRO_K2200_CLASS
+    t_both = gpu.kernel_seconds(
+        flops=gpu.peak_flops * gpu.compute_efficiency * 3,
+        bytes_moved=gpu.peak_bytes_per_s * gpu.bandwidth_efficiency,
+    )
+    assert t_both == pytest.approx(3.0 + gpu.launch_overhead_s)
+
+
+def test_gpu_workload_validation():
+    with pytest.raises(HardwareModelError):
+        QUADRO_K2200_CLASS.kernel_seconds(flops=-1, bytes_moved=0)
+    with pytest.raises(HardwareModelError):
+        QUADRO_K2200_CLASS.kernel_energy(-1.0)
+
+
+def test_link_validation():
+    with pytest.raises(HardwareModelError):
+        LinkModel(name="x", raw_bps=0)
+    with pytest.raises(HardwareModelError):
+        LinkModel(name="x", raw_bps=1e9, efficiency=1.5)
+    with pytest.raises(HardwareModelError):
+        LinkModel(name="x", raw_bps=1e9, tx_energy_per_bit=-1)
+
+
+def test_link_fps_and_seconds_consistent():
+    link = LinkModel(name="test", raw_bps=8e6)  # 1 MB/s
+    assert link.seconds_for_bytes(1e6) == pytest.approx(1.0)
+    assert link.fps_for_bytes(0.5e6) == pytest.approx(2.0)
+    assert link.fps_for_bytes(0) == float("inf")
+
+
+def test_link_efficiency_reduces_goodput():
+    link = LinkModel(name="test", raw_bps=1e9, efficiency=0.5)
+    assert link.goodput_bps == pytest.approx(0.5e9)
+
+
+def test_paper_links():
+    """The 25 GbE link uploads the 199 MB raw frame set at ~15.7 FPS
+    (the Figure 10 'S~' bar), and 400 GbE is 16x that."""
+    raw_bytes = 198.7e6
+    assert ETHERNET_25G.fps_for_bytes(raw_bytes) == pytest.approx(15.7, abs=0.1)
+    assert ETHERNET_400G.fps_for_bytes(raw_bytes) == pytest.approx(
+        16 * ETHERNET_25G.fps_for_bytes(raw_bytes)
+    )
+
+
+def test_backscatter_tx_energy():
+    payload = 1000.0
+    energy = RF_BACKSCATTER.tx_energy_for_bytes(payload)
+    assert energy == pytest.approx(8000 * RF_BACKSCATTER.tx_energy_per_bit)
+    with pytest.raises(HardwareModelError):
+        RF_BACKSCATTER.tx_energy_for_bytes(-1)
+
+
+def test_backscatter_is_slow():
+    """A QCIF frame takes on the order of a second over backscatter —
+    the reason transmit-everything is untenable."""
+    frame_bytes = 144 * 176
+    assert RF_BACKSCATTER.seconds_for_bytes(frame_bytes) > 0.5

@@ -1,0 +1,80 @@
+"""Technology scaling laws."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw.technology import TECH_28NM
+
+
+def test_voltage_scaling_quadratic():
+    half = TECH_28NM.mac_energy(8, voltage=0.45)
+    full = TECH_28NM.mac_energy(8, voltage=0.9)
+    assert half == pytest.approx(full * 0.25)
+
+
+def test_voltage_envelope_enforced():
+    with pytest.raises(HardwareModelError):
+        TECH_28NM.mac_energy(8, voltage=0.2)
+    with pytest.raises(HardwareModelError):
+        TECH_28NM.voltage_factor(2.0)
+
+
+def test_mac_energy_quadratic_in_width():
+    e8 = TECH_28NM.mac_energy(8)
+    e16 = TECH_28NM.mac_energy(16)
+    assert e16 == pytest.approx(4 * e8)
+
+
+def test_add_and_register_linear_in_width():
+    assert TECH_28NM.add_energy(16) == pytest.approx(2 * TECH_28NM.add_energy(8))
+    assert TECH_28NM.register_energy(32) == pytest.approx(
+        4 * TECH_28NM.register_energy(8)
+    )
+
+
+def test_mac_bits_validated():
+    with pytest.raises(HardwareModelError):
+        TECH_28NM.mac_energy(0)
+
+
+def test_sram_width_scaling_is_affine():
+    """Narrow reads keep the periphery cost: 8-bit is much more than a
+    quarter of 32-bit."""
+    e8 = TECH_28NM.sram_read_energy(8, 8192)
+    e32 = TECH_28NM.sram_read_energy(32, 8192)
+    assert e8 > 0.25 * e32
+    assert e8 < e32
+
+
+def test_sram_capacity_scaling_monotone():
+    small = TECH_28NM.sram_read_energy(32, 4096)
+    large = TECH_28NM.sram_read_energy(32, 64 * 1024)
+    assert large > small
+
+
+def test_sram_write_costs_more_than_read():
+    assert TECH_28NM.sram_write_energy(32, 8192) > TECH_28NM.sram_read_energy(
+        32, 8192
+    )
+
+
+def test_sram_validation():
+    with pytest.raises(HardwareModelError):
+        TECH_28NM.sram_read_energy(0, 8192)
+    with pytest.raises(HardwareModelError):
+        TECH_28NM.sram_read_energy(8, 0)
+
+
+def test_leakage_scales_with_gates():
+    assert TECH_28NM.leakage_power(20.0) == pytest.approx(
+        2 * TECH_28NM.leakage_power(10.0)
+    )
+    with pytest.raises(HardwareModelError):
+        TECH_28NM.leakage_power(-1.0)
+
+
+def test_anchor_magnitudes_plausible():
+    """Sanity anchors: an 8-bit MAC lands in the 0.05-1 pJ regime at
+    0.9 V in a 28 nm-class process."""
+    e = TECH_28NM.mac_energy(8)
+    assert 0.05e-12 < e < 1e-12

@@ -1,0 +1,66 @@
+"""Bayer mosaic/demosaic round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.bayer import bayer_mosaic, demosaic_bilinear
+
+
+def _smooth_rgb(h, w, seed=0):
+    from repro.imaging.draw import smooth_texture
+
+    rng = np.random.default_rng(seed)
+    return np.stack(
+        [smooth_texture(h, w, rng, scale=8) for _ in range(3)], axis=-1
+    )
+
+
+def test_mosaic_samples_correct_channels():
+    rgb = np.zeros((4, 4, 3))
+    rgb[..., 0] = 0.9  # R
+    rgb[..., 1] = 0.5  # G
+    rgb[..., 2] = 0.1  # B
+    raw = bayer_mosaic(rgb)
+    assert raw[0, 0] == 0.9  # R site
+    assert raw[0, 1] == 0.5  # G site
+    assert raw[1, 0] == 0.5  # G site
+    assert raw[1, 1] == 0.1  # B site
+
+
+def test_mosaic_shape_matches_input():
+    rgb = _smooth_rgb(6, 8)
+    assert bayer_mosaic(rgb).shape == (6, 8)
+
+
+def test_demosaic_recovers_smooth_images():
+    rgb = _smooth_rgb(32, 40, seed=1)
+    recovered = demosaic_bilinear(bayer_mosaic(rgb))
+    assert recovered.shape == rgb.shape
+    assert np.abs(recovered - rgb).mean() < 0.01
+
+
+def test_demosaic_preserves_sampled_pixels():
+    rgb = _smooth_rgb(16, 16, seed=2)
+    raw = bayer_mosaic(rgb)
+    out = demosaic_bilinear(raw)
+    # Where the sensor actually sampled a channel, the value is exact.
+    assert out[0, 0, 0] == pytest.approx(raw[0, 0])
+    assert out[1, 1, 2] == pytest.approx(raw[1, 1])
+    assert out[0, 1, 1] == pytest.approx(raw[0, 1])
+
+
+def test_demosaic_constant_image_is_exact():
+    rgb = np.full((8, 8, 3), 0.4)
+    out = demosaic_bilinear(bayer_mosaic(rgb))
+    assert np.allclose(out, 0.4)
+
+
+def test_demosaic_rejects_tiny_frames():
+    with pytest.raises(ImageError):
+        demosaic_bilinear(np.ones((1, 4)))
+
+
+def test_mosaic_rejects_gray_input():
+    with pytest.raises(ImageError):
+        bayer_mosaic(np.ones((4, 4)))

@@ -1,0 +1,97 @@
+"""Drawing primitives used by the synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging import draw
+
+
+def test_canvas_fill_and_shape():
+    c = draw.canvas(4, 6, 0.3)
+    assert c.shape == (4, 6)
+    assert np.all(c == 0.3)
+
+
+def test_canvas_rejects_empty():
+    with pytest.raises(ImageError):
+        draw.canvas(0, 5)
+
+
+def test_fill_rect_clips_to_canvas():
+    c = draw.canvas(4, 4)
+    draw.fill_rect(c, -2, -2, 10, 2, 1.0)
+    assert np.all(c[:, :2] == 1.0)
+    assert np.all(c[:, 2:] == 0.0)
+
+
+def test_blend_ellipse_center_value_and_outside():
+    c = draw.canvas(21, 21, 0.0)
+    draw.blend_ellipse(c, 10, 10, 5, 5, 1.0, softness=0.0)
+    assert c[10, 10] == 1.0
+    assert c[0, 0] == 0.0
+
+
+def test_blend_ellipse_soft_edges_are_intermediate():
+    c = draw.canvas(31, 31, 0.0)
+    draw.blend_ellipse(c, 15, 15, 8, 8, 1.0, softness=3.0)
+    ring_values = c[15, 5:10]
+    assert np.any((ring_values > 0.05) & (ring_values < 0.95))
+
+
+def test_blend_ellipse_rotation_changes_footprint():
+    a = draw.canvas(21, 21)
+    b = draw.canvas(21, 21)
+    draw.blend_ellipse(a, 10, 10, 8, 2, 1.0, softness=0.0, angle=0.0)
+    draw.blend_ellipse(b, 10, 10, 8, 2, 1.0, softness=0.0, angle=np.pi / 2)
+    assert a[2, 10] == 1.0 and b[2, 10] == 0.0
+    assert b[10, 2] == 1.0 and a[10, 2] == 0.0
+
+
+def test_blend_ellipse_rejects_bad_radii():
+    with pytest.raises(ImageError):
+        draw.blend_ellipse(draw.canvas(5, 5), 2, 2, 0.0, 1.0, 1.0)
+
+
+def test_linear_gradient_axes():
+    g0 = draw.linear_gradient(4, 3, 0.0, 1.0, axis=0)
+    assert g0[0, 0] == 0.0 and g0[-1, 0] == 1.0
+    assert np.all(g0[:, 0] == g0[:, 2])
+    g1 = draw.linear_gradient(4, 3, 0.0, 1.0, axis=1)
+    assert g1[0, 0] == 0.0 and g1[0, -1] == 1.0
+
+
+def test_linear_gradient_rejects_bad_axis():
+    with pytest.raises(ImageError):
+        draw.linear_gradient(4, 4, 0, 1, axis=2)
+
+
+def test_add_noise_statistics_and_clipping():
+    rng = np.random.default_rng(0)
+    img = np.full((50, 50), 0.5)
+    noisy = draw.add_noise(img, 0.1, rng)
+    assert noisy.std() == pytest.approx(0.1, rel=0.2)
+    assert noisy.min() >= 0.0 and noisy.max() <= 1.0
+
+
+def test_add_noise_zero_sigma_identity():
+    rng = np.random.default_rng(1)
+    img = np.full((5, 5), 0.5)
+    assert np.array_equal(draw.add_noise(img, 0.0, rng), img)
+
+
+def test_add_noise_rejects_negative_sigma():
+    with pytest.raises(ImageError):
+        draw.add_noise(np.ones((3, 3)), -0.1, np.random.default_rng(0))
+
+
+def test_checkerboard_alternation():
+    board = draw.checkerboard(4, 4, 1, low=0.0, high=1.0)
+    assert board[0, 0] == 0.0 and board[0, 1] == 1.0 and board[1, 0] == 1.0
+
+
+def test_smooth_texture_range_and_determinism():
+    a = draw.smooth_texture(20, 20, np.random.default_rng(7), scale=4)
+    b = draw.smooth_texture(20, 20, np.random.default_rng(7), scale=4)
+    assert np.array_equal(a, b)
+    assert a.min() >= 0.0 and a.max() <= 1.0

@@ -1,0 +1,90 @@
+"""Linear filters: kernels, conservation, and edge behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.filters import (
+    box_filter,
+    convolve_separable,
+    gaussian_filter,
+    gaussian_kernel1d,
+    gradient_magnitude,
+    sobel,
+)
+
+
+def test_gaussian_kernel_normalized_and_symmetric():
+    k = gaussian_kernel1d(1.5)
+    assert k.sum() == pytest.approx(1.0)
+    assert np.allclose(k, k[::-1])
+    assert len(k) == 2 * int(np.ceil(4.5)) + 1
+
+
+def test_gaussian_kernel_rejects_bad_sigma():
+    with pytest.raises(ImageError):
+        gaussian_kernel1d(0.0)
+
+
+def test_gaussian_kernel_radius_override():
+    assert len(gaussian_kernel1d(1.0, radius=2)) == 5
+
+
+def test_convolve_separable_identity():
+    arr = np.random.default_rng(0).uniform(size=(6, 7))
+    out = convolve_separable(arr, np.array([1.0]), np.array([1.0]))
+    assert np.allclose(out, arr)
+
+
+def test_convolve_separable_rejects_even_kernels():
+    arr = np.ones((5, 5))
+    with pytest.raises(ImageError):
+        convolve_separable(arr, np.array([0.5, 0.5]), np.array([1.0]))
+
+
+def test_gaussian_preserves_constant_image():
+    arr = np.full((10, 10), 0.6)
+    out = gaussian_filter(arr, 2.0)
+    assert np.allclose(out, 0.6)
+
+
+def test_gaussian_reduces_variance():
+    rng = np.random.default_rng(1)
+    arr = rng.uniform(size=(32, 32))
+    out = gaussian_filter(arr, 1.5)
+    assert out.std() < arr.std()
+
+
+def test_box_filter_is_local_mean():
+    arr = np.arange(25, dtype=float).reshape(5, 5)
+    out = box_filter(arr, 1)
+    assert out[2, 2] == pytest.approx(arr[1:4, 1:4].mean())
+
+
+def test_box_filter_rejects_bad_radius():
+    with pytest.raises(ImageError):
+        box_filter(np.ones((4, 4)), 0)
+
+
+def test_sobel_detects_vertical_edge():
+    arr = np.zeros((8, 8))
+    arr[:, 4:] = 1.0
+    gy, gx = sobel(arr)
+    assert np.abs(gx).max() > 0.4
+    assert np.abs(gy).max() == pytest.approx(0.0, abs=1e-9)
+
+
+def test_sobel_detects_horizontal_edge():
+    arr = np.zeros((8, 8))
+    arr[4:, :] = 1.0
+    gy, gx = sobel(arr)
+    assert np.abs(gy).max() > 0.4
+    assert np.abs(gx).max() == pytest.approx(0.0, abs=1e-9)
+
+
+def test_gradient_magnitude_nonnegative_and_zero_on_flat():
+    flat = np.full((6, 6), 0.3)
+    assert np.allclose(gradient_magnitude(flat), 0.0)
+    edge = np.zeros((6, 6))
+    edge[:, 3:] = 1.0
+    assert gradient_magnitude(edge).max() > 0.0

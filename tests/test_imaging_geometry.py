@@ -1,0 +1,66 @@
+"""Warps and remapping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.geometry import remap_bilinear, translate, warp_affine
+
+
+def test_remap_identity():
+    arr = np.random.default_rng(0).uniform(size=(6, 7))
+    ys, xs = np.mgrid[0:6, 0:7].astype(float)
+    out = remap_bilinear(arr, ys, xs)
+    assert np.allclose(out, arr)
+
+
+def test_remap_out_of_bounds_uses_fill():
+    arr = np.ones((4, 4))
+    map_y = np.full((2, 2), -5.0)
+    map_x = np.full((2, 2), 0.0)
+    out = remap_bilinear(arr, map_y, map_x, fill=0.25)
+    assert np.all(out == 0.25)
+
+
+def test_remap_interpolates_halfway():
+    arr = np.array([[0.0, 1.0]])
+    out = remap_bilinear(arr, np.array([[0.0]]), np.array([[0.5]]))
+    assert out[0, 0] == pytest.approx(0.5)
+
+
+def test_remap_shape_mismatch_raises():
+    with pytest.raises(ImageError):
+        remap_bilinear(np.ones((3, 3)), np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+def test_translate_integer_shift_exact():
+    arr = np.zeros((6, 6))
+    arr[2, 3] = 1.0
+    out = translate(arr, 1.0, -1.0)
+    assert out[3, 2] == pytest.approx(1.0)
+    assert out.sum() == pytest.approx(1.0)
+
+
+def test_translate_roundtrip_center_region():
+    rng = np.random.default_rng(1)
+    arr = rng.uniform(size=(12, 12))
+    out = translate(translate(arr, 0.0, 2.0), 0.0, -2.0)
+    assert np.allclose(out[:, 4:8], arr[:, 4:8], atol=1e-9)
+
+
+def test_warp_affine_identity():
+    arr = np.random.default_rng(2).uniform(size=(5, 5))
+    eye = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+    assert np.allclose(warp_affine(arr, eye), arr)
+
+
+def test_warp_affine_shape_contract():
+    with pytest.raises(ImageError):
+        warp_affine(np.ones((4, 4)), np.eye(3))
+
+
+def test_warp_affine_output_shape_override():
+    arr = np.ones((4, 4))
+    eye = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+    out = warp_affine(arr, eye, out_shape=(2, 6))
+    assert out.shape == (2, 6)

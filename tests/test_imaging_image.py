@@ -1,0 +1,88 @@
+"""Image container contracts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging import image as img
+
+
+def test_ensure_gray_accepts_2d():
+    arr = img.ensure_gray(np.zeros((4, 5)))
+    assert arr.shape == (4, 5)
+    assert arr.dtype == np.float64
+
+
+def test_ensure_gray_rejects_color_and_empty():
+    with pytest.raises(ImageError):
+        img.ensure_gray(np.zeros((4, 5, 3)))
+    with pytest.raises(ImageError):
+        img.ensure_gray(np.zeros((0, 5)))
+
+
+def test_ensure_color_shape_contract():
+    arr = img.ensure_color(np.zeros((3, 4, 3)))
+    assert arr.shape == (3, 4, 3)
+    with pytest.raises(ImageError):
+        img.ensure_color(np.zeros((3, 4)))
+    with pytest.raises(ImageError):
+        img.ensure_color(np.zeros((3, 4, 4)))
+
+
+def test_as_gray_uses_luma_weights():
+    rgb = np.zeros((2, 2, 3))
+    rgb[..., 1] = 1.0  # pure green
+    gray = img.as_gray(rgb)
+    assert gray == pytest.approx(np.full((2, 2), 0.587))
+
+
+def test_as_gray_passthrough_for_gray():
+    arr = np.random.default_rng(0).uniform(size=(5, 5))
+    assert np.array_equal(img.as_gray(arr), arr)
+
+
+def test_clip01_bounds():
+    out = img.clip01(np.array([[-1.0, 0.5], [2.0, 1.0]]))
+    assert out.min() >= 0.0 and out.max() <= 1.0
+    assert out[0, 1] == 0.5
+
+
+def test_normalize_spans_unit_interval():
+    arr = np.array([[2.0, 4.0], [6.0, 10.0]])
+    out = img.normalize(arr)
+    assert out.min() == 0.0 and out.max() == 1.0
+
+
+def test_normalize_constant_image_is_zero():
+    out = img.normalize(np.full((3, 3), 7.0))
+    assert np.all(out == 0.0)
+
+
+def test_to_uint8_rounding():
+    out = img.to_uint8(np.array([[0.0, 0.5, 1.0]]).reshape(1, 3))
+    assert out.dtype == np.uint8
+    assert list(out[0]) == [0, 128, 255]
+
+
+def test_pad_reflect_geometry_and_values():
+    arr = np.arange(6, dtype=float).reshape(2, 3)
+    out = img.pad_reflect(arr, 1)
+    assert out.shape == (4, 5)
+    assert out[0, 1] == arr[1, 0]  # reflected row
+
+
+def test_pad_reflect_zero_is_copy():
+    arr = np.ones((2, 2))
+    out = img.pad_reflect(arr, 0)
+    assert np.array_equal(out, arr)
+    out[0, 0] = 5.0
+    assert arr[0, 0] == 1.0  # not aliased
+
+
+def test_pad_reflect_rejects_negative():
+    with pytest.raises(ImageError):
+        img.pad_reflect(np.ones((2, 2)), -1)
+
+
+def test_image_energy_mean_square():
+    assert img.image_energy(np.full((2, 2), 0.5)) == pytest.approx(0.25)

@@ -1,0 +1,113 @@
+"""Integral images: exactness against brute force, including properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ImageError
+from repro.imaging.integral import (
+    integral_image,
+    integral_of_squares,
+    window_mean_and_std,
+    window_sum,
+    window_sums_batch,
+)
+
+
+def test_integral_shape_has_zero_border():
+    ii = integral_image(np.ones((3, 4)))
+    assert ii.shape == (4, 5)
+    assert np.all(ii[0, :] == 0) and np.all(ii[:, 0] == 0)
+
+
+def test_full_window_sum_equals_total():
+    rng = np.random.default_rng(0)
+    arr = rng.uniform(size=(7, 9))
+    ii = integral_image(arr)
+    assert window_sum(ii, 0, 0, 7, 9) == pytest.approx(arr.sum())
+
+
+def test_window_sum_matches_slice():
+    rng = np.random.default_rng(1)
+    arr = rng.uniform(size=(10, 12))
+    ii = integral_image(arr)
+    assert window_sum(ii, 2, 3, 7, 9) == pytest.approx(arr[2:7, 3:9].sum())
+
+
+def test_window_sum_bounds_checked():
+    ii = integral_image(np.ones((4, 4)))
+    with pytest.raises(ImageError):
+        window_sum(ii, 0, 0, 6, 2)
+    with pytest.raises(ImageError):
+        window_sum(ii, 3, 0, 2, 2)  # y0 > y1
+
+
+def test_window_sums_batch_matches_scalar():
+    rng = np.random.default_rng(2)
+    arr = rng.uniform(size=(12, 14))
+    ii = integral_image(arr)
+    ys = np.array([0, 3, 5])
+    xs = np.array([1, 2, 7])
+    batch = window_sums_batch(ii, ys, xs, height=4, width=5)
+    for k in range(3):
+        expected = window_sum(ii, ys[k], xs[k], ys[k] + 4, xs[k] + 5)
+        assert batch[k] == pytest.approx(expected)
+
+
+def test_window_mean_and_std_match_numpy():
+    rng = np.random.default_rng(3)
+    arr = rng.uniform(size=(9, 9))
+    ii = integral_image(arr)
+    ii_sq = integral_of_squares(arr)
+    mean, std = window_mean_and_std(ii, ii_sq, 1, 2, 6, 8)
+    patch = arr[1:6, 2:8]
+    assert mean == pytest.approx(patch.mean())
+    assert std == pytest.approx(patch.std(), abs=1e-9)
+
+
+def test_window_mean_and_std_rejects_empty_window():
+    arr = np.ones((4, 4))
+    ii = integral_image(arr)
+    ii_sq = integral_of_squares(arr)
+    with pytest.raises(ImageError):
+        window_mean_and_std(ii, ii_sq, 1, 1, 1, 3)
+
+
+def test_constant_window_std_is_zero():
+    arr = np.full((6, 6), 0.37)
+    ii = integral_image(arr)
+    ii_sq = integral_of_squares(arr)
+    _, std = window_mean_and_std(ii, ii_sq, 0, 0, 6, 6)
+    assert std == pytest.approx(0.0, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    h=st.integers(2, 12),
+    w=st.integers(2, 12),
+    seed=st.integers(0, 1000),
+)
+def test_property_any_window_matches_brute_force(h, w, seed):
+    """Every possible window sum equals the numpy slice sum."""
+    rng = np.random.default_rng(seed)
+    arr = rng.uniform(size=(h, w))
+    ii = integral_image(arr)
+    y0 = int(rng.integers(0, h))
+    y1 = int(rng.integers(y0, h)) + 1
+    x0 = int(rng.integers(0, w))
+    x1 = int(rng.integers(x0, w)) + 1
+    assert window_sum(ii, y0, x0, y1, x1) == pytest.approx(
+        arr[y0:y1, x0:x1].sum(), abs=1e-9
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_integral_is_monotone_for_nonnegative(seed):
+    """For non-negative images the integral image is monotone along axes."""
+    rng = np.random.default_rng(seed)
+    arr = rng.uniform(0.0, 1.0, size=(8, 8))
+    ii = integral_image(arr)
+    assert np.all(np.diff(ii, axis=0) >= -1e-12)
+    assert np.all(np.diff(ii, axis=1) >= -1e-12)

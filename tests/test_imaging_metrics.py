@@ -1,0 +1,86 @@
+"""Quality metrics: identities, orderings, degradation monotonicity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.draw import add_noise, smooth_texture
+from repro.imaging.metrics import mse, ms_ssim, psnr, ssim
+
+
+@pytest.fixture(scope="module")
+def base_image():
+    rng = np.random.default_rng(0)
+    return smooth_texture(64, 64, rng, scale=6)
+
+
+def test_mse_zero_for_identical(base_image):
+    assert mse(base_image, base_image) == 0.0
+
+
+def test_mse_known_value():
+    a = np.zeros((4, 4))
+    b = np.full((4, 4), 0.5)
+    assert mse(a, b) == pytest.approx(0.25)
+
+
+def test_psnr_infinite_for_identical(base_image):
+    assert psnr(base_image, base_image) == float("inf")
+
+
+def test_psnr_decreases_with_noise(base_image):
+    rng = np.random.default_rng(1)
+    light = add_noise(base_image, 0.02, rng)
+    heavy = add_noise(base_image, 0.2, rng)
+    assert psnr(base_image, light) > psnr(base_image, heavy)
+
+
+def test_ssim_bounds_and_identity(base_image):
+    assert ssim(base_image, base_image) == pytest.approx(1.0)
+    rng = np.random.default_rng(2)
+    noisy = add_noise(base_image, 0.1, rng)
+    value = ssim(base_image, noisy)
+    assert 0.0 < value < 1.0
+
+
+def test_ssim_monotone_in_noise(base_image):
+    rng = np.random.default_rng(3)
+    values = [
+        ssim(base_image, add_noise(base_image, sigma, rng))
+        for sigma in (0.02, 0.08, 0.25)
+    ]
+    assert values[0] > values[1] > values[2]
+
+
+def test_ms_ssim_identity(base_image):
+    assert ms_ssim(base_image, base_image) == pytest.approx(1.0)
+
+
+def test_ms_ssim_monotone_in_noise(base_image):
+    rng = np.random.default_rng(4)
+    a = ms_ssim(base_image, add_noise(base_image, 0.05, rng))
+    b = ms_ssim(base_image, add_noise(base_image, 0.25, rng))
+    assert a > b
+
+
+def test_ms_ssim_small_images_still_defined():
+    rng = np.random.default_rng(5)
+    small = smooth_texture(16, 16, rng, scale=4)
+    value = ms_ssim(small, add_noise(small, 0.1, rng))
+    assert 0.0 < value <= 1.0
+
+
+def test_metrics_reject_shape_mismatch(base_image):
+    with pytest.raises(ImageError):
+        mse(base_image, base_image[:32])
+    with pytest.raises(ImageError):
+        ssim(base_image, base_image[:, :32])
+
+
+def test_ssim_prefers_blur_over_contrast_inversion(base_image):
+    """Structural similarity ranks a blurred copy above an inverted one."""
+    from repro.imaging.filters import gaussian_filter
+
+    blurred = gaussian_filter(base_image, 1.0)
+    inverted = 1.0 - base_image
+    assert ssim(base_image, blurred) > ssim(base_image, inverted)

@@ -1,0 +1,68 @@
+"""Resampling: bilinear resize, downsampling, pyramids."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.resize import downsample2x, gaussian_pyramid, resize_bilinear
+
+
+def test_resize_identity_copies():
+    arr = np.random.default_rng(0).uniform(size=(8, 9))
+    out = resize_bilinear(arr, 8, 9)
+    assert np.array_equal(out, arr)
+    out[0, 0] = 9.0
+    assert arr[0, 0] != 9.0
+
+
+def test_resize_constant_preserved():
+    arr = np.full((10, 10), 0.7)
+    out = resize_bilinear(arr, 4, 17)
+    assert np.allclose(out, 0.7)
+
+
+def test_resize_preserves_mean_approximately():
+    rng = np.random.default_rng(1)
+    from repro.imaging.draw import smooth_texture
+
+    arr = smooth_texture(40, 40, rng, scale=8)
+    out = resize_bilinear(arr, 20, 20)
+    assert out.mean() == pytest.approx(arr.mean(), abs=0.02)
+
+
+def test_resize_gradient_stays_monotone():
+    ramp = np.tile(np.linspace(0, 1, 32), (8, 1))
+    out = resize_bilinear(ramp, 8, 16)
+    assert np.all(np.diff(out[0]) >= -1e-12)
+
+
+def test_resize_rejects_bad_output():
+    with pytest.raises(ImageError):
+        resize_bilinear(np.ones((4, 4)), 0, 4)
+
+
+def test_downsample_halves_dimensions():
+    out = downsample2x(np.ones((10, 14)))
+    assert out.shape == (5, 7)
+
+
+def test_downsample_rejects_tiny():
+    with pytest.raises(ImageError):
+        downsample2x(np.ones((1, 10)))
+
+
+def test_pyramid_levels_and_shapes():
+    arr = np.random.default_rng(2).uniform(size=(32, 32))
+    pyr = gaussian_pyramid(arr, 3)
+    assert [p.shape for p in pyr] == [(32, 32), (16, 16), (8, 8)]
+
+
+def test_pyramid_level_zero_is_input():
+    arr = np.random.default_rng(3).uniform(size=(16, 16))
+    pyr = gaussian_pyramid(arr, 1)
+    assert np.array_equal(pyr[0], arr)
+
+
+def test_pyramid_too_deep_raises():
+    with pytest.raises(ImageError):
+        gaussian_pyramid(np.ones((8, 8)), 5)

@@ -1,0 +1,138 @@
+"""Integration tests: both case studies end to end.
+
+These are the expensive tests of the suite — they train real components
+and run real traces — shared through a module-scoped workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import ThroughputCostModel
+from repro.faceauth.evaluate import (
+    PAPER_VARIANTS,
+    build_pipeline,
+    evaluate_variants,
+    harvest_analysis,
+)
+from repro.faceauth.workload import build_workload
+from repro.hw.network import ETHERNET_25G
+from repro.vr.scenarios import build_vr_pipeline, paper_configurations
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(seed=1, n_frames=80, event_rate=5.0)
+
+
+def test_workload_components_trained(workload):
+    assert workload.nn_float_error < 0.15
+    assert workload.cascade.n_stages >= 2
+    assert len(workload.video.events) >= 1
+
+
+def test_full_fa_pipeline_event_level_accuracy(workload):
+    """The paper's real-world result: zero missed target *visits* on the
+    (easy-conditions) security workload."""
+    pipeline = build_pipeline(PAPER_VARIANTS[3], workload, "asic")
+    result = pipeline.run_workload(workload.video)
+    assert result.event_miss_rate(workload.video) <= 0.34
+    assert result.false_alarm_rate < 0.1
+
+
+def test_variant_energy_ordering(workload):
+    """Progressive filtering: each added gate reduces per-frame energy on
+    sparse workloads (ASIC platform)."""
+    rows = evaluate_variants(workload, platforms=("asic",))
+    energy = {r["variant"]: r["energy_per_frame_uj"] for r in rows}
+    assert energy["tx-everything"] > energy["motion-gated"]
+    assert energy["motion-gated"] > energy["full-fa"]
+
+
+def test_asic_beats_mcu_on_full_pipeline(workload):
+    rows = evaluate_variants(workload, variants=(PAPER_VARIANTS[3],))
+    by_platform = {r["platform"]: r["energy_per_frame_uj"] for r in rows}
+    assert by_platform["asic"] < by_platform["mcu"]
+
+
+def test_decisions_platform_invariant(workload):
+    rows = evaluate_variants(workload, variants=(PAPER_VARIANTS[3],))
+    results = [r["result"] for r in rows]
+    decisions = [
+        [o.authenticated for o in result.outcomes] for result in results
+    ]
+    assert decisions[0] == decisions[1]
+
+
+def test_harvest_analysis_monotone_in_distance(workload):
+    rows = evaluate_variants(
+        workload, variants=(PAPER_VARIANTS[3],), platforms=("asic",)
+    )
+    energy_j = rows[0]["energy_per_frame_uj"] * 1e-6
+    analysis = harvest_analysis(energy_j, active_seconds=0.2)
+    fps = [row["steady_fps"] for row in analysis]
+    assert all(a >= b for a, b in zip(fps, fps[1:]))
+    assert fps[0] > 0
+
+
+def test_filtering_extends_operating_range(workload):
+    """The operational punchline of case study A: filtering lets the node
+    sustain 1 FPS farther from the reader."""
+    rows = evaluate_variants(workload, platforms=("asic",))
+    by_variant = {r["variant"]: r["energy_per_frame_uj"] * 1e-6 for r in rows}
+
+    def fps_at(energy, distance):
+        return harvest_analysis(energy, 0.2, distances_m=(distance,))[0][
+            "steady_fps"
+        ]
+
+    distance = 2.5
+    assert fps_at(by_variant["full-fa"], distance) > fps_at(
+        by_variant["tx-everything"], distance
+    )
+
+
+# ---------------------------------------------------------------------------
+# Case study B
+# ---------------------------------------------------------------------------
+def test_vr_figure10_feasibility_and_values():
+    pipeline = build_vr_pipeline()
+    model = ThroughputCostModel(ETHERNET_25G)
+    expectations = {
+        "S~": (15.8, False),
+        "S B1~": (5.27, False),
+        "S B1 B2~": (3.95, False),
+        "S B1 B2 B3(cpu)~": (0.09, False),
+        "S B1 B2 B3(gpu)~": (3.95, False),
+        "S B1 B2 B3(fpga)~": (11.2, False),
+        "S B1 B2 B3(cpu) B4(cpu)~": (0.09, False),
+        "S B1 B2 B3(gpu) B4(gpu)~": (3.95, False),
+        "S B1 B2 B3(fpga) B4(fpga)~": (31.6, True),
+    }
+    for label, config in paper_configurations(pipeline):
+        total, feasible = expectations[label]
+        cost = model.evaluate(config)
+        assert cost.total_fps == pytest.approx(total, rel=0.25), label
+        assert cost.meets(30.0) == feasible, label
+
+
+def test_vr_functional_simulation_consistent_with_model(small_rig, rig_scene):
+    """The functional pipeline and the analytic model agree on which
+    block dominates (B3)."""
+    from repro.vr.blocks import RigDataModel
+    from repro.vr.pipeline import VrPipeline
+
+    run = VrPipeline(
+        small_rig,
+        data_model=RigDataModel(n_cameras=small_rig.n_cameras),
+        sigma_spatial=4,
+        solver_iters=6,
+        min_depth_m=1.5,
+    ).run_scene(rig_scene, seed=0)
+    assert run.slowest_block() == "B3"
+    pipeline = build_vr_pipeline()
+    arm_fps = {
+        "B1": pipeline.block("B1").implementation("arm").fps,
+        "B2": pipeline.block("B2").implementation("arm").fps,
+        "B3": pipeline.block("B3").implementation("cpu").fps,
+    }
+    assert min(arm_fps, key=arm_fps.get) == "B3"

@@ -1,0 +1,143 @@
+"""Motion detector (functional + hardware) and the VJ engine cost model."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.video import SurveillanceVideo
+from repro.errors import ConfigurationError, HardwareModelError
+from repro.facedet.detector import ScanStats
+from repro.motion.detector import MotionDetector, MotionHardwareModel
+from repro.vj_hw.accelerator import ViolaJonesAccelerator
+
+
+def test_motion_detector_validation():
+    with pytest.raises(ConfigurationError):
+        MotionDetector(pixel_threshold=0.0)
+    with pytest.raises(ConfigurationError):
+        MotionDetector(area_threshold=1.5)
+    with pytest.raises(ConfigurationError):
+        MotionDetector(reference_alpha=0.0)
+
+
+def test_first_frame_never_fires():
+    det = MotionDetector()
+    result = det.process(np.random.default_rng(0).uniform(size=(20, 20)))
+    assert not result.motion
+    assert result.changed_fraction == 0.0
+
+
+def test_static_scene_stays_quiet():
+    det = MotionDetector()
+    rng = np.random.default_rng(1)
+    base = rng.uniform(size=(30, 30))
+    det.process(base)
+    for _ in range(5):
+        noisy = np.clip(base + rng.normal(0, 0.01, base.shape), 0, 1)
+        assert not det.process(noisy).motion
+
+
+def test_large_change_fires():
+    det = MotionDetector()
+    base = np.full((30, 30), 0.3)
+    det.process(base)
+    changed = base.copy()
+    changed[5:20, 5:20] = 0.9
+    result = det.process(changed)
+    assert result.motion
+    assert result.changed_fraction > 0.1
+
+
+def test_reference_adapts_to_slow_drift():
+    det = MotionDetector(reference_alpha=0.5)
+    base = np.full((20, 20), 0.3)
+    det.process(base)
+    for step in range(1, 30):
+        drifted = np.clip(base + step * 0.01, 0, 1)
+        result = det.process(drifted)
+    assert not result.motion  # slow drift absorbed by the EMA
+
+
+def test_reference_freezes_during_motion():
+    det = MotionDetector()
+    base = np.full((20, 20), 0.2)
+    det.process(base)
+    moved = base.copy()
+    moved[:10] = 0.9
+    assert det.process(moved).motion
+    # Person still there: still detected (reference did not absorb them).
+    assert det.process(moved).motion
+
+
+def test_resolution_change_requires_reset():
+    det = MotionDetector()
+    det.process(np.zeros((10, 10)))
+    with pytest.raises(ConfigurationError):
+        det.process(np.zeros((20, 20)))
+    det.reset()
+    det.process(np.zeros((20, 20)))  # fine after reset
+
+
+def test_motion_detects_video_events():
+    video = SurveillanceVideo(n_frames=60, event_rate=5.0, seed=5)
+    det = MotionDetector()
+    hits = {True: 0, False: 0}
+    totals = {True: 0, False: 0}
+    for frame in video.frames():
+        result = det.process(frame.image)
+        # Skip event boundaries where motion lags by a frame.
+        totals[frame.has_person] += 1
+        hits[frame.has_person] += result.motion
+    if totals[True]:
+        assert hits[True] / totals[True] > 0.6
+    assert hits[False] / max(totals[False], 1) < 0.4
+
+
+def test_motion_hw_cost_scales_with_pixels():
+    hw = MotionHardwareModel()
+    c1, e1 = hw.frame_cost(1000)
+    c2, e2 = hw.frame_cost(2000)
+    assert c2 == 2 * c1
+    assert e2.total > e1.total
+    with pytest.raises(ConfigurationError):
+        hw.frame_cost(-1)
+
+
+def test_motion_hw_microjoule_regime():
+    """QCIF motion detection must cost ~a microjoule or less — that is
+    why it is worth running on every frame."""
+    hw = MotionHardwareModel()
+    _, report = hw.frame_cost(144 * 176)
+    assert report.total < 2e-6
+
+
+def test_vj_integral_pass_cost():
+    vj = ViolaJonesAccelerator()
+    cycles, report = vj.integral_pass_cost(10_000)
+    assert cycles == 5_000
+    assert report.total > 0
+    with pytest.raises(HardwareModelError):
+        vj.integral_pass_cost(-1)
+
+
+def test_vj_scan_cost_scales_with_work():
+    vj = ViolaJonesAccelerator()
+    light = ScanStats(windows_visited=100, feature_evaluations=500)
+    heavy = ScanStats(windows_visited=5000, feature_evaluations=40000)
+    pixels = 144 * 176
+    cost_light = vj.scan_cost(light, pixels)
+    cost_heavy = vj.scan_cost(heavy, pixels)
+    assert cost_heavy.cycles > cost_light.cycles
+    assert cost_heavy.total_joules > cost_light.total_joules
+
+
+def test_vj_cost_has_leakage_and_components():
+    vj = ViolaJonesAccelerator()
+    cost = vj.scan_cost(ScanStats(windows_visited=10, feature_evaluations=50), 1000)
+    assert "leakage" in cost.energy.components
+    assert "vj:table_reads" in cost.energy.components
+    assert cost.seconds == pytest.approx(cost.cycles / 30e6)
+
+
+def test_vj_word_width_validated():
+    with pytest.raises(HardwareModelError):
+        ViolaJonesAccelerator(integral_word_bits=4)

@@ -1,0 +1,97 @@
+"""MLP structure and forward semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn.mlp import MLP
+from repro.nn.sigmoid import sigmoid
+
+
+def test_layer_validation():
+    with pytest.raises(TrainingError):
+        MLP((400,))
+    with pytest.raises(TrainingError):
+        MLP((400, 0, 1))
+
+
+def test_paper_topology_counts():
+    model = MLP((400, 8, 1))
+    assert model.n_layers == 2
+    assert model.n_macs() == 400 * 8 + 8 * 1
+    assert model.n_parameters == 400 * 8 + 8 + 8 * 1 + 1
+
+
+def test_forward_records_all_activations():
+    model = MLP((4, 3, 2), seed=0)
+    X = np.random.default_rng(0).uniform(size=(5, 4))
+    acts = model.forward(X)
+    assert [a.shape for a in acts] == [(5, 4), (5, 3), (5, 2)]
+
+
+def test_forward_matches_manual_computation():
+    model = MLP((3, 2, 1), seed=1)
+    x = np.array([[0.1, 0.5, 0.9]])
+    hidden = sigmoid(x @ model.weights[0].T + model.biases[0])
+    out = sigmoid(hidden @ model.weights[1].T + model.biases[1])
+    assert np.allclose(model.predict_proba(x), out)
+
+
+def test_forward_1d_input_promoted():
+    model = MLP((3, 2, 1), seed=2)
+    out = model.predict_proba(np.array([0.1, 0.2, 0.3]))
+    assert out.shape == (1, 1)
+
+
+def test_forward_rejects_wrong_width():
+    model = MLP((3, 2, 1))
+    with pytest.raises(TrainingError):
+        model.predict_proba(np.ones((4, 5)))
+
+
+def test_custom_activation_is_used():
+    model = MLP((3, 2, 1), seed=3)
+    relu_like = lambda x: np.maximum(x, 0.0)  # noqa: E731
+    default = model.predict_proba(np.ones((1, 3)))
+    custom = model.predict_proba(np.ones((1, 3)), activation=relu_like)
+    assert not np.allclose(default, custom)
+
+
+def test_predict_threshold():
+    model = MLP((2, 1), seed=4)
+    X = np.random.default_rng(0).uniform(size=(10, 2))
+    proba = model.predict_proba(X)[:, 0]
+    pred = model.predict(X, threshold=0.5)
+    assert np.array_equal(pred, (proba >= 0.5).astype(np.int64))
+
+
+def test_predict_requires_single_output():
+    model = MLP((2, 3), seed=5)
+    with pytest.raises(TrainingError):
+        model.predict(np.ones((1, 2)))
+
+
+def test_classification_error_alignment():
+    model = MLP((2, 1), seed=6)
+    X = np.ones((4, 2))
+    with pytest.raises(TrainingError):
+        model.classification_error(X, np.ones(3))
+
+
+def test_copy_is_deep():
+    model = MLP((3, 2, 1), seed=7)
+    clone = model.copy()
+    clone.weights[0][0, 0] += 1.0
+    assert model.weights[0][0, 0] != clone.weights[0][0, 0]
+    assert clone.layer_sizes == model.layer_sizes
+
+
+def test_weight_span_positive():
+    model = MLP((5, 3, 1), seed=8)
+    assert model.weight_span() > 0.0
+
+
+def test_init_deterministic_under_seed():
+    a = MLP((10, 4, 1), seed=42)
+    b = MLP((10, 4, 1), seed=42)
+    assert np.array_equal(a.weights[0], b.weights[0])

@@ -1,0 +1,152 @@
+"""Fixed-point formats and the quantized forward pass."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.nn.mlp import MLP
+from repro.nn.quantize import (
+    FixedPointFormat,
+    QuantizedMLP,
+    quantize_array,
+    weight_format_for_span,
+)
+from repro.nn.train import train_rprop
+
+
+def test_format_validation():
+    with pytest.raises(ConfigurationError):
+        FixedPointFormat(total_bits=1, frac_bits=0)
+    with pytest.raises(ConfigurationError):
+        FixedPointFormat(total_bits=8, frac_bits=9)
+
+
+def test_format_ranges():
+    q8 = FixedPointFormat(total_bits=8, frac_bits=4, signed=True)
+    assert q8.min_int == -128 and q8.max_int == 127
+    u8 = FixedPointFormat(total_bits=8, frac_bits=8, signed=False)
+    assert u8.min_int == 0 and u8.max_int == 255
+    assert u8.resolution == pytest.approx(1 / 256)
+
+
+def test_quantize_saturates():
+    fmt = FixedPointFormat(total_bits=8, frac_bits=4)
+    assert fmt.quantize(1000.0) == 127
+    assert fmt.quantize(-1000.0) == -128
+
+
+def test_roundtrip_error_bounded_by_resolution():
+    fmt = FixedPointFormat(total_bits=8, frac_bits=5)
+    xs = np.linspace(-3.9, 3.9, 1001)
+    err = np.abs(fmt.roundtrip(xs) - xs)
+    assert err.max() <= fmt.resolution / 2 + 1e-12
+
+
+def test_quantize_array_helper():
+    fmt = FixedPointFormat(8, 4)
+    arr = np.array([0.1, -0.3])
+    assert np.allclose(quantize_array(arr, fmt), fmt.roundtrip(arr))
+
+
+def test_weight_format_for_span_allocation():
+    fmt = weight_format_for_span(3.5, 8)
+    # Needs 2 integer bits + sign: 5 fraction bits remain.
+    assert fmt.frac_bits == 5
+    assert fmt.roundtrip(3.5) == pytest.approx(3.5, abs=fmt.resolution)
+
+
+def test_weight_format_saturates_when_too_narrow():
+    fmt = weight_format_for_span(100.0, 4)
+    assert fmt.frac_bits == 0
+    assert fmt.quantize(100.0) == fmt.max_int  # saturated, not crashed
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bits=st.integers(4, 16),
+    frac=st.integers(0, 8),
+    seed=st.integers(0, 100),
+)
+def test_property_quantization_idempotent(bits, frac, seed):
+    frac = min(frac, bits)
+    fmt = FixedPointFormat(total_bits=bits, frac_bits=frac)
+    xs = np.random.default_rng(seed).uniform(-10, 10, size=20)
+    once = fmt.roundtrip(xs)
+    twice = fmt.roundtrip(once)
+    assert np.array_equal(once, twice)
+
+
+@pytest.fixture(scope="module")
+def trained_small():
+    rng = np.random.default_rng(0)
+    n = 200
+    labels = (rng.uniform(size=n) > 0.5).astype(float)
+    X = np.clip(rng.normal(0.5, 0.15, size=(n, 16)), 0, 1)
+    X[:, 0] = np.clip(X[:, 0] + 0.4 * labels - 0.2, 0, 1)
+    X[:, 7] = np.clip(X[:, 7] - 0.3 * labels + 0.15, 0, 1)
+    model = MLP((16, 6, 1), seed=1)
+    train_rprop(model, X, labels, epochs=150, weight_decay=1e-4)
+    return model, X, labels
+
+
+def test_quantized_matches_float_at_high_precision(trained_small):
+    model, X, y = trained_small
+    q16 = QuantizedMLP(model, data_bits=16)
+    assert q16.accuracy_loss_vs_float(X, y) <= 0.01
+
+
+def test_lower_precision_never_better_shape(trained_small):
+    """Quantization loss is (weakly) worse at 4 bits than at 16 bits."""
+    model, X, y = trained_small
+    loss16 = QuantizedMLP(model, data_bits=16).classification_error(X, y)
+    loss4 = QuantizedMLP(model, data_bits=4).classification_error(X, y)
+    assert loss4 >= loss16
+
+
+def test_forward_codes_are_integer_valued(trained_small):
+    model, X, _ = trained_small
+    q = QuantizedMLP(model, data_bits=8)
+    trace = q.forward_codes(X[:3])
+    assert len(trace) == model.n_layers + 1
+    for codes in trace:
+        assert codes.dtype == np.int64
+        assert codes.min() >= 0
+        assert codes.max() <= 255
+
+
+def test_required_accumulator_bits_sane(trained_small):
+    model, _, _ = trained_small
+    q = QuantizedMLP(model, data_bits=8)
+    bits = q.required_accumulator_bits()
+    assert 12 <= bits <= 40
+
+
+def test_accumulator_bits_grow_with_precision(trained_small):
+    model, _, _ = trained_small
+    b8 = QuantizedMLP(model, data_bits=8).required_accumulator_bits()
+    b16 = QuantizedMLP(model, data_bits=16).required_accumulator_bits()
+    assert b16 > b8
+
+
+def test_lut_none_uses_exact_sigmoid(trained_small):
+    model, X, _ = trained_small
+    exact = QuantizedMLP(model, data_bits=8, lut_entries=None)
+    lut = QuantizedMLP(model, data_bits=8, lut_entries=256)
+    # Both run; outputs agree to within one activation LSB typically.
+    diff = np.abs(exact.predict_proba(X) - lut.predict_proba(X)).max()
+    assert diff < 0.05
+
+
+def test_predict_requires_single_output():
+    model = MLP((4, 2), seed=0)
+    q = QuantizedMLP(model, data_bits=8)
+    with pytest.raises(ConfigurationError):
+        q.predict(np.ones((1, 4)))
+
+
+def test_data_bits_validated():
+    model = MLP((4, 2, 1), seed=0)
+    with pytest.raises(ConfigurationError):
+        QuantizedMLP(model, data_bits=1)

@@ -1,0 +1,78 @@
+"""Sigmoid: exact form and the hardware LUT."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.sigmoid import SigmoidLUT, sigmoid
+
+
+def test_sigmoid_key_values():
+    assert sigmoid(0.0) == pytest.approx(0.5)
+    assert sigmoid(100.0) == pytest.approx(1.0)
+    assert sigmoid(-100.0) == pytest.approx(0.0)
+
+
+def test_sigmoid_numerically_stable_extremes():
+    out = sigmoid(np.array([-1000.0, 1000.0]))
+    assert np.all(np.isfinite(out))
+
+
+def test_sigmoid_symmetry():
+    xs = np.linspace(-5, 5, 101)
+    assert np.allclose(sigmoid(xs) + sigmoid(-xs), 1.0)
+
+
+def test_lut_validation():
+    with pytest.raises(ConfigurationError):
+        SigmoidLUT(n_entries=1)
+    with pytest.raises(ConfigurationError):
+        SigmoidLUT(x_min=2.0, x_max=1.0)
+    with pytest.raises(ConfigurationError):
+        SigmoidLUT(output_levels=1)
+
+
+def test_lut_256_entries_small_error():
+    """The paper's conclusion: a 256-entry LUT is effectively exact."""
+    lut = SigmoidLUT(256)
+    assert lut.max_abs_error() < 0.02
+
+
+def test_lut_error_shrinks_with_entries():
+    coarse = SigmoidLUT(16).max_abs_error()
+    fine = SigmoidLUT(1024).max_abs_error()
+    assert fine < coarse / 10
+
+
+def test_lut_clamps_out_of_range():
+    lut = SigmoidLUT(256)
+    assert lut(-100.0) == lut.table[0]
+    assert lut(100.0) == lut.table[-1]
+
+
+def test_lut_scalar_and_array_paths():
+    lut = SigmoidLUT(256)
+    scalar = lut(0.3)
+    array = lut(np.array([0.3]))
+    assert isinstance(scalar, float)
+    assert scalar == array[0]
+
+
+def test_lut_output_levels_quantize_table():
+    lut = SigmoidLUT(256, output_levels=4)
+    assert set(np.round(lut.table * 3).astype(int)) <= {0, 1, 2, 3}
+
+
+def test_lut_indices_monotone():
+    lut = SigmoidLUT(64)
+    xs = np.linspace(-8, 8, 500)
+    idx = lut.indices(xs)
+    assert np.all(np.diff(idx) >= 0)
+    assert idx.min() == 0 and idx.max() == 63
+
+
+def test_lut_monotone_output():
+    lut = SigmoidLUT(128)
+    xs = np.linspace(-8, 8, 1000)
+    out = np.asarray(lut(xs))
+    assert np.all(np.diff(out) >= -1e-12)

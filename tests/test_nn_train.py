@@ -1,0 +1,103 @@
+"""Trainers: RPROP and SGD learn; validation selection works."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn.mlp import MLP
+from repro.nn.train import train_rprop, train_sgd
+
+
+def _xor_data():
+    X = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]])
+    y = np.array([0.0, 1.0, 1.0, 0.0])
+    return X, y
+
+
+def _blob_data(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = (rng.uniform(size=n) > 0.5).astype(float)
+    X = rng.normal(0, 0.15, size=(n, 4))
+    X[:, 0] += labels * 0.8
+    X[:, 2] -= labels * 0.4
+    return np.clip(X + 0.5, 0, 1), labels
+
+
+def test_rprop_solves_xor():
+    X, y = _xor_data()
+    model = MLP((2, 4, 1), seed=3)
+    result = train_rprop(model, X, y, epochs=400)
+    assert result.model.classification_error(X, y) == 0.0
+
+
+def test_rprop_loss_decreases():
+    X, y = _blob_data()
+    model = MLP((4, 6, 1), seed=1)
+    result = train_rprop(model, X, y, epochs=100)
+    assert result.train_losses[-1] < result.train_losses[0]
+
+
+def test_rprop_validation_selects_best_model():
+    X, y = _blob_data(200, seed=2)
+    model = MLP((4, 6, 1), seed=2)
+    result = train_rprop(
+        model, X[:150], y[:150], epochs=120, X_val=X[150:], y_val=y[150:]
+    )
+    assert result.val_errors
+    best = min(result.val_errors)
+    final = result.model.classification_error(X[150:], y[150:])
+    assert final == pytest.approx(best)
+
+
+def test_rprop_patience_stops_early():
+    X, y = _blob_data(100, seed=3)
+    model = MLP((4, 4, 1), seed=3)
+    result = train_rprop(
+        model, X, y, epochs=500, X_val=X, y_val=y, patience=5
+    )
+    assert len(result.train_losses) < 500
+
+
+def test_rprop_weight_decay_shrinks_span():
+    X, y = _blob_data(150, seed=4)
+    plain = train_rprop(MLP((4, 6, 1), seed=4), X, y, epochs=150)
+    decayed = train_rprop(
+        MLP((4, 6, 1), seed=4), X, y, epochs=150, weight_decay=1e-2
+    )
+    assert decayed.model.weight_span() < plain.model.weight_span()
+
+
+def test_rprop_input_validation():
+    X, y = _blob_data()
+    model = MLP((4, 2, 1))
+    with pytest.raises(TrainingError):
+        train_rprop(model, X, y, epochs=0)
+    with pytest.raises(TrainingError):
+        train_rprop(model, X, y[:5])
+    with pytest.raises(TrainingError):
+        train_rprop(model, X, y, weight_decay=-1.0)
+    with pytest.raises(TrainingError):
+        train_rprop(model, X[:, :3], y)
+
+
+def test_sgd_learns_blobs():
+    X, y = _blob_data(200, seed=5)
+    model = MLP((4, 6, 1), seed=5)
+    result = train_sgd(model, X, y, epochs=60, seed=0)
+    assert result.model.classification_error(X, y) < 0.15
+
+
+def test_sgd_validation_of_params():
+    X, y = _blob_data()
+    with pytest.raises(TrainingError):
+        train_sgd(MLP((4, 2, 1)), X, y, epochs=0)
+    with pytest.raises(TrainingError):
+        train_sgd(MLP((4, 2, 1)), X, y, learning_rate=0.0)
+
+
+def test_trainers_deterministic():
+    X, y = _blob_data(80, seed=6)
+    a = train_rprop(MLP((4, 4, 1), seed=6), X, y, epochs=50)
+    b = train_rprop(MLP((4, 4, 1), seed=6), X, y, epochs=50)
+    assert np.array_equal(a.model.weights[0], b.model.weights[0])
+    assert a.train_losses == b.train_losses

@@ -1,0 +1,168 @@
+"""Cross-cutting property tests: invariants spanning multiple packages.
+
+These pin down the *framework-level* guarantees the case studies rely on,
+with hypothesis searching for counterexamples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.block import Block, Implementation
+from repro.core.cost import EnergyCostModel, ThroughputCostModel
+from repro.core.offload import enumerate_configs
+from repro.core.pipeline import InCameraPipeline, PipelineConfig
+from repro.hw.network import LinkModel
+
+
+def _pipeline_from(sizes: list[float], fpss: list[float],
+                   pass_rates: list[float]) -> InCameraPipeline:
+    blocks = tuple(
+        Block(
+            name=f"B{i}",
+            output_bytes=size,
+            implementations={
+                "p": Implementation("p", fps=fps, energy_per_frame=1e-6)
+            },
+            pass_rate=rate,
+        )
+        for i, (size, fps, rate) in enumerate(zip(sizes, fpss, pass_rates))
+    )
+    return InCameraPipeline(name="prop", sensor_bytes=1000.0, blocks=blocks)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    sizes=st.lists(st.floats(1.0, 1e6), min_size=1, max_size=4),
+    fpss=st.lists(st.floats(0.01, 1e4), min_size=4, max_size=4),
+    link_bps=st.floats(1e3, 1e10),
+)
+def test_property_total_fps_never_exceeds_either_axis(sizes, fpss, link_bps):
+    n = len(sizes)
+    pipeline = _pipeline_from(sizes, fpss[:n], [1.0] * n)
+    model = ThroughputCostModel(LinkModel(name="l", raw_bps=link_bps))
+    for config in enumerate_configs(pipeline):
+        cost = model.evaluate(config)
+        assert cost.total_fps <= cost.compute_fps + 1e-12
+        assert cost.total_fps <= cost.communication_fps + 1e-12
+        assert cost.total_fps == min(cost.compute_fps, cost.communication_fps)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rates=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=4),
+    tx_bit_energy=st.floats(1e-12, 1e-8),
+)
+def test_property_gating_never_increases_downstream_energy(rates, tx_bit_energy):
+    """Expected transmit energy is monotone non-increasing in every
+    upstream pass rate."""
+    n = len(rates)
+    pipeline = _pipeline_from([100.0] * n, [10.0] * n, rates)
+    link = LinkModel(name="l", raw_bps=1e6, tx_energy_per_bit=tx_bit_energy)
+    model = EnergyCostModel(link)
+    config = PipelineConfig(pipeline, tuple("p" for _ in range(n)))
+    base = model.evaluate(config)
+
+    for i in range(n):
+        tightened = dict(zip((b.name for b in pipeline.blocks), rates))
+        tightened[f"B{i}"] = rates[i] / 2.0
+        tighter = model.evaluate(config, pass_rates=tightened)
+        assert tighter.transmit_energy <= base.transmit_energy + 1e-18
+        assert tighter.total_energy <= base.total_energy + 1e-18
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_blocks=st.integers(1, 4),
+    n_platforms=st.integers(1, 3),
+)
+def test_property_enumeration_count(n_blocks, n_platforms):
+    """enumerate_configs yields 1 + sum_k platforms^k configurations when
+    every block offers the same platform set."""
+    platforms = {
+        f"p{j}": Implementation(f"p{j}", fps=1.0) for j in range(n_platforms)
+    }
+    blocks = tuple(
+        Block(name=f"B{i}", output_bytes=1.0, implementations=dict(platforms))
+        for i in range(n_blocks)
+    )
+    pipeline = InCameraPipeline(name="e", sensor_bytes=1.0, blocks=blocks)
+    configs = enumerate_configs(pipeline)
+    expected = 1 + sum(n_platforms**k for k in range(1, n_blocks + 1))
+    assert len(configs) == expected
+    labels = [c.label for c in configs]
+    assert len(set(labels)) == len(labels)  # all distinct
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_snnap_output_matches_reference_for_any_pe_count(seed):
+    """Bit-exactness of the accelerator holds for arbitrary geometry."""
+    from repro.nn.mlp import MLP
+    from repro.nn.quantize import QuantizedMLP
+    from repro.snnap.accelerator import SnnapAccelerator
+
+    rng = np.random.default_rng(seed)
+    layers = (int(rng.integers(4, 40)), int(rng.integers(2, 12)), 1)
+    n_pes = int(rng.integers(1, 20))
+    model = MLP(layers, seed=seed)
+    X = rng.uniform(0, 1, size=(3, layers[0]))
+    acc = SnnapAccelerator(model, n_pes=n_pes, data_bits=8)
+    ref = QuantizedMLP(model, data_bits=8)
+    assert np.array_equal(acc.run(X).outputs, ref.predict_proba(X))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    quality_lo=st.integers(5, 45),
+    quality_hi=st.integers(55, 95),
+    seed=st.integers(0, 200),
+)
+def test_property_codec_rate_monotone_in_quality(quality_lo, quality_hi, seed):
+    """Higher quality never produces a smaller coded size on the same
+    content (up to the entropy model's resolution)."""
+    from repro.compression.codec import JpegLikeCodec
+    from repro.imaging import draw
+
+    rng = np.random.default_rng(seed)
+    img = draw.add_noise(draw.smooth_texture(48, 48, rng, scale=4), 0.03, rng)
+    lo = JpegLikeCodec(quality=quality_lo).roundtrip(img)
+    hi = JpegLikeCodec(quality=quality_hi).roundtrip(img)
+    assert hi.coded_bytes >= lo.coded_bytes * 0.95
+    assert hi.psnr_db >= lo.psnr_db - 0.5
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 300))
+def test_property_bilateral_grid_slice_of_splat_mean_bounded(seed):
+    """slice(blur(splat(v))) stays within [min(v), max(v)] — the grid
+    pipeline is an averaging operator end to end."""
+    from repro.bilateral.grid import BilateralGrid
+
+    rng = np.random.default_rng(seed)
+    guide = rng.uniform(size=(20, 20))
+    values = rng.uniform(-2.0, 3.0, size=(20, 20))
+    grid = BilateralGrid(guide, sigma_spatial=float(rng.uniform(2, 8)),
+                         sigma_range=float(rng.uniform(0.05, 0.5)))
+    out = grid.filter(values)
+    assert out.min() >= values.min() - 1e-9
+    assert out.max() <= values.max() + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    distance=st.floats(0.2, 10.0),
+    energy_uj=st.floats(1.0, 1000.0),
+)
+def test_property_harvest_fps_monotone(distance, energy_uj):
+    """Steady-state FPS decreases with task energy and with distance."""
+    from repro.harvest import Capacitor, DutyCycleSimulator, FrameTask, RfHarvester
+
+    harvester = RfHarvester()
+    task = FrameTask("t", energy_uj * 1e-6, 0.0)
+    double = FrameTask("t2", 2 * energy_uj * 1e-6, 0.0)
+    sim = DutyCycleSimulator(harvester, Capacitor(), distance)
+    sim_far = DutyCycleSimulator(harvester, Capacitor(), distance * 1.5)
+    assert sim.steady_state_fps(double) <= sim.steady_state_fps(task) + 1e-12
+    assert sim_far.steady_state_fps(task) <= sim.steady_state_fps(task) + 1e-12

@@ -1,0 +1,112 @@
+"""Accelerator simulation: functional equality and energy accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.mlp import MLP
+from repro.nn.quantize import QuantizedMLP
+from repro.snnap.accelerator import SnnapAccelerator
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MLP((64, 8, 1), seed=9)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return np.random.default_rng(10).uniform(0, 1, size=(6, 64))
+
+
+def test_pe_count_validated(model):
+    with pytest.raises(ConfigurationError):
+        SnnapAccelerator(model, n_pes=0)
+
+
+def test_outputs_bit_exact_with_quantized_model(model, batch):
+    acc = SnnapAccelerator(model, n_pes=8, data_bits=8)
+    q = QuantizedMLP(model, data_bits=8)
+    run = acc.run(batch)
+    assert np.array_equal(run.outputs, q.predict_proba(batch))
+
+
+def test_systolic_trace_matches_vectorized(model, batch):
+    """The explicit PE-by-PE walk and the vectorized path agree exactly,
+    for PE counts that divide, exceed and straddle the layer widths."""
+    for n_pes in (1, 3, 8, 16):
+        acc = SnnapAccelerator(model, n_pes=n_pes, data_bits=8)
+        run = acc.run(batch)
+        trace = acc.run_systolic_trace(batch[0])
+        assert np.allclose(run.outputs[0], trace)
+
+
+def test_energy_report_has_all_components(model):
+    acc = SnnapAccelerator(model, n_pes=8)
+    report = acc.run(np.zeros((1, 64))).energy_per_sample
+    expected = {
+        "pe_mac",
+        "weight_sram",
+        "input_buffer",
+        "pe_idle",
+        "sigmoid",
+        "control",
+        "leakage",
+    }
+    assert expected <= set(report.components)
+    assert report.total > 0
+
+
+def test_energy_independent_of_batch_content(model, batch):
+    """The model is data-independent (fixed schedule): same energy for
+    any input."""
+    acc = SnnapAccelerator(model, n_pes=8)
+    a = acc.run(batch).energy_per_sample.total
+    b = acc.run(np.zeros((2, 64))).energy_per_sample.total
+    assert a == pytest.approx(b)
+
+
+def test_idle_energy_appears_only_with_excess_pes(model):
+    fit = SnnapAccelerator(model, n_pes=8)
+    excess = SnnapAccelerator(model, n_pes=32)
+    fit_idle = fit.run(np.zeros((1, 64))).energy_per_sample.components["pe_idle"]
+    excess_idle = excess.run(np.zeros((1, 64))).energy_per_sample.components["pe_idle"]
+    assert excess_idle > fit_idle
+
+
+def test_input_buffer_energy_grows_with_fewer_pes(model):
+    """Fewer PEs re-stream the input vector once per group."""
+    few = SnnapAccelerator(model, n_pes=2)
+    fit = SnnapAccelerator(model, n_pes=8)
+    few_in = few.run(np.zeros((1, 64))).energy_per_sample.components["input_buffer"]
+    fit_in = fit.run(np.zeros((1, 64))).energy_per_sample.components["input_buffer"]
+    assert few_in > fit_in
+
+
+def test_16bit_costs_more_power_than_8bit(model):
+    p8 = SnnapAccelerator(model, n_pes=8, data_bits=8).inference_power()
+    p16 = SnnapAccelerator(model, n_pes=8, data_bits=16).inference_power()
+    assert p16 > p8
+
+
+def test_sub_milliwatt_at_capture_rate():
+    """The paper's headline: the NN accelerator fits a sub-mW budget at
+    the WISPCam's 1 FPS capture rate."""
+    model = MLP((400, 8, 1), seed=0)
+    acc = SnnapAccelerator(model, n_pes=8, data_bits=8)
+    assert acc.duty_cycled_power(1.0) < 1e-3
+
+
+def test_duty_cycle_rejects_unsustainable_rate(model):
+    acc = SnnapAccelerator(model, n_pes=1)
+    with pytest.raises(ConfigurationError):
+        acc.duty_cycled_power(1e9)
+
+
+def test_cycles_per_sample_match_schedule(model, batch):
+    acc = SnnapAccelerator(model, n_pes=4)
+    run = acc.run(batch)
+    assert run.cycles_per_sample == acc.schedule.total_cycles
+    assert run.seconds_per_sample(30e6) == pytest.approx(
+        acc.schedule.total_cycles / 30e6
+    )

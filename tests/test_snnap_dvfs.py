@@ -1,0 +1,55 @@
+"""DVFS extension: voltage-frequency scaling of the NN accelerator."""
+
+import pytest
+
+from repro.errors import ConfigurationError, HardwareModelError
+from repro.hw.technology import TECH_28NM
+from repro.nn.mlp import MLP
+from repro.snnap.geometry import sweep_voltage
+
+
+def test_max_clock_nominal_point_identity():
+    assert TECH_28NM.max_clock_at(0.9, 30e6) == pytest.approx(30e6)
+
+
+def test_max_clock_monotone_in_voltage():
+    clocks = [TECH_28NM.max_clock_at(v, 30e6) for v in (0.5, 0.7, 0.9, 1.1)]
+    assert all(a < b for a, b in zip(clocks, clocks[1:]))
+
+
+def test_max_clock_validation():
+    with pytest.raises(HardwareModelError):
+        TECH_28NM.max_clock_at(0.3, 30e6)  # below threshold
+    with pytest.raises(HardwareModelError):
+        TECH_28NM.max_clock_at(0.9, 0.0)
+
+
+def test_sweep_voltage_rows():
+    model = MLP((400, 8, 1), seed=0)
+    rows = sweep_voltage(model, voltages=(0.7, 0.9, 1.1))
+    assert [r["voltage"] for r in rows] == [0.7, 0.9, 1.1]
+    with pytest.raises(ConfigurationError):
+        sweep_voltage(model, voltages=())
+
+
+def test_sweep_voltage_tradeoffs():
+    """Lower voltage: less energy per inference, less throughput."""
+    model = MLP((400, 8, 1), seed=1)
+    rows = sweep_voltage(model, voltages=(0.6, 0.9, 1.1))
+    energy = [r["energy_nj"] for r in rows]
+    throughput = [r["throughput_inf_s"] for r in rows]
+    assert energy[0] < energy[1] < energy[2]
+    assert throughput[0] < throughput[1] < throughput[2]
+
+
+def test_sweep_voltage_nominal_matches_default_model():
+    """The 0.9 V row must equal the paper's fixed operating point."""
+    from repro.snnap.geometry import evaluate_design
+
+    model = MLP((400, 8, 1), seed=2)
+    row = sweep_voltage(model, voltages=(0.9,))[0]
+    point = evaluate_design(model, n_pes=8, data_bits=8)
+    assert row["energy_nj"] == pytest.approx(
+        point.energy_per_inference * 1e9, rel=1e-9
+    )
+    assert row["clock_mhz"] == pytest.approx(30.0)

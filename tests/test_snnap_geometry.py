@@ -1,0 +1,81 @@
+"""Design-space sweeps: the paper's geometry and precision studies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.mlp import MLP
+from repro.snnap.geometry import energy_optimal, evaluate_design, sweep_design_space
+
+
+@pytest.fixture(scope="module")
+def paper_model():
+    return MLP((400, 8, 1), seed=0)
+
+
+def test_sweep_produces_grid(paper_model):
+    points = sweep_design_space(
+        paper_model, pe_counts=(2, 4), bit_widths=(8, 16)
+    )
+    assert len(points) == 4
+    assert {(p.n_pes, p.data_bits) for p in points} == {
+        (2, 8), (4, 8), (2, 16), (4, 16),
+    }
+
+
+def test_sweep_validates_axes(paper_model):
+    with pytest.raises(ConfigurationError):
+        sweep_design_space(paper_model, pe_counts=(), bit_widths=(8,))
+
+
+def test_energy_optimum_at_8_pes_for_paper_topology(paper_model):
+    """Section III-A: 'We find an energy-optimal point at 8 PEs'."""
+    points = sweep_design_space(
+        paper_model, pe_counts=(1, 2, 4, 8, 16, 32), bit_widths=(8,)
+    )
+    assert energy_optimal(points).n_pes == 8
+
+
+def test_energy_u_shape(paper_model):
+    """Energy decreases toward 8 PEs and increases beyond."""
+    points = sweep_design_space(
+        paper_model, pe_counts=(1, 2, 4, 8, 16, 32), bit_widths=(8,)
+    )
+    energy = {p.n_pes: p.energy_per_inference for p in points}
+    assert energy[1] > energy[2] > energy[4] > energy[8]
+    assert energy[8] < energy[16] < energy[32]
+
+
+def test_power_reduction_16_to_8_near_paper(paper_model):
+    """Paper: 8-bit datapath gives a 41% power reduction vs 16-bit at
+    8 PEs. The model must land in the same regime (30-50%)."""
+    p16 = evaluate_design(paper_model, 8, 16)
+    p8 = evaluate_design(paper_model, 8, 8)
+    reduction = 1.0 - p8.power / p16.power
+    assert 0.30 <= reduction <= 0.50
+
+
+def test_throughput_monotone_in_pes(paper_model):
+    points = sweep_design_space(
+        paper_model, pe_counts=(1, 4, 8), bit_widths=(8,)
+    )
+    rates = [p.throughput for p in points]
+    assert rates[0] < rates[1] <= rates[2] * 1.0001
+
+
+def test_accuracy_attached_when_eval_given(paper_model):
+    X = np.random.default_rng(1).uniform(0, 1, size=(20, 400))
+    y = (X[:, :200].mean(axis=1) > X[:, 200:].mean(axis=1)).astype(float)
+    point = evaluate_design(paper_model, 8, 8, X_eval=X, y_eval=y)
+    assert point.accuracy_error is not None
+    assert 0.0 <= point.accuracy_error <= 1.0
+
+
+def test_energy_optimal_requires_points():
+    with pytest.raises(ConfigurationError):
+        energy_optimal([])
+
+
+def test_energy_delay_product_positive(paper_model):
+    point = evaluate_design(paper_model, 8, 8)
+    assert point.energy_delay_product > 0

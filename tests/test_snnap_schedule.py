@@ -1,0 +1,109 @@
+"""Systolic schedule: cycle formulas and their invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.snnap.schedule import (
+    GROUP_FILL_CYCLES,
+    LAYER_OVERHEAD_CYCLES,
+    SIGMOID_LATENCY,
+    schedule_layer,
+    schedule_network,
+)
+
+
+def test_layer_validation():
+    with pytest.raises(ConfigurationError):
+        schedule_layer(0, 4, 2)
+    with pytest.raises(ConfigurationError):
+        schedule_layer(4, 4, 0)
+
+
+def test_perfect_fit_group_count():
+    sched = schedule_layer(400, 8, 8)
+    assert sched.groups == 1
+    assert sched.mac_cycles == 400
+    assert sched.idle_pe_cycles == 0
+    assert sched.pe_utilization == 1.0
+
+
+def test_partial_group_idles_pes():
+    sched = schedule_layer(400, 8, 16)
+    assert sched.groups == 1
+    assert sched.idle_pe_cycles == 400 * 8  # half the PEs idle
+    assert sched.pe_utilization == pytest.approx(0.5)
+
+
+def test_few_pes_multiply_groups_and_streams():
+    sched = schedule_layer(400, 8, 2)
+    assert sched.groups == 4
+    assert sched.mac_cycles == 1600
+    assert sched.input_streams == 4
+    assert sched.idle_pe_cycles == 0
+
+
+def test_total_cycle_formula():
+    sched = schedule_layer(100, 4, 4)
+    expected = (
+        LAYER_OVERHEAD_CYCLES
+        + 1 * (100 + GROUP_FILL_CYCLES)
+        + SIGMOID_LATENCY
+        + 4
+    )
+    assert sched.total_cycles == expected
+
+
+def test_network_schedule_totals():
+    net = schedule_network((400, 8, 1), n_pes=8)
+    assert len(net.layers) == 2
+    assert net.total_macs == 400 * 8 + 8
+    assert net.total_cycles == sum(l.total_cycles for l in net.layers)
+
+
+def test_network_validation():
+    with pytest.raises(ConfigurationError):
+        schedule_network((400,), 8)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_in=st.integers(1, 500),
+    n_out=st.integers(1, 64),
+    n_pes=st.integers(1, 64),
+)
+def test_property_mac_conservation(n_in, n_out, n_pes):
+    """Useful MACs + idle PE-cycles always equals PE-cycles spent."""
+    sched = schedule_layer(n_in, n_out, n_pes)
+    assert sched.macs + sched.idle_pe_cycles == sched.mac_cycles * n_pes
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_in=st.integers(1, 500),
+    n_out=st.integers(1, 64),
+    n_pes=st.integers(1, 64),
+)
+def test_property_cycles_monotone_in_pes(n_in, n_out, n_pes):
+    """More PEs never increases total cycles."""
+    fewer = schedule_layer(n_in, n_out, max(n_pes // 2, 1))
+    more = schedule_layer(n_in, n_out, n_pes)
+    assert more.total_cycles <= fewer.total_cycles
+
+
+@settings(max_examples=30, deadline=None)
+@given(n_in=st.integers(1, 300), n_out=st.integers(1, 32))
+def test_property_single_pe_serializes(n_in, n_out):
+    """With one PE, MAC cycles equal the MAC count exactly."""
+    sched = schedule_layer(n_in, n_out, 1)
+    assert sched.mac_cycles == sched.macs
+    assert sched.idle_pe_cycles == 0
+
+
+def test_utilization_beyond_width_saturates():
+    """PE counts beyond the layer width change nothing but idle energy."""
+    base = schedule_layer(400, 8, 8)
+    wide = schedule_layer(400, 8, 32)
+    assert wide.total_cycles == base.total_cycles
+    assert wide.idle_pe_cycles > base.idle_pe_cycles

@@ -1,0 +1,38 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_bytes_to_bits_roundtrip():
+    assert units.bytes_to_bits(10) == 80
+    assert units.bits_to_bytes(units.bytes_to_bits(123.5)) == pytest.approx(123.5)
+
+
+def test_transfer_seconds_basic():
+    # 1 MB over 8 Mb/s = 1 second.
+    assert units.transfer_seconds(1e6, 8e6) == pytest.approx(1.0)
+
+
+def test_transfer_seconds_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        units.transfer_seconds(100, 0.0)
+    with pytest.raises(ValueError):
+        units.transfer_seconds(100, -5.0)
+
+
+def test_frames_per_second_inverts_latency():
+    assert units.frames_per_second(0.5) == pytest.approx(2.0)
+
+
+def test_frames_per_second_free_is_infinite():
+    assert units.frames_per_second(0.0) == float("inf")
+    assert units.frames_per_second(-1.0) == float("inf")
+
+
+def test_constants_are_consistent():
+    assert units.GB == 1000 * units.MB == 1e6 * units.KB
+    assert units.GBPS == 1e9
+    assert units.MIB == 1024 * units.KIB
+    assert units.HOUR == 60 * units.MINUTE

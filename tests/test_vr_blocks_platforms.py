@@ -1,0 +1,128 @@
+"""VR data-size model (Fig. 9) and platform throughputs (Fig. 10 bars)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.fpga import FpgaDesign, VIRTEX_ULTRASCALE_PLUS
+from repro.hw.network import ETHERNET_25G
+from repro.vr.blocks import RigDataModel
+from repro.vr.platforms import (
+    B3Workload,
+    arm_block_fps,
+    b3_cpu_fps,
+    b3_fpga_fps,
+    b3_gpu_fps,
+    b4_fps,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RigDataModel()
+
+
+def test_model_validation():
+    with pytest.raises(ConfigurationError):
+        RigDataModel(n_cameras=3)
+    with pytest.raises(ConfigurationError):
+        RigDataModel(width=0)
+
+
+def test_output_chain_shape(model):
+    """The Figure 9 shape: B1 expands, B2 is the largest, B4 the smallest."""
+    sizes = {o.block: o.bytes_per_frame for o in model.outputs()}
+    assert sizes["B1"] > sizes["sensor"]
+    assert sizes["B2"] == max(sizes.values())
+    assert sizes["B4"] == min(sizes.values())
+    assert sizes["B3"] < sizes["B2"]
+
+
+def test_sensor_rate_exceeds_32gbps(model):
+    """Abstract: 'processing over 32 Gb/s of data'."""
+    assert model.sensor_bit_rate(30.0) > 32e9
+
+
+def test_comm_fps_ladder_matches_paper(model):
+    """The recovered Figure 10 communication bars at 25 GbE."""
+    fps = {
+        o.block: ETHERNET_25G.fps_for_bytes(o.bytes_per_frame)
+        for o in model.outputs()
+    }
+    assert fps["sensor"] == pytest.approx(15.8, abs=0.3)
+    assert fps["B1"] == pytest.approx(5.27, abs=0.15)
+    assert fps["B2"] == pytest.approx(3.95, abs=0.15)
+    assert fps["B3"] == pytest.approx(11.2, abs=0.4)
+    assert fps["B4"] == pytest.approx(31.6, abs=0.8)
+
+
+def test_only_b4_supports_realtime_upload(model):
+    for output in model.outputs():
+        fps = ETHERNET_25G.fps_for_bytes(output.bytes_per_frame)
+        if output.block == "B4":
+            assert fps >= 30.0
+        else:
+            assert fps < 30.0
+
+
+def test_output_after_validation(model):
+    assert model.output_after("sensor") == model.sensor_bytes()
+    assert model.output_after("B3") == model.b3_bytes()
+    with pytest.raises(ConfigurationError):
+        model.output_after("B9")
+
+
+def test_workload_geometry(model):
+    w = B3Workload.from_data_model(model, sigma_spatial=8)
+    assert w.n_pairs == 8
+    # 2160/8 x 3840/8 x 32 range bins.
+    assert w.grid_vertices_per_pair == 270 * 480 * 32
+    assert w.vertex_iters_total == w.vertex_iters_per_pair * 8
+
+
+def test_workload_sigma_validated(model):
+    with pytest.raises(ConfigurationError):
+        B3Workload.from_data_model(model, sigma_spatial=0)
+
+
+def test_platform_bars_match_paper(model):
+    """Compute bars of Figure 10 (within modeling tolerance)."""
+    w = B3Workload.from_data_model(model)
+    assert arm_block_fps("B1", model).fps == pytest.approx(174, rel=0.05)
+    assert arm_block_fps("B2", model).fps == pytest.approx(100, rel=0.05)
+    assert b3_cpu_fps(w).fps == pytest.approx(0.09, abs=0.02)
+    assert b3_gpu_fps(w).fps == pytest.approx(3.95, rel=0.15)
+    assert b3_fpga_fps(w).fps == pytest.approx(31.6, rel=0.10)
+
+
+def test_platform_ordering_cpu_gpu_fpga(model):
+    w = B3Workload.from_data_model(model)
+    cpu = b3_cpu_fps(w).fps
+    gpu = b3_gpu_fps(w).fps
+    fpga = b3_fpga_fps(w).fps
+    assert cpu < gpu < fpga
+    assert fpga > 30.0 > gpu
+
+
+def test_fpga_scaling_with_bigger_device(model):
+    w = B3Workload.from_data_model(model)
+    zynq = b3_fpga_fps(w).fps
+    big = b3_fpga_fps(w, design=FpgaDesign(VIRTEX_ULTRASCALE_PLUS)).fps
+    assert big > zynq * 30  # 682 vs 11 CUs
+
+
+def test_b4_marginal_on_accelerated_platforms(model):
+    assert b4_fps("gpu", model).fps > 60.0
+    assert b4_fps("fpga", model).fps > 30.0
+    with pytest.raises(ConfigurationError):
+        b4_fps("tpu", model)
+
+
+def test_arm_block_unknown_rejected(model):
+    with pytest.raises(ConfigurationError):
+        arm_block_fps("B3", model)
+
+
+def test_fpga_pair_count_validated(model):
+    w = B3Workload.from_data_model(model)
+    with pytest.raises(ConfigurationError):
+        b3_fpga_fps(w, fpgas_per_pair=0)

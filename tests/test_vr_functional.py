@@ -1,0 +1,180 @@
+"""Functional VR blocks: preprocess, align, depth, stitch."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ImageError
+from repro.vr.align import align_pair, align_rig
+from repro.vr.depth import (
+    compute_pair_depth,
+    compute_rig_depth,
+    disparity_to_depth,
+    max_disparity_for,
+)
+from repro.vr.preprocess import preprocess_frame, preprocess_rig, vignette_profile
+from repro.vr.stitch import stitch_panorama
+
+
+@pytest.fixture(scope="module")
+def captured(small_rig, rig_scene):
+    return small_rig.capture(rig_scene, noise_sigma=0.004, seed=1)
+
+
+@pytest.fixture(scope="module")
+def rgb_frames(captured):
+    return preprocess_rig(captured)
+
+
+@pytest.fixture(scope="module")
+def aligned(rgb_frames, small_rig):
+    return align_rig(rgb_frames, small_rig)
+
+
+@pytest.fixture(scope="module")
+def pair_depths(aligned):
+    return compute_rig_depth(aligned, min_depth_m=1.5, sigma_spatial=4,
+                             solver_iters=8)
+
+
+# ---------------------------------------------------------------------------
+# B1
+# ---------------------------------------------------------------------------
+def test_vignette_profile_center_bright():
+    profile = vignette_profile(21, 21, strength=0.3)
+    assert profile[10, 10] == pytest.approx(1.0)
+    assert profile[0, 0] < 1.0
+    with pytest.raises(ImageError):
+        vignette_profile(10, 10, strength=1.5)
+
+
+def test_preprocess_frame_reconstructs_color(captured):
+    rgb = preprocess_frame(captured.raw[0])
+    assert rgb.shape == captured.rgb[0].shape
+    # Rig scenes are busy relative to the small simulation resolution, so
+    # bilinear demosaic error is visible but must stay modest.
+    assert np.abs(rgb - captured.rgb[0]).mean() < 0.09
+
+
+def test_preprocess_white_balance_applied(captured):
+    neutral = preprocess_frame(captured.raw[0])
+    warm = preprocess_frame(captured.raw[0], white_balance=(1.2, 1.0, 0.8))
+    assert warm[..., 0].mean() > neutral[..., 0].mean()
+    assert warm[..., 2].mean() < neutral[..., 2].mean()
+    with pytest.raises(ImageError):
+        preprocess_frame(captured.raw[0], white_balance=(0.0, 1.0, 1.0))
+
+
+def test_preprocess_rig_processes_all_cameras(captured, rgb_frames, small_rig):
+    assert len(rgb_frames) == small_rig.n_cameras
+    for frame in rgb_frames:
+        assert frame.min() >= 0.0 and frame.max() <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# B2
+# ---------------------------------------------------------------------------
+def test_align_pair_geometry(rgb_frames, small_rig):
+    pair = align_pair(rgb_frames, small_rig, 0, 1)
+    assert pair.shape[0] == small_rig.sim_height
+    assert pair.shape[1] == int(round(small_rig.sim_width * 4 / 3))
+    assert pair.baseline == pytest.approx(small_rig.pair_baseline())
+
+
+def test_align_pair_expansion_validated(rgb_frames, small_rig):
+    with pytest.raises(ConfigurationError):
+        align_pair(rgb_frames, small_rig, 0, 1, expansion=0.5)
+
+
+def test_align_rig_all_pairs(aligned, small_rig):
+    assert len(aligned) == small_rig.n_cameras // 2
+
+
+def test_align_rig_frame_count_validated(rgb_frames, small_rig):
+    with pytest.raises(ConfigurationError):
+        align_rig(rgb_frames[:-1], small_rig)
+
+
+def test_aligned_views_overlap(aligned):
+    """After rectification both views observe the shared scene region:
+    their luma must correlate strongly in the central band."""
+    pair = aligned[0]
+    width = pair.shape[1]
+    band = slice(width // 3, 2 * width // 3)
+    left = pair.left[:, band].ravel()
+    right = pair.right[:, band].ravel()
+    corr = np.corrcoef(left, right)[0, 1]
+    assert corr > 0.35
+
+
+# ---------------------------------------------------------------------------
+# B3
+# ---------------------------------------------------------------------------
+def test_max_disparity_from_geometry(aligned):
+    d = max_disparity_for(aligned[0], min_depth_m=2.0)
+    assert d >= 1
+    assert max_disparity_for(aligned[0], min_depth_m=1.0) >= d
+    with pytest.raises(ConfigurationError):
+        max_disparity_for(aligned[0], min_depth_m=0.0)
+
+
+def test_disparity_to_depth_triangulation():
+    depth = disparity_to_depth(np.array([[2.0]]), focal_px=100.0, baseline_m=0.1)
+    assert depth[0, 0] == pytest.approx(5.0)
+    zero = disparity_to_depth(np.array([[0.0]]), 100.0, 0.1, max_depth=50.0)
+    assert zero[0, 0] == 50.0
+    with pytest.raises(ConfigurationError):
+        disparity_to_depth(np.zeros((2, 2)), focal_px=0.0, baseline_m=0.1)
+
+
+def test_compute_pair_depth_outputs(aligned):
+    pd = compute_pair_depth(aligned[0], min_depth_m=1.5, sigma_spatial=4,
+                            solver_iters=6)
+    assert pd.depth_m.shape == aligned[0].shape
+    assert pd.depth_m.min() >= 0.0
+    assert pd.stereo.grid.n_vertices > 0
+
+
+def test_compute_rig_depth_requires_pairs():
+    with pytest.raises(ConfigurationError):
+        compute_rig_depth([])
+
+
+def test_depth_sees_foreground_objects(pair_depths, rig_scene):
+    """At least one pair recovers a surface meaningfully nearer than the
+    background cylinder."""
+    bg = rig_scene.background_distance
+    nearest = min(float(pd.depth_m.min()) for pd in pair_depths)
+    assert nearest < bg * 0.8
+
+
+# ---------------------------------------------------------------------------
+# B4
+# ---------------------------------------------------------------------------
+def test_stitch_produces_full_panorama(pair_depths):
+    pano = stitch_panorama(pair_depths, pano_width=256)
+    assert pano.left_eye.shape == (pair_depths[0].pair.shape[0], 256, 3)
+    assert pano.right_eye.shape == pano.left_eye.shape
+    assert pano.coverage.shape == (256,)
+    # Every azimuth column is covered by at least one pair.
+    assert pano.coverage.min() > 0.0
+
+
+def test_stitch_eyes_differ_from_disparity(pair_depths):
+    """Stereo synthesis: the two eyes must not be identical where depth
+    structure exists."""
+    pano = stitch_panorama(pair_depths, pano_width=256)
+    diff = np.abs(pano.left_eye - pano.right_eye).mean()
+    assert diff > 1e-4
+
+
+def test_stitch_validation(pair_depths):
+    with pytest.raises(ConfigurationError):
+        stitch_panorama([], pano_width=64)
+    with pytest.raises(ConfigurationError):
+        stitch_panorama(pair_depths, pano_width=4)
+
+
+def test_stitch_output_in_unit_range(pair_depths):
+    pano = stitch_panorama(pair_depths, pano_width=128)
+    for eye in (pano.left_eye, pano.right_eye):
+        assert eye.min() >= 0.0 and eye.max() <= 1.0

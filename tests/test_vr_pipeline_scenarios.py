@@ -1,0 +1,129 @@
+"""End-to-end VR pipeline and the Figure 10 scenario assembly."""
+
+import pytest
+
+from repro.core.cost import ThroughputCostModel
+from repro.core.offload import enumerate_configs
+from repro.errors import ConfigurationError
+from repro.hw.network import ETHERNET_25G, ETHERNET_400G
+from repro.vr.blocks import RigDataModel
+from repro.vr.pipeline import VrPipeline
+from repro.vr.scenarios import build_vr_pipeline, paper_configurations
+
+
+@pytest.fixture(scope="module")
+def pipeline_run(small_rig, rig_scene):
+    pipeline = VrPipeline(
+        small_rig,
+        data_model=RigDataModel(n_cameras=small_rig.n_cameras),
+        min_depth_m=1.5,
+        sigma_spatial=4,
+        solver_iters=6,
+        pano_width=192,
+    )
+    return pipeline.run_scene(rig_scene, seed=2)
+
+
+def test_pipeline_produces_all_stages(pipeline_run, small_rig):
+    assert len(pipeline_run.frames_rgb) == small_rig.n_cameras
+    assert len(pipeline_run.pairs) == small_rig.n_cameras // 2
+    assert len(pipeline_run.pair_depths) == small_rig.n_cameras // 2
+    assert pipeline_run.panorama.left_eye.shape[1] == 192
+
+
+def test_pipeline_records_block_times(pipeline_run):
+    assert set(pipeline_run.block_seconds) == {"B1", "B2", "B3", "B4"}
+    assert all(t > 0 for t in pipeline_run.block_seconds.values())
+
+
+def test_depth_estimation_dominates_compute(pipeline_run):
+    """Figure 9: B3 is the pipeline's dominant block (70% in the paper;
+    the functional simulation must agree that it dominates)."""
+    shares = pipeline_run.compute_shares()
+    assert pipeline_run.slowest_block() == "B3"
+    assert shares["B3"] > 0.4
+    assert shares["B3"] == max(shares.values())
+    assert sum(shares.values()) == pytest.approx(1.0)
+
+
+def test_pipeline_attaches_logical_sizes(pipeline_run):
+    sizes = pipeline_run.block_output_bytes
+    assert sizes["B2"] == max(sizes.values())
+    assert sizes["B4"] == min(sizes.values())
+
+
+def test_pipeline_camera_count_mismatch(small_rig):
+    with pytest.raises(ConfigurationError):
+        VrPipeline(small_rig, data_model=RigDataModel(n_cameras=8))
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 assembly
+# ---------------------------------------------------------------------------
+def test_paper_configurations_are_nine():
+    pipeline = build_vr_pipeline()
+    configs = paper_configurations(pipeline)
+    assert len(configs) == 9
+    labels = [label for label, _ in configs]
+    assert labels[0] == "S~"
+    assert labels[-1] == "S B1 B2 B3(fpga) B4(fpga)~"
+
+
+def test_figure10_only_full_fpga_meets_30fps():
+    """The paper's headline result."""
+    pipeline = build_vr_pipeline()
+    model = ThroughputCostModel(ETHERNET_25G)
+    passing = []
+    for label, config in paper_configurations(pipeline):
+        if model.evaluate(config).meets(30.0):
+            passing.append(label)
+    assert passing == ["S B1 B2 B3(fpga) B4(fpga)~"]
+
+
+def test_figure10_cpu_gpu_compute_bound():
+    pipeline = build_vr_pipeline()
+    model = ThroughputCostModel(ETHERNET_25G)
+    for platform, expected in (("cpu", 0.09), ("gpu", 3.95)):
+        label = f"S B1 B2 B3({platform}) B4({platform})~"
+        config = dict(paper_configurations(pipeline))[label]
+        cost = model.evaluate(config)
+        assert cost.bottleneck == "compute"
+        assert cost.total_fps == pytest.approx(expected, rel=0.25)
+
+
+def test_figure10_early_cuts_comm_bound():
+    pipeline = build_vr_pipeline()
+    model = ThroughputCostModel(ETHERNET_25G)
+    for label in ("S~", "S B1~", "S B1 B2~"):
+        config = dict(paper_configurations(pipeline))[label]
+        cost = model.evaluate(config)
+        assert cost.bottleneck == "communication"
+        assert cost.total_fps < 30.0
+
+
+def test_fpga_vs_gpu_speedup_near_10x():
+    """Abstract: FPGA 'outperforms CPU and GPU configurations by up to
+    10x in computation time'."""
+    pipeline = build_vr_pipeline()
+    fpga = pipeline.block("B3").implementation("fpga").fps
+    gpu = pipeline.block("B3").implementation("gpu").fps
+    assert 4.0 < fpga / gpu < 15.0
+
+
+def test_400gbe_removes_incentive():
+    """Section IV-C: at 400 GbE the raw sensor stream uploads far above
+    30 FPS, removing the in-camera processing incentive."""
+    pipeline = build_vr_pipeline()
+    model = ThroughputCostModel(ETHERNET_400G)
+    raw = model.evaluate(dict(paper_configurations(pipeline))["S~"])
+    assert raw.total_fps > 200.0
+    assert raw.meets(30.0)
+
+
+def test_enumeration_superset_of_paper_configs():
+    pipeline = build_vr_pipeline()
+    all_configs = enumerate_configs(pipeline)
+    paper_labels = {c.label for _, c in paper_configurations(pipeline)}
+    enum_labels = {c.label for c in all_configs}
+    assert paper_labels <= enum_labels
+    assert len(all_configs) > 9  # mixed-platform configs exist
