@@ -13,16 +13,21 @@ from __future__ import annotations
 import pytest
 
 from repro.core.report import TextTable
+from repro.explore import SweepExecutor
 from repro.faceauth.evaluate import (
     PAPER_VARIANTS,
     evaluate_variants,
     harvest_analysis,
 )
 
+#: The variant x platform matrix is embarrassingly parallel; the engine
+#: guarantees the same row order as a serial run.
+EXECUTOR = SweepExecutor(workers=4, backend="thread", chunk_size=1)
+
 
 def test_variant_platform_matrix(benchmark, bench_workload, publish):
     rows = benchmark.pedantic(
-        lambda: evaluate_variants(bench_workload),
+        lambda: evaluate_variants(bench_workload, executor=EXECUTOR),
         rounds=1,
         iterations=1,
     )
@@ -63,7 +68,7 @@ def test_variant_platform_matrix(benchmark, bench_workload, publish):
 
 
 def test_harvested_power_operating_range(benchmark, bench_workload, publish):
-    rows_all = evaluate_variants(bench_workload, platforms=("asic",))
+    rows_all = evaluate_variants(bench_workload, platforms=("asic",), executor=EXECUTOR)
     energy = {r["variant"]: r["energy_per_frame_uj"] * 1e-6 for r in rows_all}
     active = {
         r["variant"]: max(
@@ -77,6 +82,8 @@ def test_harvested_power_operating_range(benchmark, bench_workload, publish):
     def run():
         rows = []
         for variant in ("tx-everything", "full-fa"):
+            # Serial on purpose: five GIL-bound arithmetic points would
+            # only measure pool overhead under the thread executor.
             for point in harvest_analysis(
                 energy[variant], active[variant],
                 distances_m=(0.5, 1.0, 2.0, 3.0, 4.0),
@@ -102,7 +109,10 @@ def test_harvested_power_operating_range(benchmark, bench_workload, publish):
 
 def test_stage_energy_breakdown(benchmark, bench_workload, publish):
     rows_all = evaluate_variants(
-        bench_workload, variants=(PAPER_VARIANTS[3],), platforms=("asic", "mcu")
+        bench_workload,
+        variants=(PAPER_VARIANTS[3],),
+        platforms=("asic", "mcu"),
+        executor=EXECUTOR,
     )
 
     def run():

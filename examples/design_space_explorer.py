@@ -2,18 +2,22 @@
 """Exploring the NN accelerator's design space (Section III-A).
 
 Sweeps the SNNAP-style processing unit's two hardware knobs — PE count and
-datapath width — for the paper's 400-8-1 face-authentication network, and
-prints the energy U-shape (optimal at 8 PEs) and the power/precision
-ladder (8-bit chosen at ~40% power below 16-bit).
+datapath width — for the paper's 400-8-1 face-authentication network
+through the unified exploration machinery (:mod:`repro.core.sweep` over a
+parallel :class:`repro.explore.SweepExecutor`), and prints the energy
+U-shape (optimal at 8 PEs), the power/precision ladder (8-bit chosen at
+~40% power below 16-bit), and the Pareto frontier over energy vs.
+throughput — the designs that are actually worth building.
 
 Run:
-    python examples/design_space_explorer.py
+    PYTHONPATH=src python examples/design_space_explorer.py
 """
 
-from repro.core import TextTable
+from repro.core import TextTable, parameter_sweep
+from repro.explore import SweepExecutor
 from repro.nn import MLP
-from repro.snnap import SnnapAccelerator, sweep_design_space
-from repro.snnap.geometry import energy_optimal
+from repro.snnap import SnnapAccelerator
+from repro.snnap.geometry import evaluate_design
 
 
 def main() -> None:
@@ -21,46 +25,56 @@ def main() -> None:
     print(f"Network: {'-'.join(str(s) for s in model.layer_sizes)} "
           f"({model.n_macs()} MACs/inference)\n")
 
-    # Axis 1: geometry.
-    points = sweep_design_space(
-        model, pe_counts=(1, 2, 4, 8, 16, 32), bit_widths=(8,)
+    def measure(n_pes: int, bits: int) -> dict:
+        point = evaluate_design(model, n_pes, bits)
+        return {
+            "cycles": point.cycles_per_inference,
+            "energy_nj": point.energy_per_inference * 1e9,
+            "power_uw": point.power * 1e6,
+            "throughput_inf_s": point.throughput,
+        }
+
+    # One sweep covers both axes; the thread executor fans the
+    # 6x3 = 18 design points out over 4 workers in deterministic order.
+    sweep = parameter_sweep(
+        measure,
+        executor=SweepExecutor(workers=4, backend="thread"),
+        n_pes=[1, 2, 4, 8, 16, 32],
+        bits=[16, 8, 4],
     )
+
+    # Axis 1: geometry at the paper's 8-bit datapath.
     table = TextTable(
         ["n_pes", "cycles", "energy_nj", "power_uw", "throughput_inf_s"],
         title="Geometry sweep at 30 MHz / 0.9 V (8-bit datapath)",
     )
-    for p in points:
-        table.add_row(
-            {
-                "n_pes": p.n_pes,
-                "cycles": p.cycles_per_inference,
-                "energy_nj": p.energy_per_inference * 1e9,
-                "power_uw": p.power * 1e6,
-                "throughput_inf_s": p.throughput,
-            }
-        )
+    table.add_rows(sweep.where(bits=8).rows)
     table.print()
-    best = energy_optimal(points)
-    print(f"\nEnergy-optimal geometry: {best.n_pes} PEs "
+    best = sweep.where(bits=8).best("energy_nj")
+    print(f"\nEnergy-optimal geometry: {best['n_pes']} PEs "
           "(matches the paper's chosen design)")
 
-    # Axis 2: precision.
+    # Axis 2: precision at the 8-PE geometry.
     table = TextTable(
         ["bits", "energy_nj", "power_uw", "power_vs_16b_pct"],
         title="Datapath width at the 8-PE geometry",
     )
-    baseline = None
+    at_8pe = sweep.where(n_pes=8)
+    baseline = at_8pe.where(bits=16).rows[0]["power_uw"]
     for bits in (16, 8, 4):
-        point = sweep_design_space(model, pe_counts=(8,), bit_widths=(bits,))[0]
-        baseline = baseline or point.power
-        table.add_row(
-            {
-                "bits": bits,
-                "energy_nj": point.energy_per_inference * 1e9,
-                "power_uw": point.power * 1e6,
-                "power_vs_16b_pct": 100.0 * point.power / baseline,
-            }
-        )
+        row = at_8pe.where(bits=bits).rows[0]
+        table.add_row({**row, "power_vs_16b_pct": 100.0 * row["power_uw"] / baseline})
+    table.print()
+
+    # The designs worth building: non-dominated on (energy, throughput).
+    frontier = sweep.pareto(("energy_nj", "throughput_inf_s"),
+                            maximize=(False, True))
+    table = TextTable(
+        ["n_pes", "bits", "energy_nj", "throughput_inf_s"],
+        title=f"Pareto frontier: {len(frontier.rows)} of "
+              f"{len(sweep.rows)} designs are non-dominated",
+    )
+    table.add_rows(frontier.rows)
     table.print()
 
     # What the chosen design costs at the camera's capture rate.

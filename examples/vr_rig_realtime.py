@@ -4,20 +4,23 @@
 Renders a synthetic panoramic scene through a 16-camera ring, runs the
 full functional pipeline (demosaic -> pairwise rectification ->
 bilateral-space stereo -> ODS stitching), profiles where the compute goes
-(Figure 9), and checks the result against the full-scale throughput models
-(Figure 10).
+(Figure 9), and then asks the unified exploration engine the Figure 10
+question at full 16x4K scale: which (cut point, platform) configurations
+are real-time feasible, and which are Pareto-optimal?
 
 Run:
-    python examples/vr_rig_realtime.py
+    PYTHONPATH=src python examples/vr_rig_realtime.py
 """
 
 import numpy as np
 
 from repro.core import TextTable
 from repro.datasets.rig import CameraRig, PanoramicScene
+from repro.explore import Scenario, SweepExecutor, explore
+from repro.hw.network import ETHERNET_25G
 from repro.vr.blocks import RigDataModel
 from repro.vr.pipeline import VrPipeline
-from repro.vr.platforms import B3Workload, b3_cpu_fps, b3_fpga_fps, b3_gpu_fps
+from repro.vr.scenarios import build_vr_pipeline
 
 
 def main() -> None:
@@ -68,14 +71,28 @@ def main() -> None:
         f"inter-eye difference {np.abs(pano.left_eye - pano.right_eye).mean():.4f}"
     )
 
-    # Full-scale platform check for the dominant block.
-    workload = B3Workload.from_data_model(RigDataModel())
-    print("\nDepth estimation (B3) at full 16x4K scale:")
-    for result in (b3_cpu_fps(workload), b3_gpu_fps(workload),
-                   b3_fpga_fps(workload)):
-        verdict = "real-time" if result.fps >= 30 else "too slow"
-        print(f"  {result.platform:5s} {result.fps:8.2f} FPS  ({verdict}; "
-              f"{result.basis})")
+    # Full-scale Figure 10 check through the exploration engine: one
+    # declarative scenario, evaluated in parallel.
+    scenario = Scenario(
+        name="vr-16cam at 25 GbE (target 30 FPS)",
+        pipeline=build_vr_pipeline(model=RigDataModel()),
+        link=ETHERNET_25G,
+        target_fps=30.0,
+    )
+    result = explore(scenario, executor=SweepExecutor(workers=4))
+    table = TextTable(
+        ["config", "compute_fps", "communication_fps", "total_fps",
+         "bottleneck", "feasible"],
+        title=f"Figure 10 at full scale: {len(result.rows)} configurations",
+    )
+    table.add_rows(result.top_k("total_fps", k=6))
+    table.print()
+    best = result.best
+    print(f"\nBest configuration: {best['config']} at "
+          f"{best['total_fps']:.1f} FPS ({best['bottleneck']}-bound)")
+    print(f"Real-time feasible: {len(result.feasible)} of {len(result.rows)}; "
+          f"Pareto-optimal on (compute, communication): "
+          f"{[r['config'] for r in result.pareto()]}")
 
 
 if __name__ == "__main__":

@@ -11,7 +11,10 @@ two case studies need:
   assembled in :mod:`repro.faceauth`;
 * the real-time 16-camera VR rig — :mod:`repro.bilateral`,
   :mod:`repro.vr`, with hardware platforms in :mod:`repro.hw`;
-* shared infrastructure — :mod:`repro.imaging`, :mod:`repro.datasets`.
+* shared infrastructure — :mod:`repro.imaging`, :mod:`repro.datasets`;
+* design-space exploration — :mod:`repro.explore`: declarative
+  scenarios, lazy configuration enumeration with pruning, parallel
+  sweep execution, and Pareto-frontier analysis over both cost domains.
 
 Quickstart::
 
@@ -34,6 +37,7 @@ from repro import (
     core,
     datasets,
     errors,
+    explore,
     faceauth,
     facedet,
     harvest,
@@ -54,6 +58,7 @@ __all__ = [
     "core",
     "datasets",
     "errors",
+    "explore",
     "faceauth",
     "facedet",
     "harvest",

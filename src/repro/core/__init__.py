@@ -13,8 +13,10 @@ This package turns that framing into code:
 * :mod:`.cost` — the two cost domains the paper uses: throughput
   (frames/s, VR case study) and energy (joules/frame, FA case study);
 * :mod:`.offload` — configuration enumeration and feasibility analysis
-  (the machinery behind Figure 10);
-* :mod:`.sweep` — parameter-sweep utility used by all benchmarks;
+  (the machinery behind Figure 10), now a throughput-domain facade over
+  the unified exploration engine in :mod:`repro.explore`;
+* :mod:`.sweep` — parameter-sweep utility used by all benchmarks,
+  parallelizable via :class:`repro.explore.SweepExecutor`;
 * :mod:`.report` — fixed-width tables for benchmark output.
 """
 

@@ -5,16 +5,25 @@ enumerate every (cut point, platform assignment) configuration, evaluate
 them under a cost model, and answer the paper's questions: which
 configurations meet the real-time target on *both* axes, and which block
 placement is optimal.
+
+This module is the throughput-domain facade over the general engine in
+:mod:`repro.explore`: enumeration is a thin eager wrapper around the
+lazy :func:`repro.explore.iter_configs`, and :class:`OffloadAnalyzer`
+drives :func:`repro.explore.explore` (optionally in parallel) while
+returning the same :class:`OffloadReport` it always has.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import product
 
 from repro.core.cost import ConfigCost, ThroughputCostModel
 from repro.core.pipeline import InCameraPipeline, PipelineConfig
 from repro.errors import PipelineError
+from repro.explore.engine import explore
+from repro.explore.enumerate import iter_configs
+from repro.explore.executor import SweepExecutor, resolve_executor
+from repro.explore.scenario import Scenario
 
 
 def enumerate_configs(
@@ -23,6 +32,9 @@ def enumerate_configs(
     include_empty: bool = True,
 ) -> list[PipelineConfig]:
     """All (cut point, platform) configurations of a pipeline.
+
+    Eager wrapper over the lazy :func:`repro.explore.iter_configs`
+    (same order, no pruning); prefer the generator for large spaces.
 
     Parameters
     ----------
@@ -33,21 +45,9 @@ def enumerate_configs(
     include_empty:
         Include the raw-offload configuration (``S~``).
     """
-    limit = len(pipeline.blocks) if max_blocks is None else max_blocks
-    if not 0 <= limit <= len(pipeline.blocks):
-        raise PipelineError(f"max_blocks must be in [0, {len(pipeline.blocks)}]")
-    configs: list[PipelineConfig] = []
-    if include_empty:
-        configs.append(PipelineConfig(pipeline=pipeline, platforms=()))
-    for depth in range(1, limit + 1):
-        option_lists = [
-            sorted(block.implementations) for block in pipeline.blocks[:depth]
-        ]
-        if any(not opts for opts in option_lists):
-            break  # a block with no implementation cannot run in camera
-        for choice in product(*option_lists):
-            configs.append(PipelineConfig(pipeline=pipeline, platforms=tuple(choice)))
-    return configs
+    return list(
+        iter_configs(pipeline, max_blocks=max_blocks, include_empty=include_empty)
+    )
 
 
 @dataclass(frozen=True)
@@ -71,13 +71,30 @@ class OffloadReport:
 
 
 class OffloadAnalyzer:
-    """Sweep a pipeline's configuration space under a throughput model."""
+    """Sweep a pipeline's configuration space under a throughput model.
 
-    def __init__(self, model: ThroughputCostModel, target_fps: float = 30.0):
+    Parameters
+    ----------
+    model:
+        The throughput cost model (carries the uplink).
+    target_fps:
+        Feasibility bar on both axes.
+    executor:
+        How to run the evaluations (default: serial). Parallel
+        executors produce identical report ordering.
+    """
+
+    def __init__(
+        self,
+        model: ThroughputCostModel,
+        target_fps: float = 30.0,
+        executor: SweepExecutor | None = None,
+    ):
         if target_fps <= 0:
             raise PipelineError(f"target_fps must be positive, got {target_fps}")
         self.model = model
         self.target_fps = target_fps
+        self.executor = resolve_executor(executor)
 
     def analyze(
         self,
@@ -86,6 +103,14 @@ class OffloadAnalyzer:
     ) -> OffloadReport:
         """Evaluate the given (or all) configurations."""
         if configs is None:
-            configs = enumerate_configs(pipeline)
-        costs = [self.model.evaluate(config) for config in configs]
+            scenario = Scenario(
+                name=pipeline.name,
+                pipeline=pipeline,
+                link=self.model.link,
+                domain="throughput",
+                target_fps=self.target_fps,
+                model=self.model,  # keep any customized model, not a rebuild
+            )
+            return explore(scenario, executor=self.executor).as_offload_report()
+        costs = self.executor.map(self.model.evaluate, configs)
         return OffloadReport(costs=costs, target_fps=self.target_fps)

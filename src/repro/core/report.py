@@ -6,6 +6,9 @@ this class, so EXPERIMENTS.md and the benchmark logs share a format.
 
 from __future__ import annotations
 
+import csv
+import io
+import math
 from typing import Any
 
 from repro.errors import ConfigurationError
@@ -31,8 +34,12 @@ class TextTable:
     @staticmethod
     def _format(value: Any) -> str:
         if isinstance(value, float):
+            if math.isnan(value):
+                return "nan"
             if value == float("inf"):
                 return "inf"
+            if value == float("-inf"):
+                return "-inf"
             if value == 0:
                 return "0"
             magnitude = abs(value)
@@ -68,6 +75,15 @@ class TextTable:
         for row in self._rows:
             lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
         return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The table as CSV, cells formatted exactly as :meth:`render`
+        formats them (exploration results export through this)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        writer.writerows(self._rows)
+        return buffer.getvalue()
 
     def print(self) -> None:
         """Print the table (captured by pytest -s / tee in bench logs)."""

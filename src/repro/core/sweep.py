@@ -3,15 +3,22 @@
 A sweep runs a callable over the cartesian product of named parameter
 lists and records one row per point. Rows are plain dicts so benchmarks
 can feed them straight into :class:`repro.core.report.TextTable`.
+
+Evaluation runs through a :class:`repro.explore.SweepExecutor`, so any
+sweep can go thread- or process-parallel by passing ``executor=``;
+row order is the grid order regardless of worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from itertools import product
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.errors import ConfigurationError
+from repro.explore.executor import SweepExecutor, resolve_executor
+from repro.explore.result import pareto_filter, require_key
 
 
 @dataclass
@@ -22,16 +29,17 @@ class SweepResult:
 
     def column(self, name: str) -> list[Any]:
         """Extract one column across all rows."""
-        missing = [i for i, r in enumerate(self.rows) if name not in r]
-        if missing:
-            raise ConfigurationError(f"column {name!r} missing in rows {missing[:5]}")
+        require_key(self.rows, name, kind="column")
         return [r[name] for r in self.rows]
 
     def best(self, metric: str, minimize: bool = True) -> dict[str, Any]:
-        """Row optimizing a metric."""
+        """Row optimizing a metric; ties break to the earliest row."""
         if not self.rows:
             raise ConfigurationError("sweep produced no rows")
+        require_key(self.rows, metric)
         key = lambda r: r[metric]  # noqa: E731
+        # min()/max() return the first optimal element, so ties break to
+        # the earliest row.
         return min(self.rows, key=key) if minimize else max(self.rows, key=key)
 
     def where(self, **conditions: Any) -> "SweepResult":
@@ -41,9 +49,28 @@ class SweepResult:
         ]
         return SweepResult(rows=rows)
 
+    def pareto(
+        self, axes: Sequence[str], maximize: bool | Sequence[bool] = True
+    ) -> "SweepResult":
+        """The non-dominated rows under the given axes (see
+        :func:`repro.explore.pareto_filter`)."""
+        return SweepResult(rows=pareto_filter(self.rows, axes, maximize))
+
+
+def _measure_point(
+    fn: Callable[..., dict[str, Any]], point: dict[str, Any]
+) -> dict[str, Any]:
+    """Evaluate one grid point (module-level for picklability)."""
+    measured = fn(**point)
+    if not isinstance(measured, dict):
+        raise ConfigurationError("sweep function must return a dict")
+    return measured
+
 
 def parameter_sweep(
     fn: Callable[..., dict[str, Any]],
+    *,
+    executor: SweepExecutor | None = None,
     **param_lists: list[Any],
 ) -> SweepResult:
     """Run ``fn(**point)`` over the grid of ``param_lists``.
@@ -52,6 +79,10 @@ def parameter_sweep(
     merged into each row (measured keys win on collision, which lets a
     function refine a requested parameter, e.g. snapping to a legal
     value).
+
+    ``executor`` is reserved (keyword-only) for the evaluation backend
+    and cannot be the name of a swept parameter; the default is serial.
+    Parallel executors return rows in the same grid order as serial.
     """
     if not param_lists:
         raise ConfigurationError("no parameters to sweep")
@@ -59,11 +90,12 @@ def parameter_sweep(
     for name in names:
         if not param_lists[name]:
             raise ConfigurationError(f"parameter {name!r} has no values")
-    result = SweepResult()
-    for values in product(*(param_lists[name] for name in names)):
-        point = dict(zip(names, values))
-        measured = fn(**point)
-        if not isinstance(measured, dict):
-            raise ConfigurationError("sweep function must return a dict")
-        result.rows.append({**point, **measured})
-    return result
+    points = [
+        dict(zip(names, values))
+        for values in product(*(param_lists[name] for name in names))
+    ]
+    executor = resolve_executor(executor)
+    measured_rows = executor.map(partial(_measure_point, fn), points)
+    return SweepResult(
+        rows=[{**point, **measured} for point, measured in zip(points, measured_rows)]
+    )

@@ -1,0 +1,58 @@
+"""Unified design-space exploration across both cost domains.
+
+The paper's central exercise — enumerate every (cut point, platform)
+configuration of a pipeline and find the ones that clear the target on
+both the computation and the communication axis — appears twice, once
+per case study, with a different cost model each time. This package
+turns that exercise into one reusable engine:
+
+* :mod:`.enumerate` — lazy configuration enumeration with pluggable
+  pruning hooks (the design space is exponential in pipeline depth);
+* :mod:`.executor` — chunked thread/process-parallel sweep execution
+  with deterministic result ordering and a serial fallback;
+* :mod:`.scenario` — the declarative :class:`Scenario` spec: pipeline +
+  link + cost domain + target constraint in one object;
+* :mod:`.result` — :class:`ExplorationResult` with feasibility,
+  Pareto-frontier extraction, dominated-config elimination, top-k
+  ranking, CSV/JSON export, and adapters back to the legacy
+  ``SweepResult`` / ``OffloadReport`` types;
+* :mod:`.engine` — :func:`explore`, the entry point tying them
+  together.
+
+Quickstart::
+
+    from repro.explore import Scenario, SweepExecutor, explore
+    from repro.hw.network import ETHERNET_25G
+    from repro.vr.scenarios import build_vr_pipeline
+
+    scenario = Scenario(
+        name="fig10", pipeline=build_vr_pipeline(),
+        link=ETHERNET_25G, target_fps=30.0,
+    )
+    result = explore(scenario, executor=SweepExecutor(workers=4))
+    print(result.best["config"], [r["config"] for r in result.pareto()])
+"""
+
+from repro.explore.engine import explore
+from repro.explore.enumerate import (
+    DepthPruneHook,
+    PruneHook,
+    count_configs,
+    iter_configs,
+)
+from repro.explore.executor import SweepExecutor
+from repro.explore.result import ExplorationResult, pareto_filter
+from repro.explore.scenario import DOMAINS, Scenario
+
+__all__ = [
+    "DOMAINS",
+    "DepthPruneHook",
+    "ExplorationResult",
+    "PruneHook",
+    "Scenario",
+    "SweepExecutor",
+    "count_configs",
+    "explore",
+    "iter_configs",
+    "pareto_filter",
+]

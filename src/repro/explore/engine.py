@@ -1,0 +1,94 @@
+"""The exploration engine: enumerate, evaluate (possibly in parallel),
+collect.
+
+``explore()`` is the one entry point both case studies share: it walks
+a :class:`~repro.explore.scenario.Scenario`'s lazily enumerated design
+space, evaluates every surviving configuration under the scenario's
+cost model through a :class:`~repro.explore.executor.SweepExecutor`,
+and returns an :class:`~repro.explore.result.ExplorationResult`. Row
+order is the enumeration order regardless of worker count, so parallel
+and serial runs are interchangeable.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any
+
+from repro.core.cost import ConfigCost, EnergyCost, EnergyCostModel
+from repro.core.pipeline import PipelineConfig
+from repro.explore.executor import SweepExecutor, resolve_executor
+from repro.explore.result import ExplorationResult
+from repro.explore.scenario import Scenario
+
+
+def _evaluate_energy(
+    model: EnergyCostModel,
+    pass_rates: dict[str, float] | None,
+    config: PipelineConfig,
+) -> EnergyCost:
+    """Module-level for process-pool picklability."""
+    return model.evaluate(config, pass_rates)
+
+
+def _base_row(config: PipelineConfig) -> dict[str, Any]:
+    return {
+        "config": config.label,
+        "n_in_camera": config.n_in_camera,
+        "platforms": "+".join(config.platforms) if config.platforms else "-",
+        "offload_bytes": config.offload_bytes,
+    }
+
+
+def _throughput_row(cost: ConfigCost, target_fps: float | None) -> dict[str, Any]:
+    row = _base_row(cost.config)
+    row.update(
+        compute_fps=cost.compute_fps,
+        communication_fps=cost.communication_fps,
+        total_fps=cost.total_fps,
+        bottleneck=cost.bottleneck,
+        slowest_block=cost.slowest_block,
+        feasible=cost.meets(target_fps) if target_fps is not None else True,
+    )
+    return row
+
+
+def _energy_row(cost: EnergyCost, budget_j: float | None) -> dict[str, Any]:
+    row = _base_row(cost.config)
+    row.update(
+        sensor_energy_j=cost.sensor_energy,
+        compute_energy_j=sum(cost.block_energies.values()),
+        transmit_energy_j=cost.transmit_energy,
+        total_energy_j=cost.total_energy,
+        transmit_rate=cost.transmit_rate,
+        active_seconds=cost.active_seconds,
+        feasible=cost.total_energy <= budget_j if budget_j is not None else True,
+    )
+    return row
+
+
+def explore(
+    scenario: Scenario,
+    executor: SweepExecutor | None = None,
+) -> ExplorationResult:
+    """Evaluate a scenario's whole (pruned) design space.
+
+    Parameters
+    ----------
+    scenario:
+        What to explore and under which cost domain.
+    executor:
+        How to run the evaluations; defaults to serial. Parallel
+        executors return rows in the same order as serial ones.
+    """
+    executor = resolve_executor(executor)
+    configs = list(scenario.iter_configs())
+    model = scenario.cost_model()
+    if scenario.domain == "throughput":
+        evaluations = executor.map(model.evaluate, configs)
+        rows = [_throughput_row(cost, scenario.target_fps) for cost in evaluations]
+    else:
+        evaluate = partial(_evaluate_energy, model, scenario.pass_rates)
+        evaluations = executor.map(evaluate, configs)
+        rows = [_energy_row(cost, scenario.energy_budget_j) for cost in evaluations]
+    return ExplorationResult(scenario=scenario, rows=rows, evaluations=evaluations)

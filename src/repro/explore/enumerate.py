@@ -1,0 +1,126 @@
+"""Lazy configuration enumeration with pluggable pruning hooks.
+
+The paper's design space is every (cut point, platform assignment) of a
+pipeline. The seed materialized it eagerly; at scale (deep pipelines,
+many platforms per block) the space is exponential, so this module
+yields configurations one at a time and lets callers prune whole cut
+depths or individual configurations before they are ever evaluated.
+
+Enumeration order is deterministic and identical to the historical
+eager order: the raw-offload configuration first (if requested), then
+cut depths 1..limit, platform choices per block in sorted name order,
+cartesian products in :func:`itertools.product` order. Pruning removes
+entries from this sequence without reordering the survivors, so a
+pruned enumeration is always a subsequence of the unpruned one.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Iterator, Sequence
+
+from repro.core.pipeline import InCameraPipeline, PipelineConfig
+from repro.errors import PipelineError
+
+#: Per-configuration hook: return True to skip (prune) the configuration.
+PruneHook = Callable[[PipelineConfig], bool]
+
+#: Per-depth hook: return True to skip every configuration with that many
+#: in-camera blocks (0 = the raw-offload configuration).
+DepthPruneHook = Callable[[int], bool]
+
+
+def _normalize_hooks(
+    prune: PruneHook | Sequence[PruneHook] | None,
+) -> tuple[PruneHook, ...]:
+    if prune is None:
+        return ()
+    if callable(prune):
+        return (prune,)
+    return tuple(prune)
+
+
+def iter_configs(
+    pipeline: InCameraPipeline,
+    max_blocks: int | None = None,
+    include_empty: bool = True,
+    prune: PruneHook | Sequence[PruneHook] | None = None,
+    prune_depth: DepthPruneHook | None = None,
+) -> Iterator[PipelineConfig]:
+    """Lazily yield every (cut point, platform) configuration.
+
+    Parameters
+    ----------
+    pipeline:
+        The pipeline to enumerate.
+    max_blocks:
+        Cap on the number of in-camera blocks (default: all).
+    include_empty:
+        Include the raw-offload configuration (``S~``).
+    prune:
+        One hook or a sequence of hooks; a configuration is skipped when
+        any hook returns True for it.
+    prune_depth:
+        Depth-level hook; when it returns True for a cut depth, no
+        configuration at that depth is constructed at all (cheaper than
+        per-config pruning for communication-bound cutoffs).
+
+    Argument validation happens eagerly, before the first ``next()``.
+    """
+    limit = len(pipeline.blocks) if max_blocks is None else max_blocks
+    if not 0 <= limit <= len(pipeline.blocks):
+        raise PipelineError(f"max_blocks must be in [0, {len(pipeline.blocks)}]")
+    hooks = _normalize_hooks(prune)
+    return _generate(pipeline, limit, include_empty, hooks, prune_depth)
+
+
+def _generate(
+    pipeline: InCameraPipeline,
+    limit: int,
+    include_empty: bool,
+    hooks: tuple[PruneHook, ...],
+    prune_depth: DepthPruneHook | None,
+) -> Iterator[PipelineConfig]:
+    def keep(config: PipelineConfig) -> bool:
+        return not any(hook(config) for hook in hooks)
+
+    if include_empty and not (prune_depth is not None and prune_depth(0)):
+        config = PipelineConfig(pipeline=pipeline, platforms=())
+        if keep(config):
+            yield config
+    for depth in range(1, limit + 1):
+        option_lists = [
+            sorted(block.implementations) for block in pipeline.blocks[:depth]
+        ]
+        if any(not opts for opts in option_lists):
+            return  # a block with no implementation cannot run in camera
+        if prune_depth is not None and prune_depth(depth):
+            continue
+        for choice in product(*option_lists):
+            config = PipelineConfig(pipeline=pipeline, platforms=tuple(choice))
+            if keep(config):
+                yield config
+
+
+def count_configs(
+    pipeline: InCameraPipeline,
+    max_blocks: int | None = None,
+    include_empty: bool = True,
+) -> int:
+    """Size of the unpruned design space, without constructing configs.
+
+    Matches ``len(list(iter_configs(...)))`` for the same arguments (no
+    pruning); useful for sizing executor chunks and for reporting how
+    much a prune hook saved.
+    """
+    limit = len(pipeline.blocks) if max_blocks is None else max_blocks
+    if not 0 <= limit <= len(pipeline.blocks):
+        raise PipelineError(f"max_blocks must be in [0, {len(pipeline.blocks)}]")
+    total = 1 if include_empty else 0  # the raw-offload configuration
+    per_depth = 1
+    for block in pipeline.blocks[:limit]:
+        if not block.implementations:
+            break
+        per_depth *= len(block.implementations)
+        total += per_depth
+    return total

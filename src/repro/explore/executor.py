@@ -1,0 +1,157 @@
+"""Chunked parallel sweep execution with a deterministic serial fallback.
+
+Design-space evaluation is embarrassingly parallel: every configuration
+or grid point is costed independently. :class:`SweepExecutor` fans work
+out over a thread or process pool in contiguous chunks and reassembles
+results in submission order, so a parallel run returns *exactly* the
+list a serial run would — same rows, same order — which keeps benchmark
+output and regression baselines byte-identical regardless of worker
+count.
+
+The process backend requires the mapped callable and its items to be
+picklable. When they are not (lambdas, closures over live objects), the
+executor falls back to the serial path instead of failing, so debugging
+with ad-hoc functions always works. Mapped callables must therefore be
+pure: the fallback may re-run items that a broken pool already started.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+import warnings
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, TypeVar
+
+from repro.errors import ConfigurationError
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Exceptions that mean "the pool could not run this work at all" (as
+#: opposed to the work itself raising); these trigger the serial fallback.
+#: TypeError/AttributeError appear here because CPython raises them (not
+#: PicklingError) for lambdas, local functions, and objects holding live
+#: resources such as locks. Exceptions raised *by the mapped callable*
+#: never reach this set — :func:`_run_chunk` captures them in a
+#: :class:`_ChunkError` so they propagate unchanged instead of being
+#: mistaken for pool failures.
+_FALLBACK_ERRORS = (
+    pickle.PicklingError,
+    BrokenExecutor,
+    AttributeError,
+    TypeError,
+    OSError,
+)
+
+
+class _ChunkError:
+    """An exception the mapped callable raised, shipped back intact."""
+
+    def __init__(self, exc: Exception):
+        self.exc = exc
+
+
+def _run_chunk(fn: Callable[[_T], _R], chunk: list[_T]) -> "list[_R] | _ChunkError":
+    """Evaluate one contiguous chunk (module-level for picklability)."""
+    try:
+        return [fn(item) for item in chunk]
+    except Exception as exc:
+        return _ChunkError(exc)
+
+
+def resolve_executor(executor: "SweepExecutor | None") -> "SweepExecutor":
+    """Default to serial; reject anything that is not a SweepExecutor
+    (catches e.g. a swept parameter list landing on the reserved
+    ``executor`` keyword)."""
+    if executor is None:
+        return SweepExecutor()
+    if not isinstance(executor, SweepExecutor):
+        raise ConfigurationError(
+            f"executor must be a SweepExecutor or None, got {type(executor).__name__}"
+        )
+    return executor
+
+
+@dataclass(frozen=True)
+class SweepExecutor:
+    """How to run a sweep: serial, threaded, or multi-process.
+
+    Parameters
+    ----------
+    workers:
+        Worker count. ``None``, 0 or 1 select the serial path (the
+        default, and the debugging/picklability fallback).
+    backend:
+        ``'thread'`` (safe for any callable; helps when evaluation
+        releases the GIL or does I/O) or ``'process'`` (true
+        parallelism; requires picklable callables and items).
+    chunk_size:
+        Items per submitted task. Defaults to splitting the work into
+        roughly four chunks per worker, which balances scheduling
+        overhead against stragglers.
+    """
+
+    workers: int | None = None
+    backend: str = "thread"
+    chunk_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("thread", "process"):
+            raise ConfigurationError(
+                f"backend must be 'thread' or 'process', got {self.backend!r}"
+            )
+        if self.workers is not None and self.workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {self.workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+    @property
+    def is_serial(self) -> bool:
+        return self.workers is None or self.workers <= 1
+
+    def _chunks(self, items: list[_T]) -> list[list[_T]]:
+        size = self.chunk_size
+        if size is None:
+            workers = self.workers or 1
+            size = max(1, math.ceil(len(items) / (4 * workers)))
+        return [items[i : i + size] for i in range(0, len(items), size)]
+
+    def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
+        """``[fn(x) for x in items]``, possibly in parallel.
+
+        Result order always matches item order. Exceptions raised by
+        ``fn`` propagate unchanged; pool-infrastructure failures
+        (unpicklable work on the process backend, a broken pool) fall
+        back to the serial path with a warning.
+        """
+        items = list(items)
+        if self.is_serial or len(items) <= 1:
+            return [fn(item) for item in items]
+        chunks = self._chunks(items)
+        pool_cls: Any = (
+            ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
+        )
+        try:
+            with pool_cls(max_workers=min(self.workers, len(chunks))) as pool:
+                futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+                outcomes = [future.result() for future in futures]
+        except _FALLBACK_ERRORS as exc:
+            warnings.warn(
+                f"{self.backend} pool could not run the sweep ({exc!r}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [fn(item) for item in items]
+        results: list[_R] = []
+        for outcome in outcomes:
+            if isinstance(outcome, _ChunkError):
+                raise outcome.exc
+            results.extend(outcome)
+        return results

@@ -1,0 +1,237 @@
+"""Exploration results: feasibility, Pareto frontiers, ranking, export.
+
+An :class:`ExplorationResult` holds one row per evaluated configuration
+(plain dicts, like :class:`repro.core.sweep.SweepResult`) plus the raw
+cost objects, and answers the questions the paper asks of Figure 10 —
+which configurations are feasible, which are optimal, and which are
+*dominated* (beaten on every axis by another configuration and
+therefore never worth building).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.core.report import TextTable
+from repro.errors import ConfigurationError, PipelineError
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.core.offload import OffloadReport
+    from repro.core.sweep import SweepResult
+    from repro.explore.scenario import Scenario
+
+#: Default Pareto axes per domain: (axes, maximize).
+DEFAULT_AXES: dict[str, tuple[tuple[str, ...], bool]] = {
+    "throughput": (("compute_fps", "communication_fps"), True),
+    "energy": (("total_energy_j", "active_seconds"), False),
+}
+
+
+def require_key(rows: Sequence[dict[str, Any]], key: str, kind: str = "metric") -> None:
+    """Raise ConfigurationError naming the rows where ``key`` is absent
+    (shared by SweepResult and ExplorationResult lookups)."""
+    missing = [i for i, row in enumerate(rows) if key not in row]
+    if missing:
+        raise ConfigurationError(f"{kind} {key!r} missing in rows {missing[:5]}")
+
+
+def pareto_filter(
+    rows: Sequence[dict[str, Any]],
+    axes: Sequence[str],
+    maximize: bool | Sequence[bool] = True,
+) -> list[dict[str, Any]]:
+    """The non-dominated subset of ``rows`` under the given axes.
+
+    Row *a* dominates row *b* when *a* is at least as good on every axis
+    and strictly better on at least one ('good' per the corresponding
+    ``maximize`` flag). Rows with identical axis values do not dominate
+    each other, so exact ties all survive; input order is preserved.
+    """
+    if not axes:
+        raise ConfigurationError("pareto needs at least one axis")
+    flags = [maximize] * len(axes) if isinstance(maximize, bool) else list(maximize)
+    if len(flags) != len(axes):
+        raise ConfigurationError(
+            f"got {len(axes)} axes but {len(flags)} maximize flags"
+        )
+    keys: list[list[float]] = []
+    for i, row in enumerate(rows):
+        key = []
+        for axis, flag in zip(axes, flags):
+            if axis not in row:
+                raise ConfigurationError(f"axis {axis!r} missing in row {i}")
+            value = row[axis]
+            if isinstance(value, float) and math.isnan(value):
+                raise ConfigurationError(f"axis {axis!r} is NaN in row {i}")
+            key.append(value if flag else -value)
+        keys.append(key)
+    n_axes = len(axes)
+    survivors = []
+    for i, mine in enumerate(keys):
+        dominated = any(
+            other is not mine
+            and all(other[d] >= mine[d] for d in range(n_axes))
+            and any(other[d] > mine[d] for d in range(n_axes))
+            for other in keys
+        )
+        if not dominated:
+            survivors.append(rows[i])
+    return survivors
+
+
+@dataclass
+class ExplorationResult:
+    """Every evaluated configuration of one scenario, with verdicts.
+
+    ``rows`` and ``evaluations`` are index-aligned: ``evaluations[i]``
+    is the :class:`~repro.core.cost.ConfigCost` or
+    :class:`~repro.core.cost.EnergyCost` behind ``rows[i]``.
+    """
+
+    scenario: "Scenario"
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    evaluations: list[Any] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def feasible(self) -> list[dict[str, Any]]:
+        """Rows clearing the scenario's target (all rows if untargeted)."""
+        return [row for row in self.rows if row["feasible"]]
+
+    @property
+    def best(self) -> dict[str, Any]:
+        """The optimal row for the domain: highest total FPS
+        (throughput) or lowest expected energy (energy). Ties break to
+        the earliest-enumerated configuration."""
+        if not self.rows:
+            raise PipelineError("no configurations evaluated")
+        if self.scenario.domain == "throughput":
+            return max(self.rows, key=lambda r: r["total_fps"])
+        return min(self.rows, key=lambda r: r["total_energy_j"])
+
+    def pareto(
+        self,
+        axes: Sequence[str] | None = None,
+        maximize: bool | Sequence[bool] | None = None,
+    ) -> list[dict[str, Any]]:
+        """Non-dominated rows; defaults to the domain's canonical axes
+        ((compute_fps, communication_fps) maximized for throughput,
+        (total_energy_j, active_seconds) minimized for energy).
+
+        ``maximize=None`` always means the domain's direction — also for
+        explicitly passed ``axes`` — so an energy-domain frontier never
+        silently flips to maximization."""
+        default_axes, default_flag = DEFAULT_AXES[self.scenario.domain]
+        if axes is None:
+            axes = default_axes
+        if maximize is None:
+            maximize = default_flag
+        return pareto_filter(self.rows, axes, maximize)
+
+    def dominated(
+        self,
+        axes: Sequence[str] | None = None,
+        maximize: bool | Sequence[bool] | None = None,
+    ) -> list[dict[str, Any]]:
+        """The complement of :meth:`pareto`: configs never worth building."""
+        frontier = {id(row) for row in self.pareto(axes, maximize)}
+        return [row for row in self.rows if id(row) not in frontier]
+
+    def top_k(
+        self, metric: str, k: int = 5, maximize: bool = True
+    ) -> list[dict[str, Any]]:
+        """The best ``k`` rows by one metric (stable: ties keep
+        enumeration order)."""
+        if k < 0:
+            raise ConfigurationError(f"k must be >= 0, got {k}")
+        require_key(self.rows, metric)
+        # Stable also under reverse=True, so ties keep enumeration order
+        # in both directions; works for any orderable metric type.
+        ordered = sorted(self.rows, key=lambda r: r[metric], reverse=maximize)
+        return ordered[:k]
+
+    # -- export ---------------------------------------------------------
+
+    def columns(self) -> list[str]:
+        """Union of row keys, in first-appearance order."""
+        cols: dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                cols.setdefault(key)
+        return list(cols)
+
+    def to_table(self, title: str | None = None) -> TextTable:
+        """The result as a :class:`~repro.core.report.TextTable`."""
+        table = TextTable(self.columns(), title=title or self.scenario.name)
+        table.add_rows(self.rows)
+        return table
+
+    def to_csv(self, path: str | None = None) -> str:
+        """CSV export (via :meth:`TextTable.to_csv`); optionally written
+        to ``path``."""
+        text = self.to_table().to_csv()
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        return text
+
+    def to_json(self, path: str | None = None) -> str:
+        """Full-precision JSON export of scenario name, domain and rows.
+
+        Strictly valid JSON: non-finite floats (``inf`` compute rates on
+        the raw-offload config, ``nan``) become the strings ``"inf"`` /
+        ``"-inf"`` / ``"nan"`` rather than the non-standard ``Infinity``
+        tokens ``json.dumps`` would otherwise emit."""
+
+        def json_safe(value: Any) -> Any:
+            if isinstance(value, float) and not math.isfinite(value):
+                return "nan" if math.isnan(value) else ("inf" if value > 0 else "-inf")
+            return value
+
+        text = json.dumps(
+            {
+                "scenario": self.scenario.name,
+                "domain": self.scenario.domain,
+                "rows": [
+                    {key: json_safe(val) for key, val in row.items()}
+                    for row in self.rows
+                ],
+            },
+            indent=2,
+            allow_nan=False,
+        )
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        return text
+
+    # -- backward-compatible adapters -----------------------------------
+
+    def as_sweep_result(self) -> "SweepResult":
+        """The rows as a legacy :class:`~repro.core.sweep.SweepResult`."""
+        from repro.core.sweep import SweepResult
+
+        return SweepResult(rows=list(self.rows))
+
+    def as_offload_report(self) -> "OffloadReport":
+        """The evaluations as a legacy
+        :class:`~repro.core.offload.OffloadReport` (throughput domain
+        only — the report's feasibility semantics are FPS-based)."""
+        from repro.core.offload import OffloadReport
+
+        if self.scenario.domain != "throughput":
+            raise PipelineError(
+                "OffloadReport is throughput-domain only; "
+                f"this result is {self.scenario.domain!r}"
+            )
+        target = self.scenario.target_fps
+        if target is None:
+            raise PipelineError(
+                "scenario has no target_fps; OffloadReport needs one"
+            )
+        return OffloadReport(costs=list(self.evaluations), target_fps=target)

@@ -1,0 +1,127 @@
+"""Declarative exploration scenarios.
+
+A :class:`Scenario` bundles everything one design-space exploration
+needs — the pipeline, the uplink, the cost domain, the target
+constraint, and the enumeration controls — into one object, so the
+VR rig's throughput study and the face-authentication camera's energy
+study run through the same engine instead of each having its own
+ad-hoc driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.cost import EnergyCostModel, ThroughputCostModel
+from repro.core.pipeline import InCameraPipeline, PipelineConfig
+from repro.errors import ConfigurationError
+from repro.explore.enumerate import DepthPruneHook, PruneHook, iter_configs
+from repro.hw.network import LinkModel
+
+#: The two evaluation domains of the paper: frames/second over a
+#: mains-powered link (VR case study) and joules/frame on a harvested
+#: budget (face-authentication case study).
+DOMAINS = ("throughput", "energy")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative design-space exploration.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports and exports.
+    pipeline:
+        The block chain whose (cut point, platform) space is explored.
+    link:
+        The uplink carrying whatever the camera offloads.
+    domain:
+        ``'throughput'`` (frames/second, both axes must clear
+        ``target_fps``) or ``'energy'`` (expected joules per captured
+        frame, must stay within ``energy_budget_j``).
+    target_fps:
+        Throughput-domain feasibility bar (the paper's 30 FPS); when
+        None every configuration is considered feasible.
+    energy_budget_j:
+        Energy-domain feasibility bar in joules/frame; when None every
+        configuration is considered feasible.
+    pass_rates:
+        Energy domain only: measured per-block pass rates overriding
+        the blocks' static ``pass_rate`` (benchmarks feed trace-derived
+        rates here).
+    model:
+        Optional pre-built cost model (e.g. a customized
+        ``ThroughputCostModel`` subclass). When None, a vanilla model
+        for the domain is built from ``link``; when given, it must match
+        the domain and is used as-is.
+    max_blocks / include_empty:
+        Enumeration bounds, as in :func:`repro.explore.iter_configs`.
+    prune / prune_depth:
+        Pruning hooks forwarded to the lazy enumerator.
+    """
+
+    name: str
+    pipeline: InCameraPipeline
+    link: LinkModel
+    domain: str = "throughput"
+    target_fps: float | None = None
+    energy_budget_j: float | None = None
+    pass_rates: dict[str, float] | None = None
+    model: ThroughputCostModel | EnergyCostModel | None = None
+    max_blocks: int | None = None
+    include_empty: bool = True
+    prune: PruneHook | Sequence[PruneHook] | None = None
+    prune_depth: DepthPruneHook | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.domain not in DOMAINS:
+            raise ConfigurationError(
+                f"domain must be one of {DOMAINS}, got {self.domain!r}"
+            )
+        if self.target_fps is not None:
+            if self.domain != "throughput":
+                raise ConfigurationError("target_fps only applies to the throughput domain")
+            if self.target_fps <= 0:
+                raise ConfigurationError(
+                    f"target_fps must be positive, got {self.target_fps}"
+                )
+        if self.energy_budget_j is not None:
+            if self.domain != "energy":
+                raise ConfigurationError(
+                    "energy_budget_j only applies to the energy domain"
+                )
+            if self.energy_budget_j <= 0:
+                raise ConfigurationError(
+                    f"energy_budget_j must be positive, got {self.energy_budget_j}"
+                )
+        if self.pass_rates is not None and self.domain != "energy":
+            raise ConfigurationError("pass_rates only apply to the energy domain")
+        if self.model is not None:
+            expected = (
+                ThroughputCostModel if self.domain == "throughput" else EnergyCostModel
+            )
+            if not isinstance(self.model, expected):
+                raise ConfigurationError(
+                    f"model must be a {expected.__name__} for the "
+                    f"{self.domain} domain, got {type(self.model).__name__}"
+                )
+
+    def iter_configs(self) -> Iterator[PipelineConfig]:
+        """The scenario's (lazily enumerated, pruned) design space."""
+        return iter_configs(
+            self.pipeline,
+            max_blocks=self.max_blocks,
+            include_empty=self.include_empty,
+            prune=self.prune,
+            prune_depth=self.prune_depth,
+        )
+
+    def cost_model(self) -> ThroughputCostModel | EnergyCostModel:
+        """The cost model evaluating this scenario's domain."""
+        if self.model is not None:
+            return self.model
+        if self.domain == "throughput":
+            return ThroughputCostModel(self.link)
+        return EnergyCostModel(self.link)

@@ -23,8 +23,11 @@ reader distance?
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
+from repro.core.sweep import parameter_sweep
 from repro.errors import ConfigurationError
+from repro.explore.executor import SweepExecutor, resolve_executor
 from repro.faceauth.pipeline import FaceAuthPipeline, WorkloadResult
 from repro.faceauth.stages import AuthStage, CaptureStage, DetectStage, MotionStage
 from repro.faceauth.workload import TrainedWorkload
@@ -84,41 +87,63 @@ def build_pipeline(
     )
 
 
+def _evaluate_combo(
+    workload: TrainedWorkload, combo: tuple[PipelineVariant, str]
+) -> dict:
+    """Run one (variant, platform) combination over the workload trace."""
+    variant, platform = combo
+    pipeline = build_pipeline(variant, workload, platform)
+    result: WorkloadResult = pipeline.run_workload(workload.video)
+    row = {
+        "variant": variant.name,
+        "platform": platform,
+        "energy_per_frame_uj": result.energy_per_frame * 1e6,
+        "tx_bytes_total": result.total_transmitted_bytes,
+        "result": result,
+    }
+    if variant.use_auth:
+        # Authentication accuracy only exists when the NN runs.
+        row["miss_rate"] = result.miss_rate
+        row["event_miss_rate"] = result.event_miss_rate(workload.video)
+        row["false_alarm_rate"] = result.false_alarm_rate
+    if variant.use_motion:
+        row["motion_rate"] = result.rate("motion")
+    if variant.use_detect:
+        row["detect_rate"] = result.rate("detect")
+    return row
+
+
 def evaluate_variants(
     workload: TrainedWorkload,
     variants: tuple[PipelineVariant, ...] = PAPER_VARIANTS,
     platforms: tuple[str, ...] = ("asic", "mcu"),
+    executor: SweepExecutor | None = None,
 ) -> list[dict]:
     """Run every (variant, platform) over the workload trace.
 
-    Returns one row per combination with energy, gating, accuracy and the
-    raw :class:`WorkloadResult` attached under ``result``.
+    Returns one row per combination — variant-major, platform-minor, the
+    same order for any ``executor`` — with energy, gating, accuracy and
+    the raw :class:`WorkloadResult` attached under ``result``.
     """
     if not variants or not platforms:
         raise ConfigurationError("need at least one variant and platform")
-    rows: list[dict] = []
-    for variant in variants:
-        for platform in platforms:
-            pipeline = build_pipeline(variant, workload, platform)
-            result: WorkloadResult = pipeline.run_workload(workload.video)
-            row = {
-                "variant": variant.name,
-                "platform": platform,
-                "energy_per_frame_uj": result.energy_per_frame * 1e6,
-                "tx_bytes_total": result.total_transmitted_bytes,
-                "result": result,
-            }
-            if variant.use_auth:
-                # Authentication accuracy only exists when the NN runs.
-                row["miss_rate"] = result.miss_rate
-                row["event_miss_rate"] = result.event_miss_rate(workload.video)
-                row["false_alarm_rate"] = result.false_alarm_rate
-            if variant.use_motion:
-                row["motion_rate"] = result.rate("motion")
-            if variant.use_detect:
-                row["detect_rate"] = result.rate("detect")
-            rows.append(row)
-    return rows
+    executor = resolve_executor(executor)
+    grid = [(variant, platform) for variant in variants for platform in platforms]
+    return executor.map(partial(_evaluate_combo, workload), grid)
+
+
+def _harvest_point(
+    energy_per_frame_j: float,
+    active_seconds: float,
+    harvester: RfHarvester,
+    distance_m: float,
+) -> dict:
+    simulator = DutyCycleSimulator(harvester, Capacitor(), distance_m=distance_m)
+    task = FrameTask("frame", energy_per_frame_j, active_seconds)
+    return {
+        "harvested_uw": harvester.harvested_power(distance_m) * 1e6,
+        "steady_fps": simulator.steady_state_fps(task),
+    }
 
 
 def harvest_analysis(
@@ -126,20 +151,17 @@ def harvest_analysis(
     active_seconds: float,
     distances_m: tuple[float, ...] = (0.5, 1.0, 2.0, 3.0, 4.0),
     harvester: RfHarvester | None = None,
+    executor: SweepExecutor | None = None,
 ) -> list[dict]:
     """Achievable frame rate vs. reader distance for a per-frame cost."""
     if energy_per_frame_j <= 0:
         raise ConfigurationError("energy per frame must be positive")
+    if not distances_m:
+        return []
     harvester = harvester or RfHarvester()
-    rows = []
-    for distance in distances_m:
-        simulator = DutyCycleSimulator(harvester, Capacitor(), distance_m=distance)
-        task = FrameTask("frame", energy_per_frame_j, active_seconds)
-        rows.append(
-            {
-                "distance_m": distance,
-                "harvested_uw": harvester.harvested_power(distance) * 1e6,
-                "steady_fps": simulator.steady_state_fps(task),
-            }
-        )
-    return rows
+    sweep = parameter_sweep(
+        partial(_harvest_point, energy_per_frame_j, active_seconds, harvester),
+        executor=executor,
+        distance_m=list(distances_m),
+    )
+    return sweep.rows

@@ -54,6 +54,41 @@ def test_enumerate_stops_at_unimplementable_block():
     assert len(configs) == 1  # only raw offload
 
 
+def test_enumerate_midchain_gap_truncates_deeper_cuts():
+    a = Block(name="A", output_bytes=4.0,
+              implementations={"asic": Implementation("asic", fps=10.0)})
+    gap = Block(name="GAP", output_bytes=3.0)  # no implementations
+    c = Block(name="C", output_bytes=2.0,
+              implementations={"cpu": Implementation("cpu", fps=10.0)})
+    p = InCameraPipeline(name="p", sensor_bytes=8.0, blocks=(a, gap, c))
+    configs = enumerate_configs(p)
+    # Cuts at or beyond the gap are impossible: only S~ and S A~ remain.
+    assert [cfg.platforms for cfg in configs] == [(), ("asic",)]
+
+
+def test_enumerate_max_blocks_zero_without_empty_is_empty(pipeline):
+    assert enumerate_configs(pipeline, max_blocks=0, include_empty=False) == []
+    # With the empty config allowed, only raw offload remains.
+    only_raw = enumerate_configs(pipeline, max_blocks=0)
+    assert [cfg.platforms for cfg in only_raw] == [()]
+
+
+def test_enumerate_platform_choices_in_sorted_order():
+    block = Block(
+        name="B",
+        output_bytes=1.0,
+        # Registered in non-sorted insertion order on purpose.
+        implementations={
+            "gpu": Implementation("gpu", fps=1.0),
+            "asic": Implementation("asic", fps=1.0),
+            "cpu": Implementation("cpu", fps=1.0),
+        },
+    )
+    p = InCameraPipeline(name="p", sensor_bytes=2.0, blocks=(block,))
+    configs = enumerate_configs(p, include_empty=False)
+    assert [cfg.platforms for cfg in configs] == [("asic",), ("cpu",), ("gpu",)]
+
+
 def test_analyzer_feasible_and_best(pipeline):
     link = LinkModel(name="l", raw_bps=8 * 40.0 * 35)  # B out at 140 FPS...
     model = ThroughputCostModel(link)
@@ -104,6 +139,18 @@ def test_sweep_column_missing_raises():
         result.column("z")
 
 
+def test_sweep_best_ties_break_to_first_row():
+    result = parameter_sweep(lambda x: {"y": x % 2}, x=[10, 11, 12, 13])
+    assert result.best("y")["x"] == 10  # first of the y == 0 ties
+    assert result.best("y", minimize=False)["x"] == 11  # first of y == 1
+
+
+def test_sweep_best_missing_metric_raises_configuration_error():
+    result = parameter_sweep(lambda x: {"y": x}, x=[1, 2])
+    with pytest.raises(ConfigurationError, match="'z' missing"):
+        result.best("z")
+
+
 def test_text_table_renders_aligned():
     table = TextTable(["config", "fps"], title="demo")
     table.add_row({"config": "S~", "fps": 15.7})
@@ -133,3 +180,22 @@ def test_text_table_float_formatting():
     text = table.render()
     assert "0.0001" in text
     assert "0.5" in text
+
+
+def test_text_table_nan_and_infinities_render_explicitly():
+    assert TextTable._format(float("nan")) == "nan"
+    assert TextTable._format(float("inf")) == "inf"
+    assert TextTable._format(float("-inf")) == "-inf"
+    table = TextTable(["x"])
+    table.add_row({"x": float("nan")})
+    assert table.render().splitlines()[-1].strip() == "nan"
+
+
+def test_text_table_to_csv():
+    table = TextTable(["config", "fps"])
+    table.add_row({"config": "S, raw~", "fps": 15.7})
+    table.add_row({"config": "S B1~", "fps": float("nan")})
+    lines = table.to_csv().splitlines()
+    assert lines[0] == "config,fps"
+    assert lines[1] == '"S, raw~",15.7'  # embedded comma is quoted
+    assert lines[2] == "S B1~,nan"

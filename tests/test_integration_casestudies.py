@@ -63,6 +63,10 @@ def test_decisions_platform_invariant(workload):
     assert decisions[0] == decisions[1]
 
 
+def test_harvest_analysis_empty_distances_returns_empty():
+    assert harvest_analysis(1e-6, 0.01, distances_m=()) == []
+
+
 def test_harvest_analysis_monotone_in_distance(workload):
     rows = evaluate_variants(
         workload, variants=(PAPER_VARIANTS[3],), platforms=("asic",)

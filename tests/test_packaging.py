@@ -1,0 +1,22 @@
+"""Packaging metadata stays in sync with the library."""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+
+PYPROJECT = Path(__file__).resolve().parent.parent / "pyproject.toml"
+
+
+def test_pyproject_exists_with_src_layout():
+    text = PYPROJECT.read_text()
+    assert 'where = ["src"]' in text
+    assert "[tool.pytest.ini_options]" in text
+
+
+def test_pyproject_version_matches_package():
+    tomllib = pytest.importorskip("tomllib")  # stdlib from 3.11
+    metadata = tomllib.loads(PYPROJECT.read_text())["project"]
+    assert metadata["name"] == "repro"
+    assert metadata["version"] == repro.__version__
