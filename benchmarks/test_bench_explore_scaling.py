@@ -1,0 +1,197 @@
+"""Perf scaling: brute force vs prefix-memoized vs lower-bound pruned.
+
+The design space of a deep pipeline is exponential (13 blocks x 3
+platforms/block = 2.39M configurations); the pre-PR engine walked every
+configuration from block 0 and built every row eagerly. This benchmark
+measures configs/second through three engines on that space:
+
+* ``brute``    — :func:`repro.explore.explore_brute_force`, the pre-PR
+  semantics kept as oracle (eager list, from-scratch evaluation, eager
+  rows);
+* ``memoized`` — :func:`repro.explore.explore`, the streaming
+  prefix-memoized engine (amortized O(1) block extensions per config,
+  chunked generator feed, lazy rows);
+* ``pruned``   — the same engine with ``auto_prune=True``: sound
+  communication/compute lower bounds drop whole infeasible cut depths
+  before construction.
+
+Each run appends one entry to the ``BENCH_explore.json`` trajectory at
+the repository root (and mirrors it into ``benchmarks/results/``), so
+speedups are tracked across commits. The in-test assertion is the CI
+smoke bar (memoized must not be slower than brute force — ratios vary
+with runner load); the recorded trajectory carries the actual speedup,
+>= 5x on the reference machine.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.core.block import Block, Implementation
+from repro.core.pipeline import InCameraPipeline
+from repro.core.report import TextTable
+from repro.explore import Scenario, explore, explore_brute_force
+from repro.explore.result import cost_row
+from repro.hw.network import LinkModel
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_explore.json"
+
+#: Depth of the synthetic pipeline (>= 12 per the scaling brief) and
+#: platform options per block.
+N_BLOCKS = 13
+PLATFORMS = ("asic", "cpu", "fpga")
+
+#: Row-sample stride for the byte-identity spot check (full-row JSON of
+#: 2.39M rows would dominate the benchmark itself).
+SAMPLE = 7919
+
+
+def build_deep_scenario() -> Scenario:
+    """A deep synthetic camera pipeline in the throughput domain.
+
+    Block payloads shrink with depth (progressive reduction) and the
+    fastest implementation slows with depth (deeper blocks do more
+    work), so the auto-pruner has real work on both ends: shallow cuts
+    are communication-infeasible, deep cuts compute-infeasible, and a
+    band in the middle must actually be evaluated.
+    """
+    blocks = tuple(
+        Block(
+            name=f"B{i}",
+            output_bytes=float(1000 - 50 * (i + 1)),
+            pass_rate=0.9,
+            implementations={
+                platform: Implementation(
+                    platform,
+                    fps=100.0 - 4 * i + j,
+                    energy_per_frame=1e-6 * (j + 1),
+                    active_seconds=1e-3 * (j + 1),
+                )
+                for j, platform in enumerate(PLATFORMS)
+            },
+        )
+        for i in range(N_BLOCKS)
+    )
+    pipeline = InCameraPipeline(
+        name="deep-synthetic", sensor_bytes=2000.0, blocks=blocks,
+        sensor_energy_per_frame=1e-6,
+    )
+    link = LinkModel(name="bench-link", raw_bps=520000.0, tx_energy_per_bit=1e-9)
+    return Scenario(
+        name="explore-scaling", pipeline=pipeline, link=link, target_fps=80.0
+    )
+
+
+def _timed(fn):
+    """One cold, GC-controlled wall-clock measurement."""
+    gc.collect()
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+#: Trajectory length cap: local full-suite runs append too, so bound
+#: the committed artifact to the most recent entries.
+MAX_TRAJECTORY_ENTRIES = 100
+
+
+def _append_trajectory(entry: dict) -> list[dict]:
+    trajectory = []
+    if TRAJECTORY_PATH.exists():
+        trajectory = json.loads(TRAJECTORY_PATH.read_text())
+    trajectory.append(entry)
+    trajectory = trajectory[-MAX_TRAJECTORY_ENTRIES:]
+    TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return trajectory
+
+
+def test_explore_scaling_speedup(benchmark, publish, results_dir):
+    scenario = build_deep_scenario()
+    n_configs = scenario.count_configs()
+    assert n_configs == sum(len(PLATFORMS) ** d for d in range(N_BLOCKS + 1))
+
+    def run():
+        measurements = {}
+
+        seconds, brute = _timed(lambda: explore_brute_force(scenario))
+        brute_sample = json.dumps(brute.rows[::SAMPLE])
+        brute_feasible = [row["config"] for row in brute.rows if row["feasible"]]
+        measurements["brute"] = {
+            "seconds": round(seconds, 3),
+            "evaluated": len(brute.evaluations),
+            "configs_per_sec": round(n_configs / seconds),
+        }
+        del brute  # two 2.39M-config results must never coexist
+
+        seconds, memoized = _timed(lambda: explore(scenario))
+        memo_sample = json.dumps(
+            [cost_row(scenario, cost) for cost in memoized.evaluations[::SAMPLE]]
+        )
+        measurements["memoized"] = {
+            "seconds": round(seconds, 3),
+            "evaluated": len(memoized.evaluations),
+            "configs_per_sec": round(n_configs / seconds),
+        }
+        assert len(memoized.evaluations) == n_configs
+        assert memo_sample == brute_sample  # byte-identical spot check
+        del memoized
+
+        pruned_scenario = replace(scenario, auto_prune=True)
+        to_evaluate = pruned_scenario.count_configs()
+        seconds, pruned = _timed(lambda: explore(pruned_scenario))
+        assert len(pruned.evaluations) == to_evaluate < n_configs
+        # Soundness on the full-depth space: pruning must keep every
+        # brute-force-feasible configuration, in order.
+        assert [row["config"] for row in pruned.feasible] == brute_feasible
+        measurements["pruned"] = {
+            "seconds": round(seconds, 6),
+            "evaluated": to_evaluate,
+            "configs_per_sec": round(to_evaluate / seconds),
+            "effective_configs_per_sec": round(n_configs / seconds),
+            "pruned_away": n_configs - to_evaluate,
+        }
+        del pruned
+        return measurements
+
+    measurements = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    speedup = (
+        measurements["memoized"]["configs_per_sec"]
+        / measurements["brute"]["configs_per_sec"]
+    )
+    effective_prune_speedup = (
+        measurements["pruned"]["effective_configs_per_sec"]
+        / measurements["brute"]["configs_per_sec"]
+    )
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "pipeline": {"blocks": N_BLOCKS, "platforms_per_block": len(PLATFORMS)},
+        "n_configs": n_configs,
+        "modes": measurements,
+        "speedup_memoized_vs_brute": round(speedup, 2),
+        "speedup_pruned_effective_vs_brute": round(effective_prune_speedup, 1),
+    }
+    _append_trajectory(entry)
+    (results_dir / "BENCH_explore.json").write_text(json.dumps(entry, indent=2) + "\n")
+
+    table = TextTable(
+        ["mode", "seconds", "evaluated", "configs_per_sec"],
+        title=f"Explore scaling: {N_BLOCKS} blocks x {len(PLATFORMS)} platforms "
+              f"({n_configs} configs)",
+    )
+    table.add_rows(
+        {"mode": mode, **{k: v for k, v in stats.items() if k in table.columns}}
+        for mode, stats in measurements.items()
+    )
+    publish("explore_scaling", table.render())
+
+    # CI smoke bar: memoization must never lose to brute force. The
+    # trajectory records the actual ratio (>= 5x on the reference box).
+    assert speedup >= 1.0, f"memoized path slower than brute force ({speedup:.2f}x)"
+    # Pruning evaluates a tiny feasible band yet covers the whole space.
+    assert measurements["pruned"]["evaluated"] < n_configs / 100
+    assert effective_prune_speedup > speedup

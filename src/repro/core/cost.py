@@ -8,20 +8,45 @@ per-stage rates — "the slowest step will dominate overall throughput".
 per captured frame — sensor + expected block energies + transmit energy —
 where *expected* reflects filter blocks gating their successors (a frame
 rejected by motion detection never pays for face detection).
+
+Both models are *prefix-decomposable*: a depth-``d`` configuration's
+cost is its depth-``d-1`` prefix cost extended by exactly one block
+(running min-fps for throughput; running pass rate, accumulated block
+energies, and active seconds for energy), plus a final link term that
+depends only on the cut depth. The models therefore expose that
+structure directly — :meth:`initial_state` / :meth:`extend_state` /
+:meth:`finalize` — and ``evaluate()`` is defined as the full left fold
+over a configuration's in-camera blocks. Incremental evaluation
+(:mod:`repro.explore.incremental`) replays the *same* float operations
+in the *same* order, so prefix-memoized results are bit-identical to
+from-scratch ones.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.block import Block, Implementation
 from repro.core.pipeline import PipelineConfig
 from repro.errors import PipelineError
 from repro.hw.network import LinkModel
 
+#: Throughput prefix state: (running min fps, slowest block label).
+ThroughputState = tuple[float, str]
 
-@dataclass(frozen=True)
+#: Energy prefix state: (fraction of frames reaching the next stage,
+#: accumulated (block name, expected joules) pairs, expected active
+#: seconds). The energies are a tuple so states are immutable and safe
+#: to share between sibling prefixes in a memoized walk.
+EnergyState = tuple[float, tuple[tuple[str, float], ...], float]
+
+
+@dataclass(frozen=True, slots=True)
 class ConfigCost:
-    """Throughput-domain evaluation of one configuration."""
+    """Throughput-domain evaluation of one configuration.
+
+    Slotted, like :class:`~repro.core.pipeline.PipelineConfig`: one
+    instance exists per explored configuration."""
 
     config: PipelineConfig
     compute_fps: float
@@ -51,25 +76,54 @@ class ThroughputCostModel:
     def __init__(self, link: LinkModel):
         self.link = link
 
+    def initial_state(self) -> ThroughputState:
+        """The cost state of the empty (raw-offload) prefix."""
+        return (float("inf"), "none")
+
+    def extend_state(
+        self, state: ThroughputState, block: Block, impl: Implementation
+    ) -> ThroughputState:
+        """The state after running one more block in camera."""
+        if impl.fps < state[0]:
+            return (impl.fps, f"{block.name}({impl.platform})")
+        return state
+
+    def finalize(
+        self,
+        state: ThroughputState,
+        config: PipelineConfig,
+        communication_fps: float | None = None,
+    ) -> ConfigCost:
+        """Close a prefix state into a :class:`ConfigCost`.
+
+        ``communication_fps`` lets a memoized walk pass the per-depth
+        link rate it already computed (the payload depends only on the
+        cut depth, not the platform choices); when None it is derived
+        from the configuration.
+        """
+        if communication_fps is None:
+            communication_fps = self.link.fps_for_bytes(config.offload_bytes)
+        cost = object.__new__(ConfigCost)
+        set_field = object.__setattr__
+        set_field(cost, "config", config)
+        set_field(cost, "compute_fps", state[0])
+        set_field(cost, "communication_fps", communication_fps)
+        set_field(cost, "slowest_block", state[1])
+        return cost
+
     def evaluate(self, config: PipelineConfig) -> ConfigCost:
-        compute_fps = float("inf")
-        slowest = "none"
+        state = self.initial_state()
         for block, impl in config.in_camera_blocks():
-            if impl.fps < compute_fps:
-                compute_fps = impl.fps
-                slowest = f"{block.name}({impl.platform})"
-        comm_fps = self.link.fps_for_bytes(config.offload_bytes)
-        return ConfigCost(
-            config=config,
-            compute_fps=compute_fps,
-            communication_fps=comm_fps,
-            slowest_block=slowest,
-        )
+            state = self.extend_state(state, block, impl)
+        return self.finalize(state, config)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EnergyCost:
-    """Energy-domain evaluation of one configuration."""
+    """Energy-domain evaluation of one configuration.
+
+    Slotted, like :class:`~repro.core.pipeline.PipelineConfig`: one
+    instance exists per explored configuration."""
 
     config: PipelineConfig
     sensor_energy: float
@@ -102,6 +156,62 @@ class EnergyCostModel:
     def __init__(self, link: LinkModel):
         self.link = link
 
+    def initial_state(self) -> EnergyState:
+        """The cost state of the empty (raw-offload) prefix."""
+        return (1.0, (), 0.0)
+
+    def extend_state(
+        self,
+        state: EnergyState,
+        block: Block,
+        impl: Implementation,
+        pass_rates: dict[str, float] | None = None,
+    ) -> EnergyState:
+        """The state after running one more block in camera."""
+        rate, energies, active = state
+        energy = rate * impl.energy_per_frame
+        active = active + rate * impl.active_seconds
+        block_rate = (
+            pass_rates.get(block.name, block.pass_rate)
+            if pass_rates is not None
+            else block.pass_rate
+        )
+        if not 0.0 <= block_rate <= 1.0:
+            raise PipelineError(
+                f"pass rate for {block.name!r} must be in [0,1], got {block_rate}"
+            )
+        return (rate * block_rate, energies + ((block.name, energy),), active)
+
+    def finalize(
+        self,
+        state: EnergyState,
+        config: PipelineConfig,
+        link_costs: tuple[float, float] | None = None,
+    ) -> EnergyCost:
+        """Close a prefix state into an :class:`EnergyCost`.
+
+        ``link_costs`` is the per-payload (transmit joules, transmit
+        seconds) pair; a memoized walk passes the per-depth values it
+        already computed, and when None they are derived from the
+        configuration.
+        """
+        rate, energies, active = state
+        if link_costs is None:
+            offload_bytes = config.offload_bytes
+            link_costs = (
+                self.link.tx_energy_for_bytes(offload_bytes),
+                self.link.seconds_for_bytes(offload_bytes),
+            )
+        cost = object.__new__(EnergyCost)
+        set_field = object.__setattr__
+        set_field(cost, "config", config)
+        set_field(cost, "sensor_energy", config.pipeline.sensor_energy_per_frame)
+        set_field(cost, "block_energies", dict(energies))
+        set_field(cost, "transmit_energy", rate * link_costs[0])
+        set_field(cost, "transmit_rate", rate)
+        set_field(cost, "active_seconds", active + rate * link_costs[1])
+        return cost
+
     def evaluate(
         self,
         config: PipelineConfig,
@@ -118,29 +228,7 @@ class EnergyCostModel:
             blocks' static ``pass_rate`` (benchmarks feed rates measured
             on actual workload traces here).
         """
-        rate = 1.0  # fraction of captured frames reaching the current stage
-        block_energies: dict[str, float] = {}
-        active = 0.0
+        state = self.initial_state()
         for block, impl in config.in_camera_blocks():
-            block_energies[block.name] = rate * impl.energy_per_frame
-            active += rate * impl.active_seconds
-            block_rate = (
-                pass_rates.get(block.name, block.pass_rate)
-                if pass_rates is not None
-                else block.pass_rate
-            )
-            if not 0.0 <= block_rate <= 1.0:
-                raise PipelineError(
-                    f"pass rate for {block.name!r} must be in [0,1], got {block_rate}"
-                )
-            rate *= block_rate
-        tx_energy = rate * self.link.tx_energy_for_bytes(config.offload_bytes)
-        active += rate * self.link.seconds_for_bytes(config.offload_bytes)
-        return EnergyCost(
-            config=config,
-            sensor_energy=config.pipeline.sensor_energy_per_frame,
-            block_energies=block_energies,
-            transmit_energy=tx_energy,
-            transmit_rate=rate,
-            active_seconds=active,
-        )
+            state = self.extend_state(state, block, impl, pass_rates)
+        return self.finalize(state, config)

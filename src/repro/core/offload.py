@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.core.cost import ConfigCost, ThroughputCostModel
 from repro.core.pipeline import InCameraPipeline, PipelineConfig
 from repro.errors import PipelineError
-from repro.explore.engine import explore
+from repro.explore.engine import explore, iter_evaluations
 from repro.explore.enumerate import iter_configs
 from repro.explore.executor import SweepExecutor, resolve_executor
 from repro.explore.scenario import Scenario
@@ -112,5 +112,17 @@ class OffloadAnalyzer:
                 model=self.model,  # keep any customized model, not a rebuild
             )
             return explore(scenario, executor=self.executor).as_offload_report()
-        costs = self.executor.map(self.model.evaluate, configs)
+        # Explicit config sequences (lists or generators, as before)
+        # stream through the same prefix-memoized chunk evaluation as
+        # the scenario path (models that override evaluate() fall back
+        # to per-config calls automatically).
+        configs = list(configs)
+        costs = list(
+            iter_evaluations(
+                self.model,
+                iter(configs),
+                executor=self.executor,
+                approx_total=len(configs),
+            )
+        )
         return OffloadReport(costs=costs, target_fps=self.target_fps)

@@ -62,9 +62,13 @@ class InCameraPipeline:
         return self.blocks[n_in_camera - 1].output_bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PipelineConfig:
     """One point in the offload design space.
+
+    Slotted: design spaces hold millions of these, and dropping the
+    per-instance ``__dict__`` roughly halves both their memory and the
+    cyclic GC's scan cost.
 
     Parameters
     ----------
@@ -85,6 +89,26 @@ class PipelineConfig:
         # construction, not mid-evaluation.
         for block, platform in zip(self.pipeline.blocks, self.platforms):
             block.implementation(platform)
+
+    @classmethod
+    def trusted(
+        cls, pipeline: InCameraPipeline, platforms: tuple[str, ...]
+    ) -> "PipelineConfig":
+        """Construct without per-choice validation.
+
+        The enumeration hot path builds millions of configurations whose
+        platform choices come straight from ``block.implementations``
+        keys and are therefore valid by construction; re-validating each
+        one costs more than the evaluation itself. Callers must
+        guarantee ``platforms`` aligns with the pipeline's leading
+        blocks and that every choice names a real implementation —
+        anything else surfaces later as a ``PipelineError`` from
+        evaluation instead of at construction.
+        """
+        config = object.__new__(cls)
+        object.__setattr__(config, "pipeline", pipeline)
+        object.__setattr__(config, "platforms", platforms)
+        return config
 
     @property
     def n_in_camera(self) -> int:

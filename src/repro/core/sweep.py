@@ -17,7 +17,11 @@ from itertools import product
 from typing import Any, Callable, Sequence
 
 from repro.errors import ConfigurationError
-from repro.explore.executor import SweepExecutor, resolve_executor
+from repro.explore.executor import (
+    SweepExecutor,
+    auto_chunk_size,
+    resolve_executor,
+)
 from repro.explore.result import pareto_filter, require_key
 
 
@@ -60,11 +64,12 @@ class SweepResult:
 def _measure_point(
     fn: Callable[..., dict[str, Any]], point: dict[str, Any]
 ) -> dict[str, Any]:
-    """Evaluate one grid point (module-level for picklability)."""
+    """Evaluate one grid point into its merged row (module-level for
+    picklability). Measured keys win on collision with swept ones."""
     measured = fn(**point)
     if not isinstance(measured, dict):
         raise ConfigurationError("sweep function must return a dict")
-    return measured
+    return {**point, **measured}
 
 
 def parameter_sweep(
@@ -83,19 +88,25 @@ def parameter_sweep(
     ``executor`` is reserved (keyword-only) for the evaluation backend
     and cannot be the name of a swept parameter; the default is serial.
     Parallel executors return rows in the same grid order as serial.
+    The grid streams lazily through the executor — intermediate memory
+    is bounded by the executor's chunk window, not the grid size (the
+    collected rows are the output, as always).
     """
     if not param_lists:
         raise ConfigurationError("no parameters to sweep")
     names = sorted(param_lists)
+    total = 1
     for name in names:
         if not param_lists[name]:
             raise ConfigurationError(f"parameter {name!r} has no values")
-    points = [
+        total *= len(param_lists[name])
+    points = (
         dict(zip(names, values))
         for values in product(*(param_lists[name] for name in names))
-    ]
-    executor = resolve_executor(executor)
-    measured_rows = executor.map(partial(_measure_point, fn), points)
-    return SweepResult(
-        rows=[{**point, **measured} for point, measured in zip(points, measured_rows)]
     )
+    executor = resolve_executor(executor)
+    chunk_size = executor.chunk_size
+    if chunk_size is None and not executor.is_serial:
+        chunk_size = auto_chunk_size(total, executor.workers)
+    rows = list(executor.imap(partial(_measure_point, fn), points, chunk_size=chunk_size))
+    return SweepResult(rows=rows)

@@ -16,8 +16,14 @@ turns that exercise into one reusable engine:
   Pareto-frontier extraction, dominated-config elimination, top-k
   ranking, CSV/JSON export, and adapters back to the legacy
   ``SweepResult`` / ``OffloadReport`` types;
-* :mod:`.engine` — :func:`explore`, the entry point tying them
-  together.
+* :mod:`.incremental` — :class:`PrefixEvaluator`, prefix-memoized
+  evaluation turning per-config cost from O(depth) into amortized O(1)
+  block extensions (bit-identical to from-scratch evaluation);
+* :mod:`.prune` — sound lower-bound depth pruning derived from a
+  scenario's constraint (``Scenario(..., auto_prune=True)``);
+* :mod:`.engine` — :func:`explore`, the streaming entry point tying
+  them together, and :func:`explore_brute_force`, the pre-streaming
+  oracle it is tested byte-identical against.
 
 Quickstart::
 
@@ -33,14 +39,21 @@ Quickstart::
     print(result.best["config"], [r["config"] for r in result.pareto()])
 """
 
-from repro.explore.engine import explore
+from repro.explore.engine import explore, explore_brute_force, iter_evaluations
 from repro.explore.enumerate import (
     DepthPruneHook,
     PruneHook,
     count_configs,
+    enumeration_plan,
     iter_configs,
 )
 from repro.explore.executor import SweepExecutor
+from repro.explore.incremental import PrefixEvaluator, supports_prefix_evaluation
+from repro.explore.prune import (
+    energy_depth_lower_bounds,
+    lower_bound_depth_hook,
+    throughput_depth_bounds,
+)
 from repro.explore.result import ExplorationResult, pareto_filter
 from repro.explore.scenario import DOMAINS, Scenario
 
@@ -48,11 +61,19 @@ __all__ = [
     "DOMAINS",
     "DepthPruneHook",
     "ExplorationResult",
+    "PrefixEvaluator",
     "PruneHook",
     "Scenario",
     "SweepExecutor",
     "count_configs",
+    "energy_depth_lower_bounds",
+    "enumeration_plan",
     "explore",
+    "explore_brute_force",
     "iter_configs",
+    "iter_evaluations",
+    "lower_bound_depth_hook",
     "pareto_filter",
+    "supports_prefix_evaluation",
+    "throughput_depth_bounds",
 ]

@@ -8,68 +8,179 @@ cost model through a :class:`~repro.explore.executor.SweepExecutor`,
 and returns an :class:`~repro.explore.result.ExplorationResult`. Row
 order is the enumeration order regardless of worker count, so parallel
 and serial runs are interchangeable.
+
+The path is streaming end-to-end: configurations flow from the
+enumerator into fixed-size chunks, each chunk is evaluated with a
+chunk-local :class:`~repro.explore.incremental.PrefixEvaluator`
+(amortized O(1) block extensions per configuration instead of
+O(depth)), and chunks travel through the executor's ``imap`` with a
+bounded in-flight window — nothing ever materializes the full
+configuration list, so peak intermediate memory is set by the chunk
+size, not the design-space size. For stock-model, unhooked runs (every
+allocation the engine's own, all acyclic) the cyclic GC is paused while
+results accumulate: bulk-appending millions of small cost objects
+otherwise triggers quadratically many full collections over the growing
+result. Runs involving user code (custom models, per-config prune
+hooks) keep the GC live so user cycles stay collectable.
+
+``explore_brute_force()`` keeps the pre-streaming semantics — eager
+enumeration, from-scratch per-config evaluation, eager rows — as the
+correctness oracle and benchmark baseline the memoized path is compared
+against, byte for byte.
 """
 
 from __future__ import annotations
 
+import gc
+import threading
+from contextlib import contextmanager, nullcontext
 from functools import partial
-from typing import Any
+from itertools import islice
+from typing import Any, Iterator
 
-from repro.core.cost import ConfigCost, EnergyCost, EnergyCostModel
+from repro.core.cost import EnergyCost, EnergyCostModel
 from repro.core.pipeline import PipelineConfig
-from repro.explore.executor import SweepExecutor, resolve_executor
-from repro.explore.result import ExplorationResult
+from repro.errors import ConfigurationError
+from repro.explore.executor import (
+    SweepExecutor,
+    auto_chunk_size,
+    resolve_executor,
+)
+from repro.explore.incremental import (
+    PrefixEvaluator,
+    evaluate_chunk,
+    supports_prefix_evaluation,
+)
+from repro.explore.result import ExplorationResult, cost_row
 from repro.explore.scenario import Scenario
 
+#: Configurations per streamed chunk when neither the caller nor the
+#: executor pins one. Large enough to amortize chunk setup (one cold
+#: prefix walk per chunk) to noise, small enough that the in-flight
+#: window stays a few thousand configurations.
+DEFAULT_CHUNK_SIZE = 1024
 
-def _evaluate_energy(
-    model: EnergyCostModel,
-    pass_rates: dict[str, float] | None,
-    config: PipelineConfig,
-) -> EnergyCost:
-    """Module-level for process-pool picklability."""
-    return model.evaluate(config, pass_rates)
-
-
-def _base_row(config: PipelineConfig) -> dict[str, Any]:
-    return {
-        "config": config.label,
-        "n_in_camera": config.n_in_camera,
-        "platforms": "+".join(config.platforms) if config.platforms else "-",
-        "offload_bytes": config.offload_bytes,
-    }
+_gc_pause_lock = threading.Lock()
+_gc_pause_depth = 0
+_gc_pause_restore = False
 
 
-def _throughput_row(cost: ConfigCost, target_fps: float | None) -> dict[str, Any]:
-    row = _base_row(cost.config)
-    row.update(
-        compute_fps=cost.compute_fps,
-        communication_fps=cost.communication_fps,
-        total_fps=cost.total_fps,
-        bottleneck=cost.bottleneck,
-        slowest_block=cost.slowest_block,
-        feasible=cost.meets(target_fps) if target_fps is not None else True,
-    )
-    return row
+@contextmanager
+def _gc_paused():
+    """Disable the cyclic GC for a bulk-allocation region (reentrant).
+
+    Refcounting still reclaims everything the engine allocates (cost
+    objects are acyclic); only cycle detection is deferred. The previous
+    state is restored when the last active region exits — also across
+    threads — so callers who run with GC disabled are left untouched.
+    """
+    global _gc_pause_depth, _gc_pause_restore
+    with _gc_pause_lock:
+        if _gc_pause_depth == 0:
+            _gc_pause_restore = gc.isenabled()
+            if _gc_pause_restore:
+                gc.disable()
+        _gc_pause_depth += 1
+    try:
+        yield
+    finally:
+        with _gc_pause_lock:
+            _gc_pause_depth -= 1
+            if _gc_pause_depth == 0 and _gc_pause_restore:
+                gc.enable()
 
 
-def _energy_row(cost: EnergyCost, budget_j: float | None) -> dict[str, Any]:
-    row = _base_row(cost.config)
-    row.update(
-        sensor_energy_j=cost.sensor_energy,
-        compute_energy_j=sum(cost.block_energies.values()),
-        transmit_energy_j=cost.transmit_energy,
-        total_energy_j=cost.total_energy,
-        transmit_rate=cost.transmit_rate,
-        active_seconds=cost.active_seconds,
-        feasible=cost.total_energy <= budget_j if budget_j is not None else True,
-    )
-    return row
+def _evaluate_scratch(
+    model: Any, pass_rates: dict[str, float] | None, config: PipelineConfig
+) -> Any:
+    """From-scratch single-config evaluation (module-level for
+    process-pool picklability); the fallback for models that override
+    ``evaluate()`` and are therefore ineligible for prefix memoization."""
+    if isinstance(model, EnergyCostModel):
+        return model.evaluate(config, pass_rates)
+    return model.evaluate(config)
+
+
+def _chunked(iterator: Iterator[Any], size: int) -> Iterator[list[Any]]:
+    while True:
+        chunk = list(islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def iter_evaluation_chunks(
+    model: Any,
+    configs: Iterator[PipelineConfig],
+    executor: SweepExecutor | None = None,
+    pass_rates: dict[str, float] | None = None,
+    chunk_size: int | None = None,
+    approx_total: int | None = None,
+) -> Iterator[list[Any]]:
+    """Stream cost objects for a configuration iterable, as ordered
+    chunk lists (the collection loop extends at C speed).
+
+    The shared evaluation pipe under :func:`explore` and the
+    ``core.offload`` facade: configurations are consumed lazily in
+    chunks, each chunk evaluated prefix-memoized (or from scratch for
+    models that override ``evaluate()``), chunks flow through the
+    executor's bounded-window ``imap``. ``approx_total`` (when known)
+    sizes chunks for parallel executors the way ``map`` would — about
+    four chunks per worker — so small spaces still spread across
+    workers.
+    """
+    executor = resolve_executor(executor)
+    if chunk_size is not None and chunk_size < 1:
+        # islice(iterator, 0) would silently end the stream after zero
+        # configurations; mirror SweepExecutor's field validation.
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    size = chunk_size if chunk_size is not None else executor.chunk_size
+    if size is None:
+        if approx_total is not None and not executor.is_serial:
+            size = auto_chunk_size(approx_total, executor.workers, DEFAULT_CHUNK_SIZE)
+        else:
+            size = DEFAULT_CHUNK_SIZE
+    chunks = _chunked(iter(configs), size)
+    if executor.is_serial and supports_prefix_evaluation(model):
+        # Serial fast path: one evaluator spans the whole stream (no
+        # per-chunk cold restarts, no pool plumbing). Values are
+        # identical to the chunk-local path — memoization only reuses
+        # states a from-scratch walk would recompute bit-for-bit.
+        evaluator = PrefixEvaluator(model, pass_rates)
+        return (evaluator.evaluate_many(chunk) for chunk in chunks)
+    if supports_prefix_evaluation(model):
+        chunk_fn = partial(evaluate_chunk, model, pass_rates)
+    else:
+        scratch = partial(_evaluate_scratch, model, pass_rates)
+        chunk_fn = partial(_run_scratch_chunk, scratch)
+    return executor.imap(chunk_fn, chunks, chunk_size=1)
+
+
+def iter_evaluations(
+    model: Any,
+    configs: Iterator[PipelineConfig],
+    executor: SweepExecutor | None = None,
+    pass_rates: dict[str, float] | None = None,
+    chunk_size: int | None = None,
+    approx_total: int | None = None,
+) -> Iterator[Any]:
+    """Flattened :func:`iter_evaluation_chunks`: one cost per config,
+    in configuration order."""
+    for costs in iter_evaluation_chunks(
+        model, configs, executor, pass_rates, chunk_size, approx_total
+    ):
+        yield from costs
+
+
+def _run_scratch_chunk(evaluate: Any, configs: list[PipelineConfig]) -> list[Any]:
+    """Evaluate one chunk without memoization (module-level, picklable)."""
+    return [evaluate(config) for config in configs]
 
 
 def explore(
     scenario: Scenario,
     executor: SweepExecutor | None = None,
+    chunk_size: int | None = None,
 ) -> ExplorationResult:
     """Evaluate a scenario's whole (pruned) design space.
 
@@ -80,15 +191,118 @@ def explore(
     executor:
         How to run the evaluations; defaults to serial. Parallel
         executors return rows in the same order as serial ones.
+    chunk_size:
+        Configurations per streamed chunk (default: the executor's
+        ``chunk_size``, else :data:`DEFAULT_CHUNK_SIZE` sized down for
+        small spaces on parallel executors). Peak intermediate memory
+        is proportional to this, never to the design-space size.
     """
-    executor = resolve_executor(executor)
-    configs = list(scenario.iter_configs())
     model = scenario.cost_model()
+    # Pause the cyclic GC only when every allocation in the loop is the
+    # engine's own (stock model, no per-config user hooks): those
+    # objects are acyclic, so pausing changes wall-time only. Custom
+    # models / prune hooks may build cycles, which must stay collectable
+    # over a multi-million-config run.
+    pause = supports_prefix_evaluation(model) and scenario.prune is None
+    evaluations: list[Any] = []
+    with _gc_paused() if pause else nullcontext():
+        for costs in iter_evaluation_chunks(
+            model,
+            scenario.iter_configs(),
+            executor=executor,
+            pass_rates=scenario.pass_rates,
+            chunk_size=chunk_size,
+            approx_total=scenario.count_configs(),
+        ):
+            evaluations.extend(costs)
+    return ExplorationResult(scenario=scenario, evaluations=evaluations)
+
+
+def _brute_force_throughput(model: Any, config: PipelineConfig) -> Any:
+    """The seed's from-scratch throughput evaluation, kept verbatim."""
+    from repro.core.cost import ConfigCost
+
+    compute_fps = float("inf")
+    slowest = "none"
+    for block, impl in config.in_camera_blocks():
+        if impl.fps < compute_fps:
+            compute_fps = impl.fps
+            slowest = f"{block.name}({impl.platform})"
+    return ConfigCost(
+        config=config,
+        compute_fps=compute_fps,
+        communication_fps=model.link.fps_for_bytes(config.offload_bytes),
+        slowest_block=slowest,
+    )
+
+
+def _brute_force_energy(
+    model: Any, pass_rates: dict[str, float] | None, config: PipelineConfig
+) -> EnergyCost:
+    """The seed's from-scratch energy evaluation, kept verbatim."""
+    from repro.errors import PipelineError
+
+    rate = 1.0
+    block_energies: dict[str, float] = {}
+    active = 0.0
+    for block, impl in config.in_camera_blocks():
+        block_energies[block.name] = rate * impl.energy_per_frame
+        active += rate * impl.active_seconds
+        block_rate = (
+            pass_rates.get(block.name, block.pass_rate)
+            if pass_rates is not None
+            else block.pass_rate
+        )
+        if not 0.0 <= block_rate <= 1.0:
+            raise PipelineError(
+                f"pass rate for {block.name!r} must be in [0,1], got {block_rate}"
+            )
+        rate *= block_rate
+    tx_energy = rate * model.link.tx_energy_for_bytes(config.offload_bytes)
+    active += rate * model.link.seconds_for_bytes(config.offload_bytes)
+    return EnergyCost(
+        config=config,
+        sensor_energy=config.pipeline.sensor_energy_per_frame,
+        block_energies=block_energies,
+        transmit_energy=tx_energy,
+        transmit_rate=rate,
+        active_seconds=active,
+    )
+
+
+def explore_brute_force(scenario: Scenario) -> ExplorationResult:
+    """The pre-streaming engine, kept as oracle and baseline.
+
+    Replicates what ``explore()`` did before the prefix-memoized
+    streaming path landed: materializes the full configuration list
+    through the validating :class:`PipelineConfig` constructor,
+    evaluates every configuration from block 0 with the seed's
+    evaluation loops through the public (validating, unslotted-speed)
+    dataclass constructors, and builds all rows eagerly. Tests assert
+    the streaming engine reproduces this byte for byte; the scaling
+    benchmark measures how much faster the streaming engine is. The
+    per-block float operations are the exact sequence the incremental
+    path replays, which is why bit-identity holds.
+    """
+    model = scenario.cost_model()
+    configs = [
+        PipelineConfig(pipeline=config.pipeline, platforms=config.platforms)
+        for config in scenario.iter_configs()
+    ]
+    custom = not supports_prefix_evaluation(model)
     if scenario.domain == "throughput":
-        evaluations = executor.map(model.evaluate, configs)
-        rows = [_throughput_row(cost, scenario.target_fps) for cost in evaluations]
+        if custom:
+            evaluations = [model.evaluate(config) for config in configs]
+        else:
+            evaluations = [_brute_force_throughput(model, config) for config in configs]
+    elif custom:
+        evaluations = [
+            model.evaluate(config, scenario.pass_rates) for config in configs
+        ]
     else:
-        evaluate = partial(_evaluate_energy, model, scenario.pass_rates)
-        evaluations = executor.map(evaluate, configs)
-        rows = [_energy_row(cost, scenario.energy_budget_j) for cost in evaluations]
+        evaluations = [
+            _brute_force_energy(model, scenario.pass_rates, config)
+            for config in configs
+        ]
+    rows = [cost_row(scenario, cost) for cost in evaluations]
     return ExplorationResult(scenario=scenario, rows=rows, evaluations=evaluations)

@@ -12,6 +12,11 @@ cut depths 1..limit, platform choices per block in sorted name order,
 cartesian products in :func:`itertools.product` order. Pruning removes
 entries from this sequence without reordering the survivors, so a
 pruned enumeration is always a subsequence of the unpruned one.
+
+Both :func:`iter_configs` and :func:`count_configs` derive their depth
+walk from one shared :func:`enumeration_plan`, so the enumeration rules
+cannot drift apart (the counting function used to re-implement the
+walk; any future rule change now lands in both automatically).
 """
 
 from __future__ import annotations
@@ -38,6 +43,29 @@ def _normalize_hooks(
     if callable(prune):
         return (prune,)
     return tuple(prune)
+
+
+def enumeration_plan(
+    pipeline: InCameraPipeline, max_blocks: int | None = None
+) -> list[list[str]]:
+    """The per-depth platform options shared by iteration and counting.
+
+    Returns one sorted option list per enumerable cut depth: entry
+    ``d-1`` holds the platform choices of block ``d``. The plan is
+    truncated at the first block with no implementations (a block that
+    cannot run in camera ends the enumerable depths) and capped at
+    ``max_blocks``. Argument validation happens here, eagerly.
+    """
+    limit = len(pipeline.blocks) if max_blocks is None else max_blocks
+    if not 0 <= limit <= len(pipeline.blocks):
+        raise PipelineError(f"max_blocks must be in [0, {len(pipeline.blocks)}]")
+    option_lists: list[list[str]] = []
+    for block in pipeline.blocks[:limit]:
+        options = sorted(block.implementations)
+        if not options:
+            break
+        option_lists.append(options)
+    return option_lists
 
 
 def iter_configs(
@@ -67,16 +95,14 @@ def iter_configs(
 
     Argument validation happens eagerly, before the first ``next()``.
     """
-    limit = len(pipeline.blocks) if max_blocks is None else max_blocks
-    if not 0 <= limit <= len(pipeline.blocks):
-        raise PipelineError(f"max_blocks must be in [0, {len(pipeline.blocks)}]")
+    option_lists = enumeration_plan(pipeline, max_blocks)
     hooks = _normalize_hooks(prune)
-    return _generate(pipeline, limit, include_empty, hooks, prune_depth)
+    return _generate(pipeline, option_lists, include_empty, hooks, prune_depth)
 
 
 def _generate(
     pipeline: InCameraPipeline,
-    limit: int,
+    option_lists: list[list[str]],
     include_empty: bool,
     hooks: tuple[PruneHook, ...],
     prune_depth: DepthPruneHook | None,
@@ -84,21 +110,31 @@ def _generate(
     def keep(config: PipelineConfig) -> bool:
         return not any(hook(config) for hook in hooks)
 
+    # Choices come straight from block.implementations keys, so the
+    # trusted (validation-free) constructor is safe on this hot path.
+    trusted = PipelineConfig.trusted
     if include_empty and not (prune_depth is not None and prune_depth(0)):
-        config = PipelineConfig(pipeline=pipeline, platforms=())
+        config = trusted(pipeline, ())
         if keep(config):
             yield config
-    for depth in range(1, limit + 1):
-        option_lists = [
-            sorted(block.implementations) for block in pipeline.blocks[:depth]
-        ]
-        if any(not opts for opts in option_lists):
-            return  # a block with no implementation cannot run in camera
+    for depth in range(1, len(option_lists) + 1):
         if prune_depth is not None and prune_depth(depth):
             continue
-        for choice in product(*option_lists):
-            config = PipelineConfig(pipeline=pipeline, platforms=tuple(choice))
-            if keep(config):
+        if hooks:
+            for choice in product(*option_lists[:depth]):
+                config = trusted(pipeline, choice)
+                if keep(config):
+                    yield config
+        else:
+            # Unhooked hot path: no per-config predicate machinery and
+            # trusted() inlined (the classmethod dispatch alone is
+            # measurable across millions of configurations).
+            new = object.__new__
+            set_field = object.__setattr__
+            for choice in product(*option_lists[:depth]):
+                config = new(PipelineConfig)
+                set_field(config, "pipeline", pipeline)
+                set_field(config, "platforms", choice)
                 yield config
 
 
@@ -106,21 +142,24 @@ def count_configs(
     pipeline: InCameraPipeline,
     max_blocks: int | None = None,
     include_empty: bool = True,
+    prune_depth: DepthPruneHook | None = None,
 ) -> int:
-    """Size of the unpruned design space, without constructing configs.
+    """Size of the design space, without constructing configurations.
 
-    Matches ``len(list(iter_configs(...)))`` for the same arguments (no
-    pruning); useful for sizing executor chunks and for reporting how
-    much a prune hook saved.
+    Matches ``len(list(iter_configs(...)))`` for the same arguments as
+    long as no *per-config* hook filters further (depth-level pruning is
+    exact here; counting per-config hooks would require enumerating).
+    Useful for sizing executor chunks and for reporting how much a depth
+    pruner saved: ``count_configs(p) - count_configs(p, prune_depth=h)``.
     """
-    limit = len(pipeline.blocks) if max_blocks is None else max_blocks
-    if not 0 <= limit <= len(pipeline.blocks):
-        raise PipelineError(f"max_blocks must be in [0, {len(pipeline.blocks)}]")
-    total = 1 if include_empty else 0  # the raw-offload configuration
+    option_lists = enumeration_plan(pipeline, max_blocks)
+    total = 0
+    if include_empty and not (prune_depth is not None and prune_depth(0)):
+        total += 1  # the raw-offload configuration
     per_depth = 1
-    for block in pipeline.blocks[:limit]:
-        if not block.implementations:
-            break
-        per_depth *= len(block.implementations)
+    for depth, options in enumerate(option_lists, start=1):
+        per_depth *= len(options)
+        if prune_depth is not None and prune_depth(depth):
+            continue
         total += per_depth
     return total

@@ -1,0 +1,398 @@
+"""Prefix-memoized configuration evaluation.
+
+The design space is a trie over platform choices: every depth-``d``
+configuration is a depth-``d-1`` prefix plus one block, and both cost
+models are prefix-decomposable (see :mod:`repro.core.cost`). Evaluating
+each configuration from block 0 therefore repeats work exponentially —
+the same sum-of-products structure exploited by the
+storage/computation/communication tradeoff literature lets us pay for
+each trie *node* once instead of once per descendant leaf.
+
+:class:`PrefixEvaluator` walks an arbitrary configuration sequence
+keeping the cost states along the most recent configuration's platform
+path. For the engine's enumeration order (and any contiguous chunk of
+it) consecutive configurations share all but a suffix of their path, so
+the amortized work per configuration is O(1) block extensions instead
+of O(depth): across a full enumeration with branching factor *b* the
+total number of extensions is ``b/(b-1)`` per configuration. Because
+:meth:`~repro.core.cost.ThroughputCostModel.extend_state` replays
+exactly the float operations of ``evaluate()`` in the same order,
+memoized results are bit-identical to from-scratch ones — the engine's
+correctness gate (tests) compares them byte-for-byte.
+
+The evaluator is deliberately sequence-agnostic: it never assumes
+enumeration order, it just benefits from it. Out-of-order sequences
+(e.g. a user-sorted config list) stay correct and degrade gracefully
+toward from-scratch cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.core.cost import (
+    ConfigCost,
+    EnergyCost,
+    EnergyCostModel,
+    ThroughputCostModel,
+)
+from repro.core.pipeline import PipelineConfig
+from repro.errors import ConfigurationError, PipelineError
+
+
+def supports_prefix_evaluation(model: Any) -> bool:
+    """Whether a model is safe to evaluate through the prefix walk.
+
+    A subclass that overrides ``evaluate()`` (e.g. to post-process
+    costs) would be silently bypassed by the incremental path, so only
+    models whose ``evaluate`` is the stock prefix fold qualify;
+    everything else falls back to per-config ``evaluate()`` calls.
+    Subclasses that customize ``extend_state``/``finalize`` while
+    keeping the stock ``evaluate`` remain eligible — the walk uses
+    their overridden steps.
+    """
+    if isinstance(model, ThroughputCostModel):
+        return type(model).evaluate is ThroughputCostModel.evaluate
+    if isinstance(model, EnergyCostModel):
+        return type(model).evaluate is EnergyCostModel.evaluate
+    return False
+
+
+class PrefixEvaluator:
+    """Evaluate configurations of one pipeline with prefix reuse.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.core.cost.ThroughputCostModel` or
+        :class:`~repro.core.cost.EnergyCostModel` (or an eligible
+        subclass, see :func:`supports_prefix_evaluation`).
+    pass_rates:
+        Energy domain only: per-block pass-rate overrides, forwarded to
+        every ``extend_state`` step.
+
+    One evaluator serves one pipeline at a time: the memoized path and
+    the per-depth link-cost cache are invalidated automatically when a
+    configuration of a different pipeline arrives.
+    """
+
+    def __init__(
+        self,
+        model: ThroughputCostModel | EnergyCostModel,
+        pass_rates: dict[str, float] | None = None,
+    ):
+        if pass_rates is not None and not isinstance(model, EnergyCostModel):
+            raise ConfigurationError(
+                "pass_rates only apply to EnergyCostModel evaluation"
+            )
+        self.model = model
+        self.pass_rates = pass_rates
+        self._energy = isinstance(model, EnergyCostModel)
+        self._memoized = supports_prefix_evaluation(model)
+        self._pipeline = None
+        self._platforms: tuple[str, ...] = ()
+        self._states: list[Any] = []  # state after in-camera block i
+        self._link_costs: dict[int, Any] = {}  # cut depth -> finalize arg
+        #: (block index, platform) -> slowest-block label. Keyed by
+        #: position, not id(impl): one Implementation object may be
+        #: registered on several blocks, and the label names the block.
+        self._labels: dict[tuple[int, str], str] = {}
+
+    def _reset(self, pipeline) -> None:
+        self._pipeline = pipeline
+        self._platforms = ()
+        self._states = []
+        self._link_costs = {}
+        self._labels = {}
+
+    def _invalidate_path(self) -> None:
+        """Drop the memoized path after a mid-walk exception: the state
+        stack no longer corresponds to ``_platforms``, and a later
+        evaluation on this evaluator must not extend from it. The
+        per-depth link/label caches stay — they are value-correct
+        regardless of the path. Cleared in place: the evaluation loops
+        hold local aliases of the stack."""
+        self._platforms = ()
+        del self._states[:]
+
+    def _link_cost(self, depth: int, config: PipelineConfig) -> Any:
+        """Per-depth link term (payload depends only on the cut depth)."""
+        cached = self._link_costs.get(depth)
+        if cached is None:
+            link = self.model.link
+            offload_bytes = config.offload_bytes
+            if self._energy:
+                cached = (
+                    link.tx_energy_for_bytes(offload_bytes),
+                    link.seconds_for_bytes(offload_bytes),
+                )
+            else:
+                cached = link.fps_for_bytes(offload_bytes)
+            self._link_costs[depth] = cached
+        return cached
+
+    def evaluate(self, config: PipelineConfig) -> ConfigCost | EnergyCost:
+        """The configuration's cost, reusing the memoized prefix path."""
+        if not self._memoized:
+            if self._energy:
+                return self.model.evaluate(config, self.pass_rates)
+            return self.model.evaluate(config)
+        return self.evaluate_many((config,))[0]
+
+    def evaluate_many(
+        self, configs: Iterable[PipelineConfig]
+    ) -> list[ConfigCost | EnergyCost]:
+        """Evaluate a configuration sequence (one executor chunk).
+
+        Semantically ``[self.evaluate(c) for c in configs]`` — the loop
+        from :meth:`evaluate` is inlined here with the evaluator state
+        held in locals, because per-config attribute loads and method
+        dispatch dominate once the amortized extension count drops to
+        O(1). The two stock models additionally get fully specialized
+        loops (their ``extend_state``/``finalize`` bodies inlined);
+        eligible subclasses run the generic memoized walk through their
+        overridden steps. The property tests pin every path to
+        from-scratch ``model.evaluate`` results, so they cannot drift
+        apart.
+        """
+        if not self._memoized:
+            evaluate = self.evaluate
+            return [evaluate(config) for config in configs]
+        model_type = type(self.model)
+        if model_type is ThroughputCostModel:
+            return self._throughput_many(configs)
+        if model_type is EnergyCostModel:
+            return self._energy_many(configs)
+        return self._generic_many(configs)
+
+    def _generic_many(
+        self, configs: Iterable[PipelineConfig]
+    ) -> list[ConfigCost | EnergyCost]:
+        """Memoized walk through the model's extend/finalize methods."""
+        model = self.model
+        energy = self._energy
+        pass_rates = self.pass_rates
+        extend = model.extend_state
+        finalize = model.finalize
+        link_costs = self._link_costs
+        out: list[ConfigCost | EnergyCost] = []
+        append_out = out.append
+        try:
+            for config in configs:
+                if config.pipeline is not self._pipeline:
+                    self._reset(config.pipeline)
+                    link_costs = self._link_costs
+                platforms = config.platforms
+                prev = self._platforms
+                states = self._states
+                n = len(platforms)
+                if n and len(prev) >= n - 1 and prev[: n - 1] == platforms[: n - 1]:
+                    common = (
+                        n
+                        if len(prev) >= n and prev[n - 1] == platforms[n - 1]
+                        else n - 1
+                    )
+                else:
+                    common = 0
+                    for mine, theirs in zip(prev, platforms):
+                        if mine != theirs:
+                            break
+                        common += 1
+                if len(states) > common:
+                    del states[common:]
+                state = states[common - 1] if common else model.initial_state()
+                if common < n:
+                    blocks = config.pipeline.blocks
+                    append = states.append
+                    if energy:
+                        for i in range(common, n):
+                            block = blocks[i]
+                            state = extend(
+                                state,
+                                block,
+                                block.implementations[platforms[i]],
+                                pass_rates,
+                            )
+                            append(state)
+                    else:
+                        for i in range(common, n):
+                            block = blocks[i]
+                            state = extend(
+                                state, block, block.implementations[platforms[i]]
+                            )
+                            append(state)
+                self._platforms = platforms
+                link_cost = link_costs.get(n)
+                if link_cost is None:
+                    link_cost = self._link_cost(n, config)
+                append_out(finalize(state, config, link_cost))
+        except KeyError:
+            # An invalid trusted() platform choice: re-raise as the
+            # standard PipelineError the validated path would produce.
+            self._invalidate_path()
+            config.in_camera_blocks()
+            raise
+        except BaseException:
+            self._invalidate_path()
+            raise
+        return out
+
+    # The two loops below are _generic_many with the stock models'
+    # extend_state/finalize bodies inlined (identical expressions in
+    # identical order, so results stay bit-identical — pinned by the
+    # property tests). At amortized O(1) extensions per configuration,
+    # the per-block method dispatch they remove is the remaining cost.
+
+    def _throughput_many(
+        self, configs: Iterable[PipelineConfig]
+    ) -> list[ConfigCost]:
+        new = object.__new__
+        set_field = object.__setattr__
+        labels = self._labels
+        out: list[ConfigCost] = []
+        append_out = out.append
+        try:
+            for config in configs:
+                if config.pipeline is not self._pipeline:
+                    self._reset(config.pipeline)
+                    labels = self._labels
+                platforms = config.platforms
+                prev = self._platforms
+                states = self._states
+                n = len(platforms)
+                if n and len(prev) >= n - 1 and prev[: n - 1] == platforms[: n - 1]:
+                    common = (
+                        n
+                        if len(prev) >= n and prev[n - 1] == platforms[n - 1]
+                        else n - 1
+                    )
+                else:
+                    common = 0
+                    for mine, theirs in zip(prev, platforms):
+                        if mine != theirs:
+                            break
+                        common += 1
+                if len(states) > common:
+                    del states[common:]
+                state = states[common - 1] if common else (float("inf"), "none")
+                if common < n:
+                    blocks = config.pipeline.blocks
+                    append = states.append
+                    for i in range(common, n):
+                        block = blocks[i]
+                        impl = block.implementations[platforms[i]]
+                        if impl.fps < state[0]:
+                            key = (i, platforms[i])
+                            label = labels.get(key)
+                            if label is None:
+                                label = f"{block.name}({impl.platform})"
+                                labels[key] = label
+                            state = (impl.fps, label)
+                        append(state)
+                self._platforms = platforms
+                communication_fps = self._link_costs.get(n)
+                if communication_fps is None:
+                    communication_fps = self._link_cost(n, config)
+                cost = new(ConfigCost)
+                set_field(cost, "config", config)
+                set_field(cost, "compute_fps", state[0])
+                set_field(cost, "communication_fps", communication_fps)
+                set_field(cost, "slowest_block", state[1])
+                append_out(cost)
+        except KeyError:
+            self._invalidate_path()
+            config.in_camera_blocks()
+            raise
+        except BaseException:
+            self._invalidate_path()
+            raise
+        return out
+
+    def _energy_many(self, configs: Iterable[PipelineConfig]) -> list[EnergyCost]:
+        new = object.__new__
+        set_field = object.__setattr__
+        pass_rates = self.pass_rates
+        out: list[EnergyCost] = []
+        append_out = out.append
+        try:
+            for config in configs:
+                if config.pipeline is not self._pipeline:
+                    self._reset(config.pipeline)
+                platforms = config.platforms
+                prev = self._platforms
+                states = self._states
+                n = len(platforms)
+                if n and len(prev) >= n - 1 and prev[: n - 1] == platforms[: n - 1]:
+                    common = (
+                        n
+                        if len(prev) >= n and prev[n - 1] == platforms[n - 1]
+                        else n - 1
+                    )
+                else:
+                    common = 0
+                    for mine, theirs in zip(prev, platforms):
+                        if mine != theirs:
+                            break
+                        common += 1
+                if len(states) > common:
+                    del states[common:]
+                state = states[common - 1] if common else (1.0, (), 0.0)
+                if common < n:
+                    blocks = config.pipeline.blocks
+                    append = states.append
+                    rate, energies, active = state
+                    for i in range(common, n):
+                        block = blocks[i]
+                        impl = block.implementations[platforms[i]]
+                        energy = rate * impl.energy_per_frame
+                        active = active + rate * impl.active_seconds
+                        block_rate = (
+                            pass_rates.get(block.name, block.pass_rate)
+                            if pass_rates is not None
+                            else block.pass_rate
+                        )
+                        if not 0.0 <= block_rate <= 1.0:
+                            raise PipelineError(
+                                f"pass rate for {block.name!r} must be in [0,1], "
+                                f"got {block_rate}"
+                            )
+                        rate = rate * block_rate
+                        energies = energies + ((block.name, energy),)
+                        state = (rate, energies, active)
+                        append(state)
+                self._platforms = platforms
+                link_cost = self._link_costs.get(n)
+                if link_cost is None:
+                    link_cost = self._link_cost(n, config)
+                rate, energies, active = state
+                cost = new(EnergyCost)
+                set_field(cost, "config", config)
+                set_field(cost, "sensor_energy", config.pipeline.sensor_energy_per_frame)
+                set_field(cost, "block_energies", dict(energies))
+                set_field(cost, "transmit_energy", rate * link_cost[0])
+                set_field(cost, "transmit_rate", rate)
+                set_field(cost, "active_seconds", active + rate * link_cost[1])
+                append_out(cost)
+        except KeyError:
+            self._invalidate_path()
+            config.in_camera_blocks()
+            raise
+        except BaseException:
+            self._invalidate_path()
+            raise
+        return out
+
+
+def evaluate_chunk(
+    model: ThroughputCostModel | EnergyCostModel,
+    pass_rates: dict[str, float] | None,
+    configs: Sequence[PipelineConfig],
+) -> list[ConfigCost | EnergyCost]:
+    """Evaluate one contiguous chunk of configurations.
+
+    Module-level (picklable) so the process-pool backend can ship
+    chunks to workers; each chunk gets its own :class:`PrefixEvaluator`,
+    so memoization never crosses chunk boundaries and results are
+    independent of how the stream was chunked.
+    """
+    return PrefixEvaluator(model, pass_rates).evaluate_many(configs)

@@ -1,0 +1,133 @@
+"""Sound lower-bound depth pruning derived from a scenario's constraint.
+
+A cut depth fixes everything platform choices cannot change: the
+offload payload (hence the communication rate and the transmit energy)
+and, in the energy domain, the expected transmit rate (pass rates live
+on blocks, not implementations). Combining those exact per-depth terms
+with the best case over platform choices gives *bounds*, not
+heuristics: a depth is pruned only when **no** platform assignment at
+that depth can satisfy the scenario's constraint. Pruned exploration
+therefore loses only infeasible configurations — the feasible set, the
+Pareto frontier restricted to feasible rows, and the per-row values of
+every surviving configuration are identical to the unpruned run.
+
+*Throughput*: depth ``d``'s communication rate is exactly
+``link.fps_for_bytes(payload(d))``, and its best achievable compute
+rate is ``min over blocks 1..d of (max impl fps)``. If either misses
+``target_fps``, every configuration at depth ``d`` fails the paper's
+two-axis criterion.
+
+*Energy*: depth ``d``'s expected energy is at least sensor energy plus
+each block's cheapest implementation scaled by the exact reach rate,
+plus the exact transmit energy for depth ``d``'s payload. If that lower
+bound exceeds ``energy_budget_j``, every configuration at the depth is
+over budget.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.pipeline import InCameraPipeline
+from repro.errors import PipelineError
+from repro.explore.enumerate import DepthPruneHook, enumeration_plan
+from repro.hw.network import LinkModel
+
+if TYPE_CHECKING:  # imported lazily to avoid an import cycle
+    from repro.explore.scenario import Scenario
+
+
+def throughput_depth_bounds(
+    pipeline: InCameraPipeline,
+    link: LinkModel,
+    max_blocks: int | None = None,
+) -> list[tuple[float, float]]:
+    """Per-depth (best compute fps, exact communication fps).
+
+    Entry ``d`` bounds cut depth ``d`` (0 = raw offload). The compute
+    entry is an upper bound on any configuration's ``compute_fps`` at
+    that depth; the communication entry is exact for every
+    configuration at that depth.
+    """
+    option_lists = enumeration_plan(pipeline, max_blocks)
+    bounds = [(float("inf"), link.fps_for_bytes(pipeline.sensor_bytes))]
+    best_compute = float("inf")
+    for depth, options in enumerate(option_lists, start=1):
+        block = pipeline.blocks[depth - 1]
+        fastest = max(block.implementations[name].fps for name in options)
+        best_compute = min(best_compute, fastest)
+        bounds.append((best_compute, link.fps_for_bytes(pipeline.output_bytes_after(depth))))
+    return bounds
+
+
+def energy_depth_lower_bounds(
+    pipeline: InCameraPipeline,
+    link: LinkModel,
+    pass_rates: dict[str, float] | None = None,
+    max_blocks: int | None = None,
+) -> list[float]:
+    """Per-depth lower bound on expected joules per captured frame.
+
+    Entry ``d`` is sensor energy + the cheapest implementation of each
+    of the first ``d`` blocks scaled by its exact reach rate + the
+    exact transmit energy of depth ``d``'s payload. No configuration at
+    depth ``d`` can cost less.
+    """
+    option_lists = enumeration_plan(pipeline, max_blocks)
+    sensor = pipeline.sensor_energy_per_frame
+    bounds = [sensor + link.tx_energy_for_bytes(pipeline.sensor_bytes)]
+    rate = 1.0
+    compute_floor = 0.0
+    for depth, options in enumerate(option_lists, start=1):
+        block = pipeline.blocks[depth - 1]
+        cheapest = min(block.implementations[name].energy_per_frame for name in options)
+        compute_floor += rate * cheapest
+        block_rate = (
+            pass_rates.get(block.name, block.pass_rate)
+            if pass_rates is not None
+            else block.pass_rate
+        )
+        # Same validation as the evaluation path: an invalid override
+        # must raise here too, never silently corrupt a "sound" bound.
+        if not 0.0 <= block_rate <= 1.0:
+            raise PipelineError(
+                f"pass rate for {block.name!r} must be in [0,1], got {block_rate}"
+            )
+        rate *= block_rate
+        transmit = rate * link.tx_energy_for_bytes(pipeline.output_bytes_after(depth))
+        bounds.append(sensor + compute_floor + transmit)
+    return bounds
+
+
+def lower_bound_depth_hook(scenario: "Scenario") -> DepthPruneHook | None:
+    """The scenario's sound depth pruner, or None when unconstrained.
+
+    Returns a :data:`~repro.explore.enumerate.DepthPruneHook` that
+    prunes exactly the depths where the scenario's constraint is
+    *provably* unsatisfiable; with no ``target_fps`` / no
+    ``energy_budget_j`` there is nothing sound to prune, so None.
+    """
+    if scenario.domain == "throughput":
+        target = scenario.target_fps
+        if target is None:
+            return None
+        bounds = throughput_depth_bounds(
+            scenario.pipeline, scenario.link, scenario.max_blocks
+        )
+        pruned = [compute < target or comm < target for compute, comm in bounds]
+    else:
+        budget = scenario.energy_budget_j
+        if budget is None:
+            return None
+        lower = energy_depth_lower_bounds(
+            scenario.pipeline,
+            scenario.link,
+            scenario.pass_rates,
+            scenario.max_blocks,
+        )
+        pruned = [bound > budget for bound in lower]
+
+    def hook(depth: int) -> bool:
+        return depth < len(pruned) and pruned[depth]
+
+    return hook

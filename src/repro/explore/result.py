@@ -1,20 +1,27 @@
 """Exploration results: feasibility, Pareto frontiers, ranking, export.
 
-An :class:`ExplorationResult` holds one row per evaluated configuration
-(plain dicts, like :class:`repro.core.sweep.SweepResult`) plus the raw
-cost objects, and answers the questions the paper asks of Figure 10 —
+An :class:`ExplorationResult` holds one cost object per evaluated
+configuration and answers the questions the paper asks of Figure 10 —
 which configurations are feasible, which are optimal, and which are
 *dominated* (beaten on every axis by another configuration and
 therefore never worth building).
+
+Rows (plain dicts, like :class:`repro.core.sweep.SweepResult` rows) are
+a *derived view* over the evaluations: they are built lazily on first
+access to :attr:`ExplorationResult.rows` and cached, while the export
+paths (:meth:`to_csv` / :meth:`to_json` / :meth:`to_table`) stream rows
+via :meth:`iter_rows` without forcing the cache — a million-config
+result never double-holds a row list next to its evaluation list just
+to be written to disk.
 """
 
 from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
+from repro.core.cost import ConfigCost, EnergyCost
 from repro.core.report import TextTable
 from repro.errors import ConfigurationError, PipelineError
 
@@ -38,65 +45,96 @@ def require_key(rows: Sequence[dict[str, Any]], key: str, kind: str = "metric") 
         raise ConfigurationError(f"{kind} {key!r} missing in rows {missing[:5]}")
 
 
-def pareto_filter(
-    rows: Sequence[dict[str, Any]],
-    axes: Sequence[str],
-    maximize: bool | Sequence[bool] = True,
-) -> list[dict[str, Any]]:
-    """The non-dominated subset of ``rows`` under the given axes.
-
-    Row *a* dominates row *b* when *a* is at least as good on every axis
-    and strictly better on at least one ('good' per the corresponding
-    ``maximize`` flag). Rows with identical axis values do not dominate
-    each other, so exact ties all survive; input order is preserved.
-    """
-    if not axes:
-        raise ConfigurationError("pareto needs at least one axis")
-    flags = [maximize] * len(axes) if isinstance(maximize, bool) else list(maximize)
-    if len(flags) != len(axes):
-        raise ConfigurationError(
-            f"got {len(axes)} axes but {len(flags)} maximize flags"
-        )
-    keys: list[list[float]] = []
-    for i, row in enumerate(rows):
-        key = []
-        for axis, flag in zip(axes, flags):
-            if axis not in row:
-                raise ConfigurationError(f"axis {axis!r} missing in row {i}")
-            value = row[axis]
-            if isinstance(value, float) and math.isnan(value):
-                raise ConfigurationError(f"axis {axis!r} is NaN in row {i}")
-            key.append(value if flag else -value)
-        keys.append(key)
-    n_axes = len(axes)
-    survivors = []
-    for i, mine in enumerate(keys):
-        dominated = any(
-            other is not mine
-            and all(other[d] >= mine[d] for d in range(n_axes))
-            and any(other[d] > mine[d] for d in range(n_axes))
-            for other in keys
-        )
-        if not dominated:
-            survivors.append(rows[i])
-    return survivors
+def _base_row(config) -> dict[str, Any]:
+    return {
+        "config": config.label,
+        "n_in_camera": config.n_in_camera,
+        "platforms": "+".join(config.platforms) if config.platforms else "-",
+        "offload_bytes": config.offload_bytes,
+    }
 
 
-@dataclass
+def _throughput_row(cost: ConfigCost, target_fps: float | None) -> dict[str, Any]:
+    row = _base_row(cost.config)
+    row.update(
+        compute_fps=cost.compute_fps,
+        communication_fps=cost.communication_fps,
+        total_fps=cost.total_fps,
+        bottleneck=cost.bottleneck,
+        slowest_block=cost.slowest_block,
+        feasible=cost.meets(target_fps) if target_fps is not None else True,
+    )
+    return row
+
+
+def _energy_row(cost: EnergyCost, budget_j: float | None) -> dict[str, Any]:
+    row = _base_row(cost.config)
+    row.update(
+        sensor_energy_j=cost.sensor_energy,
+        compute_energy_j=sum(cost.block_energies.values()),
+        transmit_energy_j=cost.transmit_energy,
+        total_energy_j=cost.total_energy,
+        transmit_rate=cost.transmit_rate,
+        active_seconds=cost.active_seconds,
+        feasible=cost.total_energy <= budget_j if budget_j is not None else True,
+    )
+    return row
+
+
+def cost_row(scenario: "Scenario", cost: Any) -> dict[str, Any]:
+    """The report row of one cost object under a scenario's verdicts."""
+    if scenario.domain == "throughput":
+        return _throughput_row(cost, scenario.target_fps)
+    return _energy_row(cost, scenario.energy_budget_j)
+
+
 class ExplorationResult:
     """Every evaluated configuration of one scenario, with verdicts.
 
     ``rows`` and ``evaluations`` are index-aligned: ``evaluations[i]``
     is the :class:`~repro.core.cost.ConfigCost` or
-    :class:`~repro.core.cost.EnergyCost` behind ``rows[i]``.
+    :class:`~repro.core.cost.EnergyCost` behind ``rows[i]``. Rows are
+    derived from the evaluations on first access (assigning ``rows``
+    replaces the derived view, which keeps ad-hoc post-processing
+    working).
     """
 
-    scenario: "Scenario"
-    rows: list[dict[str, Any]] = field(default_factory=list)
-    evaluations: list[Any] = field(default_factory=list)
+    def __init__(
+        self,
+        scenario: "Scenario",
+        rows: list[dict[str, Any]] | None = None,
+        evaluations: list[Any] | None = None,
+    ):
+        self.scenario = scenario
+        self.evaluations = [] if evaluations is None else evaluations
+        self._rows = rows
+
+    @property
+    def rows(self) -> list[dict[str, Any]]:
+        """One report row per evaluation (derived lazily, then cached)."""
+        if self._rows is None:
+            scenario = self.scenario
+            self._rows = [cost_row(scenario, cost) for cost in self.evaluations]
+        return self._rows
+
+    @rows.setter
+    def rows(self, value: list[dict[str, Any]]) -> None:
+        self._rows = value
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        """Stream rows without materializing the cache (export path);
+        serves the cached/assigned rows when they already exist."""
+        if self._rows is not None:
+            yield from self._rows
+            return
+        scenario = self.scenario
+        for cost in self.evaluations:
+            yield cost_row(scenario, cost)
 
     def __len__(self) -> int:
-        return len(self.rows)
+        if self._rows is not None:
+            return len(self._rows)
+        return len(self.evaluations)
 
     @property
     def feasible(self) -> list[dict[str, Any]]:
@@ -160,15 +198,18 @@ class ExplorationResult:
     def columns(self) -> list[str]:
         """Union of row keys, in first-appearance order."""
         cols: dict[str, None] = {}
-        for row in self.rows:
+        for row in self.iter_rows():
             for key in row:
                 cols.setdefault(key)
+            if self._rows is None:
+                # Derived rows are homogeneous per domain; one suffices.
+                break
         return list(cols)
 
     def to_table(self, title: str | None = None) -> TextTable:
         """The result as a :class:`~repro.core.report.TextTable`."""
         table = TextTable(self.columns(), title=title or self.scenario.name)
-        table.add_rows(self.rows)
+        table.add_rows(self.iter_rows())
         return table
 
     def to_csv(self, path: str | None = None) -> str:
@@ -199,7 +240,7 @@ class ExplorationResult:
                 "domain": self.scenario.domain,
                 "rows": [
                     {key: json_safe(val) for key, val in row.items()}
-                    for row in self.rows
+                    for row in self.iter_rows()
                 ],
             },
             indent=2,
@@ -235,3 +276,47 @@ class ExplorationResult:
                 "scenario has no target_fps; OffloadReport needs one"
             )
         return OffloadReport(costs=list(self.evaluations), target_fps=target)
+
+
+def pareto_filter(
+    rows: Sequence[dict[str, Any]],
+    axes: Sequence[str],
+    maximize: bool | Sequence[bool] = True,
+) -> list[dict[str, Any]]:
+    """The non-dominated subset of ``rows`` under the given axes.
+
+    Row *a* dominates row *b* when *a* is at least as good on every axis
+    and strictly better on at least one ('good' per the corresponding
+    ``maximize`` flag). Rows with identical axis values do not dominate
+    each other, so exact ties all survive; input order is preserved.
+    """
+    if not axes:
+        raise ConfigurationError("pareto needs at least one axis")
+    flags = [maximize] * len(axes) if isinstance(maximize, bool) else list(maximize)
+    if len(flags) != len(axes):
+        raise ConfigurationError(
+            f"got {len(axes)} axes but {len(flags)} maximize flags"
+        )
+    keys: list[list[float]] = []
+    for i, row in enumerate(rows):
+        key = []
+        for axis, flag in zip(axes, flags):
+            if axis not in row:
+                raise ConfigurationError(f"axis {axis!r} missing in row {i}")
+            value = row[axis]
+            if isinstance(value, float) and math.isnan(value):
+                raise ConfigurationError(f"axis {axis!r} is NaN in row {i}")
+            key.append(value if flag else -value)
+        keys.append(key)
+    n_axes = len(axes)
+    survivors = []
+    for i, mine in enumerate(keys):
+        dominated = any(
+            other is not mine
+            and all(other[d] >= mine[d] for d in range(n_axes))
+            and any(other[d] > mine[d] for d in range(n_axes))
+            for other in keys
+        )
+        if not dominated:
+            survivors.append(rows[i])
+    return survivors

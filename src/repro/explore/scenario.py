@@ -16,7 +16,12 @@ from typing import Iterator, Sequence
 from repro.core.cost import EnergyCostModel, ThroughputCostModel
 from repro.core.pipeline import InCameraPipeline, PipelineConfig
 from repro.errors import ConfigurationError
-from repro.explore.enumerate import DepthPruneHook, PruneHook, iter_configs
+from repro.explore.enumerate import (
+    DepthPruneHook,
+    PruneHook,
+    count_configs,
+    iter_configs,
+)
 from repro.hw.network import LinkModel
 
 #: The two evaluation domains of the paper: frames/second over a
@@ -60,6 +65,14 @@ class Scenario:
         Enumeration bounds, as in :func:`repro.explore.iter_configs`.
     prune / prune_depth:
         Pruning hooks forwarded to the lazy enumerator.
+    auto_prune:
+        Derive a *sound* depth pruner from the scenario's constraint
+        (see :mod:`repro.explore.prune`): cut depths where the exact
+        communication rate / transmit-energy lower bound already misses
+        ``target_fps`` / ``energy_budget_j`` are skipped before any
+        configuration is constructed. Lower bounds only — pruning never
+        removes a feasible configuration. Requires a constraint to
+        bound against.
     """
 
     name: str
@@ -74,6 +87,7 @@ class Scenario:
     include_empty: bool = True
     prune: PruneHook | Sequence[PruneHook] | None = None
     prune_depth: DepthPruneHook | None = field(default=None)
+    auto_prune: bool = False
 
     def __post_init__(self) -> None:
         if self.domain not in DOMAINS:
@@ -107,6 +121,37 @@ class Scenario:
                     f"model must be a {expected.__name__} for the "
                     f"{self.domain} domain, got {type(self.model).__name__}"
                 )
+        if self.auto_prune:
+            constrained = (
+                self.target_fps is not None
+                if self.domain == "throughput"
+                else self.energy_budget_j is not None
+            )
+            if not constrained:
+                raise ConfigurationError(
+                    "auto_prune needs a constraint to bound against: set "
+                    + (
+                        "target_fps"
+                        if self.domain == "throughput"
+                        else "energy_budget_j"
+                    )
+                )
+
+    def depth_prune_hook(self) -> DepthPruneHook | None:
+        """The effective depth pruner: the user hook, the auto-derived
+        lower-bound pruner, or (with both) their union — a depth is
+        skipped when either prunes it."""
+        hooks = [self.prune_depth]
+        if self.auto_prune:
+            from repro.explore.prune import lower_bound_depth_hook
+
+            hooks.append(lower_bound_depth_hook(self))
+        hooks = [hook for hook in hooks if hook is not None]
+        if not hooks:
+            return None
+        if len(hooks) == 1:
+            return hooks[0]
+        return lambda depth: any(hook(depth) for hook in hooks)
 
     def iter_configs(self) -> Iterator[PipelineConfig]:
         """The scenario's (lazily enumerated, pruned) design space."""
@@ -115,7 +160,20 @@ class Scenario:
             max_blocks=self.max_blocks,
             include_empty=self.include_empty,
             prune=self.prune,
-            prune_depth=self.prune_depth,
+            prune_depth=self.depth_prune_hook(),
+        )
+
+    def count_configs(self) -> int:
+        """Size of the depth-pruned design space, without constructing
+        configurations. Exact unless per-config ``prune`` hooks filter
+        further, in which case it is an upper bound (the engine uses it
+        to size streaming chunks; reporting uses it to quantify
+        depth-pruning savings)."""
+        return count_configs(
+            self.pipeline,
+            max_blocks=self.max_blocks,
+            include_empty=self.include_empty,
+            prune_depth=self.depth_prune_hook(),
         )
 
     def cost_model(self) -> ThroughputCostModel | EnergyCostModel:
