@@ -16,11 +16,81 @@ from repro.faceauth.workload import TrainedWorkload, build_workload
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: The cross-commit benchmark trajectory at the repository root: every
+#: perf-tracking benchmark appends one entry per run (see
+#: ``append_trajectory``), CI uploads it as an artifact.
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_explore.json"
+
+#: Trajectory length cap: local full-suite runs append too, so bound
+#: the committed artifact to the most recent entries.
+MAX_TRAJECTORY_ENTRIES = 100
+
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+def _current_commit() -> str | None:
+    """Short HEAD hash stamped onto trajectory entries (None outside
+    git); entries from the same commit and kind collapse on rerun."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else None
+
+
+@pytest.fixture(scope="session")
+def append_trajectory():
+    """Append one entry to the shared ``BENCH_explore.json`` trajectory.
+
+    Entries are kind-tagged dicts stamped with the current commit;
+    entries beyond the cap roll off oldest-first. Rerunning a benchmark
+    at the *same* commit replaces that (kind, commit) pair's latest
+    consecutive entry instead of appending, so local
+    rerun-before-commit loops don't pile timing-noise duplicates into
+    the committed artifact — while cross-commit entries (the trend the
+    trajectory exists to show) always append.
+    """
+
+    def _append(entry: dict) -> list[dict]:
+        import json
+
+        entry = dict(entry)
+        commit = _current_commit()
+        entry["commit"] = commit
+        trajectory = []
+        if TRAJECTORY_PATH.exists():
+            trajectory = json.loads(TRAJECTORY_PATH.read_text())
+        # Replace the latest entry of the SAME kind at the same commit
+        # (several kinds interleave per run, so trajectory[-1] alone
+        # would never match and reruns would still pile up duplicates).
+        replaced = False
+        if commit is not None:
+            for position in range(len(trajectory) - 1, -1, -1):
+                previous = trajectory[position]
+                if previous.get("kind") != entry.get("kind"):
+                    continue
+                if previous.get("commit") == commit:
+                    trajectory[position] = entry
+                    replaced = True
+                break  # only the latest same-kind entry is a candidate
+        if not replaced:
+            trajectory.append(entry)
+        trajectory = trajectory[-MAX_TRAJECTORY_ENTRIES:]
+        TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+        return trajectory
+
+    return _append
 
 
 @pytest.fixture(scope="session")

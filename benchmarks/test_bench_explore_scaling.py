@@ -29,7 +29,6 @@ import gc
 import json
 import time
 from dataclasses import replace
-from pathlib import Path
 
 from repro.core.block import Block, Implementation
 from repro.core.pipeline import InCameraPipeline
@@ -37,8 +36,6 @@ from repro.core.report import TextTable
 from repro.explore import Scenario, explore, explore_brute_force
 from repro.explore.result import cost_row
 from repro.hw.network import LinkModel
-
-TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_explore.json"
 
 #: Depth of the synthetic pipeline (>= 12 per the scaling brief) and
 #: platform options per block.
@@ -94,22 +91,7 @@ def _timed(fn):
     return time.perf_counter() - start, result
 
 
-#: Trajectory length cap: local full-suite runs append too, so bound
-#: the committed artifact to the most recent entries.
-MAX_TRAJECTORY_ENTRIES = 100
-
-
-def _append_trajectory(entry: dict) -> list[dict]:
-    trajectory = []
-    if TRAJECTORY_PATH.exists():
-        trajectory = json.loads(TRAJECTORY_PATH.read_text())
-    trajectory.append(entry)
-    trajectory = trajectory[-MAX_TRAJECTORY_ENTRIES:]
-    TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
-    return trajectory
-
-
-def test_explore_scaling_speedup(benchmark, publish, results_dir):
+def test_explore_scaling_speedup(benchmark, publish, results_dir, append_trajectory):
     scenario = build_deep_scenario()
     n_configs = scenario.count_configs()
     assert n_configs == sum(len(PLATFORMS) ** d for d in range(N_BLOCKS + 1))
@@ -168,6 +150,7 @@ def test_explore_scaling_speedup(benchmark, publish, results_dir):
         / measurements["brute"]["configs_per_sec"]
     )
     entry = {
+        "kind": "explore_scaling",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "pipeline": {"blocks": N_BLOCKS, "platforms_per_block": len(PLATFORMS)},
         "n_configs": n_configs,
@@ -175,7 +158,7 @@ def test_explore_scaling_speedup(benchmark, publish, results_dir):
         "speedup_memoized_vs_brute": round(speedup, 2),
         "speedup_pruned_effective_vs_brute": round(effective_prune_speedup, 1),
     }
-    _append_trajectory(entry)
+    append_trajectory(entry)
     (results_dir / "BENCH_explore.json").write_text(json.dumps(entry, indent=2) + "\n")
 
     table = TextTable(

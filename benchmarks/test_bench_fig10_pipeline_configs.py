@@ -5,9 +5,11 @@ B3/B4 platform; only the full in-camera pipeline with FPGA acceleration
 clears the 30 FPS bar on both axes.
 
 Both experiments run through the unified exploration engine
-(:mod:`repro.explore`): one declarative :class:`Scenario` covers the
-paper's nine configurations and the full design space, and the parallel
-executor must reproduce the serial rows byte-for-byte.
+(:mod:`repro.explore`): the scenario comes from the shared catalog
+(``vr-fig10``, registered by :mod:`repro.vr.scenarios`) — the same
+entry campaigns run — covering the paper's nine configurations and the
+full design space, and the parallel executor must reproduce the serial
+rows byte-for-byte.
 """
 
 from __future__ import annotations
@@ -19,8 +21,8 @@ import pytest
 
 from repro.core.report import TextTable
 from repro.explore import Scenario, SweepExecutor, explore
-from repro.hw.network import ETHERNET_25G
-from repro.vr.scenarios import build_vr_pipeline, paper_configurations
+from repro.explore.catalog import load_builtin
+from repro.vr.scenarios import paper_configurations
 
 #: The bar values recovered from the paper's figure (see DESIGN.md).
 PAPER_TOTALS = {
@@ -37,12 +39,7 @@ PAPER_TOTALS = {
 
 
 def fig10_scenario() -> Scenario:
-    return Scenario(
-        name="fig10_pipeline_configs",
-        pipeline=build_vr_pipeline(),
-        link=ETHERNET_25G,
-        target_fps=30.0,
-    )
+    return load_builtin().build("vr-fig10", name="fig10_pipeline_configs")
 
 
 def test_fig10_configuration_table(benchmark, publish):

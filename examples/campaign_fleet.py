@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""A fleet-scale exploration campaign over the built-in scenario catalog.
+
+Loads the whole workload library — the VR rig at two Ethernet tiers, the
+face-authentication camera in both cost domains, harvested-budget
+variants at two reader distances, and the in-camera codec chain over
+WiFi-class and battery radios — and runs every design space through
+*one* shared executor as a single campaign: interleaved chunks keep all
+workers busy, per-scenario results are byte-identical to solo runs, and
+the summary report answers the fleet question (which products are
+feasible, with which design, at what cost) in one table.
+
+Also demonstrates streaming export: the same campaign re-run through CSV
+sinks with ``collect=False`` writes every row to disk without ever
+holding a result cache — the memory profile of a million-config fleet
+is the chunk window, not the design-space size.
+
+Run:
+    PYTHONPATH=src python examples/campaign_fleet.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core import TextTable
+from repro.explore import Campaign, CsvSink, SweepExecutor
+from repro.explore.catalog import load_builtin
+
+#: The campaign summary is archived next to the benchmark tables (CI
+#: uploads it alongside BENCH_explore.json).
+SUMMARY_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "results" / "campaign_summary.txt"
+
+
+def main() -> None:
+    catalog = load_builtin()
+    library = TextTable(
+        ["entry", "domain", "summary"],
+        title=f"Scenario catalog: {len(catalog)} registered workloads",
+    )
+    library.add_rows(
+        {"entry": e.name, "domain": e.domain, "summary": e.summary}
+        for e in catalog.entries()
+    )
+    library.print()
+
+    # One pool for the whole fleet: scenarios' config chunks interleave
+    # through the shared executor, so N scenarios cost one pool, not N.
+    fleet = catalog.build_all()
+    campaign = Campaign(fleet, name="builtin-fleet")
+    result = campaign.run(SweepExecutor(workers=4, backend="thread"))
+    table = result.to_table()
+    table.print()
+    SUMMARY_PATH.parent.mkdir(exist_ok=True)
+    SUMMARY_PATH.write_text(table.render() + "\n")
+    print(f"\nSummary archived to {SUMMARY_PATH}")
+
+    # The fleet-level headline: every throughput scenario's winner and
+    # every energy scenario's cheapest design, from one run.
+    for run in result:
+        metric = "total_fps" if run.scenario.domain == "throughput" else "total_energy_j"
+        unit = "FPS" if metric == "total_fps" else "J/frame"
+        print(
+            f"  {run.name}: {run.n_feasible}/{run.n_evaluated} feasible, "
+            f"best {run.best['config']} at {run.best[metric]:.3g} {unit}"
+        )
+
+    # Streaming export: the same campaign, rows to disk, no caches.
+    with tempfile.TemporaryDirectory(prefix="campaign_fleet_") as tmp:
+        sinks = {
+            scenario.name: CsvSink(str(Path(tmp) / f"{scenario.name}.csv"))
+            for scenario in fleet
+        }
+        export = campaign.run(
+            SweepExecutor(workers=4, backend="thread"),
+            sinks=sinks,
+            collect=False,
+        )
+        written = sum(
+            (Path(tmp) / f"{run.name}.csv").stat().st_size for run in export
+        )
+        print(
+            f"\nExport-only re-run: {sum(r.n_evaluated for r in export)} "
+            f"rows -> {len(export)} CSV files ({written} bytes) with no "
+            "result caches in memory (collect=False)."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -10,7 +10,9 @@ analysis the paper leaves open:
 * :mod:`.dct` — 8x8 type-II/III DCT, fully vectorized;
 * :mod:`.codec` — quantization, entropy-size estimation, encode/decode,
   rate-distortion measurement;
-* :mod:`.block` — wrap a codec setting as a pipeline :class:`Block`.
+* :mod:`.block` — wrap a codec setting as a pipeline :class:`Block`;
+* :mod:`.scenario` — the encode chain as catalog scenarios: where the
+  codec stages should run, in both cost domains.
 """
 
 from repro.compression.dct import blockify, dct2_8x8, deblockify, idct2_8x8
@@ -20,8 +22,16 @@ from repro.compression.codec import (
     rate_distortion_sweep,
 )
 from repro.compression.block import compression_block
+from repro.compression.scenario import (
+    build_codec_pipeline,
+    compression_energy_scenario,
+    compression_throughput_scenario,
+)
 
 __all__ = [
+    "build_codec_pipeline",
+    "compression_energy_scenario",
+    "compression_throughput_scenario",
     "blockify",
     "dct2_8x8",
     "deblockify",

@@ -1,0 +1,143 @@
+"""In-camera compression as an offload design space.
+
+The codec stack (:mod:`repro.compression.codec`) answers *how well* a
+JPEG-style transform codec compresses; these scenarios answer the
+paper's question about it: *where should the codec stages run*? The
+encode chain — 8x8 DCT, quality-scaled quantization, entropy coding —
+is priced as a three-block :class:`~repro.core.pipeline.InCameraPipeline`
+whose cut point decides what crosses the uplink: the raw frame, the
+(same-size) transform plan, the half-size quantized symbols, or the
+fully coded payload at ``raw / ratio(quality)``.
+
+Per-stage rates and energies model a VGA smart camera with a
+fixed-function ISP codec path next to a software fallback on the host
+CPU; the quality -> compression-ratio points track the dependency-free
+codec's measured rate curve (see
+``benchmarks/test_bench_ext_compression.py``). Registered catalog
+entries put the same pipeline in both cost domains: a WiFi-class
+throughput study (raw VGA video does not fit the radio; the ISP chain
+clears it) and a battery-node energy study over the low-power radio
+(transmit energy dwarfs compute energy, so deeper in-camera compression
+wins despite costing joules).
+"""
+
+from __future__ import annotations
+
+from repro.core.block import Block, Implementation
+from repro.core.pipeline import InCameraPipeline
+from repro.errors import ConfigurationError
+from repro.explore.catalog import register_scenario, resolve_link
+from repro.explore.scenario import Scenario
+from repro.hw.network import LOW_POWER_RADIO, WIFI_CLASS, LinkModel
+
+#: Raw 8-bit VGA frame.
+RAW_FRAME_BYTES = 640.0 * 480.0
+
+#: Quality -> end-to-end compression ratio of the JPEG-like codec on the
+#: reference natural-scene set (entropy-model estimate; the codec
+#: benchmark regenerates the full rate-distortion curve these anchor).
+QUALITY_RATIOS = {50: 12.0, 80: 7.0, 95: 3.5}
+
+
+def build_codec_pipeline(quality: int = 80) -> InCameraPipeline:
+    """The encode chain as a cost-annotated pipeline at one quality.
+
+    Cutting after ``dct`` offloads the same byte count as the raw frame
+    (the transform alone buys nothing on the wire — exactly the kind of
+    dominated region the explorer should discover); after ``quantize``
+    the symbol planes are about half size; after ``entropy`` the coded
+    payload is ``raw / ratio(quality)``.
+    """
+    if quality not in QUALITY_RATIOS:
+        raise ConfigurationError(
+            f"quality must be one of {sorted(QUALITY_RATIOS)}, got {quality!r}"
+        )
+    ratio = QUALITY_RATIOS[quality]
+    dct = Block(
+        name="dct",
+        output_bytes=RAW_FRAME_BYTES,
+        implementations={
+            "isp": Implementation(
+                "isp", fps=120.0, energy_per_frame=4.0e-5, active_seconds=1 / 120.0
+            ),
+            "cpu": Implementation(
+                "cpu", fps=24.0, energy_per_frame=9.0e-4, active_seconds=1 / 24.0
+            ),
+        },
+    )
+    quantize = Block(
+        name="quantize",
+        output_bytes=RAW_FRAME_BYTES / 2.0,
+        implementations={
+            "isp": Implementation(
+                "isp", fps=240.0, energy_per_frame=8.0e-6, active_seconds=1 / 240.0
+            ),
+            "cpu": Implementation(
+                "cpu", fps=60.0, energy_per_frame=2.0e-4, active_seconds=1 / 60.0
+            ),
+        },
+    )
+    entropy = Block(
+        name="entropy",
+        output_bytes=RAW_FRAME_BYTES / ratio,
+        implementations={
+            "isp": Implementation(
+                "isp", fps=180.0, energy_per_frame=1.5e-5, active_seconds=1 / 180.0
+            ),
+            "cpu": Implementation(
+                "cpu", fps=45.0, energy_per_frame=3.5e-4, active_seconds=1 / 45.0
+            ),
+        },
+    )
+    return InCameraPipeline(
+        name=f"codec-vga-q{quality}",
+        sensor_bytes=RAW_FRAME_BYTES,
+        blocks=(dct, quantize, entropy),
+        sensor_energy_per_frame=3.0e-5,
+    )
+
+
+@register_scenario(
+    "compression-throughput",
+    domain="throughput",
+    summary="VGA codec chain over a WiFi-class radio: raw video misses 30 FPS, ISP encode clears it",
+)
+def compression_throughput_scenario(
+    quality: int = 80,
+    link: str | LinkModel = WIFI_CLASS,
+    target_fps: float = 30.0,
+    name: str | None = None,
+) -> Scenario:
+    """Where to cut the encode chain so VGA video sustains ``target_fps``
+    over a bandwidth-limited radio."""
+    link = resolve_link(link)
+    return Scenario(
+        name=name or f"codec-q{quality}@{link.name}",
+        pipeline=build_codec_pipeline(quality),
+        link=link,
+        domain="throughput",
+        target_fps=target_fps,
+    )
+
+
+@register_scenario(
+    "compression-energy",
+    domain="energy",
+    summary="VGA codec chain on a battery node: 50 nJ/bit transmit makes deep compression pay",
+)
+def compression_energy_scenario(
+    quality: int = 80,
+    link: str | LinkModel = LOW_POWER_RADIO,
+    energy_budget_j: float | None = 2e-2,
+    name: str | None = None,
+) -> Scenario:
+    """Expected joules per frame of every cut of the encode chain over
+    an energy-priced radio, against a battery duty-cycle budget."""
+    link = resolve_link(link)
+    return Scenario(
+        name=name or f"codec-q{quality}@{link.name}-energy",
+        pipeline=build_codec_pipeline(quality),
+        link=link,
+        domain="energy",
+        energy_budget_j=energy_budget_j,
+    )

@@ -16,14 +16,17 @@ returning the same :class:`OffloadReport` it always has.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.cost import ConfigCost, ThroughputCostModel
 from repro.core.pipeline import InCameraPipeline, PipelineConfig
 from repro.errors import PipelineError
-from repro.explore.engine import explore, iter_evaluations
+from repro.explore.engine import explore, iter_evaluation_chunks
 from repro.explore.enumerate import iter_configs
 from repro.explore.executor import SweepExecutor, resolve_executor
+from repro.explore.result import cost_row
 from repro.explore.scenario import Scenario
+from repro.explore.sink import resolve_sink, sink_stream
 
 
 def enumerate_configs(
@@ -100,29 +103,44 @@ class OffloadAnalyzer:
         self,
         pipeline: InCameraPipeline,
         configs: list[PipelineConfig] | None = None,
+        sink: Any = None,
     ) -> OffloadReport:
-        """Evaluate the given (or all) configurations."""
+        """Evaluate the given (or all) configurations.
+
+        ``sink`` (a :class:`repro.explore.sink.ResultSink`) receives the
+        engine's report rows streamed as evaluation completes — the same
+        pass-through ``explore()`` offers, so legacy callers gain
+        streaming export without switching APIs.
+        """
+        scenario = Scenario(
+            name=pipeline.name,
+            pipeline=pipeline,
+            link=self.model.link,
+            domain="throughput",
+            target_fps=self.target_fps,
+            model=self.model,  # keep any customized model, not a rebuild
+        )
         if configs is None:
-            scenario = Scenario(
-                name=pipeline.name,
-                pipeline=pipeline,
-                link=self.model.link,
-                domain="throughput",
-                target_fps=self.target_fps,
-                model=self.model,  # keep any customized model, not a rebuild
-            )
-            return explore(scenario, executor=self.executor).as_offload_report()
+            return explore(
+                scenario, executor=self.executor, sink=sink
+            ).as_offload_report()
         # Explicit config sequences (lists or generators, as before)
         # stream through the same prefix-memoized chunk evaluation as
         # the scenario path (models that override evaluate() fall back
-        # to per-config calls automatically).
+        # to per-config calls automatically); sink rows are written
+        # chunk by chunk as evaluation completes, exactly like explore().
+        sink = resolve_sink(sink)
         configs = list(configs)
-        costs = list(
-            iter_evaluations(
-                self.model,
-                iter(configs),
-                executor=self.executor,
-                approx_total=len(configs),
-            )
+        chunks = iter_evaluation_chunks(
+            self.model,
+            iter(configs),
+            executor=self.executor,
+            approx_total=len(configs),
         )
+        costs: list[ConfigCost] = []
+        with sink_stream(sink, scenario, f"pipeline {pipeline.name!r}") as write:
+            for chunk in chunks:
+                costs.extend(chunk)
+                if write is not None:
+                    write([cost_row(scenario, cost) for cost in chunk])
         return OffloadReport(costs=costs, target_fps=self.target_fps)

@@ -88,3 +88,42 @@ class TextTable:
     def print(self) -> None:
         """Print the table (captured by pytest -s / tee in bench logs)."""
         print("\n" + self.render())
+
+
+#: Canonical column order of a campaign summary row (see
+#: :meth:`repro.explore.campaign.ScenarioRun.summary_row`).
+CAMPAIGN_SUMMARY_COLUMNS = (
+    "scenario",
+    "domain",
+    "configs",
+    "feasible",
+    "best_config",
+    "best_metric",
+    "pareto",
+    "seconds",
+)
+
+
+def campaign_summary_table(
+    rows: list[dict[str, Any]], title: str | None = None
+) -> TextTable:
+    """The fleet-level report of a batch exploration campaign.
+
+    One row per scenario — evaluated configuration count, feasible
+    count, best configuration and its domain metric (total FPS or total
+    joules/frame), Pareto-frontier size, and completion wall-time —
+    rendered in the same fixed-width format every benchmark table uses,
+    so campaign summaries archive alongside the paper tables. Rows are
+    plain dicts (built by ``CampaignResult.summary_rows()``); extra keys
+    beyond the canonical columns are appended in first-appearance order.
+    """
+    columns = list(CAMPAIGN_SUMMARY_COLUMNS)
+    known = set(columns)
+    for row in rows:
+        for key in row:
+            if key not in known:
+                known.add(key)
+                columns.append(key)
+    table = TextTable(columns, title=title or "campaign summary")
+    table.add_rows(rows)
+    return table

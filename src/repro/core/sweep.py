@@ -18,11 +18,13 @@ from typing import Any, Callable, Sequence
 
 from repro.errors import ConfigurationError
 from repro.explore.executor import (
+    STREAM_CHUNK_SIZE,
     SweepExecutor,
     auto_chunk_size,
     resolve_executor,
 )
 from repro.explore.result import pareto_filter, require_key
+from repro.explore.sink import resolve_sink, sink_stream
 
 
 @dataclass
@@ -76,6 +78,7 @@ def parameter_sweep(
     fn: Callable[..., dict[str, Any]],
     *,
     executor: SweepExecutor | None = None,
+    sink: Any = None,
     **param_lists: list[Any],
 ) -> SweepResult:
     """Run ``fn(**point)`` over the grid of ``param_lists``.
@@ -91,9 +94,17 @@ def parameter_sweep(
     The grid streams lazily through the executor — intermediate memory
     is bounded by the executor's chunk window, not the grid size (the
     collected rows are the output, as always).
+
+    ``sink`` (keyword-only, also reserved) streams rows to a
+    :class:`repro.explore.sink.ResultSink` as they are measured, in grid
+    order — the same pass-through the exploration engine offers, so a
+    long sweep's rows hit disk before the sweep finishes. The sink is
+    opened with ``scenario=None`` (sweeps have no scenario) and closed
+    on exit, also on error.
     """
     if not param_lists:
         raise ConfigurationError("no parameters to sweep")
+    sink = resolve_sink(sink)
     names = sorted(param_lists)
     total = 1
     for name in names:
@@ -108,5 +119,20 @@ def parameter_sweep(
     chunk_size = executor.chunk_size
     if chunk_size is None and not executor.is_serial:
         chunk_size = auto_chunk_size(total, executor.workers)
-    rows = list(executor.imap(partial(_measure_point, fn), points, chunk_size=chunk_size))
+    stream = executor.imap(partial(_measure_point, fn), points, chunk_size=chunk_size)
+    if sink is None:
+        return SweepResult(rows=list(stream))
+    # Sink writes happen at chunk granularity, matching the engine's
+    # write_rows-per-chunk contract (batching consumers rely on it).
+    batch_size = chunk_size if chunk_size is not None else STREAM_CHUNK_SIZE
+    rows: list[dict[str, Any]] = []
+    with sink_stream(sink, None, "parameter sweep") as write:
+        start = 0
+        for row in stream:
+            rows.append(row)
+            if len(rows) - start >= batch_size:
+                write(rows[start:])
+                start = len(rows)
+        if start < len(rows):
+            write(rows[start:])
     return SweepResult(rows=rows)

@@ -43,3 +43,14 @@ class PipelineError(ReproError):
 
 class SolverError(ReproError):
     """An iterative solver failed to converge or was misconfigured."""
+
+
+class SinkError(ReproError):
+    """A result sink failed while consuming streamed exploration rows.
+
+    Raised by the engine and the campaign driver with the failing
+    scenario and sink named in the message; the original exception is
+    chained as ``__cause__``. Other scenarios' sinks are still closed
+    (flushed) before this propagates, so one bad sink never corrupts a
+    campaign's remaining outputs.
+    """

@@ -19,11 +19,21 @@ turns that exercise into one reusable engine:
 * :mod:`.incremental` — :class:`PrefixEvaluator`, prefix-memoized
   evaluation turning per-config cost from O(depth) into amortized O(1)
   block extensions (bit-identical to from-scratch evaluation);
-* :mod:`.prune` — sound lower-bound depth pruning derived from a
-  scenario's constraint (``Scenario(..., auto_prune=True)``);
+* :mod:`.prune` — sound lower-bound pruning derived from a scenario's
+  constraint: whole depths (``Scenario(..., auto_prune=True)``) and
+  per-config subtrees within surviving depths
+  (``auto_prune_configs=True``);
 * :mod:`.engine` — :func:`explore`, the streaming entry point tying
   them together, and :func:`explore_brute_force`, the pre-streaming
-  oracle it is tested byte-identical against.
+  oracle it is tested byte-identical against;
+* :mod:`.sink` — :class:`ResultSink` streaming outputs (CSV / JSONL /
+  callback / in-memory): ``explore(..., sink=..., collect=False)``
+  exports a design space in memory bounded by the chunk window;
+* :mod:`.catalog` — the named, parameterized scenario library the case
+  studies register into (``load_builtin()``);
+* :mod:`.campaign` — :class:`Campaign`, many scenarios sharded across
+  *one* shared executor with per-scenario results byte-identical to
+  solo :func:`explore` runs, plus the fleet summary report.
 
 Quickstart::
 
@@ -39,9 +49,19 @@ Quickstart::
     print(result.best["config"], [r["config"] for r in result.pareto()])
 """
 
+from repro.explore.campaign import Campaign, CampaignResult, ScenarioRun, run_campaign
+from repro.explore.catalog import (
+    CATALOG,
+    CatalogEntry,
+    ScenarioCatalog,
+    load_builtin,
+    register_scenario,
+)
 from repro.explore.engine import explore, explore_brute_force, iter_evaluations
 from repro.explore.enumerate import (
+    PRUNED_SUBTREE,
     DepthPruneHook,
+    PrefixPruner,
     PruneHook,
     count_configs,
     enumeration_plan,
@@ -50,21 +70,43 @@ from repro.explore.enumerate import (
 from repro.explore.executor import SweepExecutor
 from repro.explore.incremental import PrefixEvaluator, supports_prefix_evaluation
 from repro.explore.prune import (
+    compute_fps_prefix_pruner,
     energy_depth_lower_bounds,
     lower_bound_depth_hook,
     throughput_depth_bounds,
 )
 from repro.explore.result import ExplorationResult, pareto_filter
 from repro.explore.scenario import DOMAINS, Scenario
+from repro.explore.sink import (
+    CallbackSink,
+    CsvSink,
+    JsonlSink,
+    MemorySink,
+    ResultSink,
+)
 
 __all__ = [
+    "CATALOG",
+    "CallbackSink",
+    "Campaign",
+    "CampaignResult",
+    "CatalogEntry",
+    "CsvSink",
     "DOMAINS",
     "DepthPruneHook",
     "ExplorationResult",
+    "JsonlSink",
+    "MemorySink",
+    "PRUNED_SUBTREE",
     "PrefixEvaluator",
+    "PrefixPruner",
     "PruneHook",
+    "ResultSink",
     "Scenario",
+    "ScenarioCatalog",
+    "ScenarioRun",
     "SweepExecutor",
+    "compute_fps_prefix_pruner",
     "count_configs",
     "energy_depth_lower_bounds",
     "enumeration_plan",
@@ -72,8 +114,11 @@ __all__ = [
     "explore_brute_force",
     "iter_configs",
     "iter_evaluations",
+    "load_builtin",
     "lower_bound_depth_hook",
     "pareto_filter",
+    "register_scenario",
+    "run_campaign",
     "supports_prefix_evaluation",
     "throughput_depth_bounds",
 ]

@@ -1,0 +1,479 @@
+"""Batch exploration campaigns: many scenarios, one shared executor.
+
+The paper explores one design space at a time; a production exploration
+service faces *fleets* of them — every camera product, link tier and
+power budget is its own scenario. Running N solo ``explore()`` calls
+costs N pools and serializes the fleet; a :class:`Campaign` shards all
+scenarios across **one** :class:`~repro.explore.executor.SweepExecutor`
+by round-robin interleaving their configuration chunks through ``imap``,
+so every worker stays busy until the whole fleet is done and a campaign
+of N scenarios costs one pool, not N.
+
+Correctness contract: chunks are tagged with their scenario and each is
+evaluated by a chunk-local
+:class:`~repro.explore.incremental.PrefixEvaluator` (memoization never
+crosses scenarios), and ``imap`` returns results in submission order —
+so each scenario's evaluations land in its own enumeration order and
+are byte-identical to a solo ``explore()`` of the same scenario,
+regardless of worker count or how the fleet was interleaved (tests
+compare them byte for byte).
+
+Streaming contract: per-scenario :class:`~repro.explore.sink.ResultSink`
+outputs receive rows as that scenario's chunks complete, and
+``collect=False`` keeps only running statistics (evaluated count,
+feasible count, best row) — an export-only campaign's peak memory is
+set by the chunk window, never by the fleet's combined design-space
+size. A sink failure aborts the campaign with a clear
+:class:`~repro.errors.SinkError` naming the scenario; every other
+scenario's sink is still closed (flushed), so one bad sink never
+corrupts the rest of the fleet's outputs.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from collections import deque
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.core.report import TextTable, campaign_summary_table
+from repro.errors import ConfigurationError, PipelineError
+from repro.explore.engine import (
+    DEFAULT_CHUNK_SIZE,
+    _chunked,
+    _evaluate_scratch,
+    _gc_paused,
+)
+from repro.explore.executor import (
+    SweepExecutor,
+    auto_chunk_size,
+    resolve_executor,
+)
+from repro.explore.incremental import evaluate_chunk, supports_prefix_evaluation
+from repro.explore.result import DEFAULT_AXES, ExplorationResult, cost_row
+from repro.explore.scenario import Scenario
+from repro.explore.sink import close_sink, open_sink, resolve_sink, write_sink
+
+def _evaluate_tagged_chunk(
+    tagged: tuple[int, tuple[Any, dict[str, float] | None, bool], list[Any]],
+) -> tuple[int, list[Any]]:
+    """Evaluate one scenario-tagged chunk (module-level for process-pool
+    picklability). The tagged item carries *its own* scenario's (model,
+    pass_rates, prefix-eligible) spec — not the whole fleet's — so a
+    process backend serializes one model per task, same as solo
+    ``explore()``; the index travels with the costs so the collector can
+    route them back to their scenario."""
+    index, (model, pass_rates, memoized), configs = tagged
+    if memoized:
+        return index, evaluate_chunk(model, pass_rates, configs)
+    return index, [_evaluate_scratch(model, pass_rates, config) for config in configs]
+
+
+def _interleave_chunks(
+    scenarios: Sequence[Scenario],
+    specs: Sequence[tuple[Any, dict[str, float] | None, bool]],
+    sizes: Sequence[int],
+) -> Iterator[tuple[int, tuple[Any, dict[str, float] | None, bool], list[Any]]]:
+    """Round-robin one chunk per live scenario: no scenario starves, no
+    scenario's enumeration is materialized past its next chunk."""
+    streams: deque[tuple[int, Iterator[list[Any]]]] = deque(
+        (index, _chunked(scenario.iter_configs(), sizes[index]))
+        for index, scenario in enumerate(scenarios)
+    )
+    while streams:
+        index, stream = streams.popleft()
+        chunk = next(stream, None)
+        if chunk is None:
+            continue
+        yield index, specs[index], chunk
+        streams.append((index, stream))
+
+
+@dataclass
+class ScenarioRun:
+    """One scenario's outcome inside a campaign.
+
+    ``result`` is the full :class:`ExplorationResult` when the campaign
+    collected (byte-identical to a solo ``explore()``), or None on an
+    export-only run — the summary statistics are tracked streamingly
+    either way. ``pareto_size`` needs every row at once, so it is None
+    when the campaign did not collect. ``wall_seconds`` is the time from
+    campaign start until this scenario's last chunk was collected
+    (scenarios share the executor, so exclusive per-scenario time is
+    not a meaningful quantity).
+    """
+
+    scenario: Scenario
+    result: ExplorationResult | None
+    n_evaluated: int
+    n_feasible: int
+    best: dict[str, Any] | None
+    pareto_size: int | None
+    wall_seconds: float
+
+    @property
+    def name(self) -> str:
+        return self.scenario.name
+
+    def summary_row(self) -> dict[str, Any]:
+        """One campaign-report row (see
+        :func:`repro.core.report.campaign_summary_table`)."""
+        metric = _best_metric(self.scenario.domain)
+        return {
+            "scenario": self.scenario.name,
+            "domain": self.scenario.domain,
+            "configs": self.n_evaluated,
+            "feasible": self.n_feasible,
+            "best_config": self.best["config"] if self.best else "-",
+            "best_metric": self.best[metric] if self.best else "-",
+            "pareto": self.pareto_size if self.pareto_size is not None else "-",
+            "seconds": self.wall_seconds,
+        }
+
+
+class CampaignResult:
+    """Per-scenario outcomes of one campaign, plus the fleet summary."""
+
+    def __init__(self, name: str, runs: list[ScenarioRun], wall_seconds: float):
+        self.name = name
+        self.runs = runs
+        self.wall_seconds = wall_seconds
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __iter__(self) -> Iterator[ScenarioRun]:
+        return iter(self.runs)
+
+    def __getitem__(self, name: str) -> ScenarioRun:
+        for run in self.runs:
+            if run.name == name:
+                return run
+        raise KeyError(
+            f"no scenario {name!r} in campaign {self.name!r}; "
+            f"have {[run.name for run in self.runs]}"
+        )
+
+    def summary_rows(self) -> list[dict[str, Any]]:
+        return [run.summary_row() for run in self.runs]
+
+    def to_table(self, title: str | None = None) -> TextTable:
+        """The fleet summary as a :class:`~repro.core.report.TextTable`."""
+        return campaign_summary_table(
+            self.summary_rows(),
+            title=title or f"campaign {self.name!r} "
+            f"({len(self.runs)} scenarios, {self.wall_seconds:.3f}s)",
+        )
+
+
+def _best_metric(domain: str) -> str:
+    return "total_fps" if domain == "throughput" else "total_energy_j"
+
+
+class _StreamingStats:
+    """Running per-scenario statistics for export-only campaigns:
+    everything the summary needs that does not require all rows."""
+
+    __slots__ = ("n_evaluated", "n_feasible", "best", "_metric", "_maximize")
+
+    def __init__(self, domain: str):
+        self.n_evaluated = 0
+        self.n_feasible = 0
+        self.best: dict[str, Any] | None = None
+        self._metric = _best_metric(domain)
+        self._maximize = DEFAULT_AXES[domain][1]
+
+    def update(self, rows: Sequence[dict[str, Any]]) -> None:
+        metric, maximize = self._metric, self._maximize
+        best = self.best
+        feasible = 0
+        for row in rows:
+            if row["feasible"]:
+                feasible += 1
+            value = row[metric]
+            # Strict comparison: ties keep the earliest-enumerated row,
+            # matching ExplorationResult.best.
+            if best is None or (value > best[metric] if maximize else value < best[metric]):
+                best = row
+        self.best = best
+        self.n_evaluated += len(rows)
+        self.n_feasible += feasible
+
+
+class Campaign:
+    """A batch of scenarios explored through one shared executor.
+
+    Parameters
+    ----------
+    scenarios:
+        The fleet; scenario names must be unique (they key sinks and
+        result lookup).
+    name:
+        Campaign label for reports.
+    """
+
+    def __init__(self, scenarios: Sequence[Scenario], name: str = "campaign"):
+        scenarios = tuple(scenarios)
+        if not scenarios:
+            raise ConfigurationError("campaign needs at least one scenario")
+        for scenario in scenarios:
+            if not isinstance(scenario, Scenario):
+                raise ConfigurationError(
+                    f"campaign scenarios must be Scenario instances, got "
+                    f"{type(scenario).__name__}"
+                )
+        names = [scenario.name for scenario in scenarios]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ConfigurationError(
+                f"campaign scenario names must be unique; duplicated: {duplicates}"
+            )
+        self.scenarios = scenarios
+        self.name = name
+
+    # -- sink resolution -------------------------------------------------
+
+    def _resolve_sinks(self, sinks: Any) -> list[Any]:
+        if sinks is None:
+            return [None] * len(self.scenarios)
+        if isinstance(sinks, Mapping):
+            names = {scenario.name for scenario in self.scenarios}
+            unknown = sorted(set(sinks) - names)
+            if unknown:
+                raise ConfigurationError(
+                    f"sinks for unknown scenarios {unknown}; campaign has "
+                    f"{sorted(names)}"
+                )
+            return [
+                resolve_sink(sinks.get(scenario.name)) for scenario in self.scenarios
+            ]
+        if callable(sinks):
+            return [resolve_sink(sinks(scenario)) for scenario in self.scenarios]
+        raise ConfigurationError(
+            "sinks must be a mapping {scenario name: sink}, a factory "
+            f"callable, or None, got {type(sinks).__name__}"
+        )
+
+    # -- the driver ------------------------------------------------------
+
+    def run(
+        self,
+        executor: SweepExecutor | None = None,
+        chunk_size: int | None = None,
+        *,
+        sinks: Any = None,
+        collect: bool = True,
+        collect_on_exit: bool = False,
+    ) -> CampaignResult:
+        """Explore every scenario through one shared executor.
+
+        Parameters
+        ----------
+        executor:
+            The one pool all scenarios share; defaults to serial. Row
+            order per scenario is its enumeration order for any worker
+            count.
+        chunk_size:
+            Configurations per streamed chunk for every scenario
+            (default: the executor's ``chunk_size``, else sized per
+            scenario the way solo ``explore()`` would).
+        sinks:
+            Per-scenario streaming outputs: a mapping from scenario
+            name to sink (scenarios without an entry get none) or a
+            factory ``scenario -> sink | None``.
+        collect:
+            With ``collect=False`` no :class:`ExplorationResult` caches
+            are built — each :class:`ScenarioRun` carries streaming
+            statistics only (``pareto_size`` is None) and peak memory
+            is bounded by the chunk window. Legal with no sinks at all
+            (a summary-only campaign) or with a sink for *every*
+            scenario (an export-only campaign); partial coverage would
+            silently discard rows and is rejected.
+        collect_on_exit:
+            Run the GC pass deferred by the bulk-accumulation pause
+            before returning (see :func:`repro.explore.explore`).
+        """
+        executor = resolve_executor(executor)
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        scenarios = self.scenarios
+        sink_list = self._resolve_sinks(sinks)
+        if not collect and sinks is not None:
+            # Summary-only campaigns (collect=False, sinks=None) are a
+            # deliberate mode; but *partial* sink coverage on an
+            # export-only run would silently discard the uncovered
+            # scenarios' rows — the mistake explore() fails fast on.
+            uncovered = [
+                scenario.name
+                for scenario, sink in zip(scenarios, sink_list)
+                if sink is None
+            ]
+            if uncovered:
+                raise ConfigurationError(
+                    "collect=False with sinks discards rows of scenarios "
+                    f"without one ({uncovered}); give every scenario a sink "
+                    "or drop sinks entirely for a summary-only campaign"
+                )
+        models = [scenario.cost_model() for scenario in scenarios]
+        specs = tuple(
+            (model, scenario.pass_rates, supports_prefix_evaluation(model))
+            for model, scenario in zip(models, scenarios)
+        )
+        sizes = [
+            self._chunk_size_for(scenario, executor, chunk_size)
+            for scenario in scenarios
+        ]
+        # Same pause rule as solo explore(): engine-only allocations.
+        pause = (
+            all(memoized for _, _, memoized in specs)
+            and all(scenario.prune is None for scenario in scenarios)
+            and all(sink is None for sink in sink_list)
+        )
+        evaluations: list[list[Any]] | None = (
+            [[] for _ in scenarios] if collect else None
+        )
+        # When a collected scenario also streams to a sink, its rows are
+        # built anyway — keep them so the ExplorationResult is seeded
+        # instead of re-deriving every row for the summary. Unlike solo
+        # explore(), this adds no peak memory: _build_runs forces every
+        # collected result's rows for the feasible/Pareto summary, so
+        # the cache would materialize at run end regardless.
+        row_caches: list[list[dict[str, Any]] | None] = [
+            [] if collect and sink is not None else None for sink in sink_list
+        ]
+        stats = [_StreamingStats(scenario.domain) for scenario in scenarios]
+        completed_at = [0.0] * len(scenarios)
+        start = time.perf_counter()
+        opened: list[int] = []
+        error: BaseException | None = None
+        try:
+            # Opening happens inside the try so a sink whose open()
+            # fails still gets every *previously opened* sink closed
+            # (flushed) on the way out.
+            for index, sink in enumerate(sink_list):
+                if sink is not None:
+                    open_sink(sink, scenarios[index], self._label(index))
+                    opened.append(index)
+            with _gc_paused() if pause else nullcontext():
+                for index, costs in executor.imap(
+                    _evaluate_tagged_chunk,
+                    _interleave_chunks(scenarios, specs, sizes),
+                    chunk_size=1,
+                ):
+                    scenario = scenarios[index]
+                    sink = sink_list[index]
+                    if evaluations is not None:
+                        evaluations[index].extend(costs)
+                    if sink is not None or evaluations is None:
+                        rows = [cost_row(scenario, cost) for cost in costs]
+                        if evaluations is None:
+                            # Streaming stats are only consulted on
+                            # export-only runs; collected runs derive
+                            # the summary from the result instead.
+                            stats[index].update(rows)
+                        elif row_caches[index] is not None:
+                            row_caches[index].extend(rows)
+                        if sink is not None:
+                            write_sink(sink, rows, self._label(index))
+                    completed_at[index] = time.perf_counter() - start
+        except BaseException as exc:
+            error = exc
+            raise
+        finally:
+            close_error: BaseException | None = None
+            for index in opened:
+                try:
+                    close_sink(sink_list[index], self._label(index))
+                except Exception as exc:
+                    # Keep closing the rest: one bad sink must not leave
+                    # other scenarios' outputs unflushed.
+                    if close_error is None:
+                        close_error = exc
+            if close_error is not None and error is None:
+                raise close_error
+        if collect_on_exit:
+            gc.collect()
+        wall = time.perf_counter() - start
+        runs = self._build_runs(evaluations, row_caches, stats, completed_at)
+        return CampaignResult(name=self.name, runs=runs, wall_seconds=wall)
+
+    def _label(self, index: int) -> str:
+        return f"scenario {self.scenarios[index].name!r}"
+
+    @staticmethod
+    def _chunk_size_for(
+        scenario: Scenario, executor: SweepExecutor, chunk_size: int | None
+    ) -> int:
+        if chunk_size is not None:
+            return chunk_size
+        if executor.chunk_size is not None:
+            return executor.chunk_size
+        if not executor.is_serial:
+            return auto_chunk_size(
+                scenario.count_configs(), executor.workers, DEFAULT_CHUNK_SIZE
+            )
+        return DEFAULT_CHUNK_SIZE
+
+    def _build_runs(
+        self,
+        evaluations: list[list[Any]] | None,
+        row_caches: list[list[dict[str, Any]] | None],
+        stats: list[_StreamingStats],
+        completed_at: list[float],
+    ) -> list[ScenarioRun]:
+        runs: list[ScenarioRun] = []
+        for index, scenario in enumerate(self.scenarios):
+            if evaluations is not None:
+                result = ExplorationResult(
+                    scenario=scenario,
+                    rows=row_caches[index],
+                    evaluations=evaluations[index],
+                )
+                n_evaluated = len(result)
+                n_feasible = len(result.feasible)
+                try:
+                    best = result.best
+                except PipelineError:
+                    best = None
+                pareto_size: int | None = len(result.pareto()) if n_evaluated else 0
+            else:
+                result = None
+                run_stats = stats[index]
+                n_evaluated = run_stats.n_evaluated
+                n_feasible = run_stats.n_feasible
+                best = run_stats.best
+                pareto_size = None
+            runs.append(
+                ScenarioRun(
+                    scenario=scenario,
+                    result=result,
+                    n_evaluated=n_evaluated,
+                    n_feasible=n_feasible,
+                    best=best,
+                    pareto_size=pareto_size,
+                    wall_seconds=round(completed_at[index], 6),
+                )
+            )
+        return runs
+
+
+def run_campaign(
+    scenarios: Sequence[Scenario],
+    executor: SweepExecutor | None = None,
+    chunk_size: int | None = None,
+    *,
+    name: str = "campaign",
+    sinks: Any = None,
+    collect: bool = True,
+    collect_on_exit: bool = False,
+) -> CampaignResult:
+    """One-call convenience: ``Campaign(scenarios, name).run(...)``."""
+    return Campaign(scenarios, name=name).run(
+        executor,
+        chunk_size,
+        sinks=sinks,
+        collect=collect,
+        collect_on_exit=collect_on_exit,
+    )

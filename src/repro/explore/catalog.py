@@ -1,0 +1,262 @@
+"""The scenario catalog: named, parameterized exploration workloads.
+
+Every case study used to build its :class:`~repro.explore.scenario.Scenario`
+ad hoc; at fleet scale the *workload library* is a first-class object —
+drivers, examples and campaigns select scenarios by name and override
+parameters, without importing each case-study stack by hand. A
+:class:`ScenarioCatalog` maps names to registered factory callables;
+:func:`load_builtin` imports the case-study scenario modules
+(:mod:`repro.vr.scenarios`, :mod:`repro.faceauth.scenario`,
+:mod:`repro.compression.scenario`, :mod:`repro.harvest.scenario`), each
+of which registers its entries into the shared :data:`CATALOG` at
+import — the diversified workload library spans both cost domains and
+every link class in :mod:`repro.hw.network`.
+
+Factories accept a ``link`` parameter wherever a scenario crosses an
+uplink; :func:`resolve_link` lets callers name links by the short keys
+in :data:`LINKS` (``"25g"``, ``"400g"``, ``"backscatter"``) instead of
+importing :mod:`repro.hw.network` themselves.
+
+Quickstart::
+
+    from repro.explore.catalog import load_builtin
+
+    catalog = load_builtin()
+    scenario = catalog.build("vr-fig10", target_fps=60.0)
+    fleet = [catalog.build(name) for name in catalog.names()]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.errors import ConfigurationError
+from repro.explore.scenario import DOMAINS, Scenario
+from repro.hw.network import (
+    ETHERNET_25G,
+    ETHERNET_400G,
+    LOW_POWER_RADIO,
+    RF_BACKSCATTER,
+    WIFI_CLASS,
+    LinkModel,
+)
+
+#: Short names for the library's stock uplinks (:mod:`repro.hw.network`);
+#: factory ``link=`` parameters accept these keys as well as LinkModel
+#: instances.
+LINKS: dict[str, LinkModel] = {
+    "25g": ETHERNET_25G,
+    "400g": ETHERNET_400G,
+    "backscatter": RF_BACKSCATTER,
+    "wifi": WIFI_CLASS,
+    "low-power": LOW_POWER_RADIO,
+}
+
+
+def resolve_link(link: str | LinkModel) -> LinkModel:
+    """A :class:`LinkModel` from a stock-link key or a model instance."""
+    if isinstance(link, LinkModel):
+        return link
+    if isinstance(link, str):
+        try:
+            return LINKS[link]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown link {link!r}; stock links are {sorted(LINKS)} "
+                "(or pass a LinkModel)"
+            ) from None
+    raise ConfigurationError(
+        f"link must be a LinkModel or one of {sorted(LINKS)}, got "
+        f"{type(link).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One registered workload: a named, parameterized Scenario factory.
+
+    Parameters
+    ----------
+    name:
+        Catalog key (kebab-case by convention: ``vr-fig10``).
+    domain:
+        The cost domain the factory's scenarios evaluate under
+        (``'throughput'`` or ``'energy'``) — lets drivers select fleets
+        per domain without building anything.
+    summary:
+        One line for listings and reports.
+    factory:
+        Keyword-parameterized callable returning a fresh
+        :class:`Scenario`.
+    defaults:
+        Keyword arguments the catalog applies on :meth:`build` (caller
+        overrides win) — lets one factory back several named entries.
+    """
+
+    name: str
+    domain: str
+    summary: str
+    factory: Callable[..., Scenario]
+    defaults: tuple[tuple[str, Any], ...] = ()
+
+    def build(self, **params: Any) -> Scenario:
+        merged = dict(self.defaults)
+        merged.update(params)
+        scenario = self.factory(**merged)
+        if not isinstance(scenario, Scenario):
+            raise ConfigurationError(
+                f"catalog factory {self.name!r} returned "
+                f"{type(scenario).__name__}, not a Scenario"
+            )
+        if scenario.domain != self.domain:
+            raise ConfigurationError(
+                f"catalog entry {self.name!r} is registered for the "
+                f"{self.domain!r} domain but built a {scenario.domain!r} scenario"
+            )
+        return scenario
+
+
+def _same_factory(existing: Callable[..., Any], candidate: Callable[..., Any]) -> bool:
+    """Whether two registrations refer to the same source factory.
+
+    Object identity covers the common case; falling back to (module,
+    qualname) keeps ``importlib.reload`` of a scenario module a no-op —
+    a reload creates fresh function objects for the *same* definitions,
+    which must re-register cleanly rather than conflict.
+    """
+    if existing is candidate:
+        return True
+    qualname = getattr(existing, "__qualname__", None)
+    if qualname is None or "<lambda>" in qualname:
+        # Every lambda in a module shares the qualname "<lambda>" — two
+        # different anonymous factories must still collide loudly.
+        return False
+    return qualname == getattr(candidate, "__qualname__", object()) and getattr(
+        existing, "__module__", None
+    ) == getattr(candidate, "__module__", object())
+
+
+class ScenarioCatalog:
+    """A registry of named scenario factories."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, CatalogEntry] = {}
+
+    def register(
+        self,
+        name: str,
+        domain: str,
+        summary: str,
+        defaults: Mapping[str, Any] | None = None,
+    ) -> Callable[[Callable[..., Scenario]], Callable[..., Scenario]]:
+        """Decorator registering a factory under ``name``.
+
+        Re-registering the *same* factory under the same name replaces
+        the entry (repeated ``load_builtin()`` calls are no-ops; module
+        reloads re-register their fresh function objects cleanly);
+        registering a *different* factory under a taken name raises.
+        """
+        if domain not in DOMAINS:
+            raise ConfigurationError(
+                f"domain must be one of {DOMAINS}, got {domain!r}"
+            )
+
+        def decorate(factory: Callable[..., Scenario]) -> Callable[..., Scenario]:
+            entry = CatalogEntry(
+                name=name,
+                domain=domain,
+                summary=summary,
+                factory=factory,
+                defaults=tuple(sorted((defaults or {}).items())),
+            )
+            existing = self._entries.get(name)
+            if existing is not None:
+                same_metadata = (existing.domain, existing.summary, existing.defaults) == (
+                    entry.domain,
+                    entry.summary,
+                    entry.defaults,
+                )
+                # A true re-registration (reload, repeated load_builtin)
+                # re-runs the decorator with identical factory AND
+                # metadata; anything else — a copy-pasted variant that
+                # forgot to change the name, a different factory — must
+                # collide loudly, never silently replace a workload.
+                if not (_same_factory(existing.factory, factory) and same_metadata):
+                    raise ConfigurationError(
+                        f"catalog name {name!r} already registered "
+                        f"(by {existing.factory!r})"
+                    )
+            self._entries[name] = entry
+            return factory
+
+        return decorate
+
+    def get(self, name: str) -> CatalogEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no catalog scenario named {name!r}; available: {self.names()}"
+            ) from None
+
+    def build(self, name: str, /, **params: Any) -> Scenario:
+        """A fresh :class:`Scenario` from the named entry; ``params``
+        override the entry's registered defaults. The entry name is
+        positional-only so factories may themselves take a ``name``
+        parameter (scenario-label overrides)."""
+        return self.get(name).build(**params)
+
+    def names(self, domain: str | None = None) -> list[str]:
+        """Registered names, sorted; optionally one domain only."""
+        if domain is not None and domain not in DOMAINS:
+            raise ConfigurationError(
+                f"domain must be one of {DOMAINS}, got {domain!r}"
+            )
+        return sorted(
+            name
+            for name, entry in self._entries.items()
+            if domain is None or entry.domain == domain
+        )
+
+    def entries(self) -> list[CatalogEntry]:
+        """All entries, sorted by name."""
+        return [self._entries[name] for name in self.names()]
+
+    def build_all(
+        self, domain: str | None = None, **params: Any
+    ) -> list[Scenario]:
+        """One fresh scenario per entry (optionally one domain) — the
+        ready-made fleet for a :class:`~repro.explore.campaign.Campaign`."""
+        return [self.build(name, **params) for name in self.names(domain)]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[CatalogEntry]:
+        return iter(self.entries())
+
+
+#: The shared default catalog the case-study modules register into.
+CATALOG = ScenarioCatalog()
+
+#: Register into the default catalog (the decorator the case-study
+#: scenario modules use).
+register_scenario = CATALOG.register
+
+
+def load_builtin() -> ScenarioCatalog:
+    """The default catalog with every built-in workload registered.
+
+    Imports the case-study scenario modules for their registration side
+    effects (idempotent) and returns :data:`CATALOG`.
+    """
+    import repro.compression.scenario  # noqa: F401
+    import repro.faceauth.scenario  # noqa: F401
+    import repro.harvest.scenario  # noqa: F401
+    import repro.vr.scenarios  # noqa: F401
+
+    return CATALOG

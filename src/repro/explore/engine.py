@@ -53,6 +53,7 @@ from repro.explore.incremental import (
 )
 from repro.explore.result import ExplorationResult, cost_row
 from repro.explore.scenario import Scenario
+from repro.explore.sink import resolve_sink, sink_stream
 
 #: Configurations per streamed chunk when neither the caller nor the
 #: executor pins one. Large enough to amortize chunk setup (one cold
@@ -181,7 +182,11 @@ def explore(
     scenario: Scenario,
     executor: SweepExecutor | None = None,
     chunk_size: int | None = None,
-) -> ExplorationResult:
+    *,
+    sink: Any = None,
+    collect: bool = True,
+    collect_on_exit: bool = False,
+) -> ExplorationResult | None:
     """Evaluate a scenario's whole (pruned) design space.
 
     Parameters
@@ -196,25 +201,66 @@ def explore(
         ``chunk_size``, else :data:`DEFAULT_CHUNK_SIZE` sized down for
         small spaces on parallel executors). Peak intermediate memory
         is proportional to this, never to the design-space size.
+    sink:
+        Optional :class:`~repro.explore.sink.ResultSink`: report rows
+        are streamed to it chunk by chunk, in enumeration order, as
+        evaluations complete. The sink is opened before the first chunk
+        and closed on exit — also on error. Sink failures raise
+        :class:`~repro.errors.SinkError` with the scenario named.
+    collect:
+        With ``collect=False`` (requires a sink) the engine never
+        accumulates evaluations and returns None: an export-only run's
+        peak memory is set by the chunk window, not the design-space
+        size. The default keeps the full :class:`ExplorationResult`.
+    collect_on_exit:
+        Run the cyclic GC pass deferred by the bulk-accumulation pause
+        before returning, instead of letting it land on the caller's
+        next allocation (useful when a huge ``explore()`` is followed
+        by latency-sensitive work).
     """
+    sink = resolve_sink(sink)
+    if not collect and sink is None:
+        raise ConfigurationError(
+            "collect=False discards every evaluation; pass sink= to "
+            "stream rows somewhere (or drop collect=False)"
+        )
     model = scenario.cost_model()
     # Pause the cyclic GC only when every allocation in the loop is the
-    # engine's own (stock model, no per-config user hooks): those
-    # objects are acyclic, so pausing changes wall-time only. Custom
-    # models / prune hooks may build cycles, which must stay collectable
-    # over a multi-million-config run.
-    pause = supports_prefix_evaluation(model) and scenario.prune is None
+    # engine's own (stock model, no per-config user hooks, no sink):
+    # those objects are acyclic, so pausing changes wall-time only.
+    # Custom models / prune hooks / sinks may build cycles, which must
+    # stay collectable over a multi-million-config run (the auto-derived
+    # pruners are engine-owned and acyclic, so they keep the pause).
+    pause = (
+        supports_prefix_evaluation(model)
+        and scenario.prune is None
+        and sink is None
+    )
+    label = f"scenario {scenario.name!r}"
     evaluations: list[Any] = []
-    with _gc_paused() if pause else nullcontext():
-        for costs in iter_evaluation_chunks(
-            model,
-            scenario.iter_configs(),
-            executor=executor,
-            pass_rates=scenario.pass_rates,
-            chunk_size=chunk_size,
-            approx_total=scenario.count_configs(),
-        ):
-            evaluations.extend(costs)
+    # Sink rows are built per chunk and dropped after the write — NOT
+    # cached on the result. Keeping them would double-hold a row list
+    # next to the evaluation list for the whole run (the bounded-memory
+    # invariant ExplorationResult's lazy rows exist to protect); the
+    # price is one lazy re-derivation if .rows is later accessed.
+    with sink_stream(sink, scenario, label) as write:
+        with _gc_paused() if pause else nullcontext():
+            for costs in iter_evaluation_chunks(
+                model,
+                scenario.iter_configs(),
+                executor=executor,
+                pass_rates=scenario.pass_rates,
+                chunk_size=chunk_size,
+                approx_total=scenario.count_configs(),
+            ):
+                if collect:
+                    evaluations.extend(costs)
+                if write is not None:
+                    write([cost_row(scenario, cost) for cost in costs])
+    if collect_on_exit:
+        gc.collect()
+    if not collect:
+        return None
     return ExplorationResult(scenario=scenario, evaluations=evaluations)
 
 

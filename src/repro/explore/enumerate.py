@@ -21,8 +21,9 @@ walk; any future rule change now lands in both automatically).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from itertools import product
-from typing import Callable, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.core.pipeline import InCameraPipeline, PipelineConfig
 from repro.errors import PipelineError
@@ -33,6 +34,42 @@ PruneHook = Callable[[PipelineConfig], bool]
 #: Per-depth hook: return True to skip every configuration with that many
 #: in-camera blocks (0 = the raw-offload configuration).
 DepthPruneHook = Callable[[int], bool]
+
+#: Sentinel a :class:`PrefixPruner`'s ``extend`` returns to cut the whole
+#: subtree rooted at the extended prefix.
+PRUNED_SUBTREE = object()
+
+
+@dataclass(frozen=True)
+class PrefixPruner:
+    """A stateful bound over platform-choice *prefixes*.
+
+    Depth pruning cuts whole cut depths; a prefix pruner cuts subtrees
+    *within* a depth: while the enumerator extends a partial platform
+    assignment one block at a time, ``extend(block_index, platform,
+    state)`` folds the choice into an accumulated bound state and
+    returns either the new state or :data:`PRUNED_SUBTREE`, in which
+    case no configuration extending that prefix is constructed at all.
+
+    Soundness is the hook author's contract: a prefix may be cut only
+    when *every* completion of it (at the current and every deeper cut
+    depth) is provably infeasible — the enumerator asks about a prefix
+    once per depth it could complete to. See
+    :func:`repro.explore.prune.compute_fps_prefix_pruner` for the
+    canonical instance (running min of chosen implementation rates vs a
+    throughput target: extending a pipeline never raises its compute
+    rate, so a prefix below target can cut its whole subtree).
+
+    Parameters
+    ----------
+    initial:
+        The state of the empty prefix.
+    extend:
+        ``(block_index, platform, state) -> new_state | PRUNED_SUBTREE``.
+    """
+
+    initial: Any
+    extend: Callable[[int, str, Any], Any]
 
 
 def _normalize_hooks(
@@ -74,6 +111,7 @@ def iter_configs(
     include_empty: bool = True,
     prune: PruneHook | Sequence[PruneHook] | None = None,
     prune_depth: DepthPruneHook | None = None,
+    prune_prefix: PrefixPruner | None = None,
 ) -> Iterator[PipelineConfig]:
     """Lazily yield every (cut point, platform) configuration.
 
@@ -92,12 +130,43 @@ def iter_configs(
         Depth-level hook; when it returns True for a cut depth, no
         configuration at that depth is constructed at all (cheaper than
         per-config pruning for communication-bound cutoffs).
+    prune_prefix:
+        Subtree-level bound *within* surviving depths (see
+        :class:`PrefixPruner`); when its ``extend`` cuts a prefix, no
+        completion of that prefix is constructed. Survivors keep the
+        exact product order, so a prefix-pruned enumeration is still a
+        subsequence of the unpruned one.
 
     Argument validation happens eagerly, before the first ``next()``.
     """
     option_lists = enumeration_plan(pipeline, max_blocks)
     hooks = _normalize_hooks(prune)
-    return _generate(pipeline, option_lists, include_empty, hooks, prune_depth)
+    return _generate(
+        pipeline, option_lists, include_empty, hooks, prune_depth, prune_prefix
+    )
+
+
+def _prefix_pruned_choices(
+    option_lists: list[list[str]], depth: int, pruner: PrefixPruner
+) -> Iterator[tuple[str, ...]]:
+    """Depth-``depth`` platform assignments surviving the prefix bound,
+    in exact :func:`itertools.product` order (DFS over sorted options is
+    the product order; cut subtrees just drop their contiguous run)."""
+    extend = pruner.extend
+    last = depth - 1
+
+    def walk(level: int, prefix: tuple[str, ...], state: Any) -> Iterator[tuple[str, ...]]:
+        for platform in option_lists[level]:
+            extended = extend(level, platform, state)
+            if extended is PRUNED_SUBTREE:
+                continue
+            choice = prefix + (platform,)
+            if level == last:
+                yield choice
+            else:
+                yield from walk(level + 1, choice, extended)
+
+    return walk(0, (), pruner.initial)
 
 
 def _generate(
@@ -106,6 +175,7 @@ def _generate(
     include_empty: bool,
     hooks: tuple[PruneHook, ...],
     prune_depth: DepthPruneHook | None,
+    prune_prefix: PrefixPruner | None = None,
 ) -> Iterator[PipelineConfig]:
     def keep(config: PipelineConfig) -> bool:
         return not any(hook(config) for hook in hooks)
@@ -114,13 +184,20 @@ def _generate(
     # trusted (validation-free) constructor is safe on this hot path.
     trusted = PipelineConfig.trusted
     if include_empty and not (prune_depth is not None and prune_depth(0)):
+        # The raw-offload configuration has no platform choices, so the
+        # prefix bound never applies to it.
         config = trusted(pipeline, ())
         if keep(config):
             yield config
     for depth in range(1, len(option_lists) + 1):
         if prune_depth is not None and prune_depth(depth):
             continue
-        if hooks:
+        if prune_prefix is not None:
+            for choice in _prefix_pruned_choices(option_lists, depth, prune_prefix):
+                config = trusted(pipeline, choice)
+                if keep(config):
+                    yield config
+        elif hooks:
             for choice in product(*option_lists[:depth]):
                 config = trusted(pipeline, choice)
                 if keep(config):
@@ -147,8 +224,9 @@ def count_configs(
     """Size of the design space, without constructing configurations.
 
     Matches ``len(list(iter_configs(...)))`` for the same arguments as
-    long as no *per-config* hook filters further (depth-level pruning is
-    exact here; counting per-config hooks would require enumerating).
+    long as no *per-config* ``prune`` hook or *prefix* pruner filters
+    further (depth-level pruning is exact here; counting those would
+    require enumerating, so with them this is an upper bound).
     Useful for sizing executor chunks and for reporting how much a depth
     pruner saved: ``count_configs(p) - count_configs(p, prune_depth=h)``.
     """

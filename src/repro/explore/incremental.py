@@ -58,6 +58,29 @@ def supports_prefix_evaluation(model: Any) -> bool:
     return False
 
 
+def uses_stock_cost_semantics(model: Any) -> bool:
+    """Whether *every* cost-defining step of the model is the stock
+    implementation — ``evaluate``, ``initial_state``, ``extend_state``
+    and ``finalize``.
+
+    Stricter than :func:`supports_prefix_evaluation`: a subclass that
+    customizes ``extend_state``/``finalize`` while keeping the stock
+    ``evaluate`` is still prefix-eligible (the walk uses its overridden
+    steps), but its cost semantics are no longer the raw
+    ``Implementation``/link tables — so anything that derives *bounds*
+    from those tables (``Scenario.auto_prune`` /
+    ``auto_prune_configs``) must require this check, not mere
+    prefix-eligibility, or a sound-looking bound could prune
+    configurations the model rates feasible.
+    """
+    steps = ("evaluate", "initial_state", "extend_state", "finalize")
+    for base in (ThroughputCostModel, EnergyCostModel):
+        if isinstance(model, base):
+            cls = type(model)
+            return all(getattr(cls, name) is getattr(base, name) for name in steps)
+    return False
+
+
 class PrefixEvaluator:
     """Evaluate configurations of one pipeline with prefix reuse.
 

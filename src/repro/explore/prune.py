@@ -30,7 +30,12 @@ from typing import TYPE_CHECKING
 
 from repro.core.pipeline import InCameraPipeline
 from repro.errors import PipelineError
-from repro.explore.enumerate import DepthPruneHook, enumeration_plan
+from repro.explore.enumerate import (
+    PRUNED_SUBTREE,
+    DepthPruneHook,
+    PrefixPruner,
+    enumeration_plan,
+)
 from repro.hw.network import LinkModel
 
 if TYPE_CHECKING:  # imported lazily to avoid an import cycle
@@ -99,6 +104,41 @@ def energy_depth_lower_bounds(
     return bounds
 
 
+def compute_fps_prefix_pruner(scenario: "Scenario") -> PrefixPruner | None:
+    """Per-config lower-bound pruning *within* surviving depths.
+
+    The depth pruner cuts depths where no platform assignment can clear
+    the constraint; this pruner cuts individual subtrees where the
+    *chosen* platforms already cannot. A configuration's ``compute_fps``
+    is the min over its chosen implementations' rates, and extending a
+    prefix can only lower that min — so once a prefix's running min
+    drops below ``target_fps``, every completion at every deeper cut
+    depth is compute-infeasible and the subtree is skipped before any
+    configuration is constructed.
+
+    Exact, not heuristic: the running min over chosen platforms *is*
+    each completion's compute-rate upper bound, so only provably
+    infeasible configurations are dropped — the feasible set is
+    identical to the unpruned run (tested against
+    :func:`repro.explore.explore_brute_force`). Throughput domain with a
+    ``target_fps`` only; None otherwise.
+    """
+    if scenario.domain != "throughput" or scenario.target_fps is None:
+        return None
+    target = scenario.target_fps
+    fps_tables = [
+        {name: impl.fps for name, impl in block.implementations.items()}
+        for block in scenario.pipeline.blocks
+    ]
+
+    def extend(block_index: int, platform: str, state: float):
+        fps = fps_tables[block_index][platform]
+        floor = state if state < fps else fps
+        return PRUNED_SUBTREE if floor < target else floor
+
+    return PrefixPruner(initial=float("inf"), extend=extend)
+
+
 def lower_bound_depth_hook(scenario: "Scenario") -> DepthPruneHook | None:
     """The scenario's sound depth pruner, or None when unconstrained.
 
@@ -107,13 +147,15 @@ def lower_bound_depth_hook(scenario: "Scenario") -> DepthPruneHook | None:
     *provably* unsatisfiable; with no ``target_fps`` / no
     ``energy_budget_j`` there is nothing sound to prune, so None.
     """
+    # Bound against the link evaluation will actually use: a pre-built
+    # model may carry a different uplink than scenario.link, and bounds
+    # derived from the wrong link could prune feasible configurations.
+    link = scenario.cost_model().link
     if scenario.domain == "throughput":
         target = scenario.target_fps
         if target is None:
             return None
-        bounds = throughput_depth_bounds(
-            scenario.pipeline, scenario.link, scenario.max_blocks
-        )
+        bounds = throughput_depth_bounds(scenario.pipeline, link, scenario.max_blocks)
         pruned = [compute < target or comm < target for compute, comm in bounds]
     else:
         budget = scenario.energy_budget_j
@@ -121,7 +163,7 @@ def lower_bound_depth_hook(scenario: "Scenario") -> DepthPruneHook | None:
             return None
         lower = energy_depth_lower_bounds(
             scenario.pipeline,
-            scenario.link,
+            link,
             scenario.pass_rates,
             scenario.max_blocks,
         )

@@ -45,6 +45,18 @@ def require_key(rows: Sequence[dict[str, Any]], key: str, kind: str = "metric") 
         raise ConfigurationError(f"{kind} {key!r} missing in rows {missing[:5]}")
 
 
+def json_safe_value(value: Any) -> Any:
+    """Map non-finite floats to the strings ``"inf"``/``"-inf"``/``"nan"``.
+
+    The one JSON-value mapping shared by :meth:`ExplorationResult.to_json`
+    and the streaming :class:`repro.explore.sink.JsonlSink`, so a row
+    serialized by either path is byte-identical to the other.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return "nan" if math.isnan(value) else ("inf" if value > 0 else "-inf")
+    return value
+
+
 def _base_row(config) -> dict[str, Any]:
     return {
         "config": config.label,
@@ -228,18 +240,12 @@ class ExplorationResult:
         the raw-offload config, ``nan``) become the strings ``"inf"`` /
         ``"-inf"`` / ``"nan"`` rather than the non-standard ``Infinity``
         tokens ``json.dumps`` would otherwise emit."""
-
-        def json_safe(value: Any) -> Any:
-            if isinstance(value, float) and not math.isfinite(value):
-                return "nan" if math.isnan(value) else ("inf" if value > 0 else "-inf")
-            return value
-
         text = json.dumps(
             {
                 "scenario": self.scenario.name,
                 "domain": self.scenario.domain,
                 "rows": [
-                    {key: json_safe(val) for key, val in row.items()}
+                    {key: json_safe_value(val) for key, val in row.items()}
                     for row in self.iter_rows()
                 ],
             },

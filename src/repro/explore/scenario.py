@@ -18,6 +18,7 @@ from repro.core.pipeline import InCameraPipeline, PipelineConfig
 from repro.errors import ConfigurationError
 from repro.explore.enumerate import (
     DepthPruneHook,
+    PrefixPruner,
     PruneHook,
     count_configs,
     iter_configs,
@@ -73,6 +74,17 @@ class Scenario:
         configuration is constructed. Lower bounds only — pruning never
         removes a feasible configuration. Requires a constraint to
         bound against.
+    auto_prune_configs:
+        Per-config pruning *within* surviving depths (throughput domain
+        with a ``target_fps`` only): subtrees whose chosen platforms'
+        running min rate already misses the target are skipped before
+        construction (see
+        :func:`repro.explore.prune.compute_fps_prefix_pruner`). Also a
+        sound lower bound — the feasible set is identical to the
+        unpruned run — but unlike ``auto_prune`` it drops individual
+        infeasible configurations, so :meth:`count_configs` becomes an
+        upper bound. Layers on top of (and composes with)
+        ``auto_prune``.
     """
 
     name: str
@@ -88,6 +100,7 @@ class Scenario:
     prune: PruneHook | Sequence[PruneHook] | None = None
     prune_depth: DepthPruneHook | None = field(default=None)
     auto_prune: bool = False
+    auto_prune_configs: bool = False
 
     def __post_init__(self) -> None:
         if self.domain not in DOMAINS:
@@ -136,6 +149,31 @@ class Scenario:
                         else "energy_budget_j"
                     )
                 )
+        if self.auto_prune_configs and (
+            self.domain != "throughput" or self.target_fps is None
+        ):
+            raise ConfigurationError(
+                "auto_prune_configs bounds prefix compute rates against "
+                "target_fps: throughput domain with a target only"
+            )
+        if (self.auto_prune or self.auto_prune_configs) and self.model is not None:
+            from repro.explore.incremental import uses_stock_cost_semantics
+
+            if not uses_stock_cost_semantics(self.model):
+                # The derived bounds encode the *stock* models' cost
+                # semantics (impl fps / link rates); a model overriding
+                # any cost step — evaluate(), or extend_state/finalize
+                # even with the stock evaluate kept — may rate
+                # configurations differently, and a bound against the
+                # wrong semantics could silently drop feasible designs.
+                # Fail fast instead.
+                raise ConfigurationError(
+                    "auto_prune/auto_prune_configs derive bounds from the "
+                    "stock cost-model semantics; a model overriding "
+                    "evaluate/initial_state/extend_state/finalize cannot "
+                    "be soundly bounded — use explicit prune/prune_depth "
+                    "hooks instead"
+                )
 
     def depth_prune_hook(self) -> DepthPruneHook | None:
         """The effective depth pruner: the user hook, the auto-derived
@@ -153,6 +191,15 @@ class Scenario:
             return hooks[0]
         return lambda depth: any(hook(depth) for hook in hooks)
 
+    def prefix_pruner(self) -> PrefixPruner | None:
+        """The effective within-depth prefix bound (None unless
+        ``auto_prune_configs``)."""
+        if not self.auto_prune_configs:
+            return None
+        from repro.explore.prune import compute_fps_prefix_pruner
+
+        return compute_fps_prefix_pruner(self)
+
     def iter_configs(self) -> Iterator[PipelineConfig]:
         """The scenario's (lazily enumerated, pruned) design space."""
         return iter_configs(
@@ -161,14 +208,15 @@ class Scenario:
             include_empty=self.include_empty,
             prune=self.prune,
             prune_depth=self.depth_prune_hook(),
+            prune_prefix=self.prefix_pruner(),
         )
 
     def count_configs(self) -> int:
         """Size of the depth-pruned design space, without constructing
-        configurations. Exact unless per-config ``prune`` hooks filter
-        further, in which case it is an upper bound (the engine uses it
-        to size streaming chunks; reporting uses it to quantify
-        depth-pruning savings)."""
+        configurations. Exact unless per-config ``prune`` hooks or
+        ``auto_prune_configs`` filter further, in which case it is an
+        upper bound (the engine uses it to size streaming chunks;
+        reporting uses it to quantify depth-pruning savings)."""
         return count_configs(
             self.pipeline,
             max_blocks=self.max_blocks,

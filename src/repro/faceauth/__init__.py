@@ -10,7 +10,9 @@ variants (how much filtering happens before the radio).
 * :mod:`.stages` — stage wrappers binding algorithms to hardware costs;
 * :mod:`.pipeline` — the gated execution engine with energy accounting;
 * :mod:`.workload` — trained-component factory for a workload trace;
-* :mod:`.evaluate` — variant comparison and harvested-power analysis.
+* :mod:`.evaluate` — variant comparison and harvested-power analysis;
+* :mod:`.scenario` — the chain as cost-annotated catalog scenarios for
+  the exploration engine (no training required).
 """
 
 from repro.faceauth.stages import (
@@ -23,8 +25,16 @@ from repro.faceauth.stages import (
 from repro.faceauth.pipeline import FaceAuthPipeline, FrameOutcome, WorkloadResult
 from repro.faceauth.workload import TrainedWorkload, build_workload
 from repro.faceauth.evaluate import PipelineVariant, evaluate_variants, harvest_analysis
+from repro.faceauth.scenario import (
+    build_offload_pipeline,
+    faceauth_energy_scenario,
+    faceauth_throughput_scenario,
+)
 
 __all__ = [
+    "build_offload_pipeline",
+    "faceauth_energy_scenario",
+    "faceauth_throughput_scenario",
     "AuthStage",
     "CaptureStage",
     "DetectStage",

@@ -28,6 +28,16 @@ from functools import partial
 from repro.core.sweep import parameter_sweep
 from repro.errors import ConfigurationError
 from repro.explore.executor import SweepExecutor, resolve_executor
+
+# Importing the scenario module registers the face-authentication
+# catalog entries (kept here so legacy `from repro.faceauth import
+# evaluate` users see the same catalog the engine does); the factories
+# are re-exported as part of this module's evaluation surface.
+from repro.faceauth.scenario import (  # noqa: F401  (re-export + registration)
+    build_offload_pipeline,
+    faceauth_energy_scenario,
+    faceauth_throughput_scenario,
+)
 from repro.faceauth.pipeline import FaceAuthPipeline, WorkloadResult
 from repro.faceauth.stages import AuthStage, CaptureStage, DetectStage, MotionStage
 from repro.faceauth.workload import TrainedWorkload

@@ -8,12 +8,15 @@ This package models that loop:
 * :mod:`.harvester` — Friis-law RF power delivery + rectifier efficiency;
 * :mod:`.capacitor` — storage element with usable-energy window;
 * :mod:`.scheduler` — the duty-cycle simulator that turns per-frame task
-  energies into an achievable frame rate.
+  energies into an achievable frame rate;
+* :mod:`.scenario` — harvested-budget catalog scenarios: the budget a
+  reader distance sustains, fed to the exploration engine.
 """
 
 from repro.harvest.harvester import RfHarvester
 from repro.harvest.capacitor import Capacitor
 from repro.harvest.scheduler import DutyCycleSimulator, FrameTask, HarvestTimeline
+from repro.harvest.scenario import harvested_budget_j, harvested_scenario
 
 __all__ = [
     "RfHarvester",
@@ -21,4 +24,6 @@ __all__ = [
     "DutyCycleSimulator",
     "FrameTask",
     "HarvestTimeline",
+    "harvested_budget_j",
+    "harvested_scenario",
 ]

@@ -27,7 +27,9 @@ from repro.hw.network import (
     LinkModel,
     ETHERNET_25G,
     ETHERNET_400G,
+    LOW_POWER_RADIO,
     RF_BACKSCATTER,
+    WIFI_CLASS,
 )
 
 __all__ = [
@@ -47,5 +49,7 @@ __all__ = [
     "LinkModel",
     "ETHERNET_25G",
     "ETHERNET_400G",
+    "LOW_POWER_RADIO",
     "RF_BACKSCATTER",
+    "WIFI_CLASS",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import HardwareModelError
-from repro.units import GBPS, KBPS, bytes_to_bits
+from repro.units import GBPS, KBPS, MBPS, bytes_to_bits
 
 
 @dataclass(frozen=True)
@@ -86,4 +86,24 @@ RF_BACKSCATTER = LinkModel(
     raw_bps=256 * KBPS,
     efficiency=0.8,
     tx_energy_per_bit=60e-12,
+)
+
+#: Consumer smart-camera uplink: 802.11g/n-class radio at its realistic
+#: ~50% MAC efficiency. Mains- or battery-powered but not free to use:
+#: ~5 nJ/bit covers PA plus baseband at typical WiFi energy/bit figures.
+WIFI_CLASS = LinkModel(
+    name="wifi",
+    raw_bps=54 * MBPS,
+    efficiency=0.5,
+    tx_energy_per_bit=5e-9,
+)
+
+#: Battery-node low-power radio (BLE/802.15.4-class): narrowband and
+#: expensive per bit relative to backscatter — the regime where
+#: in-camera compression pays its energy back many times over.
+LOW_POWER_RADIO = LinkModel(
+    name="low-power-radio",
+    raw_bps=1 * MBPS,
+    efficiency=0.6,
+    tx_energy_per_bit=50e-9,
 )

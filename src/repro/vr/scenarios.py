@@ -5,13 +5,21 @@ every block's platform implementations priced by :mod:`.platforms`, and
 enumerates the paper's nine configurations: offload after the sensor, B1,
 B2, B3 on {CPU, GPU, FPGA}, and the full pipeline with B4 co-located on
 B3's platform.
+
+The module also registers the VR rig's throughput-domain workloads in
+the shared scenario catalog (:mod:`repro.explore.catalog`): the paper's
+25 GbE study, the 400 GbE scaling variant, and an auto-pruned entry for
+large-fleet campaigns.
 """
 
 from __future__ import annotations
 
 from repro.core.block import Block, Implementation
 from repro.core.pipeline import InCameraPipeline, PipelineConfig
+from repro.explore.catalog import register_scenario, resolve_link
+from repro.explore.scenario import Scenario
 from repro.hw.fpga import FpgaDesign
+from repro.hw.network import ETHERNET_25G, LinkModel
 from repro.vr.blocks import RigDataModel
 from repro.vr.platforms import (
     B3Workload,
@@ -93,3 +101,50 @@ def paper_configurations(
             )
         )
     return configs
+
+
+@register_scenario(
+    "vr-fig10",
+    domain="throughput",
+    summary="Figure 10: the 16-camera VR rig at 25 GbE, 30 FPS real-time bar",
+)
+@register_scenario(
+    "vr-fig10-400g",
+    domain="throughput",
+    summary="Figure 10 scaling variant: the VR rig over the hypothetical 400 GbE uplink",
+    defaults={"link": "400g"},
+)
+@register_scenario(
+    "vr-fig10-pruned",
+    domain="throughput",
+    summary="Figure 10 with sound depth + per-config pruning (large-fleet campaigns)",
+    defaults={
+        "auto_prune": True,
+        "auto_prune_configs": True,
+        "name": "vr-16cam@25GbE+pruned",
+    },
+)
+def vr_offload_scenario(
+    link: str | LinkModel = ETHERNET_25G,
+    target_fps: float = 30.0,
+    name: str | None = None,
+    model: RigDataModel | None = None,
+    auto_prune: bool = False,
+    auto_prune_configs: bool = False,
+) -> Scenario:
+    """The VR rig's (cut point, platform) design space as a scenario.
+
+    The paper's Figure 10 question in declarative form: which
+    configurations of the 16-camera pipeline clear ``target_fps`` on
+    both the compute and the communication axis over ``link``.
+    """
+    link = resolve_link(link)
+    return Scenario(
+        name=name or f"vr-16cam@{link.name}",
+        pipeline=build_vr_pipeline(model=model),
+        link=link,
+        domain="throughput",
+        target_fps=target_fps,
+        auto_prune=auto_prune,
+        auto_prune_configs=auto_prune_configs,
+    )

@@ -412,6 +412,25 @@ def test_auto_prune_composes_with_user_depth_hook():
     assert json.dumps(rows) == json.dumps(expected)
 
 
+def test_auto_prune_bounds_against_the_models_link():
+    """A pre-built stock model may carry a different uplink than
+    scenario.link; the bounds must follow the link evaluation actually
+    uses, or feasible configurations get silently pruned."""
+    base = fig10_scenario()  # scenario.link = ETHERNET_25G
+    slow_link_scenario = replace(
+        base,
+        link=RF_BACKSCATTER,  # bounds from here would prune everything
+        model=ThroughputCostModel(base.link),  # evaluation uses 25 GbE
+        auto_prune=True,
+    )
+    pruned = explore(slow_link_scenario)
+    full = explore_brute_force(base)
+    assert [r["config"] for r in pruned.feasible] == [
+        r["config"] for r in full.feasible
+    ]
+    assert len(pruned.feasible) > 0
+
+
 def test_auto_prune_requires_a_constraint():
     with pytest.raises(ConfigurationError):
         fig10_scenario(target_fps=None, auto_prune=True)
@@ -433,6 +452,107 @@ def test_energy_bounds_validate_pass_rate_overrides():
         energy_depth_lower_bounds(scenario.pipeline, scenario.link, scenario.pass_rates)
     with pytest.raises(PipelineError, match="must be in \\[0,1\\]"):
         explore(replace(scenario, auto_prune=True))
+
+
+# -- per-config prefix pruning within surviving depths --------------------
+
+
+@pytest.mark.parametrize("target", [10.0, 16.0, 30.0, 100.0])
+def test_auto_prune_configs_never_drops_feasible(target):
+    """Acceptance: the within-depth pruner is a sound lower bound — the
+    pruned run is an exact subsequence of brute force, every dropped
+    configuration was compute-infeasible, and the feasible set survives
+    byte for byte."""
+    scenario = fig10_scenario(target_fps=target)
+    full = explore_brute_force(scenario)
+    pruned = explore(replace(scenario, auto_prune_configs=True))
+    surviving = {row["config"] for row in pruned.rows}
+    kept = [row for row in full.rows if row["config"] in surviving]
+    assert json.dumps(pruned.rows) == json.dumps(kept)
+    dropped = [row for row in full.rows if row["config"] not in surviving]
+    assert all(row["compute_fps"] < target for row in dropped)
+    assert json.dumps(pruned.feasible) == json.dumps(full.feasible)
+    # count_configs is now an upper bound, never an undercount.
+    assert len(pruned.rows) <= replace(scenario, auto_prune_configs=True).count_configs()
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_auto_prune_configs_sound_on_random_pipelines(seed):
+    rng = random.Random(1000 + seed)
+    pipeline = random_pipeline(rng)
+    link = LinkModel(name="l", raw_bps=rng.uniform(1e4, 1e8))
+    # A target inside the pipeline's rate range, so pruning has work.
+    rates = [
+        impl.fps for block in pipeline.blocks for impl in block.implementations.values()
+    ]
+    target = rng.uniform(min(rates), max(rates))
+    scenario = Scenario(
+        name="rand", pipeline=pipeline, link=link, target_fps=target
+    )
+    full = explore_brute_force(scenario)
+    pruned = explore(replace(scenario, auto_prune_configs=True))
+    assert json.dumps(pruned.feasible) == json.dumps(full.feasible)
+    surviving = {row["config"] for row in pruned.rows}
+    assert all(
+        row["compute_fps"] < target
+        for row in full.rows
+        if row["config"] not in surviving
+    )
+
+
+def test_auto_prune_configs_composes_with_depth_pruner():
+    scenario = fig10_scenario(
+        target_fps=30.0, auto_prune=True, auto_prune_configs=True
+    )
+    both = explore(scenario)
+    full = explore_brute_force(fig10_scenario(target_fps=30.0))
+    assert json.dumps(both.feasible) == json.dumps(full.feasible)
+    # Fig10 at the paper's bar: only the two FPGA-deep configs survive
+    # both pruners, and both are feasible.
+    assert len(both.rows) == len(both.feasible) == 2
+
+
+def test_auto_prune_configs_requires_throughput_target():
+    with pytest.raises(ConfigurationError, match="auto_prune_configs"):
+        fig10_scenario(target_fps=None, auto_prune_configs=True)
+    with pytest.raises(ConfigurationError, match="auto_prune_configs"):
+        faceauth_scenario(auto_prune_configs=True)
+
+
+def test_auto_pruning_rejects_custom_models():
+    """The derived bounds encode the stock models' semantics; a model
+    overriding evaluate() could rate a 'provably infeasible' config
+    feasible, so pruning against it must fail fast, never silently drop
+    feasible designs."""
+
+    class Doubler(ThroughputCostModel):
+        def evaluate(self, config):
+            cost = super().evaluate(config)
+            object.__setattr__(cost, "compute_fps", 2 * cost.compute_fps)
+            return cost
+
+    class Pipelined(ThroughputCostModel):
+        # Prefix-eligible (stock evaluate) but non-stock cost semantics:
+        # equally unsafe for table-derived bounds.
+        def extend_state(self, state, block, impl):
+            fps, label = super().extend_state(state, block, impl)
+            return (2.0 * fps, label)
+
+    base = fig10_scenario()
+    for model in (Doubler(base.link), Pipelined(base.link)):
+        for knob in ({"auto_prune": True}, {"auto_prune_configs": True}):
+            with pytest.raises(ConfigurationError, match="soundly bounded"):
+                fig10_scenario(model=model, **knob)
+    # Fully-stock subclasses stay allowed.
+    class JustASubclass(ThroughputCostModel):
+        pass
+
+    pruned = explore(
+        fig10_scenario(model=JustASubclass(base.link), auto_prune_configs=True)
+    )
+    assert json.dumps(pruned.feasible) == json.dumps(
+        explore_brute_force(base).feasible
+    )
 
 
 # -- shared depth plan: count_configs with pruning ------------------------
