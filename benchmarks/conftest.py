@@ -40,7 +40,9 @@ def _current_commit() -> str | None:
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True, text=True, timeout=10,
+            capture_output=True,
+            text=True,
+            timeout=10,
             cwd=Path(__file__).parent,
         )
     except (OSError, subprocess.SubprocessError):

@@ -12,7 +12,6 @@ picture of Figure 10 changes.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.compression.block import compression_block
 from repro.compression.codec import JpegLikeCodec

@@ -10,7 +10,6 @@ frame rate per reader distance.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.report import TextTable
 from repro.explore import SweepExecutor

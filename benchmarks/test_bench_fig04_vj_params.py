@@ -8,7 +8,6 @@ coarsens, with recall falling fastest.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.report import TextTable
 from repro.datasets.faces import FaceGenerator

@@ -8,7 +8,6 @@ order of magnitude in energy; the chosen compromise is 400-8-1.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.report import TextTable
 from repro.datasets.faces import FaceGenerator

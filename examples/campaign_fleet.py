@@ -3,17 +3,21 @@
 
 Loads the whole workload library — the VR rig at two Ethernet tiers, the
 face-authentication camera in both cost domains, harvested-budget
-variants at two reader distances, and the in-camera codec chain over
-WiFi-class and battery radios — and runs every design space through
-*one* shared executor as a single campaign: interleaved chunks keep all
-workers busy, per-scenario results are byte-identical to solo runs, and
-the summary report answers the fleet question (which products are
-feasible, with which design, at what cost) in one table.
+variants at two reader distances, the in-camera codec chain over
+WiFi-class and battery radios, and the SNNAP accelerator studies (PE
+geometry and per-block DVFS assignment) — and runs every design space
+through *one* shared executor as a single campaign: interleaved chunks
+keep all workers busy, per-scenario results are byte-identical to solo
+runs, and the summary report answers the fleet question (which products
+are feasible, with which design, at what cost) in one table.
 
-Also demonstrates streaming export: the same campaign re-run through CSV
-sinks with ``collect=False`` writes every row to disk without ever
-holding a result cache — the memory profile of a million-config fleet
-is the chunk window, not the design-space size.
+Also demonstrates the streaming consumption path: ``iter_runs()`` under
+the shortest-scenario-first policy prints each scenario's verdict *the
+moment its last chunk lands* — a dashboard needs no drained fleet — and
+the export-only re-run (CSV sinks, ``collect=False``) streams every row
+to disk while the online Pareto frontier keeps ``pareto_size`` exact
+with no result caches in memory: the memory profile of a million-config
+fleet is the chunk window, not the design-space size.
 
 Run:
     PYTHONPATH=src python examples/campaign_fleet.py
@@ -45,37 +49,44 @@ def main() -> None:
     )
     library.print()
 
-    # One pool for the whole fleet: scenarios' config chunks interleave
-    # through the shared executor, so N scenarios cost one pool, not N.
+    # One pool for the whole fleet, consumed streamingly: each scenario
+    # reports the moment it completes (shortest design spaces first),
+    # long before the biggest one drains.
     fleet = catalog.build_all()
     campaign = Campaign(fleet, name="builtin-fleet")
-    result = campaign.run(SweepExecutor(workers=4, backend="thread"))
+    executor = SweepExecutor(workers=4, backend="thread")
+    print("\nStreaming fleet (shortest scenario first):")
+    runs = []
+    for run in campaign.iter_runs(executor, policy="shortest_scenario_first"):
+        runs.append(run)
+        metric = "total_fps" if run.scenario.domain == "throughput" else "total_energy_j"
+        unit = "FPS" if metric == "total_fps" else "J/frame"
+        print(
+            f"  [{len(runs):2d}/{len(fleet)}] {run.name}: "
+            f"{run.n_feasible}/{run.n_evaluated} feasible, "
+            f"pareto {run.pareto_size}, best {run.best['config']} "
+            f"at {run.best[metric]:.3g} {unit}"
+        )
+
+    # The drained fleet summary (run() is exactly a drain of the above).
+    result = campaign.run(executor)
     table = result.to_table()
     table.print()
     SUMMARY_PATH.parent.mkdir(exist_ok=True)
     SUMMARY_PATH.write_text(table.render() + "\n")
     print(f"\nSummary archived to {SUMMARY_PATH}")
 
-    # The fleet-level headline: every throughput scenario's winner and
-    # every energy scenario's cheapest design, from one run.
-    for run in result:
-        metric = "total_fps" if run.scenario.domain == "throughput" else "total_energy_j"
-        unit = "FPS" if metric == "total_fps" else "J/frame"
-        print(
-            f"  {run.name}: {run.n_feasible}/{run.n_evaluated} feasible, "
-            f"best {run.best['config']} at {run.best[metric]:.3g} {unit}"
-        )
-
-    # Streaming export: the same campaign, rows to disk, no caches.
+    # Streaming export: the same campaign, rows to disk, no caches —
+    # the online frontier keeps pareto sizes exact without them.
     with tempfile.TemporaryDirectory(prefix="campaign_fleet_") as tmp:
         sinks = {
             scenario.name: CsvSink(str(Path(tmp) / f"{scenario.name}.csv"))
             for scenario in fleet
         }
-        export = campaign.run(
-            SweepExecutor(workers=4, backend="thread"),
-            sinks=sinks,
-            collect=False,
+        export = campaign.run(executor, sinks=sinks, collect=False)
+        assert all(
+            lean.pareto_size == full.pareto_size
+            for lean, full in zip(export, result)
         )
         written = sum(
             (Path(tmp) / f"{run.name}.csv").stat().st_size for run in export
@@ -83,7 +94,8 @@ def main() -> None:
         print(
             f"\nExport-only re-run: {sum(r.n_evaluated for r in export)} "
             f"rows -> {len(export)} CSV files ({written} bytes) with no "
-            "result caches in memory (collect=False)."
+            "result caches in memory (collect=False; streamed Pareto "
+            "frontiers match the collected run exactly)."
         )
 
 

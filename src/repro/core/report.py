@@ -111,11 +111,15 @@ def campaign_summary_table(
 
     One row per scenario — evaluated configuration count, feasible
     count, best configuration and its domain metric (total FPS or total
-    joules/frame), Pareto-frontier size, and completion wall-time —
-    rendered in the same fixed-width format every benchmark table uses,
-    so campaign summaries archive alongside the paper tables. Rows are
-    plain dicts (built by ``CampaignResult.summary_rows()``); extra keys
-    beyond the canonical columns are appended in first-appearance order.
+    joules/frame), Pareto-frontier size (always an integer: export-only
+    campaigns maintain the frontier online, see
+    :class:`repro.explore.result.ParetoFrontier`), and completion
+    wall-time — rendered in the same fixed-width format every benchmark
+    table uses, so campaign summaries archive alongside the paper
+    tables. Rows are plain dicts (built by
+    ``CampaignResult.summary_rows()``); extra keys beyond the canonical
+    columns are appended in first-appearance order, and the default
+    table title names the scheduling policy that drove the fleet.
     """
     columns = list(CAMPAIGN_SUMMARY_COLUMNS)
     known = set(columns)

@@ -49,7 +49,18 @@ Quickstart::
     print(result.best["config"], [r["config"] for r in result.pareto()])
 """
 
-from repro.explore.campaign import Campaign, CampaignResult, ScenarioRun, run_campaign
+from repro.explore.campaign import (
+    SCHEDULING_POLICIES,
+    Campaign,
+    CampaignResult,
+    PriorityWeighted,
+    RoundRobin,
+    ScenarioRun,
+    SchedulingPolicy,
+    ShortestScenarioFirst,
+    resolve_policy,
+    run_campaign,
+)
 from repro.explore.catalog import (
     CATALOG,
     CatalogEntry,
@@ -72,16 +83,23 @@ from repro.explore.incremental import PrefixEvaluator, supports_prefix_evaluatio
 from repro.explore.prune import (
     compute_fps_prefix_pruner,
     energy_depth_lower_bounds,
+    energy_prefix_pruner,
     lower_bound_depth_hook,
     throughput_depth_bounds,
 )
-from repro.explore.result import ExplorationResult, pareto_filter
+from repro.explore.result import (
+    ExplorationResult,
+    ParetoFrontier,
+    domain_frontier,
+    pareto_filter,
+)
 from repro.explore.scenario import DOMAINS, Scenario
 from repro.explore.sink import (
     CallbackSink,
     CsvSink,
     JsonlSink,
     MemorySink,
+    ParetoSink,
     ResultSink,
 )
 
@@ -98,17 +116,26 @@ __all__ = [
     "JsonlSink",
     "MemorySink",
     "PRUNED_SUBTREE",
+    "ParetoFrontier",
+    "ParetoSink",
     "PrefixEvaluator",
     "PrefixPruner",
+    "PriorityWeighted",
     "PruneHook",
     "ResultSink",
+    "RoundRobin",
+    "SCHEDULING_POLICIES",
     "Scenario",
     "ScenarioCatalog",
     "ScenarioRun",
+    "SchedulingPolicy",
+    "ShortestScenarioFirst",
     "SweepExecutor",
     "compute_fps_prefix_pruner",
     "count_configs",
+    "domain_frontier",
     "energy_depth_lower_bounds",
+    "energy_prefix_pruner",
     "enumeration_plan",
     "explore",
     "explore_brute_force",
@@ -118,6 +145,7 @@ __all__ = [
     "lower_bound_depth_hook",
     "pareto_filter",
     "register_scenario",
+    "resolve_policy",
     "run_campaign",
     "supports_prefix_evaluation",
     "throughput_depth_bounds",

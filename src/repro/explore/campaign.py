@@ -5,9 +5,10 @@ service faces *fleets* of them — every camera product, link tier and
 power budget is its own scenario. Running N solo ``explore()`` calls
 costs N pools and serializes the fleet; a :class:`Campaign` shards all
 scenarios across **one** :class:`~repro.explore.executor.SweepExecutor`
-by round-robin interleaving their configuration chunks through ``imap``,
-so every worker stays busy until the whole fleet is done and a campaign
-of N scenarios costs one pool, not N.
+by interleaving their configuration chunks through ``imap`` under a
+pluggable :class:`SchedulingPolicy` (round-robin by default), so every
+worker stays busy until the whole fleet is done and a campaign of N
+scenarios costs one pool, not N.
 
 Correctness contract: chunks are tagged with their scenario and each is
 evaluated by a chunk-local
@@ -16,27 +17,35 @@ crosses scenarios), and ``imap`` returns results in submission order —
 so each scenario's evaluations land in its own enumeration order and
 are byte-identical to a solo ``explore()`` of the same scenario,
 regardless of worker count or how the fleet was interleaved (tests
-compare them byte for byte).
+compare them byte for byte). Scheduling policies only reorder *which
+scenario's* chunk is submitted next, never the chunks within one
+scenario, so every builtin policy preserves that identity.
 
-Streaming contract: per-scenario :class:`~repro.explore.sink.ResultSink`
-outputs receive rows as that scenario's chunks complete, and
-``collect=False`` keeps only running statistics (evaluated count,
-feasible count, best row) — an export-only campaign's peak memory is
-set by the chunk window, never by the fleet's combined design-space
-size. A sink failure aborts the campaign with a clear
-:class:`~repro.errors.SinkError` naming the scenario; every other
-scenario's sink is still closed (flushed), so one bad sink never
-corrupts the rest of the fleet's outputs.
+Streaming contract: :meth:`Campaign.iter_runs` yields each
+:class:`ScenarioRun` the moment its last chunk lands — a dashboard
+renders the first finished scenario while the rest of the fleet is
+still evaluating — and :meth:`Campaign.run` is a drain over it.
+Per-scenario :class:`~repro.explore.sink.ResultSink` outputs receive
+rows as that scenario's chunks complete (and are closed/flushed the
+moment their scenario finishes), and ``collect=False`` keeps only
+running statistics (evaluated count, feasible count, best row, and an
+online :class:`~repro.explore.result.ParetoFrontier`) — an export-only
+campaign's peak memory is set by the chunk window plus the frontier
+size, never by the fleet's combined design-space size. A sink failure
+aborts the campaign with a clear :class:`~repro.errors.SinkError`
+naming the scenario; every other scenario's sink is still closed
+(flushed), so one bad sink never corrupts the rest of the fleet's
+outputs. Abandoning ``iter_runs()`` mid-fleet closes the executor
+stream and every open sink the same way.
 """
 
 from __future__ import annotations
 
 import gc
 import time
-from collections import deque
-from contextlib import nullcontext
-from dataclasses import dataclass
-from typing import Any, Iterator, Mapping, Sequence
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.core.report import TextTable, campaign_summary_table
 from repro.errors import ConfigurationError, PipelineError
@@ -52,9 +61,207 @@ from repro.explore.executor import (
     resolve_executor,
 )
 from repro.explore.incremental import evaluate_chunk, supports_prefix_evaluation
-from repro.explore.result import DEFAULT_AXES, ExplorationResult, cost_row
+from repro.explore.result import (
+    DEFAULT_AXES,
+    ExplorationResult,
+    ParetoFrontier,
+    cost_row,
+    domain_frontier,
+)
 from repro.explore.scenario import Scenario
 from repro.explore.sink import close_sink, open_sink, resolve_sink, write_sink
+
+
+# -- scheduling policies ------------------------------------------------
+
+
+class SchedulingPolicy:
+    """Decides which scenario the interleaver draws its next chunk from.
+
+    The one pluggable point of the campaign driver: before each chunk
+    submission the interleaver calls :meth:`select` with the indices of
+    the scenarios that still have chunks, and submits one chunk of the
+    returned scenario. Policies only reorder *between* scenarios — each
+    scenario's own chunks are always submitted in enumeration order, so
+    per-scenario results stay byte-identical to solo ``explore()`` under
+    every policy (tested).
+
+    :meth:`start` is called once per campaign run with the full fleet,
+    so one policy instance can be reused across runs (state resets) and
+    can precompute per-scenario keys (sizes, weights).
+    """
+
+    #: Registry key and report label ("round_robin", ...).
+    name = "policy"
+
+    def start(self, scenarios: Sequence[Scenario]) -> None:
+        """Reset state for a new run over ``scenarios``."""
+
+    def select(self, live: Sequence[int]) -> int:
+        """The scenario index to draw the next chunk from.
+
+        ``live`` holds the indices (ascending) of scenarios whose
+        enumeration is not yet exhausted; the return value must be one
+        of them.
+        """
+        raise NotImplementedError
+
+
+class RoundRobin(SchedulingPolicy):
+    """One chunk per live scenario, cyclically: no scenario starves, and
+    the fleet's first results arrive from every scenario early. The
+    default, byte-compatible with the original fixed interleaver."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._last = -1
+
+    def start(self, scenarios: Sequence[Scenario]) -> None:
+        self._last = -1
+
+    def select(self, live: Sequence[int]) -> int:
+        for index in live:
+            if index > self._last:
+                self._last = index
+                return index
+        self._last = live[0]
+        return live[0]
+
+
+class ShortestScenarioFirst(SchedulingPolicy):
+    """Run scenarios to completion in ascending design-space size.
+
+    Shortest-job-first over :meth:`Scenario.count_configs` estimates
+    (exact up to per-config pruning): small scenarios finish — and
+    stream out of :meth:`Campaign.iter_runs` — before large ones start,
+    minimizing mean completion time across the fleet. Ties keep fleet
+    order.
+    """
+
+    name = "shortest_scenario_first"
+
+    def __init__(self) -> None:
+        self._order: tuple[int, ...] = ()
+
+    def start(self, scenarios: Sequence[Scenario]) -> None:
+        sizes = [scenario.count_configs() for scenario in scenarios]
+        self._order = tuple(
+            sorted(range(len(scenarios)), key=lambda index: (sizes[index], index))
+        )
+
+    def select(self, live: Sequence[int]) -> int:
+        alive = set(live)
+        for index in self._order:
+            if index in alive:
+                return index
+        return live[0]
+
+
+class PriorityWeighted(SchedulingPolicy):
+    """Interleave chunks proportionally to per-scenario weights.
+
+    Smooth weighted round-robin: each selection adds every live
+    scenario's weight to its credit, picks the highest credit (ties to
+    the earliest scenario) and charges the picked one the live total —
+    over time scenario *i* receives ``weight[i] / sum(weights)`` of the
+    submitted chunks, without bursts. Deterministic, so campaign results
+    are reproducible run to run.
+
+    Parameters
+    ----------
+    weights:
+        Mapping from scenario *name* to a positive weight; scenarios
+        without an entry get ``default_weight``. Unknown names are
+        rejected at :meth:`start` (they would silently never apply).
+    default_weight:
+        Weight of scenarios absent from ``weights``.
+    """
+
+    name = "priority_weighted"
+
+    def __init__(
+        self,
+        weights: Mapping[str, float] | None = None,
+        default_weight: float = 1.0,
+    ):
+        if default_weight <= 0:
+            raise ConfigurationError(
+                f"default_weight must be positive, got {default_weight}"
+            )
+        weights = dict(weights or {})
+        for name, weight in weights.items():
+            if not weight > 0:
+                raise ConfigurationError(
+                    f"weight for {name!r} must be positive, got {weight}"
+                )
+        self._by_name = weights
+        self._default = default_weight
+        self._weights: list[float] = []
+        self._credit: list[float] = []
+
+    def start(self, scenarios: Sequence[Scenario]) -> None:
+        names = {scenario.name for scenario in scenarios}
+        unknown = sorted(set(self._by_name) - names)
+        if unknown:
+            raise ConfigurationError(
+                f"priority weights for unknown scenarios {unknown}; "
+                f"campaign has {sorted(names)}"
+            )
+        self._weights = [
+            self._by_name.get(scenario.name, self._default) for scenario in scenarios
+        ]
+        self._credit = [0.0] * len(scenarios)
+
+    def select(self, live: Sequence[int]) -> int:
+        credit, weights = self._credit, self._weights
+        total = 0.0
+        for index in live:
+            credit[index] += weights[index]
+            total += weights[index]
+        best = live[0]
+        for index in live[1:]:
+            if credit[index] > credit[best]:
+                best = index
+        credit[best] -= total
+        return best
+
+
+#: Builtin policy factories by name (the string forms ``policy=`` takes).
+SCHEDULING_POLICIES: dict[str, Callable[[], SchedulingPolicy]] = {
+    RoundRobin.name: RoundRobin,
+    ShortestScenarioFirst.name: ShortestScenarioFirst,
+    PriorityWeighted.name: PriorityWeighted,
+}
+
+
+def resolve_policy(policy: Any) -> SchedulingPolicy:
+    """Default to round-robin; accept a builtin name or a policy
+    instance (duck-typed: anything with ``start``/``select``)."""
+    if policy is None:
+        return RoundRobin()
+    if isinstance(policy, str):
+        try:
+            return SCHEDULING_POLICIES[policy]()
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown scheduling policy {policy!r}; builtin policies "
+                f"are {sorted(SCHEDULING_POLICIES)} (or pass a "
+                "SchedulingPolicy instance)"
+            ) from None
+    if isinstance(policy, SchedulingPolicy) or (
+        callable(getattr(policy, "select", None))
+        and callable(getattr(policy, "start", None))
+    ):
+        return policy
+    raise ConfigurationError(
+        "policy must be a SchedulingPolicy, one of "
+        f"{sorted(SCHEDULING_POLICIES)}, or None, got {type(policy).__name__}"
+    )
+
+
+# -- chunk plumbing -----------------------------------------------------
+
 
 def _evaluate_tagged_chunk(
     tagged: tuple[int, tuple[Any, dict[str, float] | None, bool], list[Any]],
@@ -71,24 +278,67 @@ def _evaluate_tagged_chunk(
     return index, [_evaluate_scratch(model, pass_rates, config) for config in configs]
 
 
+class _FleetProgress:
+    """Chunk bookkeeping behind completion detection: a scenario is
+    complete when its stream is known exhausted AND every chunk it
+    emitted has been collected."""
+
+    def __init__(self, n: int):
+        self.emitted = [0] * n
+        self.collected = [0] * n
+        self.exhausted = [False] * n
+        self._pending = set(range(n))
+
+    def complete(self, index: int) -> bool:
+        return self.exhausted[index] and self.collected[index] == self.emitted[index]
+
+    def pop_complete(self) -> list[int]:
+        """Scenario indices that completed since the last call, in fleet
+        order (each returned exactly once)."""
+        done = sorted(index for index in self._pending if self.complete(index))
+        self._pending.difference_update(done)
+        return done
+
+
 def _interleave_chunks(
     scenarios: Sequence[Scenario],
     specs: Sequence[tuple[Any, dict[str, float] | None, bool]],
     sizes: Sequence[int],
+    policy: SchedulingPolicy,
+    progress: _FleetProgress,
 ) -> Iterator[tuple[int, tuple[Any, dict[str, float] | None, bool], list[Any]]]:
-    """Round-robin one chunk per live scenario: no scenario starves, no
-    scenario's enumeration is materialized past its next chunk."""
-    streams: deque[tuple[int, Iterator[list[Any]]]] = deque(
-        (index, _chunked(scenario.iter_configs(), sizes[index]))
+    """One chunk per policy selection: the selected scenario's next
+    chunk is yielded (tagged), exhausted scenarios leave the live set,
+    and no scenario's enumeration is materialized past its next chunk.
+    Emission/exhaustion is recorded in ``progress`` so the collector can
+    detect per-scenario completion."""
+    streams = [
+        _chunked(scenario.iter_configs(), sizes[index])
         for index, scenario in enumerate(scenarios)
-    )
-    while streams:
-        index, stream = streams.popleft()
-        chunk = next(stream, None)
-        if chunk is None:
-            continue
-        yield index, specs[index], chunk
-        streams.append((index, stream))
+    ]
+    live = list(range(len(scenarios)))
+    policy.start(scenarios)
+    try:
+        while live:
+            index = policy.select(tuple(live))
+            if index not in live:
+                raise ConfigurationError(
+                    f"scheduling policy {getattr(policy, 'name', policy)!r} "
+                    f"selected scenario {index}, not in the live set {live}"
+                )
+            chunk = next(streams[index], None)
+            if chunk is None:
+                live.remove(index)
+                progress.exhausted[index] = True
+                continue
+            progress.emitted[index] += 1
+            yield index, specs[index], chunk
+    finally:
+        # Mark abandoned streams exhausted-at-current-count so late
+        # completion scans cannot block, and close their enumerators.
+        for index, stream in enumerate(streams):
+            progress.exhausted[index] = True
+            stream.close()
 
 
 @dataclass
@@ -98,11 +348,13 @@ class ScenarioRun:
     ``result`` is the full :class:`ExplorationResult` when the campaign
     collected (byte-identical to a solo ``explore()``), or None on an
     export-only run — the summary statistics are tracked streamingly
-    either way. ``pareto_size`` needs every row at once, so it is None
-    when the campaign did not collect. ``wall_seconds`` is the time from
-    campaign start until this scenario's last chunk was collected
-    (scenarios share the executor, so exclusive per-scenario time is
-    not a meaningful quantity).
+    either way, including the domain-default Pareto frontier:
+    ``pareto_size`` and :meth:`pareto` work in both modes (streamed
+    through an online :class:`~repro.explore.result.ParetoFrontier`
+    under ``collect=False``, identical to the collected frontier).
+    ``wall_seconds`` is the time from campaign start until this
+    scenario's last chunk was collected (scenarios share the executor,
+    so exclusive per-scenario time is not a meaningful quantity).
     """
 
     scenario: Scenario
@@ -110,12 +362,20 @@ class ScenarioRun:
     n_evaluated: int
     n_feasible: int
     best: dict[str, Any] | None
-    pareto_size: int | None
+    pareto_size: int
     wall_seconds: float
+    frontier: list[dict[str, Any]] | None = field(default=None, repr=False)
 
     @property
     def name(self) -> str:
         return self.scenario.name
+
+    def pareto(self) -> list[dict[str, Any]]:
+        """The domain-default Pareto frontier rows: from the collected
+        result when available, else the streamed frontier."""
+        if self.result is not None:
+            return self.result.pareto() if len(self.result) else []
+        return list(self.frontier or [])
 
     def summary_row(self) -> dict[str, Any]:
         """One campaign-report row (see
@@ -128,7 +388,7 @@ class ScenarioRun:
             "feasible": self.n_feasible,
             "best_config": self.best["config"] if self.best else "-",
             "best_metric": self.best[metric] if self.best else "-",
-            "pareto": self.pareto_size if self.pareto_size is not None else "-",
+            "pareto": self.pareto_size,
             "seconds": self.wall_seconds,
         }
 
@@ -136,10 +396,17 @@ class ScenarioRun:
 class CampaignResult:
     """Per-scenario outcomes of one campaign, plus the fleet summary."""
 
-    def __init__(self, name: str, runs: list[ScenarioRun], wall_seconds: float):
+    def __init__(
+        self,
+        name: str,
+        runs: list[ScenarioRun],
+        wall_seconds: float,
+        policy: str = RoundRobin.name,
+    ):
         self.name = name
         self.runs = runs
         self.wall_seconds = wall_seconds
+        self.policy = policy
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -164,7 +431,8 @@ class CampaignResult:
         return campaign_summary_table(
             self.summary_rows(),
             title=title or f"campaign {self.name!r} "
-            f"({len(self.runs)} scenarios, {self.wall_seconds:.3f}s)",
+            f"({len(self.runs)} scenarios, {self.policy}, "
+            f"{self.wall_seconds:.3f}s)",
         )
 
 
@@ -174,14 +442,23 @@ def _best_metric(domain: str) -> str:
 
 class _StreamingStats:
     """Running per-scenario statistics for export-only campaigns:
-    everything the summary needs that does not require all rows."""
+    everything the summary needs that does not require all rows —
+    including the domain-default Pareto frontier, maintained online."""
 
-    __slots__ = ("n_evaluated", "n_feasible", "best", "_metric", "_maximize")
+    __slots__ = (
+        "n_evaluated",
+        "n_feasible",
+        "best",
+        "frontier",
+        "_metric",
+        "_maximize",
+    )
 
     def __init__(self, domain: str):
         self.n_evaluated = 0
         self.n_feasible = 0
         self.best: dict[str, Any] | None = None
+        self.frontier: ParetoFrontier = domain_frontier(domain)
         self._metric = _best_metric(domain)
         self._maximize = DEFAULT_AXES[domain][1]
 
@@ -200,6 +477,7 @@ class _StreamingStats:
         self.best = best
         self.n_evaluated += len(rows)
         self.n_feasible += feasible
+        self.frontier.add(rows)
 
 
 class Campaign:
@@ -256,9 +534,9 @@ class Campaign:
             f"callable, or None, got {type(sinks).__name__}"
         )
 
-    # -- the driver ------------------------------------------------------
+    # -- the drivers -----------------------------------------------------
 
-    def run(
+    def iter_runs(
         self,
         executor: SweepExecutor | None = None,
         chunk_size: int | None = None,
@@ -266,38 +544,27 @@ class Campaign:
         sinks: Any = None,
         collect: bool = True,
         collect_on_exit: bool = False,
-    ) -> CampaignResult:
-        """Explore every scenario through one shared executor.
+        policy: Any = None,
+    ) -> Iterator[ScenarioRun]:
+        """Stream the fleet: yield each :class:`ScenarioRun` the moment
+        its scenario's last chunk lands.
 
-        Parameters
-        ----------
-        executor:
-            The one pool all scenarios share; defaults to serial. Row
-            order per scenario is its enumeration order for any worker
-            count.
-        chunk_size:
-            Configurations per streamed chunk for every scenario
-            (default: the executor's ``chunk_size``, else sized per
-            scenario the way solo ``explore()`` would).
-        sinks:
-            Per-scenario streaming outputs: a mapping from scenario
-            name to sink (scenarios without an entry get none) or a
-            factory ``scenario -> sink | None``.
-        collect:
-            With ``collect=False`` no :class:`ExplorationResult` caches
-            are built — each :class:`ScenarioRun` carries streaming
-            statistics only (``pareto_size`` is None) and peak memory
-            is bounded by the chunk window. Legal with no sinks at all
-            (a summary-only campaign) or with a sink for *every*
-            scenario (an export-only campaign); partial coverage would
-            silently discard rows and is rejected.
-        collect_on_exit:
-            Run the GC pass deferred by the bulk-accumulation pause
-            before returning (see :func:`repro.explore.explore`).
+        The streaming counterpart of :meth:`run` (which is a drain over
+        this iterator): scenarios complete at different times — under
+        :class:`ShortestScenarioFirst` the smallest one finishes while
+        the largest has barely started — and each is yielded (its sink
+        closed and flushed first) without waiting for the fleet to
+        drain. Yield order is completion order, not fleet order.
+
+        Abandoning the iterator mid-fleet is safe: the executor stream
+        is closed (the shared pool shuts down after in-flight chunks
+        finish) and every open sink is closed (flushed), exactly as on
+        an error. Parameters are those of :meth:`run`.
         """
         executor = resolve_executor(executor)
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        policy = resolve_policy(policy)
         scenarios = self.scenarios
         sink_list = self._resolve_sinks(sinks)
         if not collect and sinks is not None:
@@ -316,6 +583,22 @@ class Campaign:
                     f"without one ({uncovered}); give every scenario a sink "
                     "or drop sinks entirely for a summary-only campaign"
                 )
+        return self._stream_runs(
+            executor, chunk_size, sink_list, collect, collect_on_exit, policy
+        )
+
+    def _stream_runs(
+        self,
+        executor: SweepExecutor,
+        chunk_size: int | None,
+        sink_list: list[Any],
+        collect: bool,
+        collect_on_exit: bool,
+        policy: SchedulingPolicy,
+    ) -> Iterator[ScenarioRun]:
+        """The generator behind :meth:`iter_runs` (argument validation
+        stays eager in the caller, before the first ``next()``)."""
+        scenarios = self.scenarios
         models = [scenario.cost_model() for scenario in scenarios]
         specs = tuple(
             (model, scenario.pass_rates, supports_prefix_evaluation(model))
@@ -337,17 +620,40 @@ class Campaign:
         # When a collected scenario also streams to a sink, its rows are
         # built anyway — keep them so the ExplorationResult is seeded
         # instead of re-deriving every row for the summary. Unlike solo
-        # explore(), this adds no peak memory: _build_runs forces every
-        # collected result's rows for the feasible/Pareto summary, so
-        # the cache would materialize at run end regardless.
+        # explore(), this adds no peak memory: building a ScenarioRun
+        # forces every collected result's rows for the feasible/Pareto
+        # summary, so the cache would materialize at run end regardless.
         row_caches: list[list[dict[str, Any]] | None] = [
             [] if collect and sink is not None else None for sink in sink_list
         ]
         stats = [_StreamingStats(scenario.domain) for scenario in scenarios]
+        progress = _FleetProgress(len(scenarios))
         completed_at = [0.0] * len(scenarios)
         start = time.perf_counter()
         opened: list[int] = []
+        closed: set[int] = set()
         error: BaseException | None = None
+        interleaved = _interleave_chunks(scenarios, specs, sizes, policy, progress)
+        results = executor.imap(_evaluate_tagged_chunk, interleaved, chunk_size=1)
+        # The GC pause must cover the bulk-accumulation regions but NOT
+        # the yields: consumer code between next() calls would otherwise
+        # run with cycle collection disabled for the whole fleet.
+        # Scenario completions are rare (N per campaign), so leaving and
+        # re-entering the paused region around them costs nothing.
+        pause_guard: ExitStack | None = None
+
+        def _enter_pause() -> None:
+            nonlocal pause_guard
+            if pause and pause_guard is None:
+                pause_guard = ExitStack()
+                pause_guard.enter_context(_gc_paused())
+
+        def _exit_pause() -> None:
+            nonlocal pause_guard
+            if pause_guard is not None:
+                pause_guard.close()
+                pause_guard = None
+
         try:
             # Opening happens inside the try so a sink whose open()
             # fails still gets every *previously opened* sink closed
@@ -356,34 +662,69 @@ class Campaign:
                 if sink is not None:
                     open_sink(sink, scenarios[index], self._label(index))
                     opened.append(index)
-            with _gc_paused() if pause else nullcontext():
-                for index, costs in executor.imap(
-                    _evaluate_tagged_chunk,
-                    _interleave_chunks(scenarios, specs, sizes),
-                    chunk_size=1,
-                ):
-                    scenario = scenarios[index]
-                    sink = sink_list[index]
-                    if evaluations is not None:
-                        evaluations[index].extend(costs)
-                    if sink is not None or evaluations is None:
-                        rows = [cost_row(scenario, cost) for cost in costs]
-                        if evaluations is None:
-                            # Streaming stats are only consulted on
-                            # export-only runs; collected runs derive
-                            # the summary from the result instead.
-                            stats[index].update(rows)
-                        elif row_caches[index] is not None:
-                            row_caches[index].extend(rows)
-                        if sink is not None:
-                            write_sink(sink, rows, self._label(index))
-                    completed_at[index] = time.perf_counter() - start
+            _enter_pause()
+            for index, costs in results:
+                scenario = scenarios[index]
+                sink = sink_list[index]
+                if evaluations is not None:
+                    evaluations[index].extend(costs)
+                if sink is not None or evaluations is None:
+                    rows = [cost_row(scenario, cost) for cost in costs]
+                    if evaluations is None:
+                        # Streaming stats are only consulted on
+                        # export-only runs; collected runs derive
+                        # the summary from the result instead.
+                        stats[index].update(rows)
+                    elif row_caches[index] is not None:
+                        row_caches[index].extend(rows)
+                    if sink is not None:
+                        write_sink(sink, rows, self._label(index))
+                progress.collected[index] += 1
+                completed_at[index] = time.perf_counter() - start
+                done = self._finish_complete(
+                    progress,
+                    sink_list,
+                    opened,
+                    closed,
+                    evaluations,
+                    row_caches,
+                    stats,
+                    completed_at,
+                )
+                if done:
+                    _exit_pause()
+                    yield from done
+                    _enter_pause()
+            # Exhaustions discovered after a scenario's final collection
+            # (and zero-chunk scenarios) surface once the stream drains.
+            done = self._finish_complete(
+                progress,
+                sink_list,
+                opened,
+                closed,
+                evaluations,
+                row_caches,
+                stats,
+                completed_at,
+            )
+            _exit_pause()
+            yield from done
         except BaseException as exc:
             error = exc
             raise
         finally:
+            _exit_pause()
+            # Stop the executor stream first (the pool shuts down after
+            # in-flight chunks finish), then the enumerators, then flush
+            # every sink not already closed at scenario completion.
+            stream_close = getattr(results, "close", None)
+            if stream_close is not None:
+                stream_close()
+            interleaved.close()
             close_error: BaseException | None = None
             for index in opened:
+                if index in closed:
+                    continue
                 try:
                     close_sink(sink_list[index], self._label(index))
                 except Exception as exc:
@@ -391,13 +732,107 @@ class Campaign:
                     # other scenarios' outputs unflushed.
                     if close_error is None:
                         close_error = exc
+            if collect_on_exit:
+                gc.collect()
             if close_error is not None and error is None:
                 raise close_error
-        if collect_on_exit:
-            gc.collect()
+
+    def _finish_complete(
+        self,
+        progress: _FleetProgress,
+        sink_list: list[Any],
+        opened: list[int],
+        closed: set[int],
+        evaluations: list[list[Any]] | None,
+        row_caches: list[list[dict[str, Any]] | None],
+        stats: list[_StreamingStats],
+        completed_at: list[float],
+    ) -> list[ScenarioRun]:
+        """Runs for scenarios that just completed, their sinks closed
+        first so a handed-out run's exports are already flushed."""
+        runs: list[ScenarioRun] = []
+        for index in progress.pop_complete():
+            if index in opened and index not in closed:
+                closed.add(index)
+                close_sink(sink_list[index], self._label(index))
+            runs.append(
+                self._build_run(
+                    index,
+                    evaluations[index] if evaluations is not None else None,
+                    row_caches[index],
+                    stats[index],
+                    completed_at[index],
+                )
+            )
+        return runs
+
+    def run(
+        self,
+        executor: SweepExecutor | None = None,
+        chunk_size: int | None = None,
+        *,
+        sinks: Any = None,
+        collect: bool = True,
+        collect_on_exit: bool = False,
+        policy: Any = None,
+    ) -> CampaignResult:
+        """Explore every scenario through one shared executor.
+
+        A drain over :meth:`iter_runs` — identical results, with the
+        per-scenario runs reassembled into fleet order.
+
+        Parameters
+        ----------
+        executor:
+            The one pool all scenarios share; defaults to serial. Row
+            order per scenario is its enumeration order for any worker
+            count.
+        chunk_size:
+            Configurations per streamed chunk for every scenario
+            (default: the executor's ``chunk_size``, else sized per
+            scenario the way solo ``explore()`` would).
+        sinks:
+            Per-scenario streaming outputs: a mapping from scenario
+            name to sink (scenarios without an entry get none) or a
+            factory ``scenario -> sink | None``.
+        collect:
+            With ``collect=False`` no :class:`ExplorationResult` caches
+            are built — each :class:`ScenarioRun` carries streaming
+            statistics only (the Pareto frontier maintained online) and
+            peak memory is bounded by the chunk window. Legal with no
+            sinks at all (a summary-only campaign) or with a sink for
+            *every* scenario (an export-only campaign); partial coverage
+            would silently discard rows and is rejected.
+        collect_on_exit:
+            Run the GC pass deferred by the bulk-accumulation pause
+            before returning (see :func:`repro.explore.explore`).
+        policy:
+            The :class:`SchedulingPolicy` interleaving the fleet's
+            chunks — an instance or a builtin name
+            (:data:`SCHEDULING_POLICIES`); default round-robin. Policies
+            reorder scenario completion, never per-scenario results.
+        """
+        resolved = resolve_policy(policy)
+        start = time.perf_counter()
+        runs = list(
+            self.iter_runs(
+                executor,
+                chunk_size,
+                sinks=sinks,
+                collect=collect,
+                collect_on_exit=collect_on_exit,
+                policy=resolved,
+            )
+        )
         wall = time.perf_counter() - start
-        runs = self._build_runs(evaluations, row_caches, stats, completed_at)
-        return CampaignResult(name=self.name, runs=runs, wall_seconds=wall)
+        order = {scenario.name: i for i, scenario in enumerate(self.scenarios)}
+        runs.sort(key=lambda run: order[run.name])
+        return CampaignResult(
+            name=self.name,
+            runs=runs,
+            wall_seconds=wall,
+            policy=getattr(resolved, "name", type(resolved).__name__),
+        )
 
     def _label(self, index: int) -> str:
         return f"scenario {self.scenarios[index].name!r}"
@@ -416,47 +851,46 @@ class Campaign:
             )
         return DEFAULT_CHUNK_SIZE
 
-    def _build_runs(
+    def _build_run(
         self,
-        evaluations: list[list[Any]] | None,
-        row_caches: list[list[dict[str, Any]] | None],
-        stats: list[_StreamingStats],
-        completed_at: list[float],
-    ) -> list[ScenarioRun]:
-        runs: list[ScenarioRun] = []
-        for index, scenario in enumerate(self.scenarios):
-            if evaluations is not None:
-                result = ExplorationResult(
-                    scenario=scenario,
-                    rows=row_caches[index],
-                    evaluations=evaluations[index],
-                )
-                n_evaluated = len(result)
-                n_feasible = len(result.feasible)
-                try:
-                    best = result.best
-                except PipelineError:
-                    best = None
-                pareto_size: int | None = len(result.pareto()) if n_evaluated else 0
-            else:
-                result = None
-                run_stats = stats[index]
-                n_evaluated = run_stats.n_evaluated
-                n_feasible = run_stats.n_feasible
-                best = run_stats.best
-                pareto_size = None
-            runs.append(
-                ScenarioRun(
-                    scenario=scenario,
-                    result=result,
-                    n_evaluated=n_evaluated,
-                    n_feasible=n_feasible,
-                    best=best,
-                    pareto_size=pareto_size,
-                    wall_seconds=round(completed_at[index], 6),
-                )
+        index: int,
+        scenario_evaluations: list[Any] | None,
+        row_cache: list[dict[str, Any]] | None,
+        run_stats: _StreamingStats,
+        completed_at: float,
+    ) -> ScenarioRun:
+        scenario = self.scenarios[index]
+        if scenario_evaluations is not None:
+            result = ExplorationResult(
+                scenario=scenario,
+                rows=row_cache,
+                evaluations=scenario_evaluations,
             )
-        return runs
+            n_evaluated = len(result)
+            n_feasible = len(result.feasible)
+            try:
+                best = result.best
+            except PipelineError:
+                best = None
+            pareto_size = len(result.pareto()) if n_evaluated else 0
+            frontier = None
+        else:
+            result = None
+            n_evaluated = run_stats.n_evaluated
+            n_feasible = run_stats.n_feasible
+            best = run_stats.best
+            frontier = run_stats.frontier.rows
+            pareto_size = len(frontier)
+        return ScenarioRun(
+            scenario=scenario,
+            result=result,
+            n_evaluated=n_evaluated,
+            n_feasible=n_feasible,
+            best=best,
+            pareto_size=pareto_size,
+            wall_seconds=round(completed_at, 6),
+            frontier=frontier,
+        )
 
 
 def run_campaign(
@@ -468,6 +902,7 @@ def run_campaign(
     sinks: Any = None,
     collect: bool = True,
     collect_on_exit: bool = False,
+    policy: Any = None,
 ) -> CampaignResult:
     """One-call convenience: ``Campaign(scenarios, name).run(...)``."""
     return Campaign(scenarios, name=name).run(
@@ -476,4 +911,5 @@ def run_campaign(
         sinks=sinks,
         collect=collect,
         collect_on_exit=collect_on_exit,
+        policy=policy,
     )

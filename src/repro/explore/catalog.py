@@ -7,10 +7,12 @@ parameters, without importing each case-study stack by hand. A
 :class:`ScenarioCatalog` maps names to registered factory callables;
 :func:`load_builtin` imports the case-study scenario modules
 (:mod:`repro.vr.scenarios`, :mod:`repro.faceauth.scenario`,
-:mod:`repro.compression.scenario`, :mod:`repro.harvest.scenario`), each
-of which registers its entries into the shared :data:`CATALOG` at
-import — the diversified workload library spans both cost domains and
-every link class in :mod:`repro.hw.network`.
+:mod:`repro.compression.scenario`, :mod:`repro.harvest.scenario`,
+:mod:`repro.snnap.scenario`), each of which registers its entries into
+the shared :data:`CATALOG` at import — the diversified workload library
+spans both cost domains, every link class in :mod:`repro.hw.network`,
+and the accelerator-silicon axes (PE geometry, DVFS operating points)
+next to the paper's (cut point, platform) axes.
 
 Factories accept a ``link`` parameter wherever a scenario crosses an
 uplink; :func:`resolve_link` lets callers name links by the short keys
@@ -257,6 +259,7 @@ def load_builtin() -> ScenarioCatalog:
     import repro.compression.scenario  # noqa: F401
     import repro.faceauth.scenario  # noqa: F401
     import repro.harvest.scenario  # noqa: F401
+    import repro.snnap.scenario  # noqa: F401
     import repro.vr.scenarios  # noqa: F401
 
     return CATALOG

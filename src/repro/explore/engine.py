@@ -212,6 +212,10 @@ def explore(
         accumulates evaluations and returns None: an export-only run's
         peak memory is set by the chunk window, not the design-space
         size. The default keeps the full :class:`ExplorationResult`.
+        Frontier questions survive export-only runs through a
+        :class:`~repro.explore.sink.ParetoSink` (an online
+        dominance-pruned frontier, identical to the collected
+        ``result.pareto()``).
     collect_on_exit:
         Run the cyclic GC pass deferred by the bulk-accumulation pause
         before returning, instead of letting it land on the caller's

@@ -416,6 +416,9 @@ def evaluate_chunk(
     Module-level (picklable) so the process-pool backend can ship
     chunks to workers; each chunk gets its own :class:`PrefixEvaluator`,
     so memoization never crosses chunk boundaries and results are
-    independent of how the stream was chunked.
+    independent of how the stream was chunked. Both the solo engine and
+    the campaign driver's tagged chunks evaluate through this one
+    function, which is why interleaving a fleet (under any scheduling
+    policy) cannot change any scenario's values.
     """
     return PrefixEvaluator(model, pass_rates).evaluate_many(configs)

@@ -139,6 +139,87 @@ def compute_fps_prefix_pruner(scenario: "Scenario") -> PrefixPruner | None:
     return PrefixPruner(initial=float("inf"), extend=extend)
 
 
+#: Relative slack on the energy prefix bound: the bound accumulates the
+#: prefix energy in a different float association order than
+#: ``EnergyCost.total_energy`` (incremental fold vs ``sensor + sum(...) +
+#: transmit``), so an analytically equal bound can round one ulp either
+#: way. Comparing against ``budget * (1 + slack)`` keeps the pruner
+#: sound through reassociation — far below any real feasibility margin.
+_ENERGY_BOUND_SLACK = 1e-12
+
+
+def energy_prefix_pruner(scenario: "Scenario") -> PrefixPruner | None:
+    """Per-config lower-bound pruning *within* surviving depths, energy
+    domain — the mirror of :func:`compute_fps_prefix_pruner`.
+
+    The prefix's expected energy is exact (sensor + each chosen
+    implementation scaled by its exact reach rate), and the cheapest
+    possible completion from depth ``k`` is a precomputable tail bound::
+
+        T[D] = tx(D)
+        T[k] = min(tx(k), cheapest[k+1] + pass_rate[k+1] * T[k+1])
+
+    — either transmit right here (the depth-``k`` completion, exact for
+    this prefix), or run the next block's cheapest implementation and
+    continue optimally. ``prefix_energy + reach_rate * T[k]`` therefore
+    lower-bounds *every* completion of the prefix at every deeper cut
+    depth, so a prefix is cut only when no completion can stay within
+    ``energy_budget_j`` — the feasible set is identical to the unpruned
+    run (tested against :func:`repro.explore.explore_brute_force`).
+    Energy domain with a budget only; None otherwise.
+    """
+    if scenario.domain != "energy" or scenario.energy_budget_j is None:
+        return None
+    pipeline = scenario.pipeline
+    link = scenario.cost_model().link
+    pass_rates = scenario.pass_rates
+    option_lists = enumeration_plan(pipeline, scenario.max_blocks)
+    n_depths = len(option_lists)
+    rates: list[float] = []
+    cheapest: list[float] = []
+    energy_tables: list[dict[str, float]] = []
+    for depth, options in enumerate(option_lists, start=1):
+        block = pipeline.blocks[depth - 1]
+        block_rate = (
+            pass_rates.get(block.name, block.pass_rate)
+            if pass_rates is not None
+            else block.pass_rate
+        )
+        # Same validation as the evaluation path: an invalid override
+        # must raise here too, never silently corrupt a sound bound.
+        if not 0.0 <= block_rate <= 1.0:
+            raise PipelineError(
+                f"pass rate for {block.name!r} must be in [0,1], got {block_rate}"
+            )
+        rates.append(block_rate)
+        table = {
+            name: block.implementations[name].energy_per_frame for name in options
+        }
+        energy_tables.append(table)
+        cheapest.append(min(table.values()))
+    # Tail bounds per prefix length: cheapest completion cost relative
+    # to the prefix's reach rate, minimized over all deeper cut depths.
+    tails = [0.0] * (n_depths + 1)
+    tails[n_depths] = link.tx_energy_for_bytes(pipeline.output_bytes_after(n_depths))
+    for k in range(n_depths - 1, -1, -1):
+        tails[k] = min(
+            link.tx_energy_for_bytes(pipeline.output_bytes_after(k)),
+            cheapest[k] + rates[k] * tails[k + 1],
+        )
+    budget = scenario.energy_budget_j * (1.0 + _ENERGY_BOUND_SLACK)
+    sensor = pipeline.sensor_energy_per_frame
+
+    def extend(block_index: int, platform: str, state: tuple[float, float]):
+        rate, energy = state
+        energy += rate * energy_tables[block_index][platform]
+        rate *= rates[block_index]
+        if energy + rate * tails[block_index + 1] > budget:
+            return PRUNED_SUBTREE
+        return (rate, energy)
+
+    return PrefixPruner(initial=(1.0, sensor), extend=extend)
+
+
 def lower_bound_depth_hook(scenario: "Scenario") -> DepthPruneHook | None:
     """The scenario's sound depth pruner, or None when unconstrained.
 

@@ -284,6 +284,103 @@ class ExplorationResult:
         return OffloadReport(costs=list(self.evaluations), target_fps=target)
 
 
+class ParetoFrontier:
+    """An online dominance-pruned Pareto frontier over streamed rows.
+
+    The batch :func:`pareto_filter` needs every row at once; this class
+    maintains the frontier *incrementally* — :meth:`add` folds one chunk
+    of rows into the current non-dominated set — so ``pareto`` /
+    ``pareto_size`` stay available on export-only (``collect=False``)
+    runs whose rows were never retained. The maintained set is exactly
+    what :func:`pareto_filter` would return over all rows seen so far,
+    in the same (first-seen) order: dominance is transitive, so a row
+    dominated by *any* earlier row is dominated by some current frontier
+    member, and a row dominated by a *later* row is evicted when that
+    row arrives. Tests assert the streamed frontier equals the collected
+    one exactly.
+
+    Same semantics as :func:`pareto_filter`: a row survives unless some
+    other row beats it on every axis and strictly on at least one (per
+    the ``maximize`` flags); exact ties all survive; missing or NaN axis
+    values raise :class:`ConfigurationError` naming the offending row's
+    stream position.
+    """
+
+    def __init__(
+        self, axes: Sequence[str], maximize: bool | Sequence[bool] = True
+    ):
+        if not axes:
+            raise ConfigurationError("pareto needs at least one axis")
+        flags = (
+            [maximize] * len(axes) if isinstance(maximize, bool) else list(maximize)
+        )
+        if len(flags) != len(axes):
+            raise ConfigurationError(
+                f"got {len(axes)} axes but {len(flags)} maximize flags"
+            )
+        self._axes = tuple(axes)
+        self._flags = tuple(flags)
+        self.n_seen = 0
+        #: Parallel lists: frontier rows in first-seen order and their
+        #: sign-normalized axis keys (all axes maximized).
+        self._rows: list[dict[str, Any]] = []
+        self._keys: list[list[float]] = []
+
+    def _key(self, row: dict[str, Any], position: int) -> list[float]:
+        key = []
+        for axis, flag in zip(self._axes, self._flags):
+            if axis not in row:
+                raise ConfigurationError(f"axis {axis!r} missing in row {position}")
+            value = row[axis]
+            if isinstance(value, float) and math.isnan(value):
+                raise ConfigurationError(f"axis {axis!r} is NaN in row {position}")
+            key.append(value if flag else -value)
+        return key
+
+    def add(self, rows: Sequence[dict[str, Any]]) -> None:
+        """Fold one chunk of rows into the frontier (stream order)."""
+        n_axes = len(self._axes)
+        frontier_rows = self._rows
+        frontier_keys = self._keys
+        for row in rows:
+            mine = self._key(row, self.n_seen)
+            self.n_seen += 1
+            dominated = False
+            evicted: list[int] = []
+            for index, other in enumerate(frontier_keys):
+                if all(other[d] >= mine[d] for d in range(n_axes)) and any(
+                    other[d] > mine[d] for d in range(n_axes)
+                ):
+                    dominated = True
+                    break
+                if all(mine[d] >= other[d] for d in range(n_axes)) and any(
+                    mine[d] > other[d] for d in range(n_axes)
+                ):
+                    evicted.append(index)
+            if dominated:
+                continue
+            for index in reversed(evicted):
+                del frontier_rows[index]
+                del frontier_keys[index]
+            frontier_rows.append(row)
+            frontier_keys.append(mine)
+
+    @property
+    def rows(self) -> list[dict[str, Any]]:
+        """The current non-dominated rows, in first-seen order."""
+        return list(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+def domain_frontier(domain: str) -> ParetoFrontier:
+    """A :class:`ParetoFrontier` on the domain's canonical axes (what
+    :meth:`ExplorationResult.pareto` defaults to)."""
+    axes, maximize = DEFAULT_AXES[domain]
+    return ParetoFrontier(axes, maximize)
+
+
 def pareto_filter(
     rows: Sequence[dict[str, Any]],
     axes: Sequence[str],
@@ -295,34 +392,11 @@ def pareto_filter(
     and strictly better on at least one ('good' per the corresponding
     ``maximize`` flag). Rows with identical axis values do not dominate
     each other, so exact ties all survive; input order is preserved.
+
+    One fold of a :class:`ParetoFrontier` over the whole sequence — the
+    batch and streaming paths share one dominance definition, so they
+    cannot drift apart.
     """
-    if not axes:
-        raise ConfigurationError("pareto needs at least one axis")
-    flags = [maximize] * len(axes) if isinstance(maximize, bool) else list(maximize)
-    if len(flags) != len(axes):
-        raise ConfigurationError(
-            f"got {len(axes)} axes but {len(flags)} maximize flags"
-        )
-    keys: list[list[float]] = []
-    for i, row in enumerate(rows):
-        key = []
-        for axis, flag in zip(axes, flags):
-            if axis not in row:
-                raise ConfigurationError(f"axis {axis!r} missing in row {i}")
-            value = row[axis]
-            if isinstance(value, float) and math.isnan(value):
-                raise ConfigurationError(f"axis {axis!r} is NaN in row {i}")
-            key.append(value if flag else -value)
-        keys.append(key)
-    n_axes = len(axes)
-    survivors = []
-    for i, mine in enumerate(keys):
-        dominated = any(
-            other is not mine
-            and all(other[d] >= mine[d] for d in range(n_axes))
-            and any(other[d] > mine[d] for d in range(n_axes))
-            for other in keys
-        )
-        if not dominated:
-            survivors.append(rows[i])
-    return survivors
+    frontier = ParetoFrontier(axes, maximize)
+    frontier.add(rows)
+    return frontier.rows

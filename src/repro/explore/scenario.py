@@ -75,13 +75,16 @@ class Scenario:
         removes a feasible configuration. Requires a constraint to
         bound against.
     auto_prune_configs:
-        Per-config pruning *within* surviving depths (throughput domain
-        with a ``target_fps`` only): subtrees whose chosen platforms'
-        running min rate already misses the target are skipped before
-        construction (see
-        :func:`repro.explore.prune.compute_fps_prefix_pruner`). Also a
-        sound lower bound — the feasible set is identical to the
-        unpruned run — but unlike ``auto_prune`` it drops individual
+        Per-config pruning *within* surviving depths: subtrees whose
+        chosen platforms already provably miss the constraint are
+        skipped before construction. Throughput domain: the running min
+        of chosen implementation rates vs ``target_fps``
+        (:func:`repro.explore.prune.compute_fps_prefix_pruner`); energy
+        domain: the prefix's exact expected energy plus a cheapest-
+        completion lower bound vs ``energy_budget_j``
+        (:func:`repro.explore.prune.energy_prefix_pruner`). Both are
+        sound lower bounds — the feasible set is identical to the
+        unpruned run — but unlike ``auto_prune`` they drop individual
         infeasible configurations, so :meth:`count_configs` becomes an
         upper bound. Layers on top of (and composes with)
         ``auto_prune``.
@@ -149,13 +152,22 @@ class Scenario:
                         else "energy_budget_j"
                     )
                 )
-        if self.auto_prune_configs and (
-            self.domain != "throughput" or self.target_fps is None
-        ):
-            raise ConfigurationError(
-                "auto_prune_configs bounds prefix compute rates against "
-                "target_fps: throughput domain with a target only"
+        if self.auto_prune_configs:
+            constrained = (
+                self.target_fps is not None
+                if self.domain == "throughput"
+                else self.energy_budget_j is not None
             )
+            if not constrained:
+                raise ConfigurationError(
+                    "auto_prune_configs bounds prefixes against the "
+                    "scenario constraint: set "
+                    + (
+                        "target_fps"
+                        if self.domain == "throughput"
+                        else "energy_budget_j"
+                    )
+                )
         if (self.auto_prune or self.auto_prune_configs) and self.model is not None:
             from repro.explore.incremental import uses_stock_cost_semantics
 
@@ -193,12 +205,16 @@ class Scenario:
 
     def prefix_pruner(self) -> PrefixPruner | None:
         """The effective within-depth prefix bound (None unless
-        ``auto_prune_configs``)."""
+        ``auto_prune_configs``): the domain's sound per-config pruner."""
         if not self.auto_prune_configs:
             return None
-        from repro.explore.prune import compute_fps_prefix_pruner
+        if self.domain == "throughput":
+            from repro.explore.prune import compute_fps_prefix_pruner
 
-        return compute_fps_prefix_pruner(self)
+            return compute_fps_prefix_pruner(self)
+        from repro.explore.prune import energy_prefix_pruner
+
+        return energy_prefix_pruner(self)
 
     def iter_configs(self) -> Iterator[PipelineConfig]:
         """The scenario's (lazily enumerated, pruned) design space."""

@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence, T
 
 from repro.core.report import TextTable
 from repro.errors import ConfigurationError, SinkError
-from repro.explore.result import json_safe_value
+from repro.explore.result import DEFAULT_AXES, ParetoFrontier, json_safe_value
 
 if TYPE_CHECKING:  # imported lazily to avoid an import cycle
     from repro.explore.scenario import Scenario
@@ -199,6 +199,60 @@ class CallbackSink(ResultSink):
 
     def write_rows(self, rows: Sequence[dict[str, Any]]) -> None:
         self._callback(rows)
+
+
+class ParetoSink(ResultSink):
+    """Maintain an online Pareto frontier of the streamed rows.
+
+    The streaming counterpart of :meth:`ExplorationResult.pareto`: rows
+    fold into a :class:`~repro.explore.result.ParetoFrontier` chunk by
+    chunk, so an export-only (``collect=False``) run still answers the
+    frontier question — memory is bounded by the frontier size, never
+    the design-space size. Axes default to the scenario's domain axes
+    at :meth:`open` (like ``pareto()`` with no arguments); pass explicit
+    ``axes``/``maximize`` for custom frontiers or scenario-less streams.
+
+    After the run, :attr:`frontier` holds the maintained
+    :class:`ParetoFrontier`; :meth:`pareto` returns its rows — exactly
+    :func:`~repro.explore.result.pareto_filter` over every streamed row
+    (tested identical to the collected-mode frontier).
+    """
+
+    def __init__(
+        self,
+        axes: Sequence[str] | None = None,
+        maximize: bool | Sequence[bool] | None = None,
+    ):
+        self._axes = tuple(axes) if axes is not None else None
+        self._maximize = maximize
+        self.frontier: ParetoFrontier | None = None
+        if self._axes is not None:
+            self.frontier = ParetoFrontier(
+                self._axes, True if maximize is None else maximize
+            )
+
+    def open(self, scenario: "Scenario | None") -> None:
+        if self.frontier is not None:
+            return  # explicit axes: scenario-independent
+        if scenario is None:
+            raise ConfigurationError(
+                "ParetoSink needs axes= for scenario-less streams (no "
+                "domain to take the default frontier axes from)"
+            )
+        axes, default_flag = DEFAULT_AXES[scenario.domain]
+        maximize = default_flag if self._maximize is None else self._maximize
+        self.frontier = ParetoFrontier(axes, maximize)
+
+    def write_rows(self, rows: Sequence[dict[str, Any]]) -> None:
+        if self.frontier is None:
+            raise ConfigurationError(
+                "ParetoSink.write_rows called before open()"
+            )
+        self.frontier.add(rows)
+
+    def pareto(self) -> list[dict[str, Any]]:
+        """The non-dominated rows streamed so far (first-seen order)."""
+        return [] if self.frontier is None else self.frontier.rows
 
 
 class MemorySink(ResultSink):

@@ -10,7 +10,7 @@ stage trains against the *false positives of the cascade so far*
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

@@ -1,0 +1,143 @@
+"""DVFS operating points for on-camera fixed-function accelerators.
+
+The paper fixes the NN accelerator at one operating point (30 MHz /
+0.9 V); this module makes the *voltage-frequency curve* around that
+point a first-class object. An :class:`OperatingPoint` bundles a supply
+voltage with the clock the alpha-power delay law sustains there and the
+corresponding :class:`~repro.hw.asic.AsicEnergyModel`; a block priced at
+the nominal point rescales to any other point with
+:func:`scale_implementation` (runtime stretches as the clock drops,
+dynamic energy tracks ~V^2 through
+:meth:`~repro.hw.technology.TechParams.voltage_factor`).
+
+:mod:`repro.snnap.geometry`'s ``sweep_voltage`` runs its sweep over
+these points, and :mod:`repro.snnap.scenario` uses them to register the
+DVFS-aware pipeline in the scenario catalog — per-block voltage
+assignment becomes an enumerable design space next to the paper's
+(cut point, platform) axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.block import Implementation
+from repro.errors import ConfigurationError
+from repro.hw.asic import AsicEnergyModel
+from repro.hw.technology import TechParams
+
+#: The voltage grid ``sweep_voltage`` and the catalog's DVFS pipeline
+#: explore (the paper's nominal 0.9 V sits inside it).
+DEFAULT_VOLTAGES = (0.6, 0.7, 0.8, 0.9, 1.0, 1.1)
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVFS point: supply voltage, achievable clock, energy model."""
+
+    voltage: float
+    clock_hz: float
+    energy_model: AsicEnergyModel
+
+    @property
+    def name(self) -> str:
+        """Stable implementation/platform key (``"v0.90"``)."""
+        return f"v{self.voltage:.2f}"
+
+
+def operating_points(
+    voltages: tuple[float, ...] = DEFAULT_VOLTAGES,
+    nominal_clock_hz: float = 30e6,
+    base: AsicEnergyModel | None = None,
+) -> tuple[OperatingPoint, ...]:
+    """The DVFS curve through ``base``'s process parameters.
+
+    Each voltage maps to the clock the alpha-power delay law sustains
+    (normalized so the base model's nominal voltage runs at
+    ``nominal_clock_hz``) and an :class:`AsicEnergyModel` at that
+    (clock, voltage) point — the object every accelerator model in
+    :mod:`repro.snnap` prices energy through.
+    """
+    if not voltages:
+        raise ConfigurationError("voltages must be non-empty")
+    base = base or AsicEnergyModel()
+    points = []
+    for voltage in voltages:
+        clock = base.tech.max_clock_at(voltage, nominal_clock_hz)
+        points.append(
+            OperatingPoint(
+                voltage=voltage,
+                clock_hz=clock,
+                energy_model=AsicEnergyModel(
+                    tech=base.tech,
+                    clock_hz=clock,
+                    voltage=voltage,
+                    kilo_gates=base.kilo_gates,
+                ),
+            )
+        )
+    return tuple(points)
+
+
+def scale_implementation(
+    nominal: Implementation,
+    point: OperatingPoint,
+    nominal_voltage: float = 0.9,
+    nominal_clock_hz: float = 30e6,
+    tech: TechParams | None = None,
+) -> Implementation:
+    """A fixed-function block's nominal-point costs rescaled to a DVFS
+    point.
+
+    Throughput and active time track the clock ratio (the block's cycle
+    count is voltage-independent); energy per frame tracks the dynamic
+    ~V^2 law (:meth:`TechParams.voltage_factor`), the standard
+    dynamic-dominated scaling the ``sweep_voltage`` study applies to the
+    NN accelerator. The returned implementation is named after the
+    point (``"v0.90"``), so a block carrying one implementation per
+    point turns per-block DVFS assignment into the enumerator's
+    platform axis.
+    """
+    tech = tech or point.energy_model.tech
+    speed = point.clock_hz / nominal_clock_hz
+    energy = tech.voltage_factor(point.voltage) / tech.voltage_factor(nominal_voltage)
+    return Implementation(
+        platform=point.name,
+        fps=nominal.fps * speed,
+        energy_per_frame=nominal.energy_per_frame * energy,
+        active_seconds=nominal.active_seconds / speed,
+    )
+
+
+def sweep_voltage(
+    model,
+    voltages: tuple[float, ...] = DEFAULT_VOLTAGES,
+    n_pes: int = 8,
+    data_bits: int = 8,
+    nominal_clock_hz: float = 30e6,
+) -> list[dict]:
+    """DVFS sweep at fixed geometry — an extension beyond the paper.
+
+    The paper fixes 30 MHz / 0.9 V; this sweep explores the
+    voltage-frequency curve around that point: the clock tracks the
+    alpha-power delay law, dynamic energy scales ~V^2, and leakage energy
+    grows as the runtime stretches at low voltage.
+    """
+    # Imported here: geometry imports this module for the shared curve.
+    from repro.snnap.geometry import evaluate_design
+
+    rows = []
+    for point in operating_points(voltages, nominal_clock_hz):
+        design = evaluate_design(
+            model, n_pes, data_bits, energy_model=point.energy_model
+        )
+        rows.append(
+            {
+                "voltage": point.voltage,
+                "clock_mhz": point.clock_hz / 1e6,
+                "energy_nj": design.energy_per_inference * 1e9,
+                "power_uw": design.power * 1e6,
+                "throughput_inf_s": design.throughput,
+            }
+        )
+    return rows

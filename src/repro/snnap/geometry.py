@@ -97,35 +97,7 @@ def energy_optimal(points: list[DesignPoint]) -> DesignPoint:
     return min(points, key=lambda p: p.energy_per_inference)
 
 
-def sweep_voltage(
-    model: MLP,
-    voltages: tuple[float, ...] = (0.6, 0.7, 0.8, 0.9, 1.0, 1.1),
-    n_pes: int = 8,
-    data_bits: int = 8,
-    nominal_clock_hz: float = 30e6,
-) -> list[dict]:
-    """DVFS sweep at fixed geometry — an extension beyond the paper.
-
-    The paper fixes 30 MHz / 0.9 V; this sweep explores the
-    voltage-frequency curve around that point: the clock tracks the
-    alpha-power delay law, dynamic energy scales ~V^2, and leakage energy
-    grows as the runtime stretches at low voltage.
-    """
-    if not voltages:
-        raise ConfigurationError("voltages must be non-empty")
-    base = AsicEnergyModel()
-    rows = []
-    for voltage in voltages:
-        clock = base.tech.max_clock_at(voltage, nominal_clock_hz)
-        em = AsicEnergyModel(tech=base.tech, clock_hz=clock, voltage=voltage)
-        point = evaluate_design(model, n_pes, data_bits, energy_model=em)
-        rows.append(
-            {
-                "voltage": voltage,
-                "clock_mhz": clock / 1e6,
-                "energy_nj": point.energy_per_inference * 1e9,
-                "power_uw": point.power * 1e6,
-                "throughput_inf_s": point.throughput,
-            }
-        )
-    return rows
+# The DVFS sweep moved to repro.snnap.dvfs (operating points are now a
+# first-class object shared with the scenario catalog); re-exported here
+# for the original import path.
+from repro.snnap.dvfs import sweep_voltage  # noqa: E402,F401

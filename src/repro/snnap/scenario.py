@@ -1,0 +1,241 @@
+"""The SNNAP accelerator studies as catalog exploration workloads.
+
+Section III-A sweeps the accelerator's *hardware geometry* (PE count,
+datapath width) at a fixed operating point; the DVFS extension sweeps
+the operating point at a fixed geometry. Both are design spaces the
+exploration engine already speaks — this module prices them as
+cost-annotated :class:`~repro.core.pipeline.InCameraPipeline` blocks and
+registers them in the shared scenario catalog
+(:mod:`repro.explore.catalog`):
+
+* ``snnap-geometry`` — the PE-count x bit-width grid of
+  :func:`repro.snnap.geometry.evaluate_design` as the platform axis of
+  an on-camera inference block: every (cut point, geometry) assignment
+  of a patch-classification camera over a backscatter uplink, on a
+  harvested energy budget;
+* ``snnap-dvfs`` — the DVFS-aware progressive-filtering pipeline: each
+  stage carries one implementation per :class:`~repro.snnap.dvfs.
+  OperatingPoint`, so per-block voltage assignment becomes the
+  enumerable axis (the fixed-function stages rescale through
+  :func:`~repro.snnap.dvfs.scale_implementation`, the NN stage is
+  re-priced exactly at every point).
+
+Both entries evaluate under the energy domain: the question is which
+silicon configuration keeps expected joules per captured frame within
+the harvested budget, the Section III question at fleet scale.
+"""
+
+from __future__ import annotations
+
+from repro.core.block import Block, Implementation
+from repro.core.pipeline import InCameraPipeline
+from repro.explore.catalog import register_scenario, resolve_link
+from repro.explore.scenario import Scenario
+from repro.hw.network import RF_BACKSCATTER, LinkModel
+from repro.nn.mlp import MLP
+from repro.snnap.dvfs import OperatingPoint, operating_points, scale_implementation
+from repro.snnap.geometry import evaluate_design
+
+#: The geometry grid of Section III-A (paper sweeps 1..32 PEs, picks 8;
+#: 8-bit vs 16-bit is the precision study's 41% power headline).
+PE_COUNTS = (1, 2, 4, 8, 16, 32)
+BIT_WIDTHS = (8, 16)
+
+#: The 400-input reference network's 20x20 8-bit patch.
+PATCH_BYTES = 400.0
+
+#: Patch-sensor readout energy: the faceauth QCIF sensor (1.1e-6 J for
+#: 112x112) scaled to the 20x20 crop's pixel count.
+PATCH_SENSOR_ENERGY_J = 3.5e-8
+
+#: Fraction of patches the classifier reports (event-gated uplink).
+DEFAULT_EVENT_RATE = 0.05
+
+#: Harvested budget for the geometry study, in joules per captured
+#: patch: sits between the 8-bit designs (~3.9e-8 total) and the
+#: narrow 16-bit designs (~4.6e-8), so the bit-width tradeoff shows up
+#: as a feasibility split rather than a uniform verdict.
+DEFAULT_GEOMETRY_BUDGET_J = 4.5e-8
+
+#: Per-block voltage grid of the DVFS pipeline (nominal 0.9 V inside).
+DVFS_VOLTAGES = (0.6, 0.9, 1.1)
+
+#: Harvested budget for the DVFS pipeline, joules per captured frame:
+#: deep low-voltage cuts clear it, high-voltage and shallow cuts don't.
+DEFAULT_DVFS_BUDGET_J = 2.5e-6
+
+
+def reference_mlp(seed: int = 0) -> MLP:
+    """The 400-8-1 reference network of the geometry study."""
+    return MLP((400, 8, 1), seed=seed)
+
+
+def _inference_implementation(
+    model: MLP,
+    n_pes: int,
+    data_bits: int,
+    name: str,
+    point: OperatingPoint | None = None,
+) -> Implementation:
+    """One accelerator configuration priced as an Implementation."""
+    design = evaluate_design(
+        model,
+        n_pes,
+        data_bits,
+        energy_model=None if point is None else point.energy_model,
+    )
+    return Implementation(
+        platform=name,
+        fps=design.throughput,
+        energy_per_frame=design.energy_per_inference,
+        active_seconds=1.0 / design.throughput,
+    )
+
+
+def build_geometry_pipeline(
+    model: MLP | None = None,
+    pe_counts: tuple[int, ...] = PE_COUNTS,
+    bit_widths: tuple[int, ...] = BIT_WIDTHS,
+    event_rate: float = DEFAULT_EVENT_RATE,
+) -> InCameraPipeline:
+    """The patch classifier with the geometry grid as its platform axis.
+
+    Cut at 0: the raw patch crosses the uplink. Cut at 1: one of the
+    PE x bits accelerator configurations classifies on camera and only
+    event patches (``event_rate``) ship a 4-byte score.
+    """
+    model = model or reference_mlp()
+    infer = Block(
+        name="infer",
+        output_bytes=4.0,
+        pass_rate=event_rate,
+        implementations={
+            f"pe{n_pes:02d}x{bits}b": _inference_implementation(
+                model, n_pes, bits, f"pe{n_pes:02d}x{bits}b"
+            )
+            for bits in bit_widths
+            for n_pes in pe_counts
+        },
+    )
+    return InCameraPipeline(
+        name="snnap-geometry",
+        sensor_bytes=PATCH_BYTES,
+        blocks=(infer,),
+        sensor_energy_per_frame=PATCH_SENSOR_ENERGY_J,
+    )
+
+
+def build_dvfs_pipeline(
+    voltages: tuple[float, ...] = DVFS_VOLTAGES,
+    model: MLP | None = None,
+    n_pes: int = 8,
+    data_bits: int = 8,
+) -> InCameraPipeline:
+    """The progressive-filtering chain with per-block DVFS assignment.
+
+    The faceauth ASIC chain (motion gate -> detect -> NN authenticate)
+    with every stage offered at each operating point: the fixed-function
+    stages' nominal costs rescale along the voltage-frequency curve, the
+    NN stage is re-priced exactly by the accelerator model at each
+    point. The enumerator's platform axis is now *voltage*, so the
+    explored space is every (cut point, per-block voltage) assignment.
+    """
+    model = model or reference_mlp()
+    points = operating_points(voltages)
+    frame = 112.0 * 112.0
+    motion_nominal = Implementation(
+        "asic", fps=30.0, energy_per_frame=2.3e-7, active_seconds=1e-3
+    )
+    detect_nominal = Implementation(
+        "asic", fps=10.0, energy_per_frame=6.6e-6, active_seconds=0.1
+    )
+    motion = Block(
+        name="motion",
+        output_bytes=frame,
+        pass_rate=0.24,
+        implementations={
+            point.name: scale_implementation(motion_nominal, point)
+            for point in points
+        },
+    )
+    detect = Block(
+        name="detect",
+        output_bytes=400.0,
+        pass_rate=0.3,
+        implementations={
+            point.name: scale_implementation(detect_nominal, point)
+            for point in points
+        },
+    )
+    auth = Block(
+        name="auth",
+        output_bytes=4.0,
+        pass_rate=0.5,
+        implementations={
+            point.name: _inference_implementation(
+                model, n_pes, data_bits, point.name, point
+            )
+            for point in points
+        },
+    )
+    return InCameraPipeline(
+        name="snnap-dvfs",
+        sensor_bytes=frame,
+        blocks=(motion, detect, auth),
+        sensor_energy_per_frame=1.1e-6,
+    )
+
+
+@register_scenario(
+    "snnap-geometry",
+    domain="energy",
+    summary="Sec III-A: the PE-count x bit-width accelerator grid on a harvested patch budget",
+)
+def snnap_geometry_scenario(
+    link: str | LinkModel = RF_BACKSCATTER,
+    energy_budget_j: float | None = DEFAULT_GEOMETRY_BUDGET_J,
+    pe_counts: tuple[int, ...] = PE_COUNTS,
+    bit_widths: tuple[int, ...] = BIT_WIDTHS,
+    event_rate: float = DEFAULT_EVENT_RATE,
+    seed: int = 0,
+    name: str | None = None,
+) -> Scenario:
+    """The geometry study as a design space: which accelerator
+    configurations keep the patch camera within its harvested budget."""
+    link = resolve_link(link)
+    return Scenario(
+        name=name or "snnap-geometry",
+        pipeline=build_geometry_pipeline(
+            model=reference_mlp(seed),
+            pe_counts=pe_counts,
+            bit_widths=bit_widths,
+            event_rate=event_rate,
+        ),
+        link=link,
+        domain="energy",
+        energy_budget_j=energy_budget_j,
+    )
+
+
+@register_scenario(
+    "snnap-dvfs",
+    domain="energy",
+    summary="DVFS-aware filtering chain: per-block voltage assignment on a harvested budget",
+)
+def snnap_dvfs_scenario(
+    link: str | LinkModel = RF_BACKSCATTER,
+    energy_budget_j: float | None = DEFAULT_DVFS_BUDGET_J,
+    voltages: tuple[float, ...] = DVFS_VOLTAGES,
+    seed: int = 0,
+    name: str | None = None,
+) -> Scenario:
+    """The DVFS pipeline as a design space: which cut point and which
+    per-stage operating points keep the chain within budget."""
+    link = resolve_link(link)
+    return Scenario(
+        name=name or "snnap-dvfs",
+        pipeline=build_dvfs_pipeline(voltages=voltages, model=reference_mlp(seed)),
+        link=link,
+        domain="energy",
+        energy_budget_j=energy_budget_j,
+    )

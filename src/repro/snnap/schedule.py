@@ -106,7 +106,7 @@ class NetworkSchedule:
     @property
     def mac_utilization(self) -> float:
         """Useful MACs over PE-cycles across the whole network's MAC phases."""
-        busy = sum(l.mac_cycles * l.n_pes for l in self.layers)
+        busy = sum(layer.mac_cycles * layer.n_pes for layer in self.layers)
         return self.total_macs / busy if busy > 0 else 0.0
 
 

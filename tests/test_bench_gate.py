@@ -1,0 +1,92 @@
+"""The CI benchmark-regression gate over ``BENCH_explore.json``.
+
+The gate script lives in ``.github/scripts`` (it is CI tooling, not
+library code); these tests load it by path and pin the ok / warn-only /
+hard-fail semantics: within 2x of the best prior entry is OK, beyond 2x
+warns without failing the build, beyond 5x fails.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+GATE_PATH = (
+    Path(__file__).resolve().parent.parent
+    / ".github"
+    / "scripts"
+    / "check_bench_regression.py"
+)
+
+
+def load_gate():
+    spec = importlib.util.spec_from_file_location("bench_gate", GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+gate = load_gate()
+
+
+def entry(speedup, kind="explore_scaling"):
+    return {"kind": kind, "speedup_memoized_vs_brute": speedup}
+
+
+def test_latest_and_best_prior_filters_kind_and_metric():
+    trajectory = [
+        entry(5.0),
+        {"kind": "energy_pareto", "speedup_memoized_vs_brute": 99.0},
+        entry(6.5),
+        {"kind": "explore_scaling"},  # no metric: ignored
+        entry(4.0),
+    ]
+    latest, best = gate.latest_and_best_prior(trajectory)
+    assert latest == 4.0
+    assert best == 6.5  # the best PRIOR entry, not the global best
+
+
+def test_latest_and_best_prior_edge_cases():
+    assert gate.latest_and_best_prior([]) == (None, None)
+    assert gate.latest_and_best_prior([entry(5.0)]) == (5.0, None)
+
+
+def test_assess_ok_within_two_x():
+    status, _ = gate.assess(4.0, 6.0)  # 1.5x off the best
+    assert status == "ok"
+    assert gate.assess(6.0, 5.0)[0] == "ok"  # faster than ever
+    assert gate.assess(None, None)[0] == "ok"  # empty trajectory
+    assert gate.assess(5.0, None)[0] == "ok"  # first entry
+
+
+def test_assess_warns_between_two_and_five_x():
+    status, message = gate.assess(2.0, 6.0)  # 3x off the best
+    assert status == "warn"
+    assert "advisory" in message
+
+
+def test_assess_fails_beyond_five_x():
+    status, message = gate.assess(1.0, 6.0)  # 6x off the best
+    assert status == "fail"
+    assert "regression" in message
+    assert gate.assess(0.0, 6.0)[0] == "fail"
+
+
+def test_main_exit_codes_and_step_summary(tmp_path, monkeypatch):
+    summary = tmp_path / "summary.md"
+    monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+    path = tmp_path / "BENCH_explore.json"
+
+    path.write_text(json.dumps([entry(6.0), entry(5.5)]))
+    assert gate.main(["gate", str(path)]) == 0
+
+    path.write_text(json.dumps([entry(6.0), entry(2.0)]))
+    assert gate.main(["gate", str(path)]) == 0  # warn-only stays green
+
+    path.write_text(json.dumps([entry(6.0), entry(1.0)]))
+    assert gate.main(["gate", str(path)]) == 1
+
+    assert gate.main(["gate", str(tmp_path / "missing.json")]) == 1
+    text = summary.read_text()
+    assert "benchmark gate" in text and "⚠️" in text and "❌" in text

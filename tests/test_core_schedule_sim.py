@@ -1,6 +1,5 @@
 """Pipelined-execution simulator: the min-rule as a checked property."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets.faces import FaceGenerator, FaceIdentity
+from repro.datasets.faces import FaceGenerator
 from repro.errors import DatasetError
 
 

@@ -500,6 +500,72 @@ def test_auto_prune_configs_sound_on_random_pipelines(seed):
     )
 
 
+@pytest.mark.parametrize("budget", [5e-5, 2e-4, 1e-3])
+def test_energy_prefix_pruning_never_drops_feasible(budget):
+    """The energy-domain mirror of the compute-rate pruner: the pruned
+    run is an exact subsequence of brute force, every dropped
+    configuration was over budget, and the feasible set survives byte
+    for byte."""
+    scenario = faceauth_scenario(energy_budget_j=budget)
+    full = explore_brute_force(scenario)
+    pruned = explore(replace(scenario, auto_prune_configs=True))
+    surviving = {row["config"] for row in pruned.rows}
+    kept = [row for row in full.rows if row["config"] in surviving]
+    assert json.dumps(pruned.rows) == json.dumps(kept)
+    dropped = [row for row in full.rows if row["config"] not in surviving]
+    assert all(row["total_energy_j"] > budget for row in dropped)
+    assert json.dumps(pruned.feasible) == json.dumps(full.feasible)
+    assert len(pruned.rows) <= replace(scenario, auto_prune_configs=True).count_configs()
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_energy_prefix_pruning_sound_on_random_pipelines(seed):
+    rng = random.Random(2000 + seed)
+    pipeline = random_pipeline(rng)
+    link = LinkModel(
+        name="l",
+        raw_bps=rng.uniform(1e4, 1e8),
+        tx_energy_per_bit=rng.uniform(1e-10, 1e-7),
+    )
+    # A budget inside the explored cost range, so pruning has work.
+    base = Scenario(name="rand", pipeline=pipeline, link=link, domain="energy")
+    costs = [row["total_energy_j"] for row in explore_brute_force(base).rows]
+    budget = rng.uniform(min(costs), max(costs))
+    scenario = replace(base, energy_budget_j=budget)
+    full = explore_brute_force(scenario)
+    pruned = explore(replace(scenario, auto_prune_configs=True))
+    assert json.dumps(pruned.feasible) == json.dumps(full.feasible)
+    surviving = {row["config"] for row in pruned.rows}
+    assert all(
+        row["total_energy_j"] > budget
+        for row in full.rows
+        if row["config"] not in surviving
+    )
+
+
+def test_energy_prefix_pruning_composes_with_depth_pruner():
+    scenario = faceauth_scenario(auto_prune=True, auto_prune_configs=True)
+    both = explore(scenario)
+    full = explore_brute_force(faceauth_scenario())
+    assert json.dumps(both.feasible) == json.dumps(full.feasible)
+    assert len(both.rows) < len(full.rows)
+
+
+def test_energy_prefix_pruner_validates_pass_rate_overrides():
+    from repro.explore.prune import energy_prefix_pruner
+
+    scenario = faceauth_scenario(pass_rates={"motion": 1.4})
+    with pytest.raises(PipelineError, match="pass rate"):
+        energy_prefix_pruner(scenario)
+
+
+def test_energy_prefix_pruner_none_when_unconstrained():
+    from repro.explore.prune import energy_prefix_pruner
+
+    assert energy_prefix_pruner(faceauth_scenario(energy_budget_j=None)) is None
+    assert energy_prefix_pruner(fig10_scenario()) is None
+
+
 def test_auto_prune_configs_composes_with_depth_pruner():
     scenario = fig10_scenario(
         target_fps=30.0, auto_prune=True, auto_prune_configs=True
@@ -512,11 +578,11 @@ def test_auto_prune_configs_composes_with_depth_pruner():
     assert len(both.rows) == len(both.feasible) == 2
 
 
-def test_auto_prune_configs_requires_throughput_target():
+def test_auto_prune_configs_requires_constraint():
     with pytest.raises(ConfigurationError, match="auto_prune_configs"):
         fig10_scenario(target_fps=None, auto_prune_configs=True)
     with pytest.raises(ConfigurationError, match="auto_prune_configs"):
-        faceauth_scenario(auto_prune_configs=True)
+        faceauth_scenario(energy_budget_j=None, auto_prune_configs=True)
 
 
 def test_auto_pruning_rejects_custom_models():

@@ -1,6 +1,5 @@
 """Gated pipeline execution and workload accounting."""
 
-import numpy as np
 import pytest
 
 from repro.datasets.video import SurveillanceVideo

@@ -1,6 +1,5 @@
 """Sliding-window detector: knobs, stats, NMS."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

@@ -1,6 +1,5 @@
 """High-level cascade training recipe."""
 
-import numpy as np
 import pytest
 
 from repro.errors import TrainingError

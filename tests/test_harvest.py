@@ -1,6 +1,5 @@
 """Energy harvesting: Friis power, capacitor dynamics, duty cycling."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -4,7 +4,6 @@ These are the expensive tests of the suite — they train real components
 and run real traces — shared through a module-scoped workload.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.cost import ThroughputCostModel

@@ -5,7 +5,6 @@ with hypothesis searching for counterexamples.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

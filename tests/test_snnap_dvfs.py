@@ -53,3 +53,78 @@ def test_sweep_voltage_nominal_matches_default_model():
         point.energy_per_inference * 1e9, rel=1e-9
     )
     assert row["clock_mhz"] == pytest.approx(30.0)
+
+
+# -- operating points as first-class objects -----------------------------
+
+
+def test_operating_points_nominal_identity_and_names():
+    from repro.snnap.dvfs import operating_points
+
+    points = operating_points((0.6, 0.9, 1.1))
+    assert [p.name for p in points] == ["v0.60", "v0.90", "v1.10"]
+    nominal = points[1]
+    assert nominal.clock_hz == pytest.approx(30e6)
+    assert nominal.energy_model.voltage == 0.9
+    clocks = [p.clock_hz for p in points]
+    assert clocks == sorted(clocks)
+    with pytest.raises(ConfigurationError):
+        operating_points(())
+
+
+def test_scale_implementation_tracks_clock_and_voltage():
+    from repro.core.block import Implementation
+    from repro.snnap.dvfs import operating_points, scale_implementation
+
+    nominal = Implementation(
+        "asic", fps=30.0, energy_per_frame=2e-7, active_seconds=1e-3
+    )
+    low, mid, high = operating_points((0.6, 0.9, 1.1))
+    at_nominal = scale_implementation(nominal, mid)
+    assert at_nominal.fps == pytest.approx(nominal.fps)
+    assert at_nominal.energy_per_frame == pytest.approx(nominal.energy_per_frame)
+    assert at_nominal.active_seconds == pytest.approx(nominal.active_seconds)
+    scaled = scale_implementation(nominal, low)
+    assert scaled.platform == "v0.60"
+    assert scaled.fps < nominal.fps  # slower clock
+    assert scaled.energy_per_frame == pytest.approx(
+        nominal.energy_per_frame * (0.6 / 0.9) ** 2
+    )
+    assert scaled.active_seconds > nominal.active_seconds
+    fast = scale_implementation(nominal, high)
+    assert fast.fps > nominal.fps and fast.energy_per_frame > nominal.energy_per_frame
+
+
+# -- the catalog entries -------------------------------------------------
+
+
+def test_snnap_geometry_catalog_entry_reproduces_the_u_shape():
+    from repro.explore import explore, load_builtin
+
+    scenario = load_builtin().build("snnap-geometry")
+    result = explore(scenario)
+    # Raw offload + every PE x bits point.
+    assert len(result.rows) == 1 + 6 * 2
+    # The paper's geometry optimum: 8 PEs at 8 bits minimizes energy.
+    assert "pe08x8b" in result.best["config"]
+    # The harvested budget splits the grid: raw offload over backscatter
+    # is infeasible, the 8-bit designs all clear it.
+    feasible = {row["config"] for row in result.feasible}
+    assert result.rows[0]["config"] not in feasible
+    assert sum("x8b" in config for config in feasible) == 6
+
+
+def test_snnap_dvfs_catalog_entry_explores_voltage_assignment():
+    from repro.explore import explore, load_builtin
+
+    scenario = load_builtin().build("snnap-dvfs")
+    result = explore(scenario)
+    assert len(result.rows) == 1 + 3 + 9 + 27
+    assert result.feasible and len(result.feasible) < len(result.rows)
+    # The cheapest design runs every stage at the lowest voltage.
+    assert result.best["config"].count("v0.60") == 3
+    # Per-block assignment is real: mixed-voltage configs exist.
+    assert any(
+        "v0.60" in row["config"] and "v1.10" in row["config"]
+        for row in result.rows
+    )

@@ -59,7 +59,7 @@ def test_network_schedule_totals():
     net = schedule_network((400, 8, 1), n_pes=8)
     assert len(net.layers) == 2
     assert net.total_macs == 400 * 8 + 8
-    assert net.total_cycles == sum(l.total_cycles for l in net.layers)
+    assert net.total_cycles == sum(layer.total_cycles for layer in net.layers)
 
 
 def test_network_validation():
