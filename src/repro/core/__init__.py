@@ -27,6 +27,8 @@ from repro.core.cost import (
     EnergyCostModel,
     EnergyCost,
     ThroughputCostModel,
+    implementation_fingerprint,
+    platform_axis_fingerprint,
 )
 from repro.core.offload import OffloadAnalyzer, enumerate_configs
 from repro.core.schedule_sim import (
@@ -54,6 +56,8 @@ __all__ = [
     "simulate_pipeline",
     "stages_from_config",
     "SweepResult",
+    "implementation_fingerprint",
     "parameter_sweep",
+    "platform_axis_fingerprint",
     "TextTable",
 ]

@@ -27,9 +27,41 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.block import Block, Implementation
-from repro.core.pipeline import PipelineConfig
+from repro.core.pipeline import InCameraPipeline, PipelineConfig, _digest
 from repro.errors import PipelineError
 from repro.hw.network import LinkModel
+
+
+def implementation_fingerprint(impl: Implementation) -> tuple:
+    """The cost-defining identity of one implementation: every field
+    either cost model reads (platform name, frame rate, energy per
+    frame, active seconds). Two implementations with equal fingerprints
+    are interchangeable under both stock cost models."""
+    return (impl.platform, impl.fps, impl.energy_per_frame, impl.active_seconds)
+
+
+def platform_axis_fingerprint(pipeline: InCameraPipeline) -> str:
+    """Digest of the pipeline's *platform axis*: every block's
+    implementation cost table, platforms in sorted (enumeration) order.
+
+    The complement of :meth:`InCameraPipeline.fingerprint`: the chain
+    fingerprint covers what the blocks *are*, this covers what running
+    them *costs* on each available platform. Campaign-level evaluation
+    dedup (:class:`repro.explore.campaign.PipelineCostCache`) keys on
+    the pair — two scenarios share compute-side prefix states only when
+    both digests (and the enumeration bounds) match, so structurally
+    identical pipelines with different implementation prices can never
+    poison each other's cache entries.
+    """
+    return _digest(
+        tuple(
+            tuple(
+                implementation_fingerprint(block.implementations[name])
+                for name in sorted(block.implementations)
+            )
+            for block in pipeline.blocks
+        )
+    )
 
 #: Throughput prefix state: (running min fps, slowest block label).
 ThroughputState = tuple[float, str]

@@ -9,10 +9,21 @@ notation mirrors the paper's Figure 10 labels: ``S~`` (offload raw),
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.core.block import Block, Implementation
 from repro.errors import PipelineError
+
+
+def _digest(payload: tuple) -> str:
+    """Short stable hex digest of a repr-able payload tuple.
+
+    ``repr`` round-trips Python floats exactly, so two payloads digest
+    equal iff their values are bit-equal — the property the fingerprint
+    consumers (campaign-level evaluation dedup) rely on.
+    """
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -49,6 +60,31 @@ class InCameraPipeline:
             if b.name == name:
                 return b
         raise PipelineError(f"no block named {name!r} in pipeline {self.name!r}")
+
+    def fingerprint(self) -> str:
+        """Structural digest of the pipeline *chain*.
+
+        Covers everything the chain itself contributes to a cost
+        evaluation: the sensor payload and capture energy, and each
+        block's name, output payload and pass rate. Deliberately
+        excluded are the pipeline ``name`` (a report label — two
+        identically-structured pipelines under different labels evaluate
+        identically) and the per-block implementation tables (the
+        *platform axis*, fingerprinted separately by
+        :func:`repro.core.cost.platform_axis_fingerprint` so that
+        structurally identical pipelines with different implementation
+        costs can never share cached evaluations).
+        """
+        return _digest(
+            (
+                self.sensor_bytes,
+                self.sensor_energy_per_frame,
+                tuple(
+                    (block.name, block.output_bytes, block.pass_rate)
+                    for block in self.blocks
+                ),
+            )
+        )
 
     def output_bytes_after(self, n_in_camera: int) -> float:
         """Payload crossing the uplink with ``n_in_camera`` leading blocks

@@ -101,6 +101,7 @@ CAMPAIGN_SUMMARY_COLUMNS = (
     "best_metric",
     "pareto",
     "seconds",
+    "dedup",
 )
 
 

@@ -33,7 +33,15 @@ turns that exercise into one reusable engine:
   studies register into (``load_builtin()``);
 * :mod:`.campaign` — :class:`Campaign`, many scenarios sharded across
   *one* shared executor with per-scenario results byte-identical to
-  solo :func:`explore` runs, plus the fleet summary report.
+  solo :func:`explore` runs, cross-scenario evaluation dedup
+  (``dedup=True`` shares link-independent compute states across a
+  fleet), ``iter_runs`` streaming with ``max_pending_runs``
+  backpressure, plus the fleet summary report;
+* :mod:`.scheduling` — the campaign chunk-scheduling policies
+  (round-robin, shortest-first, priority-weighted, and the
+  measured-latency-driven :class:`AdaptiveLatency`) and the
+  ``observe`` feedback channel that reports every measured chunk
+  latency back to them.
 
 Quickstart::
 
@@ -50,16 +58,21 @@ Quickstart::
 """
 
 from repro.explore.campaign import (
-    SCHEDULING_POLICIES,
     Campaign,
     CampaignResult,
+    PipelineCostCache,
+    ScenarioRun,
+    run_campaign,
+    scenario_compute_key,
+)
+from repro.explore.scheduling import (
+    SCHEDULING_POLICIES,
+    AdaptiveLatency,
     PriorityWeighted,
     RoundRobin,
-    ScenarioRun,
     SchedulingPolicy,
     ShortestScenarioFirst,
     resolve_policy,
-    run_campaign,
 )
 from repro.explore.catalog import (
     CATALOG,
@@ -90,6 +103,7 @@ from repro.explore.prune import (
 from repro.explore.result import (
     ExplorationResult,
     ParetoFrontier,
+    TopK,
     domain_frontier,
     pareto_filter,
 )
@@ -101,9 +115,11 @@ from repro.explore.sink import (
     MemorySink,
     ParetoSink,
     ResultSink,
+    TopKSink,
 )
 
 __all__ = [
+    "AdaptiveLatency",
     "CATALOG",
     "CallbackSink",
     "Campaign",
@@ -118,6 +134,7 @@ __all__ = [
     "PRUNED_SUBTREE",
     "ParetoFrontier",
     "ParetoSink",
+    "PipelineCostCache",
     "PrefixEvaluator",
     "PrefixPruner",
     "PriorityWeighted",
@@ -131,6 +148,8 @@ __all__ = [
     "SchedulingPolicy",
     "ShortestScenarioFirst",
     "SweepExecutor",
+    "TopK",
+    "TopKSink",
     "compute_fps_prefix_pruner",
     "count_configs",
     "domain_frontier",
@@ -147,6 +166,7 @@ __all__ = [
     "register_scenario",
     "resolve_policy",
     "run_campaign",
+    "scenario_compute_key",
     "supports_prefix_evaluation",
     "throughput_depth_bounds",
 ]

@@ -6,9 +6,30 @@ power budget is its own scenario. Running N solo ``explore()`` calls
 costs N pools and serializes the fleet; a :class:`Campaign` shards all
 scenarios across **one** :class:`~repro.explore.executor.SweepExecutor`
 by interleaving their configuration chunks through ``imap`` under a
-pluggable :class:`SchedulingPolicy` (round-robin by default), so every
-worker stays busy until the whole fleet is done and a campaign of N
-scenarios costs one pool, not N.
+pluggable :class:`~repro.explore.scheduling.SchedulingPolicy`
+(round-robin by default; policies live in
+:mod:`repro.explore.scheduling` and the driver feeds every collected
+chunk's *measured* evaluation latency back through their ``observe``
+channel — :class:`~repro.explore.scheduling.AdaptiveLatency` schedules
+on it), so every worker stays busy until the whole fleet is done and a
+campaign of N scenarios costs one pool, not N.
+
+Dedup contract: with ``dedup=True``, scenarios whose
+:func:`scenario_compute_key`s match (the same pipeline and platform
+axis at different links — the design-space-sweep fleet shape) share one
+evaluation pass: the group's leader evaluates pre-finalize compute
+states, and every member's costs are finalized under its own per-depth
+link terms by the :class:`PipelineCostCache`. Because the finalize
+replays exactly the solo evaluation's float operations, per-scenario
+results stay byte-identical to ``dedup=False`` and to solo
+``explore()`` — the invariant suite asserts it over seeded random
+fleets. :attr:`CampaignResult.cache_stats` reports evaluations skipped.
+
+Backpressure contract: ``iter_runs(max_pending_runs=k)`` bounds how far
+the fleet may be fed into the executor ahead of the consumer — once
+``k`` scenarios are fully submitted without their runs having been
+consumed, chunk submission pauses (the pool drains its in-flight window
+and genuinely idles) until the consumer pulls the next run.
 
 Correctness contract: chunks are tagged with their scenario and each is
 evaluated by a chunk-local
@@ -45,8 +66,9 @@ import gc
 import time
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Mapping, Sequence
+from typing import Any, Iterator, Mapping, Sequence
 
+from repro.core.cost import platform_axis_fingerprint
 from repro.core.report import TextTable, campaign_summary_table
 from repro.errors import ConfigurationError, PipelineError
 from repro.explore.engine import (
@@ -60,7 +82,12 @@ from repro.explore.executor import (
     auto_chunk_size,
     resolve_executor,
 )
-from repro.explore.incremental import evaluate_chunk, supports_prefix_evaluation
+from repro.explore.incremental import (
+    depth_link_cost,
+    evaluate_chunk,
+    evaluate_chunk_states,
+    supports_prefix_evaluation,
+)
 from repro.explore.result import (
     DEFAULT_AXES,
     ExplorationResult,
@@ -69,213 +96,187 @@ from repro.explore.result import (
     domain_frontier,
 )
 from repro.explore.scenario import Scenario
+
+# Scheduling policies grew into their own module (repro.explore.
+# scheduling) when the measured-latency feedback channel landed; the
+# re-exports keep every existing `from repro.explore.campaign import
+# RoundRobin`-style import working.
+from repro.explore.scheduling import (
+    SCHEDULING_POLICIES,  # noqa: F401  (re-exported API)
+    AdaptiveLatency,  # noqa: F401  (re-exported API)
+    PriorityWeighted,  # noqa: F401  (re-exported API)
+    RoundRobin,
+    SchedulingPolicy,
+    ShortestScenarioFirst,  # noqa: F401  (re-exported API)
+    observe_policy,
+    resolve_policy,
+)
 from repro.explore.sink import close_sink, open_sink, resolve_sink, write_sink
-
-
-# -- scheduling policies ------------------------------------------------
-
-
-class SchedulingPolicy:
-    """Decides which scenario the interleaver draws its next chunk from.
-
-    The one pluggable point of the campaign driver: before each chunk
-    submission the interleaver calls :meth:`select` with the indices of
-    the scenarios that still have chunks, and submits one chunk of the
-    returned scenario. Policies only reorder *between* scenarios — each
-    scenario's own chunks are always submitted in enumeration order, so
-    per-scenario results stay byte-identical to solo ``explore()`` under
-    every policy (tested).
-
-    :meth:`start` is called once per campaign run with the full fleet,
-    so one policy instance can be reused across runs (state resets) and
-    can precompute per-scenario keys (sizes, weights).
-    """
-
-    #: Registry key and report label ("round_robin", ...).
-    name = "policy"
-
-    def start(self, scenarios: Sequence[Scenario]) -> None:
-        """Reset state for a new run over ``scenarios``."""
-
-    def select(self, live: Sequence[int]) -> int:
-        """The scenario index to draw the next chunk from.
-
-        ``live`` holds the indices (ascending) of scenarios whose
-        enumeration is not yet exhausted; the return value must be one
-        of them.
-        """
-        raise NotImplementedError
-
-
-class RoundRobin(SchedulingPolicy):
-    """One chunk per live scenario, cyclically: no scenario starves, and
-    the fleet's first results arrive from every scenario early. The
-    default, byte-compatible with the original fixed interleaver."""
-
-    name = "round_robin"
-
-    def __init__(self) -> None:
-        self._last = -1
-
-    def start(self, scenarios: Sequence[Scenario]) -> None:
-        self._last = -1
-
-    def select(self, live: Sequence[int]) -> int:
-        for index in live:
-            if index > self._last:
-                self._last = index
-                return index
-        self._last = live[0]
-        return live[0]
-
-
-class ShortestScenarioFirst(SchedulingPolicy):
-    """Run scenarios to completion in ascending design-space size.
-
-    Shortest-job-first over :meth:`Scenario.count_configs` estimates
-    (exact up to per-config pruning): small scenarios finish — and
-    stream out of :meth:`Campaign.iter_runs` — before large ones start,
-    minimizing mean completion time across the fleet. Ties keep fleet
-    order.
-    """
-
-    name = "shortest_scenario_first"
-
-    def __init__(self) -> None:
-        self._order: tuple[int, ...] = ()
-
-    def start(self, scenarios: Sequence[Scenario]) -> None:
-        sizes = [scenario.count_configs() for scenario in scenarios]
-        self._order = tuple(
-            sorted(range(len(scenarios)), key=lambda index: (sizes[index], index))
-        )
-
-    def select(self, live: Sequence[int]) -> int:
-        alive = set(live)
-        for index in self._order:
-            if index in alive:
-                return index
-        return live[0]
-
-
-class PriorityWeighted(SchedulingPolicy):
-    """Interleave chunks proportionally to per-scenario weights.
-
-    Smooth weighted round-robin: each selection adds every live
-    scenario's weight to its credit, picks the highest credit (ties to
-    the earliest scenario) and charges the picked one the live total —
-    over time scenario *i* receives ``weight[i] / sum(weights)`` of the
-    submitted chunks, without bursts. Deterministic, so campaign results
-    are reproducible run to run.
-
-    Parameters
-    ----------
-    weights:
-        Mapping from scenario *name* to a positive weight; scenarios
-        without an entry get ``default_weight``. Unknown names are
-        rejected at :meth:`start` (they would silently never apply).
-    default_weight:
-        Weight of scenarios absent from ``weights``.
-    """
-
-    name = "priority_weighted"
-
-    def __init__(
-        self,
-        weights: Mapping[str, float] | None = None,
-        default_weight: float = 1.0,
-    ):
-        if default_weight <= 0:
-            raise ConfigurationError(
-                f"default_weight must be positive, got {default_weight}"
-            )
-        weights = dict(weights or {})
-        for name, weight in weights.items():
-            if not weight > 0:
-                raise ConfigurationError(
-                    f"weight for {name!r} must be positive, got {weight}"
-                )
-        self._by_name = weights
-        self._default = default_weight
-        self._weights: list[float] = []
-        self._credit: list[float] = []
-
-    def start(self, scenarios: Sequence[Scenario]) -> None:
-        names = {scenario.name for scenario in scenarios}
-        unknown = sorted(set(self._by_name) - names)
-        if unknown:
-            raise ConfigurationError(
-                f"priority weights for unknown scenarios {unknown}; "
-                f"campaign has {sorted(names)}"
-            )
-        self._weights = [
-            self._by_name.get(scenario.name, self._default) for scenario in scenarios
-        ]
-        self._credit = [0.0] * len(scenarios)
-
-    def select(self, live: Sequence[int]) -> int:
-        credit, weights = self._credit, self._weights
-        total = 0.0
-        for index in live:
-            credit[index] += weights[index]
-            total += weights[index]
-        best = live[0]
-        for index in live[1:]:
-            if credit[index] > credit[best]:
-                best = index
-        credit[best] -= total
-        return best
-
-
-#: Builtin policy factories by name (the string forms ``policy=`` takes).
-SCHEDULING_POLICIES: dict[str, Callable[[], SchedulingPolicy]] = {
-    RoundRobin.name: RoundRobin,
-    ShortestScenarioFirst.name: ShortestScenarioFirst,
-    PriorityWeighted.name: PriorityWeighted,
-}
-
-
-def resolve_policy(policy: Any) -> SchedulingPolicy:
-    """Default to round-robin; accept a builtin name or a policy
-    instance (duck-typed: anything with ``start``/``select``)."""
-    if policy is None:
-        return RoundRobin()
-    if isinstance(policy, str):
-        try:
-            return SCHEDULING_POLICIES[policy]()
-        except KeyError:
-            raise ConfigurationError(
-                f"unknown scheduling policy {policy!r}; builtin policies "
-                f"are {sorted(SCHEDULING_POLICIES)} (or pass a "
-                "SchedulingPolicy instance)"
-            ) from None
-    if isinstance(policy, SchedulingPolicy) or (
-        callable(getattr(policy, "select", None))
-        and callable(getattr(policy, "start", None))
-    ):
-        return policy
-    raise ConfigurationError(
-        "policy must be a SchedulingPolicy, one of "
-        f"{sorted(SCHEDULING_POLICIES)}, or None, got {type(policy).__name__}"
-    )
-
 
 # -- chunk plumbing -----------------------------------------------------
 
+#: Chunk evaluation modes carried in a tagged chunk's spec: the stock
+#: prefix-memoized path, the from-scratch fallback for models overriding
+#: evaluate(), and the dedup path that returns pre-finalize states for
+#: the collector to close under each member scenario's own link.
+_MODE_MEMOIZED = "memoized"
+_MODE_SCRATCH = "scratch"
+_MODE_STATES = "states"
+
 
 def _evaluate_tagged_chunk(
-    tagged: tuple[int, tuple[Any, dict[str, float] | None, bool], list[Any]],
-) -> tuple[int, list[Any]]:
+    tagged: tuple[int, tuple[Any, dict[str, float] | None, str], list[Any]],
+) -> tuple[int, list[Any], float]:
     """Evaluate one scenario-tagged chunk (module-level for process-pool
     picklability). The tagged item carries *its own* scenario's (model,
-    pass_rates, prefix-eligible) spec — not the whole fleet's — so a
-    process backend serializes one model per task, same as solo
-    ``explore()``; the index travels with the costs so the collector can
-    route them back to their scenario."""
-    index, (model, pass_rates, memoized), configs = tagged
-    if memoized:
-        return index, evaluate_chunk(model, pass_rates, configs)
-    return index, [_evaluate_scratch(model, pass_rates, config) for config in configs]
+    pass_rates, mode) spec — not the whole fleet's — so a process
+    backend serializes one model per task, same as solo ``explore()``;
+    the index travels with the results so the collector can route them
+    back to their scenario, and the measured wall-clock evaluation
+    seconds (clocked inside the worker, so pool queueing is excluded)
+    feed the scheduling policy's ``observe`` channel."""
+    index, (model, pass_rates, mode), configs = tagged
+    begin = time.perf_counter()
+    if mode == _MODE_STATES:
+        payload: list[Any] = evaluate_chunk_states(model, pass_rates, configs)
+    elif mode == _MODE_MEMOIZED:
+        payload = evaluate_chunk(model, pass_rates, configs)
+    else:
+        payload = [_evaluate_scratch(model, pass_rates, config) for config in configs]
+    return index, payload, time.perf_counter() - begin
+
+
+# -- cross-scenario evaluation dedup ------------------------------------
+
+
+def scenario_compute_key(scenario: Scenario) -> tuple | None:
+    """The scenario's *compute identity* for campaign-level dedup, or
+    None when it is ineligible for sharing.
+
+    Two scenarios with equal keys enumerate the same configuration
+    stream and fold identical compute-side prefix states — everything
+    about their evaluations except the per-depth link terms — so a fleet
+    can evaluate the states once and finalize them under each member's
+    own uplink. The key is ``(pipeline chain fingerprint, platform-axis
+    fingerprint, domain, enumeration bounds, pass-rate overrides)``;
+    the link is deliberately absent (sharing across links is the whole
+    point) and the two fingerprints are deliberately separate — a pair
+    of structurally identical pipelines with different implementation
+    prices must never share entries (the cache-poisoning guard tests
+    pin this).
+
+    Ineligible (returns None): scenarios with a pre-built ``model``
+    (its cost semantics — and its link — are the subclass's business),
+    and scenarios with any pruning (``prune`` / ``prune_depth`` hooks,
+    ``auto_prune``, ``auto_prune_configs``): pruned streams depend on
+    the constraint *and the link*, so two members of a would-be group
+    can enumerate different subsequences.
+    """
+    if scenario.model is not None:
+        return None
+    if scenario.prune is not None or scenario.prune_depth is not None:
+        return None
+    if scenario.auto_prune or scenario.auto_prune_configs:
+        return None
+    pass_rates = (
+        tuple(sorted(scenario.pass_rates.items()))
+        if scenario.pass_rates is not None
+        else None
+    )
+    return (
+        scenario.pipeline.fingerprint(),
+        platform_axis_fingerprint(scenario.pipeline),
+        scenario.domain,
+        scenario.max_blocks,
+        scenario.include_empty,
+        pass_rates,
+    )
+
+
+class _StateFinalizer:
+    """Close shared compute-side prefix states under one scenario's own
+    per-depth link terms.
+
+    Delegates to the *stock* ``model.finalize`` (the definition the
+    memoized walks are tested bit-identical against) with the link term
+    from the one shared :func:`~repro.explore.incremental.
+    depth_link_cost` definition — so a state evaluated once for a dedup
+    group and finalized here is bit-identical to evaluating the
+    configuration solo against this scenario's link (the invariant
+    suite compares them byte for byte), and a future cost-field change
+    lands here automatically instead of in a third hand-inlined copy.
+    """
+
+    def __init__(self, scenario: Scenario):
+        self._model = scenario.cost_model()
+        self._energy = scenario.domain == "energy"
+        self._link_costs: dict[int, Any] = {}  # cut depth -> finalize arg
+
+    def finalize(self, pairs: Sequence[tuple[Any, Any]]) -> list[Any]:
+        model = self._model
+        finalize = model.finalize
+        link, energy, cache = model.link, self._energy, self._link_costs
+        out: list[Any] = []
+        append_out = out.append
+        for config, state in pairs:
+            link_cost = depth_link_cost(
+                link, energy, cache, len(config.platforms), config
+            )
+            append_out(finalize(state, config, link_cost))
+        return out
+
+
+class PipelineCostCache:
+    """Campaign-level cross-scenario evaluation dedup.
+
+    Fleets routinely carry the same pipeline at several links (the
+    design-space sweep shape: one product, every uplink tier); their
+    compute-side costs are link-independent, so evaluating each scenario
+    solo recomputes identical prefix folds once per link. This cache
+    groups a fleet's scenarios by :func:`scenario_compute_key`; each
+    group's *leader* (first in fleet order) evaluates its chunks into
+    pre-finalize states (:func:`~repro.explore.incremental.
+    evaluate_chunk_states`), and every member — leader and followers —
+    gets the states closed under its own link terms by a
+    :class:`_StateFinalizer`. Followers never enter the interleaver:
+    their chunks mirror the leader's the moment each leader chunk
+    lands, preserving streaming, per-scenario enumeration order, sinks
+    and export-only mode unchanged.
+
+    The dedup outcome is surfaced through
+    :attr:`CampaignResult.cache_stats`, derived from each run's
+    ``dedup_source`` provenance — one source of truth, no separate
+    counters to drift.
+    """
+
+    def __init__(self, scenarios: Sequence[Scenario]):
+        self.leader_of: dict[int, int] = {}
+        self.followers_of: dict[int, list[int]] = {}
+        by_key: dict[tuple, int] = {}
+        for index, scenario in enumerate(scenarios):
+            key = scenario_compute_key(scenario)
+            if key is None:
+                continue
+            leader = by_key.setdefault(key, index)
+            if leader != index:
+                self.leader_of[index] = leader
+                self.followers_of.setdefault(leader, []).append(index)
+        self._finalizers: dict[int, _StateFinalizer] = {}
+        for leader, followers in self.followers_of.items():
+            for member in (leader, *followers):
+                self._finalizers[member] = _StateFinalizer(scenarios[member])
+
+    @property
+    def follower_indices(self) -> frozenset[int]:
+        return frozenset(self.leader_of)
+
+    def is_shared_leader(self, index: int) -> bool:
+        """Whether this scenario evaluates states on behalf of a group."""
+        return index in self.followers_of
+
+    def finalize(self, index: int, pairs: Sequence[tuple[Any, Any]]) -> list[Any]:
+        """Scenario ``index``'s costs for one shared chunk of states."""
+        return self._finalizers[index].finalize(pairs)
 
 
 class _FleetProgress:
@@ -302,21 +303,25 @@ class _FleetProgress:
 
 def _interleave_chunks(
     scenarios: Sequence[Scenario],
-    specs: Sequence[tuple[Any, dict[str, float] | None, bool]],
+    specs: Sequence[tuple[Any, dict[str, float] | None, str]],
     sizes: Sequence[int],
     policy: SchedulingPolicy,
     progress: _FleetProgress,
-) -> Iterator[tuple[int, tuple[Any, dict[str, float] | None, bool], list[Any]]]:
+    skip: frozenset[int] = frozenset(),
+) -> Iterator[tuple[int, tuple[Any, dict[str, float] | None, str], list[Any]]]:
     """One chunk per policy selection: the selected scenario's next
     chunk is yielded (tagged), exhausted scenarios leave the live set,
     and no scenario's enumeration is materialized past its next chunk.
     Emission/exhaustion is recorded in ``progress`` so the collector can
-    detect per-scenario completion."""
-    streams = [
-        _chunked(scenario.iter_configs(), sizes[index])
+    detect per-scenario completion. Scenarios in ``skip`` (dedup
+    followers, fed by mirroring their leader's chunks at collection)
+    never enter the live set and are never enumerated here."""
+    streams = {
+        index: _chunked(scenario.iter_configs(), sizes[index])
         for index, scenario in enumerate(scenarios)
-    ]
-    live = list(range(len(scenarios)))
+        if index not in skip
+    }
+    live = [index for index in range(len(scenarios)) if index not in skip]
     policy.start(scenarios)
     try:
         while live:
@@ -336,8 +341,9 @@ def _interleave_chunks(
     finally:
         # Mark abandoned streams exhausted-at-current-count so late
         # completion scans cannot block, and close their enumerators.
-        for index, stream in enumerate(streams):
+        for index in range(len(scenarios)):
             progress.exhausted[index] = True
+        for stream in streams.values():
             stream.close()
 
 
@@ -355,6 +361,10 @@ class ScenarioRun:
     ``wall_seconds`` is the time from campaign start until this
     scenario's last chunk was collected (scenarios share the executor,
     so exclusive per-scenario time is not a meaningful quantity).
+    ``dedup_source`` names the scenario whose shared compute-side
+    states this run was finalized from (None when it evaluated its own
+    configurations — always, unless the campaign ran with
+    ``dedup=True`` and the fleet shared a compute key).
     """
 
     scenario: Scenario
@@ -365,6 +375,7 @@ class ScenarioRun:
     pareto_size: int
     wall_seconds: float
     frontier: list[dict[str, Any]] | None = field(default=None, repr=False)
+    dedup_source: str | None = None
 
     @property
     def name(self) -> str:
@@ -390,6 +401,7 @@ class ScenarioRun:
             "best_metric": self.best[metric] if self.best else "-",
             "pareto": self.pareto_size,
             "seconds": self.wall_seconds,
+            "dedup": self.dedup_source or "-",
         }
 
 
@@ -402,11 +414,35 @@ class CampaignResult:
         runs: list[ScenarioRun],
         wall_seconds: float,
         policy: str = RoundRobin.name,
+        dedup: bool = False,
     ):
         self.name = name
         self.runs = runs
         self.wall_seconds = wall_seconds
         self.policy = policy
+        self.dedup = dedup
+
+    @property
+    def cache_stats(self) -> dict[str, Any]:
+        """The cross-scenario dedup outcome of this campaign.
+
+        ``evaluations_computed`` counts cost-model evaluations actually
+        performed; ``evaluations_skipped`` counts configurations whose
+        costs were finalized from another scenario's shared compute
+        states instead of being re-evaluated (zero unless the campaign
+        ran with ``dedup=True`` and the fleet shared a compute key —
+        see :func:`scenario_compute_key`).
+        """
+        shared = [run for run in self.runs if run.dedup_source is not None]
+        return {
+            "dedup": self.dedup,
+            "scenarios_shared": len(shared),
+            "shared_sources": sorted({run.dedup_source for run in shared}),
+            "evaluations_computed": sum(
+                run.n_evaluated for run in self.runs if run.dedup_source is None
+            ),
+            "evaluations_skipped": sum(run.n_evaluated for run in shared),
+        }
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -545,6 +581,8 @@ class Campaign:
         collect: bool = True,
         collect_on_exit: bool = False,
         policy: Any = None,
+        dedup: bool = False,
+        max_pending_runs: int | None = None,
     ) -> Iterator[ScenarioRun]:
         """Stream the fleet: yield each :class:`ScenarioRun` the moment
         its scenario's last chunk lands.
@@ -559,11 +597,26 @@ class Campaign:
         Abandoning the iterator mid-fleet is safe: the executor stream
         is closed (the shared pool shuts down after in-flight chunks
         finish) and every open sink is closed (flushed), exactly as on
-        an error. Parameters are those of :meth:`run`.
+        an error. Parameters are those of :meth:`run`, plus:
+
+        ``max_pending_runs`` is the backpressure knob for slow
+        consumers (dashboards): at most that many scenarios may be
+        fully fed into the executor ahead of the runs the consumer has
+        actually taken. When the bound is reached, chunk submission
+        pauses — the shared pool genuinely idles once its in-flight
+        window drains, instead of racing ahead of a stalled consumer —
+        and resumes the moment the consumer pulls the next run. The
+        serial executor is lock-step (it evaluates exactly one chunk
+        per pull) and needs no bound. Results are unaffected; only the
+        pacing changes.
         """
         executor = resolve_executor(executor)
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if max_pending_runs is not None and max_pending_runs < 1:
+            raise ConfigurationError(
+                f"max_pending_runs must be >= 1, got {max_pending_runs}"
+            )
         policy = resolve_policy(policy)
         scenarios = self.scenarios
         sink_list = self._resolve_sinks(sinks)
@@ -584,7 +637,14 @@ class Campaign:
                     "or drop sinks entirely for a summary-only campaign"
                 )
         return self._stream_runs(
-            executor, chunk_size, sink_list, collect, collect_on_exit, policy
+            executor,
+            chunk_size,
+            sink_list,
+            collect,
+            collect_on_exit,
+            policy,
+            PipelineCostCache(scenarios) if dedup else None,
+            max_pending_runs,
         )
 
     def _stream_runs(
@@ -595,22 +655,37 @@ class Campaign:
         collect: bool,
         collect_on_exit: bool,
         policy: SchedulingPolicy,
+        cache: PipelineCostCache | None,
+        max_pending_runs: int | None,
     ) -> Iterator[ScenarioRun]:
         """The generator behind :meth:`iter_runs` (argument validation
         stays eager in the caller, before the first ``next()``)."""
         scenarios = self.scenarios
+        followers = cache.follower_indices if cache is not None else frozenset()
         models = [scenario.cost_model() for scenario in scenarios]
         specs = tuple(
-            (model, scenario.pass_rates, supports_prefix_evaluation(model))
-            for model, scenario in zip(models, scenarios)
+            (
+                model,
+                scenario.pass_rates,
+                (
+                    _MODE_STATES
+                    if cache is not None and cache.is_shared_leader(index)
+                    else _MODE_MEMOIZED
+                    if supports_prefix_evaluation(model)
+                    else _MODE_SCRATCH
+                ),
+            )
+            for index, (model, scenario) in enumerate(zip(models, scenarios))
         )
         sizes = [
             self._chunk_size_for(scenario, executor, chunk_size)
             for scenario in scenarios
         ]
-        # Same pause rule as solo explore(): engine-only allocations.
+        # Same pause rule as solo explore(): engine-only allocations
+        # (the dedup states and finalized costs are engine-owned and
+        # acyclic, so the states mode keeps the pause).
         pause = (
-            all(memoized for _, _, memoized in specs)
+            all(mode != _MODE_SCRATCH for _, _, mode in specs)
             and all(scenario.prune is None for scenario in scenarios)
             and all(sink is None for sink in sink_list)
         )
@@ -632,9 +707,63 @@ class Campaign:
         start = time.perf_counter()
         opened: list[int] = []
         closed: set[int] = set()
+        handed: set[int] = set()
+        order = {scenario.name: i for i, scenario in enumerate(scenarios)}
         error: BaseException | None = None
-        interleaved = _interleave_chunks(scenarios, specs, sizes, policy, progress)
-        results = executor.imap(_evaluate_tagged_chunk, interleaved, chunk_size=1)
+        interleaved = _interleave_chunks(
+            scenarios, specs, sizes, policy, progress, followers
+        )
+
+        def _window_gate() -> bool:
+            # Backpressure: once `max_pending_runs` scenarios are fully
+            # fed into the pipe (enumeration exhausted) without their
+            # runs having been consumed, stop submitting new chunks.
+            pending = sum(
+                1
+                for index in range(len(scenarios))
+                if progress.exhausted[index] and index not in handed
+            )
+            return pending < max_pending_runs
+
+        results = executor.imap(
+            _evaluate_tagged_chunk,
+            interleaved,
+            chunk_size=1,
+            window_gate=_window_gate if max_pending_runs is not None else None,
+        )
+
+        def _absorb(index: int, costs: list[Any], now: float) -> None:
+            """Route one collected (or mirrored) chunk's costs into the
+            scenario's accumulation/sink/stats paths."""
+            sink = sink_list[index]
+            if evaluations is not None:
+                evaluations[index].extend(costs)
+            if sink is not None or evaluations is None:
+                rows = [cost_row(scenarios[index], cost) for cost in costs]
+                if evaluations is None:
+                    # Streaming stats are only consulted on export-only
+                    # runs; collected runs derive the summary from the
+                    # result instead.
+                    stats[index].update(rows)
+                elif row_caches[index] is not None:
+                    row_caches[index].extend(rows)
+                if sink is not None:
+                    write_sink(sink, rows, self._label(index))
+            progress.collected[index] += 1
+            completed_at[index] = now
+
+        def _sync_followers() -> None:
+            # A follower's stream is its leader's, mirrored at
+            # *collection* time (its emitted/collected counts track the
+            # leader's collected chunks in the loop below) — so it is
+            # complete exactly when the leader is. Marking it exhausted
+            # on the leader's mere enumeration exhaustion would complete
+            # it early: a parallel interleaver runs ahead of collection
+            # by the in-flight window.
+            if cache is not None:
+                for follower, leader in cache.leader_of.items():
+                    progress.exhausted[follower] = progress.complete(leader)
+
         # The GC pause must cover the bulk-accumulation regions but NOT
         # the yields: consumer code between next() calls would otherwise
         # run with cycle collection disabled for the whole fleet.
@@ -663,24 +792,22 @@ class Campaign:
                     open_sink(sink, scenarios[index], self._label(index))
                     opened.append(index)
             _enter_pause()
-            for index, costs in results:
-                scenario = scenarios[index]
-                sink = sink_list[index]
-                if evaluations is not None:
-                    evaluations[index].extend(costs)
-                if sink is not None or evaluations is None:
-                    rows = [cost_row(scenario, cost) for cost in costs]
-                    if evaluations is None:
-                        # Streaming stats are only consulted on
-                        # export-only runs; collected runs derive
-                        # the summary from the result instead.
-                        stats[index].update(rows)
-                    elif row_caches[index] is not None:
-                        row_caches[index].extend(rows)
-                    if sink is not None:
-                        write_sink(sink, rows, self._label(index))
-                progress.collected[index] += 1
-                completed_at[index] = time.perf_counter() - start
+            for index, payload, seconds in results:
+                observe_policy(policy, index, len(payload), seconds)
+                now = time.perf_counter() - start
+                if cache is not None and cache.is_shared_leader(index):
+                    # The leader's chunk arrived as pre-finalize states:
+                    # close them under every group member's own link —
+                    # one evaluation pass serves the whole group, and
+                    # each follower's chunk lands (same boundaries, same
+                    # enumeration order) the moment the leader's does.
+                    _absorb(index, cache.finalize(index, payload), now)
+                    for follower in cache.followers_of[index]:
+                        progress.emitted[follower] += 1
+                        _absorb(follower, cache.finalize(follower, payload), now)
+                else:
+                    _absorb(index, payload, now)
+                _sync_followers()
                 done = self._finish_complete(
                     progress,
                     sink_list,
@@ -690,13 +817,17 @@ class Campaign:
                     row_caches,
                     stats,
                     completed_at,
+                    cache,
                 )
                 if done:
                     _exit_pause()
-                    yield from done
+                    for run in done:
+                        yield run
+                        handed.add(order[run.name])
                     _enter_pause()
             # Exhaustions discovered after a scenario's final collection
             # (and zero-chunk scenarios) surface once the stream drains.
+            _sync_followers()
             done = self._finish_complete(
                 progress,
                 sink_list,
@@ -706,9 +837,12 @@ class Campaign:
                 row_caches,
                 stats,
                 completed_at,
+                cache,
             )
             _exit_pause()
-            yield from done
+            for run in done:
+                yield run
+                handed.add(order[run.name])
         except BaseException as exc:
             error = exc
             raise
@@ -747,6 +881,7 @@ class Campaign:
         row_caches: list[list[dict[str, Any]] | None],
         stats: list[_StreamingStats],
         completed_at: list[float],
+        cache: PipelineCostCache | None = None,
     ) -> list[ScenarioRun]:
         """Runs for scenarios that just completed, their sinks closed
         first so a handed-out run's exports are already flushed."""
@@ -755,6 +890,9 @@ class Campaign:
             if index in opened and index not in closed:
                 closed.add(index)
                 close_sink(sink_list[index], self._label(index))
+            dedup_source = None
+            if cache is not None and index in cache.leader_of:
+                dedup_source = self.scenarios[cache.leader_of[index]].name
             runs.append(
                 self._build_run(
                     index,
@@ -762,6 +900,7 @@ class Campaign:
                     row_caches[index],
                     stats[index],
                     completed_at[index],
+                    dedup_source,
                 )
             )
         return runs
@@ -775,6 +914,7 @@ class Campaign:
         collect: bool = True,
         collect_on_exit: bool = False,
         policy: Any = None,
+        dedup: bool = False,
     ) -> CampaignResult:
         """Explore every scenario through one shared executor.
 
@@ -811,6 +951,15 @@ class Campaign:
             chunks — an instance or a builtin name
             (:data:`SCHEDULING_POLICIES`); default round-robin. Policies
             reorder scenario completion, never per-scenario results.
+        dedup:
+            Share link-independent compute-side prefix states across
+            scenarios with equal :func:`scenario_compute_key`s (the
+            same pipeline at several links): each group evaluates once
+            and every member's costs are finalized under its own link
+            terms — per-scenario results stay byte-identical to a
+            ``dedup=False`` run (and to solo ``explore()``), asserted
+            by the invariant suite. :attr:`CampaignResult.cache_stats`
+            reports the evaluations skipped.
         """
         resolved = resolve_policy(policy)
         start = time.perf_counter()
@@ -822,6 +971,7 @@ class Campaign:
                 collect=collect,
                 collect_on_exit=collect_on_exit,
                 policy=resolved,
+                dedup=dedup,
             )
         )
         wall = time.perf_counter() - start
@@ -832,6 +982,7 @@ class Campaign:
             runs=runs,
             wall_seconds=wall,
             policy=getattr(resolved, "name", type(resolved).__name__),
+            dedup=dedup,
         )
 
     def _label(self, index: int) -> str:
@@ -858,6 +1009,7 @@ class Campaign:
         row_cache: list[dict[str, Any]] | None,
         run_stats: _StreamingStats,
         completed_at: float,
+        dedup_source: str | None = None,
     ) -> ScenarioRun:
         scenario = self.scenarios[index]
         if scenario_evaluations is not None:
@@ -890,6 +1042,7 @@ class Campaign:
             pareto_size=pareto_size,
             wall_seconds=round(completed_at, 6),
             frontier=frontier,
+            dedup_source=dedup_source,
         )
 
 
@@ -903,6 +1056,7 @@ def run_campaign(
     collect: bool = True,
     collect_on_exit: bool = False,
     policy: Any = None,
+    dedup: bool = False,
 ) -> CampaignResult:
     """One-call convenience: ``Campaign(scenarios, name).run(...)``."""
     return Campaign(scenarios, name=name).run(
@@ -912,4 +1066,5 @@ def run_campaign(
         collect=collect,
         collect_on_exit=collect_on_exit,
         policy=policy,
+        dedup=dedup,
     )

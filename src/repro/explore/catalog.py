@@ -30,8 +30,8 @@ Quickstart::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Mapping
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.explore.scenario import DOMAINS, Scenario
@@ -231,6 +231,38 @@ class ScenarioCatalog:
         """One fresh scenario per entry (optionally one domain) — the
         ready-made fleet for a :class:`~repro.explore.campaign.Campaign`."""
         return [self.build(name, **params) for name in self.names(domain)]
+
+    def build_at_links(
+        self, name: str, /, links: Sequence[str | LinkModel], **params: Any
+    ) -> list[Scenario]:
+        """The same catalog workload at several uplinks — the
+        *dedup-heavy* fleet shape: one pipeline and platform axis, one
+        scenario per link tier.
+
+        The entry's factory must take a ``link`` parameter (every
+        builtin entry that crosses an uplink does). Scenario names get
+        an ``@<link>`` suffix so the fleet is campaign-legal (campaign
+        scenario names must be unique); with
+        ``Campaign(..., run(dedup=True))`` such a fleet evaluates its
+        compute-side costs once, not once per link.
+        """
+        if not links:
+            raise ConfigurationError("build_at_links needs at least one link")
+        fleet = []
+        for link in links:
+            resolved = resolve_link(link)
+            scenario = self.build(name, link=resolved, **params)
+            suffix = f"@{resolved.name}"
+            if not scenario.name.endswith(suffix):
+                scenario = replace(scenario, name=scenario.name + suffix)
+            fleet.append(scenario)
+        names = [scenario.name for scenario in fleet]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"links {[resolve_link(link).name for link in links]} produce "
+                f"duplicate scenario names {names}; pass distinct links"
+            )
+        return fleet
 
     def __contains__(self, name: object) -> bool:
         return name in self._entries

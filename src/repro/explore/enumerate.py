@@ -60,16 +60,33 @@ class PrefixPruner:
     throughput target: extending a pipeline never raises its compute
     rate, so a prefix below target can cut its whole subtree).
 
+    The enumerator walks each cut depth separately, so during the
+    depth-``d`` walk every completion of a prefix is *exactly* at depth
+    ``d`` — a strictly easier bounding problem than "every deeper
+    depth". A pruner may exploit that through ``for_depth``: when set,
+    the enumerator calls ``for_depth(d)`` once per walked depth and uses
+    the returned extend function for that depth's DFS instead of the
+    generic ``extend``. The depth-aware soundness contract is
+    correspondingly narrower: cut a prefix only when every completion
+    *at that depth* is provably infeasible. See
+    :func:`repro.explore.prune.energy_prefix_pruner` for the canonical
+    instance (the dual bound: per-depth exact transmit terms instead of
+    the min over all completion depths).
+
     Parameters
     ----------
     initial:
         The state of the empty prefix.
     extend:
         ``(block_index, platform, state) -> new_state | PRUNED_SUBTREE``.
+    for_depth:
+        Optional ``depth -> extend``-shaped factory for depth-aware
+        bounds; when None the generic ``extend`` serves every depth.
     """
 
     initial: Any
     extend: Callable[[int, str, Any], Any]
+    for_depth: Callable[[int], Callable[[int, str, Any], Any]] | None = None
 
 
 def _normalize_hooks(
@@ -152,7 +169,7 @@ def _prefix_pruned_choices(
     """Depth-``depth`` platform assignments surviving the prefix bound,
     in exact :func:`itertools.product` order (DFS over sorted options is
     the product order; cut subtrees just drop their contiguous run)."""
-    extend = pruner.extend
+    extend = pruner.for_depth(depth) if pruner.for_depth is not None else pruner.extend
     last = depth - 1
 
     def walk(level: int, prefix: tuple[str, ...], state: Any) -> Iterator[tuple[str, ...]]:

@@ -28,7 +28,7 @@ toward from-scratch cost.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.core.cost import (
     ConfigCost,
@@ -79,6 +79,34 @@ def uses_stock_cost_semantics(model: Any) -> bool:
             cls = type(model)
             return all(getattr(cls, name) is getattr(base, name) for name in steps)
     return False
+
+
+def depth_link_cost(
+    link: Any, energy: bool, cache: dict[int, Any], depth: int, config: PipelineConfig
+) -> Any:
+    """The per-depth link term, computed once per cut depth and cached.
+
+    The payload crossing the uplink depends only on the cut depth, not
+    the platform choices — so the walk caches ``depth -> finalize arg``
+    ((transmit joules, transmit seconds) in the energy domain, the
+    communication frame rate in the throughput domain). Shared by
+    :class:`PrefixEvaluator` and the campaign dedup finalizer
+    (:class:`repro.explore.campaign._StateFinalizer`): one definition,
+    so the dedup finalize-replay stays expression-identical to solo
+    evaluation.
+    """
+    cached = cache.get(depth)
+    if cached is None:
+        offload_bytes = config.offload_bytes
+        if energy:
+            cached = (
+                link.tx_energy_for_bytes(offload_bytes),
+                link.seconds_for_bytes(offload_bytes),
+            )
+        else:
+            cached = link.fps_for_bytes(offload_bytes)
+        cache[depth] = cached
+    return cached
 
 
 class PrefixEvaluator:
@@ -139,20 +167,10 @@ class PrefixEvaluator:
         del self._states[:]
 
     def _link_cost(self, depth: int, config: PipelineConfig) -> Any:
-        """Per-depth link term (payload depends only on the cut depth)."""
-        cached = self._link_costs.get(depth)
-        if cached is None:
-            link = self.model.link
-            offload_bytes = config.offload_bytes
-            if self._energy:
-                cached = (
-                    link.tx_energy_for_bytes(offload_bytes),
-                    link.seconds_for_bytes(offload_bytes),
-                )
-            else:
-                cached = link.fps_for_bytes(offload_bytes)
-            self._link_costs[depth] = cached
-        return cached
+        """Per-depth link term (see :func:`depth_link_cost`)."""
+        return depth_link_cost(
+            self.model.link, self._energy, self._link_costs, depth, config
+        )
 
     def evaluate(self, config: PipelineConfig) -> ConfigCost | EnergyCost:
         """The configuration's cost, reusing the memoized prefix path."""
@@ -188,23 +206,29 @@ class PrefixEvaluator:
             return self._energy_many(configs)
         return self._generic_many(configs)
 
-    def _generic_many(
+    def _walk_states(
         self, configs: Iterable[PipelineConfig]
-    ) -> list[ConfigCost | EnergyCost]:
-        """Memoized walk through the model's extend/finalize methods."""
+    ) -> Iterator[tuple[PipelineConfig, Any]]:
+        """The generic memoized walk, lazily: one (config, pre-finalize
+        state) pair per configuration, through the model's overridable
+        ``initial_state``/``extend_state`` steps.
+
+        The shared core of :meth:`_generic_many` (which finalizes each
+        pair as it arrives) and :meth:`states_many` (which returns the
+        pairs themselves) — one copy of the common-prefix matching and
+        state-stack bookkeeping, so the two paths cannot drift.
+        Consumers reading per-config caches (the per-depth link terms)
+        must do so before advancing: a pipeline switch mid-sequence
+        resets them.
+        """
         model = self.model
         energy = self._energy
         pass_rates = self.pass_rates
         extend = model.extend_state
-        finalize = model.finalize
-        link_costs = self._link_costs
-        out: list[ConfigCost | EnergyCost] = []
-        append_out = out.append
         try:
             for config in configs:
                 if config.pipeline is not self._pipeline:
                     self._reset(config.pipeline)
-                    link_costs = self._link_costs
                 platforms = config.platforms
                 prev = self._platforms
                 states = self._states
@@ -245,10 +269,7 @@ class PrefixEvaluator:
                             )
                             append(state)
                 self._platforms = platforms
-                link_cost = link_costs.get(n)
-                if link_cost is None:
-                    link_cost = self._link_cost(n, config)
-                append_out(finalize(state, config, link_cost))
+                yield config, state
         except KeyError:
             # An invalid trusted() platform choice: re-raise as the
             # standard PipelineError the validated path would produce.
@@ -256,9 +277,56 @@ class PrefixEvaluator:
             config.in_camera_blocks()
             raise
         except BaseException:
+            # Also covers GeneratorExit: a consumer that raises (or
+            # abandons the walk) between yields leaves the memoized
+            # path invalidated, exactly like an in-walk failure.
             self._invalidate_path()
             raise
+
+    def _generic_many(
+        self, configs: Iterable[PipelineConfig]
+    ) -> list[ConfigCost | EnergyCost]:
+        """Memoized walk through the model's extend/finalize methods."""
+        finalize = self.model.finalize
+        out: list[ConfigCost | EnergyCost] = []
+        append_out = out.append
+        for config, state in self._walk_states(configs):
+            n = len(config.platforms)
+            # Re-read the cache each iteration: a pipeline switch inside
+            # the walk replaces it.
+            link_cost = self._link_costs.get(n)
+            if link_cost is None:
+                link_cost = self._link_cost(n, config)
+            append_out(finalize(state, config, link_cost))
         return out
+
+    def states_many(
+        self, configs: Iterable[PipelineConfig]
+    ) -> list[tuple[PipelineConfig, Any]]:
+        """The memoized walk *stopped before finalize*: one (config,
+        prefix state) pair per configuration.
+
+        The state is the model's link-independent compute-side fold —
+        ``(min fps, slowest label)`` for throughput, ``(reach rate,
+        block energies, active seconds)`` for energy — i.e. everything
+        about the configuration's cost that does not depend on the
+        uplink. Campaign-level dedup evaluates a shared pipeline's
+        states once and finalizes them under each member scenario's own
+        link terms; because ``extend_state`` replays exactly the float
+        operations of ``evaluate()``, a state finalized under link *L*
+        is bit-identical to evaluating the configuration against *L*
+        from scratch (the invariant suite asserts this byte for byte).
+        Requires a prefix-eligible model (the walk *is* the stock
+        ``evaluate`` minus its last step; a custom ``evaluate()`` has no
+        well-defined pre-finalize state to share).
+        """
+        if not self._memoized:
+            raise ConfigurationError(
+                "states_many needs a prefix-eligible cost model (stock "
+                "evaluate); models overriding evaluate() have no "
+                "shareable pre-finalize state"
+            )
+        return list(self._walk_states(configs))
 
     # The two loops below are _generic_many with the stock models'
     # extend_state/finalize bodies inlined (identical expressions in
@@ -422,3 +490,16 @@ def evaluate_chunk(
     policy) cannot change any scenario's values.
     """
     return PrefixEvaluator(model, pass_rates).evaluate_many(configs)
+
+
+def evaluate_chunk_states(
+    model: ThroughputCostModel | EnergyCostModel,
+    pass_rates: dict[str, float] | None,
+    configs: Sequence[PipelineConfig],
+) -> list[tuple[PipelineConfig, Any]]:
+    """Chunk-shaped :meth:`PrefixEvaluator.states_many` (module-level
+    for process-pool picklability) — the dedup counterpart of
+    :func:`evaluate_chunk`: the campaign driver ships a shared
+    pipeline's chunks through this when several scenarios will finalize
+    the same compute-side states under their own links."""
+    return PrefixEvaluator(model, pass_rates).states_many(configs)

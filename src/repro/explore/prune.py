@@ -164,9 +164,33 @@ def energy_prefix_pruner(scenario: "Scenario") -> PrefixPruner | None:
     continue optimally. ``prefix_energy + reach_rate * T[k]`` therefore
     lower-bounds *every* completion of the prefix at every deeper cut
     depth, so a prefix is cut only when no completion can stay within
-    ``energy_budget_j`` — the feasible set is identical to the unpruned
-    run (tested against :func:`repro.explore.explore_brute_force`).
-    Energy domain with a budget only; None otherwise.
+    ``energy_budget_j``.
+
+    That min, however, gives away exactness the enumerator does not
+    require: the enumeration walks each cut depth *separately*, so
+    during the depth-``d`` walk every completion of a prefix transmits
+    at depth ``d`` precisely — and the pruner supplies a **dual bound**
+    through :attr:`~repro.explore.enumerate.PrefixPruner.for_depth`
+    that combines the cheapest-completion chain with the *per-depth
+    pruner's exact transmit term* for that depth::
+
+        T_d[d] = tx(d)                       (exact, as in the depth pruner)
+        T_d[k] = cheapest[k+1] + pass_rate[k+1] * T_d[k+1]
+
+    ``T_d[k] >= T[k]`` always (the min includes ``T_d``), so the dual
+    bound cuts a superset of the single bound's prefixes while staying
+    sound for the depth being walked. The gap matters on
+    *late-collapsing payload chains* — pipelines whose ``output_bytes``
+    stay large until a late block collapses them: there the min-tail
+    assumes the cheap deep completion, which simply does not exist in a
+    shallow depth's walk, and the single bound can cut nothing even
+    though every depth-``d`` completion provably busts the budget
+    through its still-huge transmit term. The generic ``extend`` keeps
+    the depth-agnostic min (sound for any caller that walks depths
+    jointly). Either way the feasible set is identical to the unpruned
+    run (tested against :func:`repro.explore.explore_brute_force`,
+    including randomized late-collapsing pipelines). Energy domain with
+    a budget only; None otherwise.
     """
     if scenario.domain != "energy" or scenario.energy_budget_j is None:
         return None
@@ -197,15 +221,29 @@ def energy_prefix_pruner(scenario: "Scenario") -> PrefixPruner | None:
         }
         energy_tables.append(table)
         cheapest.append(min(table.values()))
-    # Tail bounds per prefix length: cheapest completion cost relative
-    # to the prefix's reach rate, minimized over all deeper cut depths.
+    # Exact per-depth transmit terms (what the depth pruner bounds with).
+    tx = [
+        link.tx_energy_for_bytes(pipeline.output_bytes_after(k))
+        for k in range(n_depths + 1)
+    ]
+    # Depth-agnostic tail bounds per prefix length: cheapest completion
+    # cost relative to the prefix's reach rate, minimized over all
+    # deeper cut depths (serves the generic extend).
     tails = [0.0] * (n_depths + 1)
-    tails[n_depths] = link.tx_energy_for_bytes(pipeline.output_bytes_after(n_depths))
+    tails[n_depths] = tx[n_depths]
     for k in range(n_depths - 1, -1, -1):
-        tails[k] = min(
-            link.tx_energy_for_bytes(pipeline.output_bytes_after(k)),
-            cheapest[k] + rates[k] * tails[k + 1],
-        )
+        tails[k] = min(tx[k], cheapest[k] + rates[k] * tails[k + 1])
+    # Dual bounds: one tail table per target cut depth d, closing with
+    # that depth's exact transmit term instead of the min — T_d[k]
+    # lower-bounds the completion of a length-k prefix at exactly depth
+    # d, so the depth-d walk can cut strictly more than the min-tail.
+    tails_for_depth: list[list[float]] = []
+    for d in range(n_depths + 1):
+        tail = [0.0] * (d + 1)
+        tail[d] = tx[d]
+        for k in range(d - 1, -1, -1):
+            tail[k] = cheapest[k] + rates[k] * tail[k + 1]
+        tails_for_depth.append(tail)
     budget = scenario.energy_budget_j * (1.0 + _ENERGY_BOUND_SLACK)
     sensor = pipeline.sensor_energy_per_frame
 
@@ -217,7 +255,20 @@ def energy_prefix_pruner(scenario: "Scenario") -> PrefixPruner | None:
             return PRUNED_SUBTREE
         return (rate, energy)
 
-    return PrefixPruner(initial=(1.0, sensor), extend=extend)
+    def for_depth(depth: int):
+        tail = tails_for_depth[depth]
+
+        def extend_at_depth(block_index: int, platform: str, state: tuple[float, float]):
+            rate, energy = state
+            energy += rate * energy_tables[block_index][platform]
+            rate *= rates[block_index]
+            if energy + rate * tail[block_index + 1] > budget:
+                return PRUNED_SUBTREE
+            return (rate, energy)
+
+        return extend_at_depth
+
+    return PrefixPruner(initial=(1.0, sensor), extend=extend, for_depth=for_depth)
 
 
 def lower_bound_depth_hook(scenario: "Scenario") -> DepthPruneHook | None:

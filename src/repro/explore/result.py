@@ -17,6 +17,7 @@ to be written to disk.
 
 from __future__ import annotations
 
+import heapq
 import json
 import math
 from typing import TYPE_CHECKING, Any, Iterator, Sequence
@@ -372,6 +373,80 @@ class ParetoFrontier:
 
     def __len__(self) -> int:
         return len(self._rows)
+
+
+class TopK:
+    """A bounded online top-k ranking over streamed rows — the ranking
+    mirror of :class:`ParetoFrontier`.
+
+    :meth:`ExplorationResult.top_k` sorts the full row list; this class
+    maintains only a size-``k`` heap, so the best rows by one metric
+    stay available on export-only (``collect=False``) runs whose rows
+    were never retained, in memory bounded by ``k``. :attr:`rows` is
+    *exactly* ``sorted(all rows seen, key=metric, reverse=maximize)[:k]``
+    — including the stable tie rule (ties keep stream order, and at the
+    cutoff boundary the earliest-seen rows win the last slots) — so the
+    online and batch rankings are interchangeable (asserted row-for-row
+    by the invariant suite).
+
+    Metric values must be real numbers (the heap negates values for
+    minimization); a missing or NaN metric raises
+    :class:`ConfigurationError` naming the offending row's stream
+    position — unlike the batch sort, which would silently misorder
+    NaN.
+    """
+
+    def __init__(self, metric: str, k: int = 5, maximize: bool = True):
+        if k < 0:
+            raise ConfigurationError(f"k must be >= 0, got {k}")
+        self.metric = metric
+        self.k = k
+        self.maximize = maximize
+        self.n_seen = 0
+        #: Min-heap of ((priority, -position), row): the worst surviving
+        #: row sits at the root. Positions are unique, so heap keys never
+        #: tie and rows are never compared.
+        self._heap: list[tuple[tuple[float, int], dict[str, Any]]] = []
+
+    def add(self, rows: Sequence[dict[str, Any]]) -> None:
+        """Fold one chunk of rows into the ranking (stream order)."""
+        metric, k, maximize = self.metric, self.k, self.maximize
+        heap = self._heap
+        for row in rows:
+            position = self.n_seen
+            self.n_seen += 1
+            if metric not in row:
+                raise ConfigurationError(
+                    f"metric {metric!r} missing in row {position}"
+                )
+            value = row[metric]
+            if not isinstance(value, (int, float)):
+                raise ConfigurationError(
+                    f"metric {metric!r} must be a number for online top-k, "
+                    f"got {type(value).__name__} in row {position}"
+                )
+            if isinstance(value, float) and math.isnan(value):
+                raise ConfigurationError(
+                    f"metric {metric!r} is NaN in row {position}"
+                )
+            if k == 0:
+                continue
+            # Among equal metric values the earlier row ranks higher, so
+            # earlier rows carry the larger tiebreak (-position).
+            key = ((value if maximize else -value), -position)
+            if len(heap) < k:
+                heapq.heappush(heap, (key, row))
+            elif key > heap[0][0]:
+                heapq.heapreplace(heap, (key, row))
+
+    @property
+    def rows(self) -> list[dict[str, Any]]:
+        """The current top-``k`` rows, best first (ties in stream order)."""
+        ordered = sorted(self._heap, key=lambda entry: entry[0], reverse=True)
+        return [row for _, row in ordered]
+
+    def __len__(self) -> int:
+        return len(self._heap)
 
 
 def domain_frontier(domain: str) -> ParetoFrontier:

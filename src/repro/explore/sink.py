@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence, T
 
 from repro.core.report import TextTable
 from repro.errors import ConfigurationError, SinkError
-from repro.explore.result import DEFAULT_AXES, ParetoFrontier, json_safe_value
+from repro.explore.result import DEFAULT_AXES, ParetoFrontier, TopK, json_safe_value
 
 if TYPE_CHECKING:  # imported lazily to avoid an import cycle
     from repro.explore.scenario import Scenario
@@ -253,6 +253,82 @@ class ParetoSink(ResultSink):
     def pareto(self) -> list[dict[str, Any]]:
         """The non-dominated rows streamed so far (first-seen order)."""
         return [] if self.frontier is None else self.frontier.rows
+
+
+class TopKSink(ResultSink):
+    """Maintain bounded online top-k rankings of the streamed rows.
+
+    The ranking counterpart of :class:`ParetoSink`, with one bounded
+    heap per requested metric: rows fold into
+    :class:`~repro.explore.result.TopK` instances chunk by chunk, so an
+    export-only (``collect=False``) run still answers
+    ``result.top_k(metric, k)``-shaped questions — memory is bounded by
+    ``k`` per metric, never by the design-space size, and the rankings
+    are row-for-row identical to the batch
+    :meth:`ExplorationResult.top_k` over the same rows (the invariant
+    suite asserts it).
+
+    Parameters
+    ----------
+    metric / k / maximize:
+        The single-ranking form, mirroring ``top_k``'s signature:
+        ``TopKSink("total_fps", k=5)``.
+    metrics:
+        The multi-ranking form: ``(metric, k, maximize)`` triples, one
+        bounded heap each — a dashboard tracks several leaderboards
+        through one sink. Exactly one of ``metric``/``metrics`` must be
+        given.
+    """
+
+    def __init__(
+        self,
+        metric: str | None = None,
+        k: int = 5,
+        maximize: bool = True,
+        *,
+        metrics: Sequence[tuple[str, int, bool]] | None = None,
+    ):
+        if (metric is None) == (metrics is None):
+            raise ConfigurationError(
+                "pass exactly one of metric= (single ranking) or "
+                "metrics= (several (metric, k, maximize) rankings)"
+            )
+        if metric is not None:
+            metrics = ((metric, k, maximize),)
+        rankings: dict[str, TopK] = {}
+        for spec in metrics:
+            if not isinstance(spec, (tuple, list)) or len(spec) != 3:
+                raise ConfigurationError(
+                    "each metrics= entry must be a (metric, k, maximize) "
+                    f"triple, got {spec!r}"
+                )
+            name, bound, flag = spec
+            if name in rankings:
+                raise ConfigurationError(f"duplicate top-k metric {name!r}")
+            rankings[name] = TopK(name, bound, flag)
+        self.rankings = rankings
+
+    def write_rows(self, rows: Sequence[dict[str, Any]]) -> None:
+        for ranking in self.rankings.values():
+            ranking.add(rows)
+
+    def top_k(self, metric: str | None = None) -> list[dict[str, Any]]:
+        """The current best-``k`` rows for ``metric`` (the only tracked
+        metric when omitted), best first — exactly what the batch
+        ``top_k`` would return over the streamed rows."""
+        if metric is None:
+            if len(self.rankings) != 1:
+                raise ConfigurationError(
+                    f"this sink tracks {sorted(self.rankings)}; name the "
+                    "metric to report"
+                )
+            metric = next(iter(self.rankings))
+        if metric not in self.rankings:
+            raise ConfigurationError(
+                f"metric {metric!r} is not tracked; this sink tracks "
+                f"{sorted(self.rankings)}"
+            )
+        return self.rankings[metric].rows
 
 
 class MemorySink(ResultSink):

@@ -1,0 +1,227 @@
+"""Generators and plumbing for the property-based invariant suite.
+
+Every test in this directory is a *property* checked over randomized
+inputs: pipelines, platform tables, links, scenarios and fleets are
+drawn from seeded :mod:`repro.datasets.rng` generators, so each
+parametrized seed is an independent, fully reproducible case. The
+properties themselves (campaign == solo, streamed == collected, dedup
+on == off, pruning never drops feasible, online == batch) are the
+load-bearing invariants of the exploration engine, written once here
+and asserted across the suite.
+
+On any test failure the (test id, parameters) pair is appended to
+``invariant_failures.json`` at the repository root; CI uploads the file
+as an artifact so property-test counterexamples are reproducible from a
+red build — rerun the named test with the recorded seed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.core.block import Block, Implementation
+from repro.core.pipeline import InCameraPipeline
+from repro.datasets.rng import make_rng
+from repro.explore import Scenario
+from repro.hw.network import LinkModel
+
+#: Where failing cases are recorded for the CI artifact (see module
+#: docstring); kept at the repository root so the upload step needs no
+#: directory knowledge.
+FAILURE_PATH = Path(__file__).resolve().parents[2] / "invariant_failures.json"
+
+#: Platform-name pool for random implementation tables.
+PLATFORMS = ("asic", "cpu", "dsp", "fpga", "gpu")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Record every failing invariant case (test id + parameters, which
+    include the seed) so CI can upload a reproduction recipe."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    callspec = getattr(item, "callspec", None)
+    entry = {
+        "test": item.nodeid,
+        "params": {
+            key: repr(value)
+            for key, value in (callspec.params.items() if callspec else ())
+        },
+    }
+    existing: list = []
+    if FAILURE_PATH.exists():
+        try:
+            existing = json.loads(FAILURE_PATH.read_text())
+        except (ValueError, OSError):
+            existing = []
+    existing.append(entry)
+    FAILURE_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+# -- seeded generators ---------------------------------------------------
+
+
+def random_pipeline(rng, max_blocks: int = 4, late_collapse: bool = False):
+    """A random block chain with random per-platform cost tables.
+
+    ``late_collapse=True`` draws the adversarial shape for energy
+    pruning bounds: per-block payloads stay near the sensor payload
+    until the final block collapses them by three orders of magnitude.
+    """
+    rng = make_rng(rng)
+    n_blocks = int(rng.integers(1, max_blocks + 1))
+    sensor_bytes = float(rng.uniform(200.0, 2000.0))
+    blocks = []
+    for i in range(n_blocks):
+        if late_collapse:
+            output = (
+                sensor_bytes * float(rng.uniform(0.9, 1.1))
+                if i < n_blocks - 1
+                else sensor_bytes * 1e-3
+            )
+        else:
+            output = sensor_bytes * float(rng.uniform(0.05, 1.2))
+        chosen = rng.choice(len(PLATFORMS), size=int(rng.integers(1, 4)), replace=False)
+        implementations = {}
+        for index in chosen:
+            platform = PLATFORMS[int(index)]
+            implementations[platform] = Implementation(
+                platform,
+                fps=float(rng.uniform(5.0, 120.0)),
+                energy_per_frame=float(rng.uniform(1e-7, 5e-5)),
+                active_seconds=float(rng.uniform(1e-4, 5e-3)),
+            )
+        blocks.append(
+            Block(
+                name=f"B{i}",
+                output_bytes=float(output),
+                pass_rate=float(rng.uniform(0.3, 1.0)),
+                implementations=implementations,
+            )
+        )
+    # Occasionally end the enumerable depths early: a block that cannot
+    # run in camera (no implementations) truncates the plan.
+    if n_blocks > 1 and rng.random() < 0.15:
+        blocks[-1] = replace(blocks[-1], implementations={})
+    return InCameraPipeline(
+        name=f"rand-{int(rng.integers(1_000_000))}",
+        sensor_bytes=sensor_bytes,
+        blocks=tuple(blocks),
+        sensor_energy_per_frame=float(rng.uniform(0.0, 2e-6)),
+    )
+
+
+def random_link(rng) -> LinkModel:
+    rng = make_rng(rng)
+    return LinkModel(
+        name=f"link-{int(rng.integers(1_000_000))}",
+        raw_bps=float(10.0 ** rng.uniform(5.0, 10.0)),
+        efficiency=float(rng.uniform(0.3, 1.0)),
+        tx_energy_per_bit=(
+            0.0 if rng.random() < 0.3 else float(10.0 ** rng.uniform(-12.0, -8.0))
+        ),
+    )
+
+
+def random_scenario(
+    rng,
+    name: str,
+    pipeline: InCameraPipeline | None = None,
+    domain: str | None = None,
+    constrained: bool | None = None,
+    **overrides,
+) -> Scenario:
+    """A random scenario; ``constrained=None`` flips a biased coin."""
+    rng = make_rng(rng)
+    pipeline = pipeline if pipeline is not None else random_pipeline(rng)
+    domain = domain or ("throughput" if rng.random() < 0.5 else "energy")
+    kwargs: dict = {
+        "name": name,
+        "pipeline": pipeline,
+        "link": random_link(rng),
+        "domain": domain,
+    }
+    if constrained is None:
+        constrained = rng.random() < 0.7
+    if domain == "throughput":
+        if constrained:
+            kwargs["target_fps"] = float(rng.uniform(5.0, 80.0))
+    else:
+        if constrained:
+            kwargs["energy_budget_j"] = float(10.0 ** rng.uniform(-6.0, -3.0))
+        if rng.random() < 0.3 and pipeline.blocks:
+            kwargs["pass_rates"] = {
+                pipeline.blocks[0].name: float(rng.uniform(0.1, 1.0))
+            }
+    kwargs.update(overrides)
+    return Scenario(**kwargs)
+
+
+def random_fleet(rng, max_scenarios: int = 5) -> list[Scenario]:
+    """A random mixed-domain fleet.
+
+    Includes — probabilistically, so the suite covers them across its
+    seeds — dedup targets (the same pipeline object at a second link),
+    auto-pruned scenarios (dedup-ineligible but campaign-legal), and
+    zero-configuration scenarios.
+    """
+    rng = make_rng(rng)
+    target = int(rng.integers(2, max_scenarios + 1))
+    fleet: list[Scenario] = []
+    while len(fleet) < target:
+        scenario = random_scenario(rng, name=f"s{len(fleet)}")
+        if (
+            scenario.domain == "throughput"
+            and scenario.target_fps is not None
+            and rng.random() < 0.25
+        ):
+            scenario = replace(scenario, auto_prune=True, auto_prune_configs=True)
+        fleet.append(scenario)
+        if len(fleet) < target and rng.random() < 0.5:
+            # A dedup sibling: same pipeline, different link (and, in
+            # the throughput domain, sometimes a different target).
+            sibling = replace(
+                scenario, name=f"s{len(fleet)}", link=random_link(rng)
+            )
+            fleet.append(sibling)
+    if rng.random() < 0.25:
+        fleet[int(rng.integers(len(fleet)))] = Scenario(
+            name="empty",
+            pipeline=InCameraPipeline(name="none", sensor_bytes=1.0, blocks=()),
+            link=random_link(rng),
+            include_empty=False,
+        )
+    return fleet
+
+
+def assert_subsequence(sub: list, full: list, label: str) -> None:
+    """Every element of ``sub`` appears in ``full`` in order."""
+    position = 0
+    for element in sub:
+        while position < len(full) and full[position] != element:
+            position += 1
+        assert position < len(full), f"{label}: {element!r} out of order or missing"
+        position += 1
+
+
+class _Generators:
+    """The generator toolkit handed to tests through the ``gen``
+    fixture (this directory's test modules are not a package, so plain
+    ``import conftest`` would collide with ``tests/conftest.py``)."""
+
+    pipeline = staticmethod(random_pipeline)
+    link = staticmethod(random_link)
+    scenario = staticmethod(random_scenario)
+    fleet = staticmethod(random_fleet)
+    subsequence = staticmethod(assert_subsequence)
+
+
+@pytest.fixture(scope="session")
+def gen() -> _Generators:
+    return _Generators()

@@ -1,0 +1,126 @@
+"""Campaign invariants over seeded random fleets.
+
+The load-bearing identities of the campaign driver, as properties:
+
+* **campaign == solo**: every scenario of a fleet run through one
+  shared executor produces rows byte-identical to a solo ``explore()``
+  of that scenario, under EVERY builtin scheduling policy — including
+  ``adaptive_latency``, whose chunk interleaving depends on measured
+  wall-clock latencies and is deliberately not reproducible;
+* **dedup on == dedup off**: enabling cross-scenario evaluation dedup
+  changes which code computes each cost, never the bytes of any row;
+* the acceptance pairing: ``adaptive_latency`` *and* ``dedup=True``
+  together, on a parallel executor, still match solo byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.explore import (
+    SCHEDULING_POLICIES,
+    Campaign,
+    SweepExecutor,
+    explore,
+    scenario_compute_key,
+)
+
+SEEDS = range(10)
+
+
+def _solo_rows(fleet):
+    return {scenario.name: explore(scenario).rows for scenario in fleet}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_campaign_equals_solo_under_every_policy(gen, seed):
+    fleet = gen.fleet(seed)
+    solo = _solo_rows(fleet)
+    for policy in sorted(SCHEDULING_POLICIES):
+        result = Campaign(fleet).run(chunk_size=3, policy=policy)
+        assert result.policy == policy
+        for run in result:
+            assert json.dumps(run.result.rows) == json.dumps(solo[run.name]), (
+                seed,
+                policy,
+                run.name,
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_dedup_on_equals_dedup_off_byte_identical(gen, seed):
+    """Rows, summary statistics and frontiers are unchanged by dedup;
+    the accounting proves work was actually shared whenever the fleet
+    contains a shareable group."""
+    fleet = gen.fleet(seed)
+    with_dedup = Campaign(fleet).run(chunk_size=4, dedup=True)
+    without = Campaign(fleet).run(chunk_size=4, dedup=False)
+    for lean, full in zip(with_dedup, without):
+        assert json.dumps(lean.result.rows) == json.dumps(full.result.rows), (
+            seed,
+            lean.name,
+        )
+        assert lean.n_feasible == full.n_feasible
+        assert lean.best == full.best
+        assert lean.pareto_size == full.pareto_size
+    keys = [scenario_compute_key(scenario) for scenario in fleet]
+    shareable = sum(
+        1
+        for index, key in enumerate(keys)
+        if key is not None and key in keys[:index]
+    )
+    assert with_dedup.cache_stats["scenarios_shared"] == shareable, seed
+    expected_skipped = sum(
+        run.n_evaluated
+        for run, key, position in zip(
+            without.runs, keys, range(len(keys))
+        )
+        if key is not None and key in keys[:position]
+    )
+    assert with_dedup.cache_stats["evaluations_skipped"] == expected_skipped, seed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_adaptive_latency_with_dedup_on_parallel_executor(gen, seed):
+    """The acceptance pairing: measured-latency scheduling and the
+    evaluation cache enabled together, on a shared thread pool."""
+    fleet = gen.fleet(seed)
+    solo = _solo_rows(fleet)
+    result = Campaign(fleet).run(
+        SweepExecutor(workers=3, backend="thread"),
+        chunk_size=2,
+        policy="adaptive_latency",
+        dedup=True,
+    )
+    assert result.policy == "adaptive_latency"
+    for run in result:
+        assert json.dumps(run.result.rows) == json.dumps(solo[run.name]), (
+            seed,
+            run.name,
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_iter_runs_streamed_equals_drained_run(gen, seed):
+    """Streaming consumption (with backpressure) hands out exactly the
+    runs a drained ``run()`` reassembles, byte for byte."""
+    fleet = gen.fleet(seed)
+    streamed = {
+        run.name: run
+        for run in Campaign(fleet).iter_runs(
+            chunk_size=3, dedup=True, max_pending_runs=1
+        )
+    }
+    drained = Campaign(fleet).run(chunk_size=3, dedup=True)
+    assert set(streamed) == {run.name for run in drained}
+    for run in drained:
+        other = streamed[run.name]
+        assert json.dumps(other.result.rows) == json.dumps(run.result.rows), (
+            seed,
+            run.name,
+        )
+        assert other.n_feasible == run.n_feasible
+        assert other.pareto_size == run.pareto_size
+        assert other.dedup_source == run.dedup_source

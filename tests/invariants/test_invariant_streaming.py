@@ -1,0 +1,150 @@
+"""Streaming-equals-batch invariants over seeded random inputs.
+
+Every streaming/online structure in the engine must be *exactly* its
+batch counterpart — not approximately, byte for byte:
+
+* **streamed == collected**: rows delivered through a sink on an
+  export-only (``collect=False``) run are the rows a collected run
+  holds, for solo ``explore()`` and for campaigns;
+* **online frontier == batch frontier**: the dominance-pruned
+  ``ParetoFrontier`` folded chunk-by-chunk equals ``pareto_filter``
+  over all rows;
+* **online top-k == batch top-k**: the bounded heap equals the sorted
+  ranking, including stable ties in both directions, for any chunking.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.datasets.rng import make_rng
+from repro.explore import (
+    Campaign,
+    ExplorationResult,
+    MemorySink,
+    ParetoSink,
+    TopK,
+    TopKSink,
+    explore,
+    pareto_filter,
+)
+from repro.explore.result import DEFAULT_AXES, ParetoFrontier
+
+SEEDS = range(12)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_streamed_rows_equal_collected_rows_solo(gen, seed):
+    scenario = gen.scenario(seed, name=f"solo-{seed}")
+    sink = MemorySink()
+    assert explore(scenario, sink=sink, collect=False, chunk_size=3) is None
+    collected = explore(scenario)
+    assert json.dumps(sink.rows) == json.dumps(collected.rows), seed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_streamed_campaign_stats_equal_collected(gen, seed):
+    fleet = gen.fleet(seed)
+    collected = Campaign(fleet).run(chunk_size=3)
+    streamed = Campaign(fleet).run(chunk_size=3, collect=False)
+    for full, lean in zip(collected, streamed):
+        assert lean.result is None
+        assert lean.n_evaluated == full.n_evaluated
+        assert lean.n_feasible == full.n_feasible
+        assert lean.best == full.best
+        assert lean.pareto_size == full.pareto_size
+        assert json.dumps(lean.pareto()) == json.dumps(full.pareto()), (
+            seed,
+            full.name,
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_online_frontier_equals_batch_on_scenarios(gen, seed):
+    scenario = gen.scenario(seed, name=f"front-{seed}")
+    sink = ParetoSink()
+    explore(scenario, sink=sink, collect=False, chunk_size=4)
+    collected = explore(scenario)
+    assert json.dumps(sink.pareto()) == json.dumps(collected.pareto()), seed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_online_topk_equals_batch_on_scenarios(gen, seed):
+    """The headline streamed-top-k property: TopKSink under
+    collect=False reproduces ExplorationResult.top_k row for row."""
+    rng = make_rng(seed)
+    scenario = gen.scenario(rng, name=f"topk-{seed}")
+    axes, maximize = DEFAULT_AXES[scenario.domain]
+    k = int(rng.integers(0, 8))
+    sink = TopKSink(
+        metrics=[
+            (axes[0], k, maximize),
+            (axes[1], k, not maximize),
+        ]
+    )
+    explore(scenario, sink=sink, collect=False, chunk_size=3)
+    collected = explore(scenario)
+    for metric, flag in ((axes[0], maximize), (axes[1], not maximize)):
+        assert json.dumps(sink.top_k(metric)) == json.dumps(
+            collected.top_k(metric, k=k, maximize=flag)
+        ), (seed, metric)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_online_topk_equals_batch_on_random_rows(seed):
+    """TopK vs the batch sort on adversarial row streams: heavy value
+    collisions (stable-tie pressure), random chunking, k from 0 to
+    beyond the stream length, both directions."""
+    rng = random.Random(seed)
+    n = rng.randint(0, 80)
+    rows = [
+        {"config": f"c{i}", "m": float(rng.randint(0, 9))} for i in range(n)
+    ]
+    for maximize in (True, False):
+        k = rng.choice([0, 1, 3, n, n + 5])
+        online = TopK("m", k=k, maximize=maximize)
+        position = 0
+        while position < len(rows):
+            step = rng.randint(1, 7)
+            online.add(rows[position : position + step])
+            position += step
+        batch = sorted(rows, key=lambda row: row["m"], reverse=maximize)[:k]
+        assert online.rows == batch, (seed, maximize, k)
+        assert online.n_seen == len(rows)
+        assert len(online) == min(k, len(rows))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_online_frontier_equals_batch_on_random_rows(seed):
+    rng = random.Random(seed)
+    n_axes = rng.choice([1, 2, 3])
+    rows = [
+        {f"m{a}": float(rng.randint(0, 5)) for a in range(n_axes)}
+        for _ in range(rng.randint(0, 60))
+    ]
+    axes = [f"m{a}" for a in range(n_axes)]
+    maximize = rng.choice([True, False])
+    frontier = ParetoFrontier(axes, maximize)
+    position = 0
+    while position < len(rows):
+        step = rng.randint(1, 9)
+        frontier.add(rows[position : position + step])
+        position += step
+    assert frontier.rows == pareto_filter(rows, axes, maximize), seed
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_topk_streamed_result_view_consistency(gen, seed):
+    """Cross-check through the result object: seeding a result with the
+    streamed rows reproduces the streamed top-k (the two views derive
+    from the same rows)."""
+    scenario = gen.scenario(seed, name=f"view-{seed}", domain="throughput")
+    sink = MemorySink()
+    explore(scenario, sink=sink, collect=False)
+    rebuilt = ExplorationResult(scenario=scenario, rows=list(sink.rows))
+    online = TopK("total_fps", k=4, maximize=True)
+    online.add(sink.rows)
+    assert online.rows == rebuilt.top_k("total_fps", k=4), seed
