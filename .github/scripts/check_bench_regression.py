@@ -1,9 +1,10 @@
 #!/usr/bin/env python
 """CI gate over the ``BENCH_explore.json`` speedup trajectory.
 
-After the scaling benchmark appends its entry, this script compares the
-*newest* memoized-speedup entry against the *best prior* entry of the
-same kind:
+After the perf benchmarks append their entries, this script gates each
+tracked kind independently (``GATED_KINDS`` maps kind -> gated metric),
+comparing the *newest* entry's metric against the *best prior* entry of
+the same kind:
 
 * within ``WARN_RATIO`` (2x) of the best: OK;
 * worse than ``WARN_RATIO`` but within ``FAIL_RATIO`` (5x): a warning
@@ -25,9 +26,16 @@ import os
 import sys
 from pathlib import Path
 
-#: Trajectory entries examined and the metric gated.
+#: Trajectory entries examined and the metric gated (the historical
+#: single-kind default, kept for backward compatibility).
 KIND = "explore_scaling"
 METRIC = "speedup_memoized_vs_brute"
+#: Every gated kind and its metric; ``main`` assesses each in turn and
+#: the build fails if any kind regresses past the hard gate.
+GATED_KINDS: dict[str, str] = {
+    "explore_scaling": "speedup_memoized_vs_brute",
+    "explore_vectorized": "speedup_batch_vs_scalar",
+}
 #: best_prior / latest above this: warn-only comment in the summary.
 WARN_RATIO = 2.0
 #: best_prior / latest above this: hard failure.
@@ -56,17 +64,19 @@ def assess(
     best_prior: float | None,
     warn_ratio: float = WARN_RATIO,
     fail_ratio: float = FAIL_RATIO,
+    kind: str = KIND,
+    metric: str = METRIC,
 ) -> tuple[str, str]:
     """('ok' | 'warn' | 'fail', human-readable message)."""
     if latest is None:
-        return "ok", f"no {KIND!r} entries with {METRIC!r} in the trajectory yet"
+        return "ok", f"no {kind!r} entries with {metric!r} in the trajectory yet"
     if best_prior is None:
-        return "ok", f"first {KIND!r} entry: {METRIC} = {latest}x (no prior to gate against)"
+        return "ok", f"first {kind!r} entry: {metric} = {latest}x (no prior to gate against)"
     if latest <= 0:
-        return "fail", f"newest {METRIC} is {latest}x — the memoized path lost outright"
+        return "fail", f"newest {metric} is {latest}x — the gated path lost outright"
     ratio = best_prior / latest
     message = (
-        f"newest {METRIC} = {latest}x vs best prior {best_prior}x "
+        f"newest {metric} = {latest}x vs best prior {best_prior}x "
         f"({ratio:.2f}x off the best)"
     )
     if ratio > fail_ratio:
@@ -92,11 +102,14 @@ def main(argv: list[str]) -> int:
         print(f"benchmark gate: {path} not found (benchmark did not run?)")
         return 1
     trajectory = json.loads(path.read_text())
-    latest, best_prior = latest_and_best_prior(trajectory)
-    status, message = assess(latest, best_prior)
-    print(f"benchmark gate [{status}]: {message}")
-    write_step_summary(status, message)
-    return 1 if status == "fail" else 0
+    failed = False
+    for kind, metric in GATED_KINDS.items():
+        latest, best_prior = latest_and_best_prior(trajectory, kind, metric)
+        status, message = assess(latest, best_prior, kind=kind, metric=metric)
+        print(f"benchmark gate [{status}] {kind}: {message}")
+        write_step_summary(status, f"{kind}: {message}")
+        failed = failed or status == "fail"
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -31,9 +31,16 @@ import time
 from dataclasses import replace
 
 from repro.core.block import Block, Implementation
+from repro.core.cost import ConfigCost, EnergyCost
 from repro.core.pipeline import InCameraPipeline
 from repro.core.report import TextTable
-from repro.explore import Scenario, explore, explore_brute_force
+from repro.explore import (
+    Scenario,
+    TopKSink,
+    evaluation_path,
+    explore,
+    explore_brute_force,
+)
 from repro.explore.result import cost_row
 from repro.hw.network import LinkModel
 
@@ -109,7 +116,11 @@ def test_explore_scaling_speedup(benchmark, publish, results_dir, append_traject
         }
         del brute  # two 2.39M-config results must never coexist
 
-        seconds, memoized = _timed(lambda: explore(scenario))
+        # ``evaluation="scalar"`` pins this mode to the scalar memoized
+        # engine so the explore_scaling trajectory keeps measuring the
+        # same path across commits; the columnar batch path has its own
+        # trajectory kind (see test_explore_vectorized_speedup).
+        seconds, memoized = _timed(lambda: explore(scenario, evaluation="scalar"))
         memo_sample = json.dumps(
             [cost_row(scenario, cost) for cost in memoized.evaluations[::SAMPLE]]
         )
@@ -124,7 +135,7 @@ def test_explore_scaling_speedup(benchmark, publish, results_dir, append_traject
 
         pruned_scenario = replace(scenario, auto_prune=True)
         to_evaluate = pruned_scenario.count_configs()
-        seconds, pruned = _timed(lambda: explore(pruned_scenario))
+        seconds, pruned = _timed(lambda: explore(pruned_scenario, evaluation="scalar"))
         assert len(pruned.evaluations) == to_evaluate < n_configs
         # Soundness on the full-depth space: pruning must keep every
         # brute-force-feasible configuration, in order.
@@ -178,3 +189,151 @@ def test_explore_scaling_speedup(benchmark, publish, results_dir, append_traject
     # Pruning evaluates a tiny feasible band yet covers the whole space.
     assert measurements["pruned"]["evaluated"] < n_configs / 100
     assert effective_prune_speedup > speedup
+
+
+class _CountingTopKSink(TopKSink):
+    """A single-ranking top-k sink that counts, per streamed batch, how
+    many rows the lazy columnar path actually materialized."""
+
+    def __init__(self) -> None:
+        super().__init__("total_fps", k=5)
+        self.materialized = 0
+        self.rows_seen = 0
+
+    def write_batch(self, batch) -> None:
+        before = batch.n_materialized
+        super().write_batch(batch)
+        self.materialized += batch.n_materialized - before
+        self.rows_seen += len(batch)
+
+
+def _live_cost_instances() -> int:
+    """Count live cost objects (after a forced collection)."""
+    gc.collect()
+    return sum(
+        1 for obj in gc.get_objects() if isinstance(obj, (ConfigCost, EnergyCost))
+    )
+
+
+def test_explore_vectorized_speedup(benchmark, publish, results_dir, append_trajectory):
+    """Columnar batch core vs the scalar memoized engine.
+
+    Three modes over the same 2.39M-config space:
+
+    * ``scalar``     — ``explore(..., evaluation="scalar")``, the
+      prefix-memoized per-config fold (the prior engine);
+    * ``batch``      — ``explore(...)`` riding the batch-cohort path with
+      full row collection (costs materialized in bulk);
+    * ``batch_lazy`` — the batch-cohort path streamed into a top-k sink
+      with ``collect=False``: rows stay columnar and only heap
+      candidates ever materialize a cost object.
+
+    The trajectory entry (kind ``explore_vectorized``) records
+    ``speedup_batch_vs_scalar`` from the lazy mode; the acceptance bar is
+    >= 10x the best *prior* memoized throughput in the trajectory.
+    """
+    scenario = build_deep_scenario()
+    n_configs = scenario.count_configs()
+    assert evaluation_path(scenario) == "batch-cohort"
+
+    def run():
+        measurements = {}
+
+        seconds, scalar = _timed(lambda: explore(scenario, evaluation="scalar"))
+        scalar_sample = json.dumps(
+            [cost_row(scenario, cost) for cost in scalar.evaluations[::SAMPLE]]
+        )
+        scalar_top = json.dumps(scalar.top_k("total_fps", k=5))
+        measurements["scalar"] = {
+            "seconds": round(seconds, 3),
+            "evaluated": len(scalar.evaluations),
+            "configs_per_sec": round(n_configs / seconds),
+        }
+        del scalar  # two 2.39M-config results must never coexist
+
+        seconds, batch = _timed(lambda: explore(scenario))
+        batch_sample = json.dumps(
+            [cost_row(scenario, cost) for cost in batch.evaluations[::SAMPLE]]
+        )
+        assert len(batch.evaluations) == n_configs
+        assert batch_sample == scalar_sample  # byte-identical spot check
+        measurements["batch"] = {
+            "seconds": round(seconds, 3),
+            "evaluated": n_configs,
+            "configs_per_sec": round(n_configs / seconds),
+        }
+        del batch
+
+        sink = _CountingTopKSink()
+        seconds, _ = _timed(
+            lambda: explore(scenario, sink=sink, collect=False)
+        )
+        assert sink.rows_seen == n_configs
+        # Lazy materialization: only heap candidates become cost
+        # objects, and none of them outlive the stream.
+        assert sink.materialized < n_configs / 100, sink.materialized
+        assert _live_cost_instances() < n_configs / 100
+        # The online top-k over lazy batches matches the collected
+        # scalar ranking byte for byte.
+        assert json.dumps(sink.top_k()) == scalar_top
+        measurements["batch_lazy"] = {
+            "seconds": round(seconds, 3),
+            "evaluated": n_configs,
+            "configs_per_sec": round(n_configs / seconds),
+            "rows_materialized": sink.materialized,
+        }
+        return measurements
+
+    measurements = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    speedup = (
+        measurements["batch_lazy"]["configs_per_sec"]
+        / measurements["scalar"]["configs_per_sec"]
+    )
+    collect_speedup = (
+        measurements["batch"]["configs_per_sec"]
+        / measurements["scalar"]["configs_per_sec"]
+    )
+    entry = {
+        "kind": "explore_vectorized",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "pipeline": {"blocks": N_BLOCKS, "platforms_per_block": len(PLATFORMS)},
+        "n_configs": n_configs,
+        "modes": measurements,
+        "speedup_batch_vs_scalar": round(speedup, 2),
+        "speedup_batch_collect_vs_scalar": round(collect_speedup, 2),
+    }
+    trajectory = append_trajectory(entry)
+    (results_dir / "BENCH_explore_vectorized.json").write_text(
+        json.dumps(entry, indent=2) + "\n"
+    )
+
+    table = TextTable(
+        ["mode", "seconds", "evaluated", "configs_per_sec"],
+        title=f"Explore vectorized: {N_BLOCKS} blocks x {len(PLATFORMS)} "
+              f"platforms ({n_configs} configs)",
+    )
+    table.add_rows(
+        {"mode": mode, **{k: v for k, v in stats.items() if k in table.columns}}
+        for mode, stats in measurements.items()
+    )
+    publish("explore_vectorized", table.render())
+
+    # The tentpole acceptance bar: the lazy columnar path must clear
+    # 10x the best memoized throughput any prior commit recorded.
+    prior_memoized = [
+        e["modes"]["memoized"]["configs_per_sec"]
+        for e in trajectory
+        if e.get("kind") == "explore_scaling" and "memoized" in e.get("modes", {})
+    ]
+    if prior_memoized:
+        bar = 10 * max(prior_memoized)
+        lazy = measurements["batch_lazy"]["configs_per_sec"]
+        assert lazy >= bar, (
+            f"lazy columnar path at {lazy} configs/s is below 10x the best "
+            f"memoized trajectory entry ({max(prior_memoized)} configs/s)"
+        )
+    # CI smoke bar mirroring the scaling benchmark: batching must never
+    # lose to the scalar fold, lazy must never lose to materialize-all.
+    assert speedup >= 1.0, f"batch path slower than scalar ({speedup:.2f}x)"
+    assert speedup >= collect_speedup

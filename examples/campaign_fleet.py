@@ -38,7 +38,7 @@ import tempfile
 from pathlib import Path
 
 from repro.core import TextTable
-from repro.explore import Campaign, CsvSink, SweepExecutor
+from repro.explore import Campaign, CsvSink, SweepExecutor, evaluation_path
 from repro.explore.catalog import load_builtin
 
 #: The campaign summary is archived next to the benchmark tables (CI
@@ -64,7 +64,12 @@ def main() -> None:
     fleet = catalog.build_all()
     campaign = Campaign(fleet, name="builtin-fleet")
     executor = SweepExecutor(workers=4, backend="thread")
-    print("\nStreaming fleet (shortest scenario first):")
+    # Self-describing perf repro: say which evaluation path each
+    # scenario rides under this executor (batch-chunk here — the shared
+    # thread pool chunks the spaces; solo serial runs go batch-cohort).
+    paths = sorted({evaluation_path(s, executor) for s in fleet})
+    print(f"\nEvaluation path(s) under the fleet executor: {', '.join(paths)}")
+    print("Streaming fleet (shortest scenario first):")
     runs = []
     for run in campaign.iter_runs(executor, policy="shortest_scenario_first"):
         runs.append(run)

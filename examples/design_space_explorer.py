@@ -22,7 +22,7 @@ Run:
 import io
 
 from repro.core import TextTable, parameter_sweep
-from repro.explore import Campaign, CsvSink, SweepExecutor
+from repro.explore import Campaign, CsvSink, SweepExecutor, evaluation_path
 from repro.explore.catalog import load_builtin
 from repro.nn import MLP
 from repro.snnap import SnnapAccelerator
@@ -102,6 +102,11 @@ def main() -> None:
     # the energy scenario's rows streamed to a CSV sink as they land.
     catalog = load_builtin()
     fleet = [catalog.build("faceauth-energy"), catalog.build("vr-fig10")]
+    # Self-describing perf repro: name the evaluation path each
+    # scenario's solo explore() would ride (batch-cohort on the stock
+    # models, scalar-* when a custom model forces the fallback).
+    for scenario in fleet:
+        print(f"Evaluation path for {scenario.name}: {evaluation_path(scenario)}")
     csv_stream = io.StringIO()
     campaign = Campaign(fleet, name="explorer-finale").run(
         SweepExecutor(workers=4, backend="thread"),

@@ -25,11 +25,23 @@ from-scratch ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Sequence
+
+try:  # numpy backs the optional columnar batch path; scalar folds never need it
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    _np = None
 
 from repro.core.block import Block, Implementation
 from repro.core.pipeline import InCameraPipeline, PipelineConfig, _digest
 from repro.errors import PipelineError
 from repro.hw.network import LinkModel
+
+
+def _require_numpy() -> Any:
+    if _np is None:  # pragma: no cover - guarded by supports_batch_evaluation
+        raise PipelineError("batch cost evaluation requires numpy")
+    return _np
 
 
 def implementation_fingerprint(impl: Implementation) -> tuple:
@@ -149,6 +161,59 @@ class ThroughputCostModel:
             state = self.extend_state(state, block, impl)
         return self.finalize(state, config)
 
+    # -- columnar batch counterparts -----------------------------------
+    # Row i of every array is the scalar fold of configuration i: the
+    # batch kernels perform the same float operations in the same order
+    # (elementwise), so results are bit-identical to the scalar path.
+
+    def initial_state_batch(self, n: int) -> tuple[Any, Any]:
+        """Array-shaped :meth:`initial_state` for ``n`` configurations."""
+        np = _require_numpy()
+        return (np.full(n, float("inf")), np.full(n, "none", dtype=object))
+
+    def extend_state_batch(
+        self,
+        state: tuple[Any, Any],
+        block: Block,
+        impls: Sequence[Implementation],
+        choices: Any,
+    ) -> tuple[Any, Any]:
+        """Array-shaped :meth:`extend_state`.
+
+        ``impls`` is the block's implementations in enumeration (sorted
+        platform) order and ``choices`` an integer array selecting each
+        row's implementation. The running-min update mirrors the scalar
+        branch ``if impl.fps < state[0]`` exactly.
+        """
+        np = _require_numpy()
+        fps_cur, labels_cur = state
+        option_fps = np.array([impl.fps for impl in impls])
+        option_labels = np.array(
+            [f"{block.name}({impl.platform})" for impl in impls], dtype=object
+        )
+        fps_new = option_fps[choices]
+        slower = fps_new < fps_cur
+        return (
+            np.where(slower, fps_new, fps_cur),
+            np.where(slower, option_labels[choices], labels_cur),
+        )
+
+    def finalize_batch(
+        self, state: tuple[Any, Any], communication_fps: float
+    ) -> dict[str, Any]:
+        """Close a batch state into columnar cost fields.
+
+        ``communication_fps`` is the per-depth link rate shared by every
+        row (the payload depends only on the cut depth). Returns the
+        column mapping consumed by
+        :class:`repro.explore.vectorized.BatchRows`.
+        """
+        return {
+            "compute_fps": state[0],
+            "slowest_block": state[1],
+            "communication_fps": communication_fps,
+        }
+
 
 @dataclass(frozen=True, slots=True)
 class EnergyCost:
@@ -264,3 +329,63 @@ class EnergyCostModel:
         for block, impl in config.in_camera_blocks():
             state = self.extend_state(state, block, impl, pass_rates)
         return self.finalize(state, config)
+
+    # -- columnar batch counterparts -----------------------------------
+    # Row i of every array is the scalar fold of configuration i: the
+    # batch kernels perform the same float operations in the same order
+    # (elementwise), so results are bit-identical to the scalar path.
+
+    def initial_state_batch(self, n: int) -> tuple[Any, tuple, Any]:
+        """Array-shaped :meth:`initial_state` for ``n`` configurations."""
+        np = _require_numpy()
+        return (np.ones(n), (), np.zeros(n))
+
+    def extend_state_batch(
+        self,
+        state: tuple[Any, tuple, Any],
+        block: Block,
+        impls: Sequence[Implementation],
+        choices: Any,
+        pass_rates: dict[str, float] | None = None,
+    ) -> tuple[Any, tuple, Any]:
+        """Array-shaped :meth:`extend_state`.
+
+        ``impls`` is the block's implementations in enumeration (sorted
+        platform) order and ``choices`` an integer array selecting each
+        row's implementation. Per-block energies stay one array per
+        level (struct-of-arrays), mirroring the scalar state's tuple of
+        ``(name, energy)`` pairs.
+        """
+        np = _require_numpy()
+        rate, energies, active = state
+        option_energy = np.array([impl.energy_per_frame for impl in impls])
+        option_active = np.array([impl.active_seconds for impl in impls])
+        energy = rate * option_energy[choices]
+        active = active + rate * option_active[choices]
+        block_rate = (
+            pass_rates.get(block.name, block.pass_rate)
+            if pass_rates is not None
+            else block.pass_rate
+        )
+        if not 0.0 <= block_rate <= 1.0:
+            raise PipelineError(
+                f"pass rate for {block.name!r} must be in [0,1], got {block_rate}"
+            )
+        return (rate * block_rate, energies + ((block.name, energy),), active)
+
+    def finalize_batch(
+        self, state: tuple[Any, tuple, Any], link_costs: tuple[float, float]
+    ) -> dict[str, Any]:
+        """Close a batch state into columnar cost fields.
+
+        ``link_costs`` is the per-depth (transmit joules, transmit
+        seconds) pair shared by every row. Returns the column mapping
+        consumed by :class:`repro.explore.vectorized.BatchRows`.
+        """
+        rate, energies, active = state
+        return {
+            "transmit_rate": rate,
+            "block_energies": energies,
+            "transmit_energy": rate * link_costs[0],
+            "active_seconds": active + rate * link_costs[1],
+        }

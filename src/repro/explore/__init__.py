@@ -19,6 +19,11 @@ turns that exercise into one reusable engine:
 * :mod:`.incremental` — :class:`PrefixEvaluator`, prefix-memoized
   evaluation turning per-config cost from O(depth) into amortized O(1)
   block extensions (bit-identical to from-scratch evaluation);
+* :mod:`.vectorized` — :class:`BatchPrefixEvaluator`, the columnar
+  batch core: depth cohorts fold as numpy struct-of-arrays states with
+  lazily materialized rows (bit-identical to the scalar fold), plus
+  :class:`PrefixStateCache`, trie-keyed partial prefix dedup across a
+  fleet's scenarios;
 * :mod:`.prune` — sound lower-bound pruning derived from a scenario's
   constraint: whole depths (``Scenario(..., auto_prune=True)``) and
   per-config subtrees within surviving depths
@@ -81,7 +86,13 @@ from repro.explore.catalog import (
     load_builtin,
     register_scenario,
 )
-from repro.explore.engine import explore, explore_brute_force, iter_evaluations
+from repro.explore.engine import (
+    EVALUATION_MODES,
+    evaluation_path,
+    explore,
+    explore_brute_force,
+    iter_evaluations,
+)
 from repro.explore.enumerate import (
     PRUNED_SUBTREE,
     DepthPruneHook,
@@ -93,6 +104,13 @@ from repro.explore.enumerate import (
 )
 from repro.explore.executor import SweepExecutor
 from repro.explore.incremental import PrefixEvaluator, supports_prefix_evaluation
+from repro.explore.vectorized import (
+    BatchPrefixEvaluator,
+    BatchRows,
+    PrefixStateCache,
+    supports_batch_evaluation,
+    uses_stock_batch_semantics,
+)
 from repro.explore.prune import (
     compute_fps_prefix_pruner,
     energy_depth_lower_bounds,
@@ -120,6 +138,8 @@ from repro.explore.sink import (
 
 __all__ = [
     "AdaptiveLatency",
+    "BatchPrefixEvaluator",
+    "BatchRows",
     "CATALOG",
     "CallbackSink",
     "Campaign",
@@ -128,6 +148,7 @@ __all__ = [
     "CsvSink",
     "DOMAINS",
     "DepthPruneHook",
+    "EVALUATION_MODES",
     "ExplorationResult",
     "JsonlSink",
     "MemorySink",
@@ -137,6 +158,7 @@ __all__ = [
     "PipelineCostCache",
     "PrefixEvaluator",
     "PrefixPruner",
+    "PrefixStateCache",
     "PriorityWeighted",
     "PruneHook",
     "ResultSink",
@@ -156,6 +178,7 @@ __all__ = [
     "energy_depth_lower_bounds",
     "energy_prefix_pruner",
     "enumeration_plan",
+    "evaluation_path",
     "explore",
     "explore_brute_force",
     "iter_configs",
@@ -167,6 +190,8 @@ __all__ = [
     "resolve_policy",
     "run_campaign",
     "scenario_compute_key",
+    "supports_batch_evaluation",
     "supports_prefix_evaluation",
     "throughput_depth_bounds",
+    "uses_stock_batch_semantics",
 ]

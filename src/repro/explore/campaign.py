@@ -96,6 +96,11 @@ from repro.explore.result import (
     domain_frontier,
 )
 from repro.explore.scenario import Scenario
+from repro.explore.vectorized import (
+    BatchChunkStates,
+    PrefixStateCache,
+    _materialize_costs,
+)
 
 # Scheduling policies grew into their own module (repro.explore.
 # scheduling) when the measured-latency feedback channel landed; the
@@ -123,24 +128,32 @@ _MODE_MEMOIZED = "memoized"
 _MODE_SCRATCH = "scratch"
 _MODE_STATES = "states"
 
+#: One tagged chunk's spec: (model, pass_rates, mode, prefix_cache).
+#: ``prefix_cache`` is the fleet-shared
+#: :class:`~repro.explore.vectorized.PrefixStateCache` (trie-keyed
+#: partial prefix dedup across scenarios) on serial/thread backends, or
+#: None — process pools would pickle private per-task copies, sharing
+#: nothing, so the driver does not offer it there.
+_ChunkSpec = tuple[Any, "dict[str, float] | None", str, Any]
+
 
 def _evaluate_tagged_chunk(
-    tagged: tuple[int, tuple[Any, dict[str, float] | None, str], list[Any]],
-) -> tuple[int, list[Any], float]:
+    tagged: tuple[int, _ChunkSpec, list[Any]],
+) -> tuple[int, Any, float]:
     """Evaluate one scenario-tagged chunk (module-level for process-pool
     picklability). The tagged item carries *its own* scenario's (model,
-    pass_rates, mode) spec — not the whole fleet's — so a process
-    backend serializes one model per task, same as solo ``explore()``;
-    the index travels with the results so the collector can route them
-    back to their scenario, and the measured wall-clock evaluation
-    seconds (clocked inside the worker, so pool queueing is excluded)
-    feed the scheduling policy's ``observe`` channel."""
-    index, (model, pass_rates, mode), configs = tagged
+    pass_rates, mode, prefix_cache) spec — not the whole fleet's — so a
+    process backend serializes one model per task, same as solo
+    ``explore()``; the index travels with the results so the collector
+    can route them back to their scenario, and the measured wall-clock
+    evaluation seconds (clocked inside the worker, so pool queueing is
+    excluded) feed the scheduling policy's ``observe`` channel."""
+    index, (model, pass_rates, mode, prefix_cache), configs = tagged
     begin = time.perf_counter()
     if mode == _MODE_STATES:
-        payload: list[Any] = evaluate_chunk_states(model, pass_rates, configs)
+        payload: Any = evaluate_chunk_states(model, pass_rates, configs, prefix_cache)
     elif mode == _MODE_MEMOIZED:
-        payload = evaluate_chunk(model, pass_rates, configs)
+        payload = evaluate_chunk(model, pass_rates, configs, prefix_cache)
     else:
         payload = [_evaluate_scratch(model, pass_rates, config) for config in configs]
     return index, payload, time.perf_counter() - begin
@@ -212,13 +225,28 @@ class _StateFinalizer:
         self._energy = scenario.domain == "energy"
         self._link_costs: dict[int, Any] = {}  # cut depth -> finalize arg
 
-    def finalize(self, pairs: Sequence[tuple[Any, Any]]) -> list[Any]:
+    def finalize(self, payload: Any) -> list[Any]:
         model = self._model
-        finalize = model.finalize
         link, energy, cache = model.link, self._energy, self._link_costs
-        out: list[Any] = []
+        if isinstance(payload, BatchChunkStates):
+            # Columnar leader states: close each same-depth run with one
+            # finalize_batch call and materialize through the same field
+            # definitions the batch evaluator uses — bit-identical to
+            # finalizing each (config, state) pair through the scalar
+            # ``finalize`` below.
+            out: list[Any] = []
+            for configs, depth, state in payload.segments:
+                link_cost = depth_link_cost(link, energy, cache, depth, configs[0])
+                out.extend(
+                    _materialize_costs(
+                        configs, model.finalize_batch(state, link_cost), energy
+                    )
+                )
+            return out
+        finalize = model.finalize
+        out = []
         append_out = out.append
-        for config, state in pairs:
+        for config, state in payload:
             link_cost = depth_link_cost(
                 link, energy, cache, len(config.platforms), config
             )
@@ -274,9 +302,11 @@ class PipelineCostCache:
         """Whether this scenario evaluates states on behalf of a group."""
         return index in self.followers_of
 
-    def finalize(self, index: int, pairs: Sequence[tuple[Any, Any]]) -> list[Any]:
-        """Scenario ``index``'s costs for one shared chunk of states."""
-        return self._finalizers[index].finalize(pairs)
+    def finalize(self, index: int, payload: Any) -> list[Any]:
+        """Scenario ``index``'s costs for one shared chunk of states —
+        scalar (config, state) pairs or a columnar
+        :class:`~repro.explore.vectorized.BatchChunkStates`."""
+        return self._finalizers[index].finalize(payload)
 
 
 class _FleetProgress:
@@ -303,12 +333,12 @@ class _FleetProgress:
 
 def _interleave_chunks(
     scenarios: Sequence[Scenario],
-    specs: Sequence[tuple[Any, dict[str, float] | None, str]],
+    specs: Sequence[_ChunkSpec],
     sizes: Sequence[int],
     policy: SchedulingPolicy,
     progress: _FleetProgress,
     skip: frozenset[int] = frozenset(),
-) -> Iterator[tuple[int, tuple[Any, dict[str, float] | None, str], list[Any]]]:
+) -> Iterator[tuple[int, _ChunkSpec, list[Any]]]:
     """One chunk per policy selection: the selected scenario's next
     chunk is yielded (tagged), exhausted scenarios leave the live set,
     and no scenario's enumeration is materialized past its next chunk.
@@ -663,20 +693,33 @@ class Campaign:
         scenarios = self.scenarios
         followers = cache.follower_indices if cache is not None else frozenset()
         models = [scenario.cost_model() for scenario in scenarios]
-        specs = tuple(
-            (
-                model,
-                scenario.pass_rates,
-                (
-                    _MODE_STATES
-                    if cache is not None and cache.is_shared_leader(index)
-                    else _MODE_MEMOIZED
-                    if supports_prefix_evaluation(model)
-                    else _MODE_SCRATCH
-                ),
-            )
-            for index, (model, scenario) in enumerate(zip(models, scenarios))
+        # Partial prefix dedup rides the dedup opt-in: one fleet-shared
+        # trie-keyed state cache, offered only where sharing is real —
+        # serial and thread backends see one object; a process pool
+        # would pickle a private copy per task and share nothing.
+        prefix_cache = (
+            PrefixStateCache()
+            if cache is not None
+            and (executor.is_serial or executor.backend == "thread")
+            else None
         )
+        spec_list: list[_ChunkSpec] = []
+        for index, (model, scenario) in enumerate(zip(models, scenarios)):
+            if cache is not None and cache.is_shared_leader(index):
+                mode = _MODE_STATES
+            elif supports_prefix_evaluation(model):
+                mode = _MODE_MEMOIZED
+            else:
+                mode = _MODE_SCRATCH
+            spec_list.append(
+                (
+                    model,
+                    scenario.pass_rates,
+                    mode,
+                    prefix_cache if mode != _MODE_SCRATCH else None,
+                )
+            )
+        specs = tuple(spec_list)
         sizes = [
             self._chunk_size_for(scenario, executor, chunk_size)
             for scenario in scenarios
@@ -685,7 +728,7 @@ class Campaign:
         # (the dedup states and finalized costs are engine-owned and
         # acyclic, so the states mode keeps the pause).
         pause = (
-            all(mode != _MODE_SCRATCH for _, _, mode in specs)
+            all(mode != _MODE_SCRATCH for _, _, mode, _ in specs)
             and all(scenario.prune is None for scenario in scenarios)
             and all(sink is None for sink in sink_list)
         )

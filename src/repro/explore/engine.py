@@ -53,7 +53,23 @@ from repro.explore.incremental import (
 )
 from repro.explore.result import ExplorationResult, cost_row
 from repro.explore.scenario import Scenario
-from repro.explore.sink import resolve_sink, sink_stream
+from repro.explore.sink import (
+    resolve_sink,
+    sink_stream,
+    uses_columnar_writes,
+    write_sink_batch,
+)
+from repro.explore.vectorized import (
+    BatchPrefixEvaluator,
+    supports_batch_evaluation,
+    uses_stock_batch_semantics,
+)
+
+#: Valid values of the ``evaluation=`` knob on :func:`explore` and
+#: :func:`iter_evaluation_chunks`: ``"auto"`` picks the fastest
+#: applicable path, ``"batch"`` requires the columnar path (raising for
+#: models that cannot take it), ``"scalar"`` forces the scalar fold.
+EVALUATION_MODES = ("auto", "batch", "scalar")
 
 #: Configurations per streamed chunk when neither the caller nor the
 #: executor pins one. Large enough to amortize chunk setup (one cold
@@ -110,6 +126,21 @@ def _chunked(iterator: Iterator[Any], size: int) -> Iterator[list[Any]]:
         yield chunk
 
 
+def _check_evaluation_mode(evaluation: str, model: Any) -> None:
+    """Validate the ``evaluation=`` knob (shared by the entry points)."""
+    if evaluation not in EVALUATION_MODES:
+        raise ConfigurationError(
+            f"evaluation must be one of {EVALUATION_MODES}, got {evaluation!r}"
+        )
+    if evaluation == "batch" and not supports_batch_evaluation(model):
+        raise ConfigurationError(
+            "evaluation='batch' requires a batch-capable cost model "
+            "(stock evaluate() and matched scalar/batch cost steps, with "
+            "numpy importable); use evaluation='auto' to fall back to "
+            "the scalar path"
+        )
+
+
 def iter_evaluation_chunks(
     model: Any,
     configs: Iterator[PipelineConfig],
@@ -117,20 +148,24 @@ def iter_evaluation_chunks(
     pass_rates: dict[str, float] | None = None,
     chunk_size: int | None = None,
     approx_total: int | None = None,
+    evaluation: str = "auto",
 ) -> Iterator[list[Any]]:
     """Stream cost objects for a configuration iterable, as ordered
     chunk lists (the collection loop extends at C speed).
 
     The shared evaluation pipe under :func:`explore` and the
     ``core.offload`` facade: configurations are consumed lazily in
-    chunks, each chunk evaluated prefix-memoized (or from scratch for
-    models that override ``evaluate()``), chunks flow through the
-    executor's bounded-window ``imap``. ``approx_total`` (when known)
-    sizes chunks for parallel executors the way ``map`` would — about
-    four chunks per worker — so small spaces still spread across
-    workers.
+    chunks, each chunk evaluated columnar-batch when the model supports
+    it (prefix-memoized otherwise, from scratch for models that
+    override ``evaluate()``), chunks flow through the executor's
+    bounded-window ``imap``. ``approx_total`` (when known) sizes chunks
+    for parallel executors the way ``map`` would — about four chunks
+    per worker — so small spaces still spread across workers.
+    ``evaluation`` picks the path (see :data:`EVALUATION_MODES`); all
+    paths produce bit-identical costs.
     """
     executor = resolve_executor(executor)
+    _check_evaluation_mode(evaluation, model)
     if chunk_size is not None and chunk_size < 1:
         # islice(iterator, 0) would silently end the stream after zero
         # configurations; mirror SweepExecutor's field validation.
@@ -141,16 +176,21 @@ def iter_evaluation_chunks(
             size = auto_chunk_size(approx_total, executor.workers, DEFAULT_CHUNK_SIZE)
         else:
             size = DEFAULT_CHUNK_SIZE
+    allow_batch = evaluation != "scalar"
     chunks = _chunked(iter(configs), size)
     if executor.is_serial and supports_prefix_evaluation(model):
         # Serial fast path: one evaluator spans the whole stream (no
         # per-chunk cold restarts, no pool plumbing). Values are
         # identical to the chunk-local path — memoization only reuses
-        # states a from-scratch walk would recompute bit-for-bit.
+        # states a from-scratch walk would recompute bit-for-bit, and
+        # the columnar fold performs the same operations elementwise.
+        if allow_batch and supports_batch_evaluation(model):
+            batch_evaluator = BatchPrefixEvaluator(model, pass_rates)
+            return (batch_evaluator.evaluate_many(chunk) for chunk in chunks)
         evaluator = PrefixEvaluator(model, pass_rates)
         return (evaluator.evaluate_many(chunk) for chunk in chunks)
     if supports_prefix_evaluation(model):
-        chunk_fn = partial(evaluate_chunk, model, pass_rates)
+        chunk_fn = partial(evaluate_chunk, model, pass_rates, allow_batch=allow_batch)
     else:
         scratch = partial(_evaluate_scratch, model, pass_rates)
         chunk_fn = partial(_run_scratch_chunk, scratch)
@@ -178,6 +218,48 @@ def _run_scratch_chunk(evaluate: Any, configs: list[PipelineConfig]) -> list[Any
     return [evaluate(config) for config in configs]
 
 
+def evaluation_path(
+    scenario: Scenario,
+    executor: SweepExecutor | None = None,
+    evaluation: str = "auto",
+) -> str:
+    """The evaluation path :func:`explore` would take for this call —
+    ``"batch-cohort"`` (whole depth cohorts as columnar arrays, lazy
+    rows), ``"batch-chunk"`` (columnar folds per chunk),
+    ``"scalar-memoized"`` (the prefix walk) or ``"scalar-scratch"``
+    (per-config ``evaluate()``). Purely informational, for
+    self-describing perf repros; raises exactly like :func:`explore`
+    for an invalid or unsatisfiable ``evaluation=``.
+    """
+    model = scenario.cost_model()
+    _check_evaluation_mode(evaluation, model)
+    if _cohort_eligible(scenario, model, resolve_executor(executor), evaluation):
+        return "batch-cohort"
+    if evaluation != "scalar" and supports_batch_evaluation(model):
+        return "batch-chunk"
+    if supports_prefix_evaluation(model):
+        return "scalar-memoized"
+    return "scalar-scratch"
+
+
+def _cohort_eligible(
+    scenario: Scenario, model: Any, executor: SweepExecutor, evaluation: str
+) -> bool:
+    """Whether :func:`explore` may stream whole depth cohorts as
+    columnar batches: serial run, fully stock batch semantics (the
+    cohort walk replicates state arrays, so it must know their layout),
+    and no per-config filtering (per-config/prefix pruners drop
+    arbitrary rows — those runs chunk instead; depth pruning composes
+    with cohorts and keeps the fast path)."""
+    return (
+        evaluation != "scalar"
+        and executor.is_serial
+        and uses_stock_batch_semantics(model)
+        and scenario.prune is None
+        and scenario.prefix_pruner() is None
+    )
+
+
 def explore(
     scenario: Scenario,
     executor: SweepExecutor | None = None,
@@ -186,6 +268,7 @@ def explore(
     sink: Any = None,
     collect: bool = True,
     collect_on_exit: bool = False,
+    evaluation: str = "auto",
 ) -> ExplorationResult | None:
     """Evaluate a scenario's whole (pruned) design space.
 
@@ -221,6 +304,16 @@ def explore(
         before returning, instead of letting it land on the caller's
         next allocation (useful when a huge ``explore()`` is followed
         by latency-sensitive work).
+    evaluation:
+        ``"auto"`` (default) rides the columnar batch path whenever the
+        model supports it — on serial, unfiltered stock runs as whole
+        depth cohorts with lazily materialized rows, otherwise as
+        columnar per-chunk folds — and falls back to the scalar prefix
+        walk for custom models. ``"batch"`` requires the batch path
+        (raising :class:`ConfigurationError` when the model cannot take
+        it); ``"scalar"`` forces the scalar fold. Every path produces
+        bit-identical results (:func:`evaluation_path` reports which
+        one runs).
     """
     sink = resolve_sink(sink)
     if not collect and sink is None:
@@ -229,6 +322,7 @@ def explore(
             "stream rows somewhere (or drop collect=False)"
         )
     model = scenario.cost_model()
+    _check_evaluation_mode(evaluation, model)
     # Pause the cyclic GC only when every allocation in the loop is the
     # engine's own (stock model, no per-config user hooks, no sink):
     # those objects are acyclic, so pausing changes wall-time only.
@@ -241,6 +335,14 @@ def explore(
         and sink is None
     )
     label = f"scenario {scenario.name!r}"
+    resolved = resolve_executor(executor)
+    if _cohort_eligible(scenario, model, resolved, evaluation):
+        size = chunk_size if chunk_size is not None else resolved.chunk_size
+        if size is not None and size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {size}")
+        return _explore_cohorts(
+            scenario, model, size, sink, collect, collect_on_exit, pause, label
+        )
     evaluations: list[Any] = []
     # Sink rows are built per chunk and dropped after the write — NOT
     # cached on the result. Keeping them would double-hold a row list
@@ -256,11 +358,72 @@ def explore(
                 pass_rates=scenario.pass_rates,
                 chunk_size=chunk_size,
                 approx_total=scenario.count_configs(),
+                evaluation=evaluation,
             ):
                 if collect:
                     evaluations.extend(costs)
                 if write is not None:
                     write([cost_row(scenario, cost) for cost in costs])
+    if collect_on_exit:
+        gc.collect()
+    if not collect:
+        return None
+    return ExplorationResult(scenario=scenario, evaluations=evaluations)
+
+
+def _explore_cohorts(
+    scenario: Scenario,
+    model: Any,
+    chunk_size: int | None,
+    sink: Any,
+    collect: bool,
+    collect_on_exit: bool,
+    pause: bool,
+    label: str,
+) -> ExplorationResult | None:
+    """The serial columnar fast path of :func:`explore`: stream whole
+    depth cohorts as :class:`~repro.explore.vectorized.BatchRows`.
+
+    With ``collect=True`` every cohort is materialized in bulk (the
+    result must hold all evaluations anyway); with ``collect=False``
+    nothing is materialized except what the sink touches. Columnar
+    sinks (``ParetoSink``/``TopKSink`` — anything overriding
+    ``write_batch``) receive the lazy batch views directly and
+    materialize only surviving rows, so live cost objects stay bounded
+    by the survivor count, not the design-space size. Row-only sinks
+    keep the streaming contract exactly: rows are buffered across
+    cohort boundaries and written once per ``chunk_size`` rows, in
+    enumeration order — byte-identical writes, same write count, same
+    bounded peak, as the scalar chunk path.
+    """
+    evaluator = BatchPrefixEvaluator(model, scenario.pass_rates)
+    evaluations: list[Any] = []
+    columnar = sink is not None and uses_columnar_writes(sink)
+    pending: list[dict[str, Any]] = []  # row buffer for row-only sinks
+    with sink_stream(sink, scenario, label) as write:
+        with _gc_paused() if pause else nullcontext():
+            for batch in evaluator.iter_scenario_batches(scenario, chunk_size):
+                if collect:
+                    costs = batch.costs()
+                    evaluations.extend(costs)
+                    if write is not None and not columnar:
+                        pending.extend(cost_row(scenario, cost) for cost in costs)
+                elif write is not None and not columnar:
+                    pending.extend(batch.rows())
+                if write is None:
+                    continue
+                if columnar:
+                    write_sink_batch(sink, batch, label)
+                elif chunk_size is not None:
+                    while len(pending) >= chunk_size:
+                        write(pending[:chunk_size])
+                        del pending[:chunk_size]
+                elif pending:
+                    # No pinned chunk size: one write per depth cohort.
+                    write(pending)
+                    pending.clear()
+            if write is not None and not columnar and pending:
+                write(pending)
     if collect_on_exit:
         gc.collect()
     if not collect:

@@ -478,17 +478,32 @@ def evaluate_chunk(
     model: ThroughputCostModel | EnergyCostModel,
     pass_rates: dict[str, float] | None,
     configs: Sequence[PipelineConfig],
+    prefix_cache: Any = None,
+    allow_batch: bool = True,
 ) -> list[ConfigCost | EnergyCost]:
     """Evaluate one contiguous chunk of configurations.
 
     Module-level (picklable) so the process-pool backend can ship
-    chunks to workers; each chunk gets its own :class:`PrefixEvaluator`,
-    so memoization never crosses chunk boundaries and results are
-    independent of how the stream was chunked. Both the solo engine and
-    the campaign driver's tagged chunks evaluate through this one
-    function, which is why interleaving a fleet (under any scheduling
-    policy) cannot change any scenario's values.
+    chunks to workers; each chunk gets its own evaluator, so memoization
+    never crosses chunk boundaries and results are independent of how
+    the stream was chunked. Both the solo engine and the campaign
+    driver's tagged chunks evaluate through this one function, which is
+    why interleaving a fleet (under any scheduling policy) cannot
+    change any scenario's values.
+
+    Batch-capable models fold the chunk columnar (bit-identical values,
+    see :mod:`repro.explore.vectorized`) unless ``allow_batch`` is
+    False; everything else takes the scalar :class:`PrefixEvaluator`.
+    ``prefix_cache`` (an optional
+    :class:`~repro.explore.vectorized.PrefixStateCache`) lets fleet
+    chunks share batched prefix states across scenarios.
     """
+    if allow_batch:
+        from repro.explore.vectorized import batch_prefix_evaluator
+
+        batch = batch_prefix_evaluator(model, pass_rates, prefix_cache)
+        if batch is not None:
+            return batch.evaluate_many(configs)
     return PrefixEvaluator(model, pass_rates).evaluate_many(configs)
 
 
@@ -496,10 +511,24 @@ def evaluate_chunk_states(
     model: ThroughputCostModel | EnergyCostModel,
     pass_rates: dict[str, float] | None,
     configs: Sequence[PipelineConfig],
-) -> list[tuple[PipelineConfig, Any]]:
+    prefix_cache: Any = None,
+    allow_batch: bool = True,
+) -> Any:
     """Chunk-shaped :meth:`PrefixEvaluator.states_many` (module-level
     for process-pool picklability) — the dedup counterpart of
     :func:`evaluate_chunk`: the campaign driver ships a shared
     pipeline's chunks through this when several scenarios will finalize
-    the same compute-side states under their own links."""
+    the same compute-side states under their own links.
+
+    Batch-capable models return the states columnar as a
+    :class:`~repro.explore.vectorized.BatchChunkStates` (the finalizer
+    branches on the type); the scalar walk returns (config, state)
+    pairs as before.
+    """
+    if allow_batch:
+        from repro.explore.vectorized import batch_prefix_evaluator
+
+        batch = batch_prefix_evaluator(model, pass_rates, prefix_cache)
+        if batch is not None:
+            return batch.states_chunk(configs)
     return PrefixEvaluator(model, pass_rates).states_many(configs)

@@ -22,6 +22,11 @@ import json
 import math
 from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
+try:  # numpy backs the columnar batch fast paths; scalar folds never need it
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    _np = None
+
 from repro.core.cost import ConfigCost, EnergyCost
 from repro.core.report import TextTable
 from repro.errors import ConfigurationError, PipelineError
@@ -366,6 +371,66 @@ class ParetoFrontier:
             frontier_rows.append(row)
             frontier_keys.append(mine)
 
+    def add_batch(self, batch: Any) -> None:
+        """Fold one columnar :class:`~repro.explore.vectorized.BatchRows`
+        view into the frontier, materializing only surviving rows.
+
+        Semantically identical to ``add(batch.rows())`` — same frontier,
+        same ``n_seen`` positions in every error message — but rows
+        dominated by the frontier as of the batch start are rejected in
+        one vectorized dominance pass without ever becoming dicts
+        (sound by transitivity: a frontier member is only ever evicted
+        by a row that dominates it, so a candidate dominated at batch
+        start stays dominated). Candidates that pass the prefilter fold
+        through the scalar :meth:`add`, which re-checks them against the
+        *current* frontier, including earlier survivors of this batch.
+
+        Falls back to the row path when numpy is unavailable or an axis
+        is not columnar (:meth:`BatchRows.metric_column` raises
+        ``KeyError``).
+        """
+        if _np is None:
+            self.add(batch.rows())
+            return
+        m = len(batch)
+        if m == 0:
+            return
+        try:
+            columns = [batch.metric_column(axis) for axis in self._axes]
+        except KeyError:
+            self.add(batch.rows())
+            return
+        keys = []
+        for column, flag in zip(columns, self._flags):
+            column = _np.asarray(column, dtype=float)
+            keys.append(column if flag else -column)
+        # NaN axis values raise positionally in the scalar fold; limit
+        # the vectorized pass to the rows before the first NaN and let
+        # add() produce the exact error for the offender.
+        bad = _np.zeros(m, dtype=bool)
+        for key in keys:
+            bad |= _np.isnan(key)
+        limit = int(_np.argmax(bad)) if bad.any() else m
+        base = self.n_seen
+        survivors = _np.ones(limit, dtype=bool)
+        if self._keys and limit:
+            frontier = _np.array(self._keys, dtype=float)  # (n_front, axes)
+            candidates = _np.stack([key[:limit] for key in keys], axis=1)
+            # Chunk the (n_front, block, axes) broadcast to ~4M elements.
+            step = max(1, 4_000_000 // (frontier.shape[0] * frontier.shape[1]))
+            for lo in range(0, limit, step):
+                block = candidates[lo : lo + step]
+                geq = frontier[:, None, :] >= block[None, :, :]
+                gt = frontier[:, None, :] > block[None, :, :]
+                dominated = (geq.all(axis=2) & gt.any(axis=2)).any(axis=0)
+                survivors[lo : lo + step] = ~dominated
+        for idx in _np.nonzero(survivors)[0].tolist():
+            self.n_seen = base + idx  # add() restores idx+1 itself
+            self.add([batch.row(idx)])
+        self.n_seen = base + limit
+        for i in range(limit, m):
+            self.add([batch.row(i)])  # first iteration raises on the NaN
+
     @property
     def rows(self) -> list[dict[str, Any]]:
         """The current non-dominated rows, in first-seen order."""
@@ -438,6 +503,56 @@ class TopK:
                 heapq.heappush(heap, (key, row))
             elif key > heap[0][0]:
                 heapq.heapreplace(heap, (key, row))
+
+    def add_batch(self, batch: Any) -> None:
+        """Fold one columnar :class:`~repro.explore.vectorized.BatchRows`
+        view into the ranking, materializing only candidate rows.
+
+        Semantically identical to ``add(batch.rows())`` — same surviving
+        rows, ties and ``n_seen`` positions — but once the heap is full,
+        rows that cannot displace the batch-start root are rejected by
+        one vectorized comparison without ever becoming dicts (sound:
+        the root value only grows, and an exact tie with the root never
+        enters because later positions carry smaller tiebreaks, so the
+        strict ``>`` mask is a superset of the rows the scalar fold
+        would admit). Masked-in candidates still fold through the scalar
+        :meth:`add` against the current root. Falls back to the row path
+        when numpy is unavailable or the metric is not columnar.
+        """
+        if _np is None:
+            self.add(batch.rows())
+            return
+        m = len(batch)
+        if m == 0:
+            return
+        try:
+            column = batch.metric_column(self.metric)
+        except KeyError:
+            self.add(batch.rows())
+            return
+        values = _np.asarray(column, dtype=float)
+        if not self.maximize:
+            values = -values
+        bad = _np.isnan(values)
+        limit = int(_np.argmax(bad)) if bad.any() else m
+        base = self.n_seen
+        k, heap = self.k, self._heap
+        start = 0
+        if k > 0:
+            # Heap-fill phase: every row enters, no prefilter possible.
+            while len(heap) < k and start < limit:
+                self.n_seen = base + start
+                self.add([batch.row(start)])
+                start += 1
+            if start < limit:
+                root_value = heap[0][0][0]
+                for off in _np.nonzero(values[start:limit] > root_value)[0].tolist():
+                    idx = start + off
+                    self.n_seen = base + idx
+                    self.add([batch.row(idx)])
+        self.n_seen = base + limit
+        for i in range(limit, m):
+            self.add([batch.row(i)])  # first iteration raises on the NaN
 
     @property
     def rows(self) -> list[dict[str, Any]]:

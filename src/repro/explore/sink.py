@@ -56,6 +56,18 @@ class ResultSink:
         enumeration order."""
         raise NotImplementedError
 
+    def write_batch(self, batch: Any) -> None:
+        """Called instead of :meth:`write_rows` when the engine streams
+        columnar :class:`~repro.explore.vectorized.BatchRows` views.
+
+        The default materializes the batch's rows and delegates to
+        :meth:`write_rows`, so every sink works on the batch path
+        unchanged; sinks that can consume columns directly
+        (:class:`ParetoSink`, :class:`TopKSink`) override this to keep
+        materialized rows bounded by their survivors.
+        """
+        self.write_rows(batch.rows())
+
     def close(self) -> None:
         """Called exactly once when the stream ends — also on error, so
         file handles are never leaked and partial output is flushed."""
@@ -250,6 +262,16 @@ class ParetoSink(ResultSink):
             )
         self.frontier.add(rows)
 
+    def write_batch(self, batch: Any) -> None:
+        """Fold a columnar batch through
+        :meth:`ParetoFrontier.add_batch` — only rows surviving the
+        dominance prefilter are ever materialized."""
+        if self.frontier is None:
+            raise ConfigurationError(
+                "ParetoSink.write_batch called before open()"
+            )
+        self.frontier.add_batch(batch)
+
     def pareto(self) -> list[dict[str, Any]]:
         """The non-dominated rows streamed so far (first-seen order)."""
         return [] if self.frontier is None else self.frontier.rows
@@ -311,6 +333,13 @@ class TopKSink(ResultSink):
     def write_rows(self, rows: Sequence[dict[str, Any]]) -> None:
         for ranking in self.rankings.values():
             ranking.add(rows)
+
+    def write_batch(self, batch: Any) -> None:
+        """Fold a columnar batch through each ranking's
+        :meth:`TopK.add_batch` — only candidate rows beating the current
+        cutoff are ever materialized."""
+        for ranking in self.rankings.values():
+            ranking.add_batch(batch)
 
     def top_k(self, metric: str | None = None) -> list[dict[str, Any]]:
         """The current best-``k`` rows for ``metric`` (the only tracked
@@ -379,6 +408,37 @@ def write_sink(sink: Any, rows: Sequence[dict[str, Any]], label: str) -> None:
     """Write one chunk's rows; failures surface as :class:`SinkError`."""
     try:
         sink.write_rows(rows)
+    except SinkError:
+        raise
+    except Exception as exc:
+        raise SinkError(
+            f"sink {type(sink).__name__} failed writing rows for {label}"
+        ) from exc
+
+
+def uses_columnar_writes(sink: Any) -> bool:
+    """Whether the sink consumes columnar batches natively — i.e. it
+    overrides :meth:`ResultSink.write_batch` rather than inheriting the
+    materialize-and-delegate default. Row-only sinks keep the exact
+    write-per-chunk granularity the streaming contract promises (the
+    engine buffers rows to chunk boundaries for them); columnar sinks
+    receive the lazy batch views directly."""
+    if "write_batch" in getattr(sink, "__dict__", {}):
+        return True
+    method = getattr(type(sink), "write_batch", None)
+    return method is not None and method is not ResultSink.write_batch
+
+
+def write_sink_batch(sink: Any, batch: Any, label: str) -> None:
+    """Write one columnar batch; sinks without ``write_batch``
+    (duck-typed ``write_rows``-only sinks) receive the materialized
+    rows. Failures surface as :class:`SinkError`."""
+    method = getattr(sink, "write_batch", None)
+    if method is None:
+        write_sink(sink, batch.rows(), label)
+        return
+    try:
+        method(batch)
     except SinkError:
         raise
     except Exception as exc:

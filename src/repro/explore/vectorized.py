@@ -1,0 +1,762 @@
+"""Columnar batch evaluation: struct-of-arrays prefix states.
+
+The memoized scalar walk (:mod:`repro.explore.incremental`) reduced the
+per-configuration work to amortized O(1) block extensions — the ceiling
+left is Python object work: one ``PipelineConfig``, one cost object and
+one row dict per configuration, regardless of how few survive the
+consumer's frontier/top-k/feasibility filters. This module removes that
+ceiling for the stock cost models by evaluating whole *cohorts* of
+configurations as numpy struct-of-arrays operations:
+
+* A depth-``d`` cohort (every platform assignment with ``d`` in-camera
+  blocks, in exact enumeration order) is built by repeating the depth
+  ``d-1`` cohort's state arrays across the next block's options —
+  ``np.repeat`` over rows, ``np.tile`` over choices reproduces
+  :func:`itertools.product` order — and extending them with one
+  ``extend_state_batch`` call per depth.
+* Cost/row/config *objects* are materialized lazily: a
+  :class:`BatchRows` view hands consumers numeric columns
+  (:meth:`BatchRows.metric_column`) and only constructs Python objects
+  for rows a consumer actually touches. Sinks with columnar support
+  (``ParetoSink``/``TopKSink``) keep live cost objects bounded by the
+  surviving-row count, not the design-space size.
+
+Bit-identity is the correctness contract: the batch kernels perform the
+same IEEE-754 float operations in the same order as the scalar fold
+(elementwise per row), so every materialized cost, row and frontier is
+byte-identical to the scalar and brute-force paths — asserted by the
+invariant suite. That constraint shapes the kernels: the running-min
+update is ``np.where(new < cur, new, cur)`` (the scalar branch, not
+``np.minimum``, whose NaN semantics differ), and per-block energies
+stay one array per level so the left-to-right accumulation order is
+preserved.
+
+Custom models fall back automatically: :func:`supports_batch_evaluation`
+admits a model only when every customized scalar step has a matching
+batch override (and numpy is importable); everything else rides the
+scalar :class:`~repro.explore.incremental.PrefixEvaluator`.
+
+:class:`PrefixStateCache` extends campaign dedup from whole-space
+sharing to trie-keyed *partial* sharing: each depth-``j`` prefix of a
+block chain is keyed by its own cost-defining fingerprint, so scenarios
+whose platform axes agree only on a prefix still share the batched
+prefix-state cohorts in fleet sweeps.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Iterator, Sequence
+
+try:  # the batch path is optional; everything degrades to scalar without it
+    import numpy as np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    np = None
+
+from repro.core.cost import (
+    ConfigCost,
+    EnergyCost,
+    EnergyCostModel,
+    ThroughputCostModel,
+    implementation_fingerprint,
+)
+from repro.core.pipeline import InCameraPipeline, PipelineConfig, _digest
+from repro.errors import ConfigurationError
+from repro.explore.enumerate import enumeration_plan
+from repro.explore.incremental import depth_link_cost, supports_prefix_evaluation
+from repro.explore.result import cost_row
+
+#: (scalar step, batch counterpart) pairs the capability probe checks.
+_STEP_PAIRS = (
+    ("initial_state", "initial_state_batch"),
+    ("extend_state", "extend_state_batch"),
+    ("finalize", "finalize_batch"),
+)
+
+
+def supports_batch_evaluation(model: Any) -> bool:
+    """Whether a model is safe to evaluate through the columnar batch
+    path — the batch-capability probe next to
+    :func:`~repro.explore.incremental.supports_prefix_evaluation`.
+
+    Requires numpy, a prefix-eligible model (stock ``evaluate``), and
+    per-step consistency: for each (scalar, batch) step pair, a subclass
+    that overrides the scalar step must override the batch counterpart
+    too — otherwise the stock batch kernel would silently bypass the
+    customized scalar semantics. Overriding only the batch step (a
+    faster kernel with identical semantics) stays eligible, as does the
+    fully stock model.
+    """
+    if np is None or not supports_prefix_evaluation(model):
+        return False
+    for base in (ThroughputCostModel, EnergyCostModel):
+        if isinstance(model, base):
+            cls = type(model)
+            for scalar_name, batch_name in _STEP_PAIRS:
+                scalar_stock = getattr(cls, scalar_name) is getattr(base, scalar_name)
+                batch_stock = getattr(cls, batch_name) is getattr(base, batch_name)
+                if not scalar_stock and batch_stock:
+                    return False
+            return True
+    return False
+
+
+def uses_stock_batch_semantics(model: Any) -> bool:
+    """Whether every scalar *and* batch cost step is the stock
+    implementation.
+
+    Stricter than :func:`supports_batch_evaluation`, for the paths that
+    assume the stock state *shapes*: cohort enumeration replicates state
+    arrays across options and the prefix-state cache gathers rows by
+    index, both of which require knowing the struct-of-arrays layout. A
+    subclass with matching scalar+batch overrides is still batch-capable
+    (per-chunk folds never reshape states) but takes neither shortcut.
+    """
+    if np is None or not supports_prefix_evaluation(model):
+        return False
+    steps = ("evaluate",) + tuple(name for pair in _STEP_PAIRS for name in pair)
+    for base in (ThroughputCostModel, EnergyCostModel):
+        if isinstance(model, base):
+            cls = type(model)
+            return all(getattr(cls, name) is getattr(base, name) for name in steps)
+    return False
+
+
+def batch_prefix_evaluator(
+    model: Any,
+    pass_rates: dict[str, float] | None = None,
+    prefix_cache: "PrefixStateCache | None" = None,
+) -> "BatchPrefixEvaluator | None":
+    """A :class:`BatchPrefixEvaluator` for the model, or None when it is
+    not batch-capable (the chunk entry points' one-line dispatch)."""
+    if not supports_batch_evaluation(model):
+        return None
+    return BatchPrefixEvaluator(model, pass_rates, prefix_cache=prefix_cache)
+
+
+# -- stock state-shape helpers ------------------------------------------
+# Only the fully stock models reach these (gated by
+# uses_stock_batch_semantics): throughput states are (fps array, label
+# array), energy states (rate array, ((name, energy array), ...), active
+# array).
+
+
+def _repeat_state(state: Any, k: int, energy: bool) -> Any:
+    """Each state row repeated ``k`` times (np.repeat copies bits)."""
+    if energy:
+        rate, energies, active = state
+        return (
+            np.repeat(rate, k),
+            tuple((name, np.repeat(arr, k)) for name, arr in energies),
+            np.repeat(active, k),
+        )
+    fps, labels = state
+    return (np.repeat(fps, k), np.repeat(labels, k))
+
+
+def _take_state(state: Any, indices: Any, energy: bool) -> Any:
+    """State rows gathered by index (bit-exact copies)."""
+    if energy:
+        rate, energies, active = state
+        return (
+            rate[indices],
+            tuple((name, arr[indices]) for name, arr in energies),
+            active[indices],
+        )
+    fps, labels = state
+    return (fps[indices], labels[indices])
+
+
+def _materialize_costs(
+    configs: Sequence[PipelineConfig], columns: dict[str, Any], energy: bool
+) -> list[ConfigCost | EnergyCost]:
+    """Cost objects for every row of a finalized column mapping.
+
+    Mirrors the stock ``finalize`` field-for-field (same
+    ``object.__new__`` construction the scalar hot loops use); array
+    values pass through ``tolist()`` so every field is a plain Python
+    float/str, indistinguishable from scalar evaluation.
+    """
+    new = object.__new__
+    set_field = object.__setattr__
+    out: list[ConfigCost | EnergyCost] = []
+    append_out = out.append
+    if not energy:
+        compute = columns["compute_fps"].tolist()
+        slowest = columns["slowest_block"].tolist()
+        communication_fps = columns["communication_fps"]
+        for i, config in enumerate(configs):
+            cost = new(ConfigCost)
+            set_field(cost, "config", config)
+            set_field(cost, "compute_fps", compute[i])
+            set_field(cost, "communication_fps", communication_fps)
+            set_field(cost, "slowest_block", slowest[i])
+            append_out(cost)
+        return out
+    rate = columns["transmit_rate"].tolist()
+    transmit = columns["transmit_energy"].tolist()
+    active = columns["active_seconds"].tolist()
+    levels = [(name, arr.tolist()) for name, arr in columns["block_energies"]]
+    for i, config in enumerate(configs):
+        cost = new(EnergyCost)
+        set_field(cost, "config", config)
+        set_field(cost, "sensor_energy", config.pipeline.sensor_energy_per_frame)
+        set_field(cost, "block_energies", {name: values[i] for name, values in levels})
+        set_field(cost, "transmit_energy", transmit[i])
+        set_field(cost, "transmit_rate", rate[i])
+        set_field(cost, "active_seconds", active[i])
+        append_out(cost)
+    return out
+
+
+class BatchRows:
+    """A columnar view over one evaluated span of configurations.
+
+    The lazy-materialization seam between the batch evaluator and its
+    consumers: all rows share one pipeline and cut depth, their platform
+    choices live in an ``(n, depth)`` integer matrix and their cost
+    fields in struct-of-arrays columns. Python objects
+    (:class:`PipelineConfig`, cost objects, row dicts) exist only for
+    rows a consumer materializes — frontier/top-k sinks read
+    :meth:`metric_column` and materialize survivors only, so live cost
+    objects stay bounded by the surviving-row count.
+
+    :attr:`n_materialized` counts rows turned into objects (what the
+    benchmark's memory check asserts on). Materialized rows/costs are
+    built through the same ``cost_row``/finalize field definitions as
+    the scalar path, so they are byte-identical to it.
+    """
+
+    __slots__ = (
+        "scenario",
+        "pipeline",
+        "depth",
+        "level_names",
+        "choices",
+        "columns",
+        "n_materialized",
+        "_energy",
+    )
+
+    def __init__(
+        self,
+        scenario: Any,
+        pipeline: InCameraPipeline,
+        depth: int,
+        level_names: tuple[Sequence[str], ...],
+        choices: Any,
+        columns: dict[str, Any],
+        energy: bool,
+    ):
+        self.scenario = scenario
+        self.pipeline = pipeline
+        self.depth = depth
+        self.level_names = level_names
+        self.choices = choices
+        self.columns = columns
+        self.n_materialized = 0
+        self._energy = energy
+
+    def __len__(self) -> int:
+        return self.choices.shape[0]
+
+    def slice(self, lo: int, hi: int) -> "BatchRows":
+        """Rows ``[lo, hi)`` as a new view (array slices share memory)."""
+        columns = {}
+        for key, value in self.columns.items():
+            if key == "block_energies":
+                columns[key] = tuple((name, arr[lo:hi]) for name, arr in value)
+            elif isinstance(value, np.ndarray):
+                columns[key] = value[lo:hi]
+            else:  # per-depth scalars (communication_fps)
+                columns[key] = value
+        return BatchRows(
+            self.scenario,
+            self.pipeline,
+            self.depth,
+            self.level_names,
+            self.choices[lo:hi],
+            columns,
+            self._energy,
+        )
+
+    def config(self, i: int) -> PipelineConfig:
+        """Row ``i``'s configuration (trusted constructor: choices come
+        from the blocks' own implementation tables)."""
+        names = self.level_names
+        row = self.choices[i].tolist()
+        return PipelineConfig.trusted(
+            self.pipeline, tuple(names[level][c] for level, c in enumerate(row))
+        )
+
+    def cost(self, i: int) -> ConfigCost | EnergyCost:
+        """Row ``i``'s cost object (counts as one materialization)."""
+        self.n_materialized += 1
+        one = self.slice(i, i + 1)
+        return _materialize_costs([self.config(i)], one.columns, self._energy)[0]
+
+    def costs(self) -> list[ConfigCost | EnergyCost]:
+        """Every row's cost object, in row order (bulk materialization)."""
+        names = self.level_names
+        configs = [
+            PipelineConfig.trusted(
+                self.pipeline, tuple(names[level][c] for level, c in enumerate(row))
+            )
+            for row in self.choices.tolist()
+        ]
+        self.n_materialized += len(configs)
+        return _materialize_costs(configs, self.columns, self._energy)
+
+    def row(self, i: int) -> dict[str, Any]:
+        """Row ``i``'s report row — exactly the scalar path's
+        ``cost_row`` over the materialized cost."""
+        return cost_row(self.scenario, self.cost(i))
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Every report row, in row order (bulk materialization)."""
+        scenario = self.scenario
+        return [cost_row(scenario, cost) for cost in self.costs()]
+
+    def metric_column(self, name: str) -> Any:
+        """Per-row values of one numeric report-row metric as an array,
+        without materializing anything; raises :class:`KeyError` for
+        metrics that are not columnar (``config``, ``bottleneck``,
+        ``slowest_block``, ...) so consumers can fall back to
+        :meth:`rows`. Derived metrics replay the scalar row expressions
+        elementwise (``total_fps`` is the scalar ``min`` branch, not
+        ``np.minimum``)."""
+        n = len(self)
+        columns = self.columns
+        scenario = self.scenario
+        if name == "n_in_camera":
+            return np.full(n, self.depth)
+        if name == "offload_bytes":
+            return np.full(n, self.pipeline.output_bytes_after(self.depth))
+        if self._energy:
+            if name in ("transmit_rate", "active_seconds"):
+                return columns[name]
+            if name == "transmit_energy_j":
+                return columns["transmit_energy"]
+            if name == "sensor_energy_j":
+                return np.full(n, self.pipeline.sensor_energy_per_frame)
+            if name in ("compute_energy_j", "total_energy_j", "feasible"):
+                compute = np.zeros(n)
+                for _block, arr in columns["block_energies"]:
+                    compute = compute + arr
+                if name == "compute_energy_j":
+                    return compute
+                total = (
+                    self.pipeline.sensor_energy_per_frame
+                    + compute
+                    + columns["transmit_energy"]
+                )
+                if name == "total_energy_j":
+                    return total
+                budget = scenario.energy_budget_j if scenario is not None else None
+                if budget is None:
+                    return np.ones(n, dtype=bool)
+                return total <= budget
+        else:
+            if name == "compute_fps":
+                return columns["compute_fps"]
+            if name == "communication_fps":
+                return np.full(n, columns["communication_fps"])
+            if name == "total_fps":
+                compute = columns["compute_fps"]
+                communication = columns["communication_fps"]
+                # min(a, b) returns b only when b < a — np.where keeps
+                # that exact branch (NaN included), unlike np.minimum.
+                return np.where(communication < compute, communication, compute)
+            if name == "feasible":
+                target = scenario.target_fps if scenario is not None else None
+                if target is None:
+                    return np.ones(n, dtype=bool)
+                return np.logical_and(
+                    columns["compute_fps"] >= target,
+                    columns["communication_fps"] >= target,
+                )
+        raise KeyError(name)
+
+
+class BatchChunkStates:
+    """Pre-finalize compute-side states of one evaluated chunk, columnar.
+
+    The batch counterpart of :meth:`PrefixEvaluator.states_many`'s
+    ``(config, state)`` pair list: contiguous same-``(pipeline, depth)``
+    runs of the chunk, each with one struct-of-arrays state. Campaign
+    dedup finalizes every run under each member scenario's own link
+    terms (:class:`repro.explore.campaign._StateFinalizer`); picklable,
+    so process-pool leaders can ship states back like the scalar pairs.
+    """
+
+    __slots__ = ("segments", "energy")
+
+    def __init__(
+        self,
+        segments: list[tuple[list[PipelineConfig], int, Any]],
+        energy: bool,
+    ):
+        self.segments = segments
+        self.energy = energy
+
+    def __len__(self) -> int:
+        return sum(len(configs) for configs, _depth, _state in self.segments)
+
+
+class _Level:
+    """One enumerable block's per-platform tables, in enumeration
+    (sorted platform name) order."""
+
+    __slots__ = ("block", "names", "lookup", "impls")
+
+    def __init__(self, block: Any):
+        self.block = block
+        self.names = sorted(block.implementations)
+        self.lookup = {name: j for j, name in enumerate(self.names)}
+        self.impls = [block.implementations[name] for name in self.names]
+
+
+class _PipelinePlan:
+    """Cached per-pipeline evaluation tables (levels truncate at the
+    first block with no implementations, like the enumeration plan) plus
+    the per-depth link-term cache."""
+
+    __slots__ = ("pipeline", "levels", "link_costs")
+
+    def __init__(self, pipeline: InCameraPipeline):
+        self.pipeline = pipeline
+        self.levels: list[_Level] = []
+        for block in pipeline.blocks:
+            if not block.implementations:
+                break
+            self.levels.append(_Level(block))
+        self.link_costs: dict[int, Any] = {}
+
+
+class PrefixStateCache:
+    """Trie-keyed partial dedup of batched prefix-state cohorts.
+
+    Campaign-level dedup (:class:`~repro.explore.campaign.
+    PipelineCostCache`) shares evaluations only between scenarios whose
+    *whole* (chain, platform-axis) identity matches. Fleets often agree
+    on less: a shared front-end chain with per-camera back-ends. This
+    cache keys every depth-``j`` prefix by its own cost-defining
+    fingerprint — per-block (name, pass rate, implementation cost table
+    in enumeration order), the cost domain, and the pass-rate overrides
+    restricted to the prefix's block names — and stores the full
+    option-product *cohort* of struct-of-arrays states at that depth.
+    Any batch evaluator folding a chunk then gathers each row's prefix
+    state from the deepest cached cohort by flat product index and only
+    extends the suffix.
+
+    Bit-identity holds across scenarios: equal fingerprints imply equal
+    per-level cost tables in equal enumeration order, and cohort rows
+    are produced by the same elementwise operations a direct fold would
+    perform. States are link-independent, so sharing across links is
+    always safe.
+
+    Cohort width is the product of option counts, so priming stops at
+    ``max_rows`` rows per level; deeper prefixes gather the deepest
+    cached cohort and extend per chunk. A lock guards priming — the
+    cache is shared across a campaign's scenarios on serial and thread
+    backends (process pools would pickle private copies, so the driver
+    does not offer it there).
+    """
+
+    def __init__(self, max_rows: int = 4096):
+        if max_rows < 1:
+            raise ConfigurationError(f"max_rows must be >= 1, got {max_rows}")
+        self.max_rows = max_rows
+        self.hits = 0
+        self.misses = 0
+        self._states: dict[tuple, Any] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _fingerprint(
+        levels: Sequence[_Level],
+        j: int,
+        energy: bool,
+        pass_rates: dict[str, float] | None,
+    ) -> tuple:
+        payload = tuple(
+            (
+                level.block.name,
+                level.block.pass_rate,
+                tuple(implementation_fingerprint(impl) for impl in level.impls),
+            )
+            for level in levels[:j]
+        )
+        rates = None
+        if pass_rates:
+            names = {level.block.name for level in levels[:j]}
+            rates = tuple(
+                sorted(item for item in pass_rates.items() if item[0] in names)
+            )
+        return ("energy" if energy else "throughput", j, rates, _digest(payload))
+
+    def deepest(
+        self, evaluator: "BatchPrefixEvaluator", levels: Sequence[_Level], depth: int
+    ) -> tuple[int, Any]:
+        """``(j, cohort state)`` for the deepest cacheable prefix level
+        ``j <= depth`` (priming missing levels), or ``(0, None)`` when
+        even the first level's cohort exceeds the row cap."""
+        energy = evaluator._energy
+        pass_rates = evaluator.pass_rates
+        width = 1
+        target = 0
+        for j in range(1, depth + 1):
+            width *= len(levels[j - 1].names)
+            if width > self.max_rows:
+                break
+            target = j
+        if target == 0:
+            return (0, None)
+        keys = [
+            self._fingerprint(levels, j, energy, pass_rates)
+            for j in range(1, target + 1)
+        ]
+        with self._lock:
+            state = None
+            have = 0
+            for j in range(target, 0, -1):
+                state = self._states.get(keys[j - 1])
+                if state is not None:
+                    have = j
+                    break
+            if have == target:
+                self.hits += 1
+                return (target, state)
+            self.misses += 1
+            if have == 0:
+                state = evaluator.model.initial_state_batch(1)
+            for j in range(have, target):
+                level = levels[j]
+                k = len(level.names)
+                n_prev = state[0].shape[0]
+                tile = np.tile(np.arange(k, dtype=np.intp), n_prev)
+                state = evaluator._extend(_repeat_state(state, k, energy), level, tile)
+                self._states[keys[j]] = state
+            return (target, state)
+
+
+class BatchPrefixEvaluator:
+    """Evaluate configurations of stock-semantics models as columnar
+    struct-of-arrays folds — the batch sibling of
+    :class:`~repro.explore.incremental.PrefixEvaluator`.
+
+    Three entry points share one fold core: :meth:`evaluate_many` (an
+    arbitrary chunk, materialized cost objects — what campaign chunks
+    and parallel workers use), :meth:`states_chunk` (pre-finalize states
+    for dedup leaders), and :meth:`iter_scenario_batches` (whole-space
+    cohort enumeration with lazy :class:`BatchRows`, the solo
+    ``explore()`` fast path). Every path replays the scalar fold's float
+    operations elementwise, so results are bit-identical to the scalar
+    evaluator (and to brute force) — asserted row-for-row by the
+    invariant suite.
+
+    ``prefix_cache`` plugs in a :class:`PrefixStateCache` (ignored for
+    models with custom batch steps, whose state shapes are unknown).
+    """
+
+    def __init__(
+        self,
+        model: ThroughputCostModel | EnergyCostModel,
+        pass_rates: dict[str, float] | None = None,
+        prefix_cache: PrefixStateCache | None = None,
+    ):
+        if pass_rates is not None and not isinstance(model, EnergyCostModel):
+            raise ConfigurationError(
+                "pass_rates only apply to EnergyCostModel evaluation"
+            )
+        if not supports_batch_evaluation(model):
+            raise ConfigurationError(
+                "model is not batch-capable (numpy missing, custom evaluate(), "
+                "or a customized scalar step without its batch counterpart); "
+                "use the scalar PrefixEvaluator"
+            )
+        self.model = model
+        self.pass_rates = pass_rates
+        self._energy = isinstance(model, EnergyCostModel)
+        self._stock = uses_stock_batch_semantics(model)
+        # Cache entries assume the stock state layout; a model with
+        # custom (matched) batch steps folds every chunk from the root.
+        self.prefix_cache = prefix_cache if self._stock else None
+        self._plans: dict[int, _PipelinePlan] = {}
+
+    def _plan_for(self, pipeline: InCameraPipeline) -> _PipelinePlan:
+        plan = self._plans.get(id(pipeline))
+        if plan is None or plan.pipeline is not pipeline:
+            plan = _PipelinePlan(pipeline)
+            self._plans[id(pipeline)] = plan
+        return plan
+
+    def _extend(self, state: Any, level: _Level, choices: Any) -> Any:
+        if self._energy:
+            return self.model.extend_state_batch(
+                state, level.block, level.impls, choices, self.pass_rates
+            )
+        return self.model.extend_state_batch(state, level.block, level.impls, choices)
+
+    # -- arbitrary chunks ------------------------------------------------
+
+    def _segments(
+        self, configs: Sequence[PipelineConfig]
+    ) -> Iterator[tuple[InCameraPipeline, int, list[PipelineConfig]]]:
+        """Contiguous same-(pipeline, depth) runs, preserving order."""
+        i = 0
+        n = len(configs)
+        while i < n:
+            pipeline = configs[i].pipeline
+            depth = len(configs[i].platforms)
+            j = i + 1
+            while (
+                j < n
+                and configs[j].pipeline is pipeline
+                and len(configs[j].platforms) == depth
+            ):
+                j += 1
+            yield pipeline, depth, list(configs[i:j])
+            i = j
+
+    def _run_state(
+        self, plan: _PipelinePlan, depth: int, run: Sequence[PipelineConfig]
+    ) -> Any:
+        """The pre-finalize state arrays of one same-depth run."""
+        levels = plan.levels
+        try:
+            rows = [
+                [levels[level].lookup[platform] for level, platform in enumerate(c.platforms)]
+                for c in run
+            ]
+        except (KeyError, IndexError):
+            # An invalid trusted() platform choice (or a block past the
+            # enumerable levels): surface the standard PipelineError the
+            # validated path produces, exactly like the scalar walk.
+            for config in run:
+                config.in_camera_blocks()
+            raise
+        choices = np.array(rows, dtype=np.intp).reshape(len(run), depth)
+        start = 0
+        state = None
+        cache = self.prefix_cache
+        if cache is not None and depth:
+            start, cohort = cache.deepest(self, levels, depth)
+            if start:
+                flat = choices[:, 0]
+                for level in range(1, start):
+                    flat = flat * len(levels[level].names) + choices[:, level]
+                state = _take_state(cohort, flat, self._energy)
+        if state is None:
+            start = 0
+            state = self.model.initial_state_batch(len(run))
+        for level in range(start, depth):
+            state = self._extend(state, levels[level], choices[:, level])
+        return state
+
+    def evaluate_many(
+        self, configs: Iterable[PipelineConfig]
+    ) -> list[ConfigCost | EnergyCost]:
+        """Costs for a configuration sequence, in sequence order —
+        drop-in for :meth:`PrefixEvaluator.evaluate_many` (values are
+        bit-identical; only the fold is columnar)."""
+        configs = configs if isinstance(configs, Sequence) else list(configs)
+        model = self.model
+        energy = self._energy
+        out: list[ConfigCost | EnergyCost] = []
+        for pipeline, depth, run in self._segments(configs):
+            plan = self._plan_for(pipeline)
+            state = self._run_state(plan, depth, run)
+            link_cost = depth_link_cost(
+                model.link, energy, plan.link_costs, depth, run[0]
+            )
+            out.extend(
+                _materialize_costs(run, model.finalize_batch(state, link_cost), energy)
+            )
+        return out
+
+    def states_chunk(self, configs: Iterable[PipelineConfig]) -> BatchChunkStates:
+        """The chunk's pre-finalize states as a :class:`BatchChunkStates`
+        — the batch counterpart of :meth:`PrefixEvaluator.states_many`
+        for campaign dedup leaders."""
+        configs = configs if isinstance(configs, Sequence) else list(configs)
+        segments = []
+        for pipeline, depth, run in self._segments(configs):
+            plan = self._plan_for(pipeline)
+            segments.append((run, depth, self._run_state(plan, depth, run)))
+        return BatchChunkStates(segments, self._energy)
+
+    # -- whole-space cohort enumeration ----------------------------------
+
+    def iter_scenario_batches(
+        self, scenario: Any, chunk_size: int | None = None
+    ) -> Iterator[BatchRows]:
+        """Stream a scenario's whole design space as lazy
+        :class:`BatchRows`, one depth cohort at a time (sliced to
+        ``chunk_size`` rows when given), in exact enumeration order.
+
+        The solo ``explore()`` fast path: per depth, the previous
+        cohort's state arrays are repeated across the next block's
+        options and extended with one batch call — O(depth) array
+        operations for the whole space, no per-configuration Python
+        work until a consumer materializes a row. Depth pruning is
+        honored (pruned depths still fold their states, which deeper
+        depths extend); per-config and prefix pruning filter arbitrary
+        rows and are the caller's reason to stay on the scalar path.
+        """
+        if not self._stock:
+            raise ConfigurationError(
+                "cohort enumeration needs fully stock batch cost semantics "
+                "(custom batch steps have unknown state shapes); evaluate "
+                "chunks through evaluate_many instead"
+            )
+        pipeline = scenario.pipeline
+        plan = self._plan_for(pipeline)
+        option_lists = enumeration_plan(pipeline, scenario.max_blocks)
+        levels = plan.levels[: len(option_lists)]
+        prune_depth = scenario.depth_prune_hook()
+        energy = self._energy
+        model = self.model
+        link_cache = plan.link_costs
+
+        def emit(depth: int, choices: Any, state: Any) -> Iterator[BatchRows]:
+            representative = PipelineConfig.trusted(
+                pipeline, tuple(level.names[0] for level in levels[:depth])
+            )
+            link_cost = depth_link_cost(
+                model.link, energy, link_cache, depth, representative
+            )
+            batch = BatchRows(
+                scenario,
+                pipeline,
+                depth,
+                tuple(level.names for level in levels[:depth]),
+                choices,
+                model.finalize_batch(state, link_cost),
+                energy,
+            )
+            n = len(batch)
+            if chunk_size is None or n <= chunk_size:
+                yield batch
+                return
+            for lo in range(0, n, chunk_size):
+                yield batch.slice(lo, min(lo + chunk_size, n))
+
+        state = model.initial_state_batch(1)
+        choices = np.zeros((1, 0), dtype=np.intp)
+        if scenario.include_empty and not (
+            prune_depth is not None and prune_depth(0)
+        ):
+            yield from emit(0, choices, state)
+        for depth in range(1, len(levels) + 1):
+            level = levels[depth - 1]
+            k = len(level.names)
+            tile = np.tile(np.arange(k, dtype=np.intp), choices.shape[0])
+            # repeat rows x tile options == itertools.product order.
+            state = self._extend(_repeat_state(state, k, energy), level, tile)
+            choices = np.concatenate(
+                [np.repeat(choices, k, axis=0), tile[:, None]], axis=1
+            )
+            if prune_depth is not None and prune_depth(depth):
+                continue
+            yield from emit(depth, choices, state)

@@ -73,6 +73,50 @@ def test_assess_fails_beyond_five_x():
     assert gate.assess(0.0, 6.0)[0] == "fail"
 
 
+def vec_entry(speedup):
+    return {"kind": "explore_vectorized", "speedup_batch_vs_scalar": speedup}
+
+
+def test_gated_kinds_cover_both_trajectory_kinds():
+    assert gate.GATED_KINDS == {
+        "explore_scaling": "speedup_memoized_vs_brute",
+        "explore_vectorized": "speedup_batch_vs_scalar",
+    }
+
+
+def test_latest_and_best_prior_is_kind_aware():
+    trajectory = [entry(5.0), vec_entry(20.0), entry(6.0), vec_entry(15.0)]
+    assert gate.latest_and_best_prior(trajectory) == (6.0, 5.0)
+    assert gate.latest_and_best_prior(
+        trajectory, "explore_vectorized", "speedup_batch_vs_scalar"
+    ) == (15.0, 20.0)
+
+
+def test_assess_message_names_the_gated_kind_and_metric():
+    status, message = gate.assess(
+        2.0, 20.0, kind="explore_vectorized", metric="speedup_batch_vs_scalar"
+    )
+    assert status == "fail"
+    assert "speedup_batch_vs_scalar" in message
+    _, first = gate.assess(
+        20.0, None, kind="explore_vectorized", metric="speedup_batch_vs_scalar"
+    )
+    assert "explore_vectorized" in first
+
+
+def test_main_gates_each_kind_independently(tmp_path):
+    path = tmp_path / "BENCH_explore.json"
+    # Scaling healthy, vectorized regressed past the hard gate.
+    path.write_text(json.dumps([entry(6.0), vec_entry(20.0), entry(5.5), vec_entry(2.0)]))
+    assert gate.main(["gate", str(path)]) == 1
+    # Both healthy.
+    path.write_text(json.dumps([entry(6.0), vec_entry(20.0), entry(5.5), vec_entry(18.0)]))
+    assert gate.main(["gate", str(path)]) == 0
+    # A trajectory with no vectorized entries yet stays green.
+    path.write_text(json.dumps([entry(6.0), entry(5.5)]))
+    assert gate.main(["gate", str(path)]) == 0
+
+
 def test_main_exit_codes_and_step_summary(tmp_path, monkeypatch):
     summary = tmp_path / "summary.md"
     monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))

@@ -1,0 +1,468 @@
+"""The columnar batch evaluation core (`repro.explore.vectorized`).
+
+Unit coverage for the pieces the invariant suite exercises end-to-end:
+the batch-capability probes and their subclass-override matrix, the
+``evaluation=`` knob and path report, :class:`BatchRows` laziness and
+columnar metrics, the columnar sink folds (``add_batch`` ==  scalar
+``add``, including NaN positions and ties), the partial prefix cache,
+and the error surfaces of every entry point.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.block import Block, Implementation
+from repro.core.cost import EnergyCostModel, ThroughputCostModel
+from repro.core.pipeline import InCameraPipeline, PipelineConfig
+from repro.errors import ConfigurationError, PipelineError
+from repro.explore import (
+    BatchPrefixEvaluator,
+    CallbackSink,
+    MemorySink,
+    ParetoSink,
+    PrefixEvaluator,
+    PrefixStateCache,
+    ResultSink,
+    Scenario,
+    SweepExecutor,
+    TopK,
+    TopKSink,
+    evaluation_path,
+    explore,
+    supports_batch_evaluation,
+    uses_stock_batch_semantics,
+)
+from repro.explore.engine import iter_evaluation_chunks
+from repro.explore.result import ParetoFrontier, cost_row
+from repro.explore.sink import uses_columnar_writes
+from repro.explore.vectorized import (
+    BatchChunkStates,
+    BatchRows,
+    batch_prefix_evaluator,
+    np,
+)
+from repro.hw.network import LinkModel
+
+pytestmark = pytest.mark.skipif(np is None, reason="numpy unavailable")
+
+
+def build_pipeline(n_blocks: int = 3) -> InCameraPipeline:
+    blocks = tuple(
+        Block(
+            name=f"B{i}",
+            output_bytes=900.0 - 200.0 * i,
+            pass_rate=0.8,
+            implementations={
+                platform: Implementation(
+                    platform,
+                    fps=90.0 - 7 * i + 3 * j,
+                    energy_per_frame=1e-6 * (i + j + 1),
+                    active_seconds=1e-3 * (j + 1),
+                )
+                for j, platform in enumerate(("asic", "cpu", "fpga"))
+            },
+        )
+        for i in range(n_blocks)
+    )
+    return InCameraPipeline(
+        name="vec-unit", sensor_bytes=1200.0, blocks=blocks,
+        sensor_energy_per_frame=2e-7,
+    )
+
+
+LINK = LinkModel(name="vec-link", raw_bps=2e6, tx_energy_per_bit=1e-9)
+
+
+def build_scenario(**overrides) -> Scenario:
+    kwargs = {
+        "name": "vec-unit",
+        "pipeline": build_pipeline(),
+        "link": LINK,
+        "target_fps": 60.0,
+    }
+    kwargs.update(overrides)
+    return Scenario(**kwargs)
+
+
+# -- capability probes ---------------------------------------------------
+
+
+class _ScalarOnlyOverride(ThroughputCostModel):
+    """Customizes a scalar step without its batch counterpart: the stock
+    batch kernel would silently bypass it."""
+
+    def extend_state(self, state, block, impl):
+        return super().extend_state(state, block, impl)
+
+
+class _MatchedOverride(ThroughputCostModel):
+    """Customizes a scalar step and its batch counterpart: batch-capable,
+    but the state shapes are its own business."""
+
+    def extend_state(self, state, block, impl):
+        return super().extend_state(state, block, impl)
+
+    def extend_state_batch(self, state, block, impls, choices):
+        return super().extend_state_batch(state, block, impls, choices)
+
+
+class _BatchOnlyOverride(ThroughputCostModel):
+    """A faster batch kernel with stock scalar semantics: eligible."""
+
+    def extend_state_batch(self, state, block, impls, choices):
+        return super().extend_state_batch(state, block, impls, choices)
+
+
+class _CustomEvaluate(ThroughputCostModel):
+    def evaluate(self, config):
+        return super().evaluate(config)
+
+
+def test_probes_on_stock_models():
+    for model in (ThroughputCostModel(LINK), EnergyCostModel(LINK)):
+        assert supports_batch_evaluation(model)
+        assert uses_stock_batch_semantics(model)
+
+
+def test_probes_on_override_matrix():
+    assert not supports_batch_evaluation(_ScalarOnlyOverride(LINK))
+    assert supports_batch_evaluation(_MatchedOverride(LINK))
+    assert supports_batch_evaluation(_BatchOnlyOverride(LINK))
+    assert not supports_batch_evaluation(_CustomEvaluate(LINK))
+    # Any override at all disqualifies the stock-shape shortcuts.
+    for model in (
+        _ScalarOnlyOverride(LINK),
+        _MatchedOverride(LINK),
+        _BatchOnlyOverride(LINK),
+        _CustomEvaluate(LINK),
+    ):
+        assert not uses_stock_batch_semantics(model)
+    assert not supports_batch_evaluation(object())
+    assert not uses_stock_batch_semantics(object())
+
+
+def test_batch_prefix_evaluator_dispatch():
+    assert batch_prefix_evaluator(_ScalarOnlyOverride(LINK)) is None
+    assert isinstance(
+        batch_prefix_evaluator(ThroughputCostModel(LINK)), BatchPrefixEvaluator
+    )
+    with pytest.raises(ConfigurationError, match="not batch-capable"):
+        BatchPrefixEvaluator(_ScalarOnlyOverride(LINK))
+    with pytest.raises(ConfigurationError, match="pass_rates only apply"):
+        BatchPrefixEvaluator(ThroughputCostModel(LINK), pass_rates={"B0": 0.5})
+
+
+def test_matched_override_refuses_cohort_enumeration():
+    evaluator = BatchPrefixEvaluator(_MatchedOverride(LINK))
+    with pytest.raises(ConfigurationError, match="stock batch cost semantics"):
+        next(evaluator.iter_scenario_batches(build_scenario()))
+
+
+def test_matched_override_still_folds_chunks_bit_identically():
+    scenario = build_scenario()
+    model = _MatchedOverride(LINK)
+    configs = list(scenario.iter_configs())
+    batch = BatchPrefixEvaluator(model)
+    scalar = PrefixEvaluator(model)
+    got = [cost_row(scenario, c) for c in batch.evaluate_many(configs)]
+    want = [cost_row(scenario, scalar.evaluate(c)) for c in configs]
+    assert json.dumps(got) == json.dumps(want)
+
+
+# -- the evaluation= knob and path report --------------------------------
+
+
+def test_evaluation_path_values():
+    scenario = build_scenario()
+    assert evaluation_path(scenario) == "batch-cohort"
+    assert evaluation_path(scenario, SweepExecutor(workers=2)) == "batch-chunk"
+    assert evaluation_path(scenario, evaluation="scalar") == "scalar-memoized"
+    # Per-config filtering (a custom prune hook) drops arbitrary rows:
+    # cohorts are out, chunked batching stays.
+    filtered = build_scenario(prune=lambda config: False)
+    assert evaluation_path(filtered) == "batch-chunk"
+
+
+def test_evaluation_mode_validation():
+    scenario = build_scenario()
+    with pytest.raises(ConfigurationError, match="evaluation must be one of"):
+        explore(scenario, evaluation="bogus")
+    with pytest.raises(ConfigurationError, match="evaluation must be one of"):
+        evaluation_path(scenario, evaluation="bogus")
+    with pytest.raises(ConfigurationError, match="batch-capable cost model"):
+        iter_evaluation_chunks(
+            _ScalarOnlyOverride(LINK), iter(()), evaluation="batch"
+        )
+
+
+def test_explore_modes_agree_on_rows():
+    scenario = build_scenario()
+    auto = explore(scenario)
+    forced = explore(scenario, evaluation="batch")
+    scalar = explore(scenario, evaluation="scalar")
+    assert json.dumps(auto.rows) == json.dumps(scalar.rows)
+    assert json.dumps(forced.rows) == json.dumps(scalar.rows)
+
+
+# -- BatchRows -----------------------------------------------------------
+
+
+def scenario_batches(scenario, chunk_size=None):
+    evaluator = BatchPrefixEvaluator(scenario.cost_model())
+    return list(evaluator.iter_scenario_batches(scenario, chunk_size=chunk_size))
+
+
+def test_batch_rows_materialize_lazily():
+    scenario = build_scenario()
+    batches = scenario_batches(scenario)
+    assert sum(len(b) for b in batches) == scenario.count_configs()
+    deepest = batches[-1]
+    assert deepest.n_materialized == 0
+    column = deepest.metric_column("total_fps")
+    assert len(column) == len(deepest)
+    assert deepest.n_materialized == 0  # columns never materialize
+    cost = deepest.cost(0)
+    assert deepest.n_materialized == 1
+    assert cost.config == deepest.config(0)
+    row = deepest.row(1)
+    assert deepest.n_materialized == 2
+    assert row == cost_row(scenario, deepest.cost(1))
+
+
+def test_batch_rows_match_scalar_rows_and_columns():
+    scenario = build_scenario()
+    scalar = explore(scenario, evaluation="scalar")
+    rows = [row for batch in scenario_batches(scenario) for row in batch.rows()]
+    assert json.dumps(rows) == json.dumps(scalar.rows)
+    position = 0
+    for batch in scenario_batches(scenario):
+        span = scalar.rows[position : position + len(batch)]
+        for metric in ("n_in_camera", "offload_bytes", "compute_fps",
+                       "communication_fps", "total_fps", "feasible"):
+            got = batch.metric_column(metric).tolist()
+            assert got == [row[metric] for row in span], metric
+        position += len(batch)
+    with pytest.raises(KeyError):
+        scenario_batches(scenario)[0].metric_column("config")
+
+
+def test_energy_batch_columns_match_scalar_rows():
+    scenario = build_scenario(
+        domain="energy", target_fps=None, energy_budget_j=2e-5,
+        pass_rates={"B0": 0.4},
+    )
+    scalar = explore(scenario, evaluation="scalar")
+    evaluator = BatchPrefixEvaluator(
+        scenario.cost_model(), pass_rates=scenario.pass_rates
+    )
+    position = 0
+    for batch in evaluator.iter_scenario_batches(scenario):
+        span = scalar.rows[position : position + len(batch)]
+        assert json.dumps(batch.rows()) == json.dumps(span)
+        for metric in ("transmit_rate", "active_seconds", "transmit_energy_j",
+                       "sensor_energy_j", "compute_energy_j", "total_energy_j",
+                       "feasible"):
+            got = batch.metric_column(metric).tolist()
+            assert got == [row[metric] for row in span], metric
+        position += len(batch)
+
+
+def test_batch_rows_slice_is_a_view_of_the_same_rows():
+    scenario = build_scenario()
+    deepest = scenario_batches(scenario)[-1]
+    lo, hi = 3, 11
+    window = deepest.slice(lo, hi)
+    assert len(window) == hi - lo
+    assert json.dumps(window.rows()) == json.dumps(deepest.rows()[lo:hi])
+
+
+def test_chunked_cohorts_respect_chunk_size():
+    scenario = build_scenario()
+    batches = scenario_batches(scenario, chunk_size=5)
+    assert all(len(batch) <= 5 for batch in batches)
+    rows = [row for batch in batches for row in batch.rows()]
+    assert json.dumps(rows) == json.dumps(explore(scenario, evaluation="scalar").rows)
+
+
+def test_cohorts_honor_depth_pruning_and_include_empty():
+    pruned = build_scenario(auto_prune=True)
+    rows = [row for batch in scenario_batches(pruned) for row in batch.rows()]
+    assert json.dumps(rows) == json.dumps(explore(pruned, evaluation="scalar").rows)
+    no_empty = build_scenario(include_empty=False)
+    depths = [batch.depth for batch in scenario_batches(no_empty)]
+    assert 0 not in depths
+    assert sum(len(b) for b in scenario_batches(no_empty)) == no_empty.count_configs()
+
+
+def test_invalid_trusted_platform_raises_like_the_scalar_walk():
+    pipeline = build_pipeline()
+    config = PipelineConfig.trusted(pipeline, ("bogus",))
+    evaluator = BatchPrefixEvaluator(ThroughputCostModel(LINK))
+    with pytest.raises(PipelineError):
+        evaluator.evaluate_many([config])
+
+
+def test_states_chunk_segments_cover_the_chunk():
+    scenario = build_scenario()
+    configs = list(scenario.iter_configs())
+    states = BatchPrefixEvaluator(scenario.cost_model()).states_chunk(configs)
+    assert isinstance(states, BatchChunkStates)
+    assert len(states) == len(configs)
+    assert [c for run, _d, _s in states.segments for c in run] == configs
+
+
+# -- columnar sink folds -------------------------------------------------
+
+
+class _FakeBatch:
+    """The minimal add_batch consumer contract over plain rows."""
+
+    def __init__(self, rows, columnar=("m",)):
+        self._rows = rows
+        self._columnar = columnar
+        self.n_materialized = 0
+
+    def __len__(self):
+        return len(self._rows)
+
+    def metric_column(self, name):
+        if name not in self._columnar:
+            raise KeyError(name)
+        return np.array([row[name] for row in self._rows], dtype=float)
+
+    def row(self, i):
+        self.n_materialized += 1
+        return self._rows[i]
+
+    def rows(self):
+        self.n_materialized += len(self._rows)
+        return list(self._rows)
+
+
+def test_topk_add_batch_equals_scalar_add_with_ties():
+    rows = [{"config": f"c{i}", "m": float(v)} for i, v in
+            enumerate([5, 7, 7, 3, 7, 9, 1, 9, 2, 7])]
+    for maximize in (True, False):
+        for k in (0, 2, 4, 50):
+            online = TopK("m", k=k, maximize=maximize)
+            online.add_batch(_FakeBatch(rows[:6]))
+            online.add_batch(_FakeBatch(rows[6:]))
+            batch = TopK("m", k=k, maximize=maximize)
+            batch.add(rows)
+            assert online.rows == batch.rows, (maximize, k)
+            assert online.n_seen == batch.n_seen == len(rows)
+
+
+def test_topk_add_batch_materializes_candidates_only():
+    rows = [{"m": float(v)} for v in [9, 8, 1, 1, 1, 1, 10, 1]]
+    online = TopK("m", k=2, maximize=True)
+    fake = _FakeBatch(rows)
+    online.add_batch(fake)
+    # Heap fill (2) + the single later row beating the batch-start root.
+    assert fake.n_materialized == 3
+    assert [row["m"] for row in online.rows] == [10.0, 9.0]
+
+
+def test_topk_add_batch_nan_raises_at_the_exact_position():
+    rows = [{"m": 4.0}, {"m": 5.0}, {"m": float("nan")}, {"m": 6.0}]
+    online = TopK("m", k=2)
+    with pytest.raises(ConfigurationError, match="row 2"):
+        online.add_batch(_FakeBatch(rows))
+
+
+def test_pareto_add_batch_equals_scalar_add():
+    rows = [
+        {"a": float(i % 5), "b": float((i * 7) % 4)} for i in range(40)
+    ]
+    online = ParetoFrontier(("a", "b"), maximize=True)
+    online.add_batch(_FakeBatch(rows[:25], columnar=("a", "b")))
+    online.add_batch(_FakeBatch(rows[25:], columnar=("a", "b")))
+    batch = ParetoFrontier(("a", "b"), maximize=True)
+    batch.add(rows)
+    assert online.rows == batch.rows
+    assert online.n_seen == batch.n_seen == len(rows)
+
+
+def test_pareto_add_batch_nan_raises_at_the_exact_position():
+    rows = [{"a": 1.0, "b": 1.0}, {"a": float("nan"), "b": 0.0}]
+    online = ParetoFrontier(("a", "b"), maximize=True)
+    with pytest.raises(ConfigurationError, match="row 1"):
+        online.add_batch(_FakeBatch(rows, columnar=("a", "b")))
+
+
+def test_add_batch_falls_back_on_non_columnar_metrics():
+    rows = [{"m": float(v), "other": v} for v in (3, 1, 2)]
+    online = TopK("other", k=2)
+    fake = _FakeBatch(rows)  # only "m" is columnar
+    online.add_batch(fake)
+    assert fake.n_materialized == len(rows)
+    batch = TopK("other", k=2)
+    batch.add(rows)
+    assert online.rows == batch.rows
+
+
+def test_uses_columnar_writes_probe():
+    assert uses_columnar_writes(ParetoSink())
+    assert uses_columnar_writes(TopKSink("total_fps", k=3))
+    assert not uses_columnar_writes(MemorySink())
+    assert not uses_columnar_writes(CallbackSink(lambda rows: None))
+
+    class _Columnar(ResultSink):
+        def write_batch(self, batch):
+            pass
+
+    assert uses_columnar_writes(_Columnar())
+
+
+def test_columnar_sinks_match_collected_results_end_to_end():
+    scenario = build_scenario()
+    collected = explore(scenario)
+    sink = TopKSink("total_fps", k=4)
+    explore(scenario, sink=sink, collect=False)
+    assert json.dumps(sink.top_k()) == json.dumps(collected.top_k("total_fps", k=4))
+    frontier = ParetoSink()
+    explore(scenario, sink=frontier, collect=False)
+    assert json.dumps(frontier.pareto()) == json.dumps(collected.pareto())
+
+
+# -- the partial prefix cache --------------------------------------------
+
+
+def test_prefix_state_cache_validates_max_rows():
+    with pytest.raises(ConfigurationError, match="max_rows"):
+        PrefixStateCache(max_rows=0)
+
+
+def test_prefix_state_cache_hits_on_shared_prefixes():
+    scenario = build_scenario()
+    model = scenario.cost_model()
+    configs = list(scenario.iter_configs())
+    cache = PrefixStateCache()
+    first = BatchPrefixEvaluator(model, prefix_cache=cache)
+    baseline = [cost_row(scenario, c) for c in first.evaluate_many(configs)]
+    assert cache.misses > 0
+    misses = cache.misses
+    second = BatchPrefixEvaluator(model, prefix_cache=cache)
+    again = [cost_row(scenario, c) for c in second.evaluate_many(configs)]
+    assert json.dumps(again) == json.dumps(baseline)
+    assert cache.hits > 0
+    assert cache.misses == misses  # every prefix level was already primed
+
+
+def test_prefix_state_cache_width_cap_disables_itself_safely():
+    scenario = build_scenario()
+    configs = list(scenario.iter_configs())
+    cache = PrefixStateCache(max_rows=1)  # narrower than any level cohort
+    evaluator = BatchPrefixEvaluator(scenario.cost_model(), prefix_cache=cache)
+    rows = [cost_row(scenario, c) for c in evaluator.evaluate_many(configs)]
+    assert cache.hits == cache.misses == 0
+    assert json.dumps(rows) == json.dumps(explore(scenario, evaluation="scalar").rows)
+
+
+def test_prefix_cache_ignored_for_custom_batch_models():
+    cache = PrefixStateCache()
+    evaluator = BatchPrefixEvaluator(_MatchedOverride(LINK), prefix_cache=cache)
+    assert evaluator.prefix_cache is None
