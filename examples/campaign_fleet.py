@@ -65,8 +65,10 @@ def main() -> None:
     campaign = Campaign(fleet, name="builtin-fleet")
     executor = SweepExecutor(workers=4, backend="thread")
     # Self-describing perf repro: say which evaluation path each
-    # scenario rides under this executor (batch-chunk here — the shared
-    # thread pool chunks the spaces; solo serial runs go batch-cohort).
+    # scenario rides under this executor (batch-shard here — the shared
+    # pool receives compact cohort-shard descriptors and workers rebuild
+    # the config columns locally; solo serial runs go batch-cohort, or
+    # batch-cohort-pruned once lower-bound pruning fuses in).
     paths = sorted({evaluation_path(s, executor) for s in fleet})
     print(f"\nEvaluation path(s) under the fleet executor: {', '.join(paths)}")
     print("Streaming fleet (shortest scenario first):")
@@ -130,6 +132,13 @@ def main() -> None:
         f"evaluations ({stats['evaluations_skipped']} skipped — "
         f"{total / stats['evaluations_computed']:.1f}x fewer)."
     )
+    if stats["prefix_cache"] is not None:
+        pc = stats["prefix_cache"]
+        print(
+            f"Fleet-shared prefix cache: {pc['hits']} hits / "
+            f"{pc['misses']} misses ({pc['entries']} entries, "
+            f"{pc['width_capped']} cohorts over the width cap)."
+        )
     result.to_table().print()
 
 

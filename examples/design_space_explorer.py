@@ -20,6 +20,7 @@ Run:
 """
 
 import io
+from dataclasses import replace
 
 from repro.core import TextTable, parameter_sweep
 from repro.explore import Campaign, CsvSink, SweepExecutor, evaluation_path
@@ -103,13 +104,24 @@ def main() -> None:
     catalog = load_builtin()
     fleet = [catalog.build("faceauth-energy"), catalog.build("vr-fig10")]
     # Self-describing perf repro: name the evaluation path each
-    # scenario's solo explore() would ride (batch-cohort on the stock
-    # models, scalar-* when a custom model forces the fallback).
-    for scenario in fleet:
-        print(f"Evaluation path for {scenario.name}: {evaluation_path(scenario)}")
+    # scenario rides (batch-cohort on the stock models serial,
+    # batch-cohort-pruned when lower-bound pruning fuses into the
+    # columnar walk, batch-shard when a parallel executor ships flat
+    # index ranges instead of pickled configs, scalar-* when a custom
+    # model forces the fallback).
+    pool = SweepExecutor(workers=4, backend="thread")
+    pruned = replace(
+        fleet[1], name="vr-fig10-pruned", auto_prune=True, auto_prune_configs=True
+    )
+    for scenario in (*fleet, pruned):
+        print(
+            f"Evaluation path for {scenario.name}: "
+            f"{evaluation_path(scenario)} solo, "
+            f"{evaluation_path(scenario, pool)} on the shared pool"
+        )
     csv_stream = io.StringIO()
     campaign = Campaign(fleet, name="explorer-finale").run(
-        SweepExecutor(workers=4, backend="thread"),
+        pool,
         sinks={"faceauth-energy": CsvSink(csv_stream)},
     )
     campaign.to_table().print()

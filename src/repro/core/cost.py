@@ -75,6 +75,33 @@ def platform_axis_fingerprint(pipeline: InCameraPipeline) -> str:
         )
     )
 
+def option_fps_column(impls: Sequence[Implementation]) -> Any:
+    """The frame rate of each implementation as one float column.
+
+    ``impls`` must be in enumeration (sorted platform) order. Shared
+    batch bound kernel: both the columnar throughput fold and the
+    vectorized throughput pruner index this column with a choice array,
+    so bound and cost read the exact same floats.
+    """
+    np = _require_numpy()
+    return np.array([impl.fps for impl in impls])
+
+
+def option_energy_columns(impls: Sequence[Implementation]) -> tuple[Any, Any]:
+    """Per-implementation (energy per frame, active seconds) columns.
+
+    ``impls`` must be in enumeration (sorted platform) order. Shared
+    batch bound kernel: the columnar energy fold and the vectorized
+    energy pruner both index the energy column, so bound and cost read
+    the exact same floats.
+    """
+    np = _require_numpy()
+    return (
+        np.array([impl.energy_per_frame for impl in impls]),
+        np.array([impl.active_seconds for impl in impls]),
+    )
+
+
 #: Throughput prefix state: (running min fps, slowest block label).
 ThroughputState = tuple[float, str]
 
@@ -187,7 +214,7 @@ class ThroughputCostModel:
         """
         np = _require_numpy()
         fps_cur, labels_cur = state
-        option_fps = np.array([impl.fps for impl in impls])
+        option_fps = option_fps_column(impls)
         option_labels = np.array(
             [f"{block.name}({impl.platform})" for impl in impls], dtype=object
         )
@@ -356,10 +383,8 @@ class EnergyCostModel:
         level (struct-of-arrays), mirroring the scalar state's tuple of
         ``(name, energy)`` pairs.
         """
-        np = _require_numpy()
         rate, energies, active = state
-        option_energy = np.array([impl.energy_per_frame for impl in impls])
-        option_active = np.array([impl.active_seconds for impl in impls])
+        option_energy, option_active = option_energy_columns(impls)
         energy = rate * option_energy[choices]
         active = active + rate * option_active[choices]
         block_rate = (

@@ -107,7 +107,9 @@ from repro.explore.incremental import PrefixEvaluator, supports_prefix_evaluatio
 from repro.explore.vectorized import (
     BatchPrefixEvaluator,
     BatchRows,
+    CohortShard,
     PrefixStateCache,
+    iter_scenario_shards,
     supports_batch_evaluation,
     uses_stock_batch_semantics,
 )
@@ -145,6 +147,7 @@ __all__ = [
     "Campaign",
     "CampaignResult",
     "CatalogEntry",
+    "CohortShard",
     "CsvSink",
     "DOMAINS",
     "DepthPruneHook",
@@ -183,6 +186,7 @@ __all__ = [
     "explore_brute_force",
     "iter_configs",
     "iter_evaluations",
+    "iter_scenario_shards",
     "load_builtin",
     "lower_bound_depth_hook",
     "pareto_filter",

@@ -25,6 +25,16 @@ results stay byte-identical to ``dedup=False`` and to solo
 ``explore()`` — the invariant suite asserts it over seeded random
 fleets. :attr:`CampaignResult.cache_stats` reports evaluations skipped.
 
+Sharding contract: on a parallel executor, shard-eligible scenarios
+(stock batch semantics with a batch-capable — or absent — pruner)
+stream compact :class:`~repro.explore.vectorized.CohortShard`
+descriptors through the interleaver instead of materialized config
+lists; workers regenerate each chunk's rows locally from the flat
+index ranges (O(depth) array rebuilds), so a process pool pickles a
+few integers per chunk rather than per-config tuples. Results remain
+byte-identical to the materialized stream — the shard decode replays
+enumeration order exactly.
+
 Backpressure contract: ``iter_runs(max_pending_runs=k)`` bounds how far
 the fleet may be fed into the executor ahead of the consumer — once
 ``k`` scenarios are fully submitted without their runs having been
@@ -76,6 +86,7 @@ from repro.explore.engine import (
     _chunked,
     _evaluate_scratch,
     _gc_paused,
+    _shard_eligible,
 )
 from repro.explore.executor import (
     SweepExecutor,
@@ -100,6 +111,7 @@ from repro.explore.vectorized import (
     BatchChunkStates,
     PrefixStateCache,
     _materialize_costs,
+    iter_scenario_shards,
 )
 
 # Scheduling policies grew into their own module (repro.explore.
@@ -338,6 +350,7 @@ def _interleave_chunks(
     policy: SchedulingPolicy,
     progress: _FleetProgress,
     skip: frozenset[int] = frozenset(),
+    shard: Sequence[bool] | None = None,
 ) -> Iterator[tuple[int, _ChunkSpec, list[Any]]]:
     """One chunk per policy selection: the selected scenario's next
     chunk is yielded (tagged), exhausted scenarios leave the live set,
@@ -345,9 +358,21 @@ def _interleave_chunks(
     Emission/exhaustion is recorded in ``progress`` so the collector can
     detect per-scenario completion. Scenarios in ``skip`` (dedup
     followers, fed by mirroring their leader's chunks at collection)
-    never enter the live set and are never enumerated here."""
+    never enter the live set and are never enumerated here.
+
+    Scenarios flagged in ``shard`` stream
+    :class:`~repro.explore.vectorized.CohortShard` descriptors instead
+    of materialized config lists: workers regenerate the rows locally
+    from the flat index ranges, so a process pool pickles O(1) data per
+    chunk instead of per-config tuples. Shard boundaries follow the same
+    per-scenario sizes, and both stream shapes flow through the same
+    policy selection — scheduling is unchanged."""
     streams = {
-        index: _chunked(scenario.iter_configs(), sizes[index])
+        index: (
+            iter_scenario_shards(scenario, sizes[index])
+            if shard is not None and shard[index]
+            else _chunked(scenario.iter_configs(), sizes[index])
+        )
         for index, scenario in enumerate(scenarios)
         if index not in skip
     }
@@ -445,12 +470,14 @@ class CampaignResult:
         wall_seconds: float,
         policy: str = RoundRobin.name,
         dedup: bool = False,
+        prefix_cache_stats: dict[str, int] | None = None,
     ):
         self.name = name
         self.runs = runs
         self.wall_seconds = wall_seconds
         self.policy = policy
         self.dedup = dedup
+        self.prefix_cache_stats = prefix_cache_stats
 
     @property
     def cache_stats(self) -> dict[str, Any]:
@@ -461,7 +488,12 @@ class CampaignResult:
         costs were finalized from another scenario's shared compute
         states instead of being re-evaluated (zero unless the campaign
         ran with ``dedup=True`` and the fleet shared a compute key —
-        see :func:`scenario_compute_key`).
+        see :func:`scenario_compute_key`). ``prefix_cache`` carries the
+        fleet-shared :class:`~repro.explore.vectorized.PrefixStateCache`
+        counters — hits, misses, entries, and ``width_capped`` (cohorts
+        whose width exceeded the seeding cap and were folded from
+        scratch) — or None when the campaign ran without ``dedup=True``
+        or on a process pool (where no cache is shared).
         """
         shared = [run for run in self.runs if run.dedup_source is not None]
         return {
@@ -472,6 +504,7 @@ class CampaignResult:
                 run.n_evaluated for run in self.runs if run.dedup_source is None
             ),
             "evaluations_skipped": sum(run.n_evaluated for run in shared),
+            "prefix_cache": self.prefix_cache_stats,
         }
 
     def __len__(self) -> int:
@@ -698,10 +731,7 @@ class Campaign:
         # serial and thread backends see one object; a process pool
         # would pickle a private copy per task and share nothing.
         prefix_cache = (
-            PrefixStateCache()
-            if cache is not None
-            and (executor.is_serial or executor.backend == "thread")
-            else None
+            PrefixStateCache() if cache is not None and not executor.is_process else None
         )
         spec_list: list[_ChunkSpec] = []
         for index, (model, scenario) in enumerate(zip(models, scenarios)):
@@ -723,6 +753,17 @@ class Campaign:
         sizes = [
             self._chunk_size_for(scenario, executor, chunk_size)
             for scenario in scenarios
+        ]
+        # Cohort sharding on parallel executors: shard-eligible
+        # scenarios (stock batch semantics, batch-capable pruner) ship
+        # compact (depth, flat-index-range) descriptors instead of
+        # pickled config lists; workers rebuild the rows locally.
+        # Scratch-mode scenarios carry a custom model and are never
+        # shard-eligible, but guard anyway so the pairing is explicit.
+        shard_flags = [
+            specs[index][2] != _MODE_SCRATCH
+            and _shard_eligible(scenarios[index], models[index], executor, "auto")
+            for index in range(len(scenarios))
         ]
         # Same pause rule as solo explore(): engine-only allocations
         # (the dedup states and finalized costs are engine-owned and
@@ -754,7 +795,7 @@ class Campaign:
         order = {scenario.name: i for i, scenario in enumerate(scenarios)}
         error: BaseException | None = None
         interleaved = _interleave_chunks(
-            scenarios, specs, sizes, policy, progress, followers
+            scenarios, specs, sizes, policy, progress, followers, shard_flags
         )
 
         def _window_gate() -> bool:
@@ -891,6 +932,12 @@ class Campaign:
             raise
         finally:
             _exit_pause()
+            # Snapshot the fleet-shared prefix-cache counters (hits,
+            # misses, entries, width-capped rejections) for run() to
+            # surface through CampaignResult.cache_stats.
+            self._prefix_cache_stats = (
+                prefix_cache.stats if prefix_cache is not None else None
+            )
             # Stop the executor stream first (the pool shuts down after
             # in-flight chunks finish), then the enumerators, then flush
             # every sink not already closed at scenario completion.
@@ -1026,6 +1073,7 @@ class Campaign:
             wall_seconds=wall,
             policy=getattr(resolved, "name", type(resolved).__name__),
             dedup=dedup,
+            prefix_cache_stats=getattr(self, "_prefix_cache_stats", None),
         )
 
     def _label(self, index: int) -> str:

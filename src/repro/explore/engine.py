@@ -61,6 +61,7 @@ from repro.explore.sink import (
 )
 from repro.explore.vectorized import (
     BatchPrefixEvaluator,
+    iter_scenario_shards,
     supports_batch_evaluation,
     uses_stock_batch_semantics,
 )
@@ -136,8 +137,10 @@ def _check_evaluation_mode(evaluation: str, model: Any) -> None:
         raise ConfigurationError(
             "evaluation='batch' requires a batch-capable cost model "
             "(stock evaluate() and matched scalar/batch cost steps, with "
-            "numpy importable); use evaluation='auto' to fall back to "
-            "the scalar path"
+            "numpy importable) — none of the columnar paths (batch-cohort, "
+            "batch-cohort-pruned, batch-shard, batch-chunk) can run this "
+            "model; use evaluation='auto' to fall back to the scalar "
+            "paths (scalar-memoized / scalar-scratch)"
         )
 
 
@@ -149,6 +152,7 @@ def iter_evaluation_chunks(
     chunk_size: int | None = None,
     approx_total: int | None = None,
     evaluation: str = "auto",
+    scenario: Scenario | None = None,
 ) -> Iterator[list[Any]]:
     """Stream cost objects for a configuration iterable, as ordered
     chunk lists (the collection loop extends at C speed).
@@ -163,6 +167,14 @@ def iter_evaluation_chunks(
     per worker — so small spaces still spread across workers.
     ``evaluation`` picks the path (see :data:`EVALUATION_MODES`); all
     paths produce bit-identical costs.
+
+    ``scenario`` (when given) enables the shard mode on parallel
+    executors with stock-semantics models: instead of pickling config
+    chunks, the stream ships compact
+    :class:`~repro.explore.vectorized.CohortShard` descriptors that
+    workers decode and fold locally — ``configs`` is then ignored, as
+    the shards re-derive the same enumeration (identical order and
+    values).
     """
     executor = resolve_executor(executor)
     _check_evaluation_mode(evaluation, model)
@@ -177,6 +189,10 @@ def iter_evaluation_chunks(
         else:
             size = DEFAULT_CHUNK_SIZE
     allow_batch = evaluation != "scalar"
+    if scenario is not None and _shard_eligible(scenario, model, executor, evaluation):
+        chunk_fn = partial(evaluate_chunk, model, pass_rates, allow_batch=allow_batch)
+        shards = iter_scenario_shards(scenario, size)
+        return executor.imap(chunk_fn, shards, chunk_size=1)
     chunks = _chunked(iter(configs), size)
     if executor.is_serial and supports_prefix_evaluation(model):
         # Serial fast path: one evaluator spans the whole stream (no
@@ -223,18 +239,35 @@ def evaluation_path(
     executor: SweepExecutor | None = None,
     evaluation: str = "auto",
 ) -> str:
-    """The evaluation path :func:`explore` would take for this call —
-    ``"batch-cohort"`` (whole depth cohorts as columnar arrays, lazy
-    rows), ``"batch-chunk"`` (columnar folds per chunk),
-    ``"scalar-memoized"`` (the prefix walk) or ``"scalar-scratch"``
-    (per-config ``evaluate()``). Purely informational, for
-    self-describing perf repros; raises exactly like :func:`explore`
-    for an invalid or unsatisfiable ``evaluation=``.
+    """The evaluation path :func:`explore` would take for this call:
+
+    - ``"batch-cohort"`` — serial, whole depth cohorts as columnar
+      arrays with lazily materialized rows;
+    - ``"batch-cohort-pruned"`` — the same cohort walk with the
+      scenario's pruning fused in (prefix bounds as boolean-mask
+      compaction, per-config hooks as an emission-time filter);
+    - ``"batch-shard"`` — parallel, workers receive compact
+      :class:`~repro.explore.vectorized.CohortShard` descriptors and
+      regenerate state columns locally (nothing per-row is pickled);
+    - ``"batch-chunk"`` — columnar folds per pickled config chunk (the
+      parallel fallback for batch-capable models off the stock shapes);
+    - ``"scalar-memoized"`` — the scalar prefix walk;
+    - ``"scalar-scratch"`` — per-config ``evaluate()`` for models that
+      override it.
+
+    Purely informational, for self-describing perf repros; raises
+    exactly like :func:`explore` for an invalid or unsatisfiable
+    ``evaluation=``.
     """
     model = scenario.cost_model()
     _check_evaluation_mode(evaluation, model)
-    if _cohort_eligible(scenario, model, resolve_executor(executor), evaluation):
+    resolved = resolve_executor(executor)
+    if _cohort_eligible(scenario, model, resolved, evaluation):
+        if scenario.prune is not None or scenario.prefix_pruner() is not None:
+            return "batch-cohort-pruned"
         return "batch-cohort"
+    if _shard_eligible(scenario, model, resolved, evaluation):
+        return "batch-shard"
     if evaluation != "scalar" and supports_batch_evaluation(model):
         return "batch-chunk"
     if supports_prefix_evaluation(model):
@@ -242,21 +275,47 @@ def evaluation_path(
     return "scalar-scratch"
 
 
+def _pruning_batch_ready(scenario: Scenario) -> bool:
+    """Whether the scenario's config-level filters can ride the fused
+    columnar walks: per-config hooks always can (they run as scalar
+    emission-time filters over compacted cohorts / driver-side shard
+    filters), a prefix pruner only through its batch form."""
+    pruner = scenario.prefix_pruner()
+    return pruner is None or pruner.batch_capable
+
+
 def _cohort_eligible(
     scenario: Scenario, model: Any, executor: SweepExecutor, evaluation: str
 ) -> bool:
     """Whether :func:`explore` may stream whole depth cohorts as
-    columnar batches: serial run, fully stock batch semantics (the
-    cohort walk replicates state arrays, so it must know their layout),
-    and no per-config filtering (per-config/prefix pruners drop
-    arbitrary rows — those runs chunk instead; depth pruning composes
-    with cohorts and keeps the fast path)."""
+    columnar batches: serial run and fully stock batch semantics (the
+    cohort walk replicates state arrays, so it must know their layout).
+    Depth pruning composes with cohorts; prefix pruners fuse in as
+    mask compaction when they carry batch forms (both auto-derived
+    pruners do), and per-config hooks filter compacted cohorts at
+    emission time."""
     return (
         evaluation != "scalar"
         and executor.is_serial
         and uses_stock_batch_semantics(model)
-        and scenario.prune is None
-        and scenario.prefix_pruner() is None
+        and _pruning_batch_ready(scenario)
+    )
+
+
+def _shard_eligible(
+    scenario: Scenario, model: Any, executor: SweepExecutor, evaluation: str
+) -> bool:
+    """Whether a parallel run may ship
+    :class:`~repro.explore.vectorized.CohortShard` descriptors instead
+    of pickled config chunks: parallel executor and fully stock batch
+    semantics (workers regenerate stock-shaped state columns), with any
+    pruning batch-ready — the driver resolves pruner masks and hooks
+    into explicit survivor indices, so workers never see either."""
+    return (
+        evaluation != "scalar"
+        and not executor.is_serial
+        and uses_stock_batch_semantics(model)
+        and _pruning_batch_ready(scenario)
     )
 
 
@@ -306,14 +365,18 @@ def explore(
         by latency-sensitive work).
     evaluation:
         ``"auto"`` (default) rides the columnar batch path whenever the
-        model supports it — on serial, unfiltered stock runs as whole
-        depth cohorts with lazily materialized rows, otherwise as
-        columnar per-chunk folds — and falls back to the scalar prefix
-        walk for custom models. ``"batch"`` requires the batch path
-        (raising :class:`ConfigurationError` when the model cannot take
-        it); ``"scalar"`` forces the scalar fold. Every path produces
-        bit-identical results (:func:`evaluation_path` reports which
-        one runs).
+        model supports it — serial stock runs stream whole depth
+        cohorts with lazily materialized rows (pruning included: prefix
+        bounds fuse in as mask compaction, per-config hooks as
+        emission-time filters), parallel stock runs ship
+        :class:`~repro.explore.vectorized.CohortShard` descriptors that
+        workers fold locally, and batch-capable models off the stock
+        shapes fold pickled chunks columnar — falling back to the
+        scalar prefix walk for custom models. ``"batch"`` requires a
+        batch path (raising :class:`ConfigurationError` when the model
+        cannot take one); ``"scalar"`` forces the scalar fold. Every
+        path produces bit-identical results (:func:`evaluation_path`
+        reports which one runs).
     """
     sink = resolve_sink(sink)
     if not collect and sink is None:
@@ -359,6 +422,7 @@ def explore(
                 chunk_size=chunk_size,
                 approx_total=scenario.count_configs(),
                 evaluation=evaluation,
+                scenario=scenario,
             ):
                 if collect:
                     evaluations.extend(costs)

@@ -73,6 +73,34 @@ class PrefixPruner:
     instance (the dual bound: per-depth exact transmit terms instead of
     the min over all completion depths).
 
+    A pruner may additionally carry a *batch* form of the same bound,
+    which the columnar cohort walk
+    (:meth:`repro.explore.vectorized.BatchPrefixEvaluator.iter_scenario_batches`)
+    fuses into its depth folds as boolean-mask compaction. The batch
+    state is a flat tuple of equal-length 1-D arrays (row ``i`` is the
+    scalar bound state of cohort row ``i``), so the caller can repeat it
+    along options (``np.repeat`` per array) and compact it with one
+    fancy-index gather per array without knowing its meaning:
+
+    - ``initial_batch(n)`` returns the batch state of ``n`` empty
+      prefixes.
+    - ``extend_batch(block_index, choices, state)`` folds one option
+      tile (``choices`` selects each row's platform in enumeration
+      order) and returns ``(new_state, keep_mask)``. ``keep_mask[i]``
+      False asserts row ``i``'s subtree is infeasible at *every*
+      remaining cut depth — exactly the generic ``extend`` contract —
+      so the caller drops the row from all deeper cohorts.
+    - ``emit_mask(depth, state)`` (optional) returns the boolean mask of
+      compacted rows that survive the depth-``depth`` walk of the
+      *depth-aware* bound — exactly the rows ``for_depth(depth)`` would
+      yield. None (or an all-True mask) means the compacted cohort is
+      already the exact survivor set, which holds for depth-monotone
+      bounds like the throughput floor.
+
+    Elementwise, the batch forms must perform the same float operations
+    in the same order as their scalar counterparts: the fused walk's
+    survivor set is then *byte-identical* to the scalar pruned walk's.
+
     Parameters
     ----------
     initial:
@@ -82,11 +110,27 @@ class PrefixPruner:
     for_depth:
         Optional ``depth -> extend``-shaped factory for depth-aware
         bounds; when None the generic ``extend`` serves every depth.
+    initial_batch:
+        Optional ``n -> state_columns`` for the batch form.
+    extend_batch:
+        Optional ``(block_index, choices, state_columns) ->
+        (new_state_columns, keep_mask)``.
+    emit_mask:
+        Optional ``(depth, state_columns) -> mask | None`` mapping the
+        compacted cohort to the depth-aware survivor set.
     """
 
     initial: Any
     extend: Callable[[int, str, Any], Any]
     for_depth: Callable[[int], Callable[[int, str, Any], Any]] | None = None
+    initial_batch: Callable[[int], tuple] | None = None
+    extend_batch: Callable[[int, Any, tuple], tuple[tuple, Any]] | None = None
+    emit_mask: Callable[[int, tuple], Any] | None = None
+
+    @property
+    def batch_capable(self) -> bool:
+        """Whether the pruner can ride the fused columnar walk."""
+        return self.initial_batch is not None and self.extend_batch is not None
 
 
 def _normalize_hooks(

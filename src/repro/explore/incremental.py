@@ -497,10 +497,23 @@ def evaluate_chunk(
     ``prefix_cache`` (an optional
     :class:`~repro.explore.vectorized.PrefixStateCache`) lets fleet
     chunks share batched prefix states across scenarios.
-    """
-    if allow_batch:
-        from repro.explore.vectorized import batch_prefix_evaluator
 
+    ``configs`` may also be a
+    :class:`~repro.explore.vectorized.CohortShard` descriptor instead
+    of a config sequence: workers then regenerate the rows locally from
+    the flat indices (O(depth) array work, nothing per-row pickled) —
+    the shard-eligibility gate guarantees a batch-capable stock model.
+    """
+    from repro.explore.vectorized import CohortShard, batch_prefix_evaluator
+
+    if isinstance(configs, CohortShard):
+        batch = batch_prefix_evaluator(model, pass_rates, prefix_cache)
+        if batch is None:
+            raise ConfigurationError(
+                "CohortShard evaluation requires a batch-capable cost model"
+            )
+        return batch.evaluate_shard(configs)
+    if allow_batch:
         batch = batch_prefix_evaluator(model, pass_rates, prefix_cache)
         if batch is not None:
             return batch.evaluate_many(configs)
@@ -523,11 +536,20 @@ def evaluate_chunk_states(
     Batch-capable models return the states columnar as a
     :class:`~repro.explore.vectorized.BatchChunkStates` (the finalizer
     branches on the type); the scalar walk returns (config, state)
-    pairs as before.
+    pairs as before. Like :func:`evaluate_chunk`, ``configs`` may be a
+    :class:`~repro.explore.vectorized.CohortShard` the worker decodes
+    locally.
     """
-    if allow_batch:
-        from repro.explore.vectorized import batch_prefix_evaluator
+    from repro.explore.vectorized import CohortShard, batch_prefix_evaluator
 
+    if isinstance(configs, CohortShard):
+        batch = batch_prefix_evaluator(model, pass_rates, prefix_cache)
+        if batch is None:
+            raise ConfigurationError(
+                "CohortShard evaluation requires a batch-capable cost model"
+            )
+        return batch.states_shard(configs)
+    if allow_batch:
         batch = batch_prefix_evaluator(model, pass_rates, prefix_cache)
         if batch is not None:
             return batch.states_chunk(configs)

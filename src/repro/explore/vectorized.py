@@ -31,6 +31,21 @@ update is ``np.where(new < cur, new, cur)`` (the scalar branch, not
 stay one array per level so the left-to-right accumulation order is
 preserved.
 
+Pruned and parallel runs ride the same columnar core:
+
+* Prefix pruners carrying batch forms
+  (:attr:`~repro.explore.enumerate.PrefixPruner.extend_batch`) fuse
+  into the cohort walk as boolean-mask compaction — one fancy-index
+  gather per depth drops pruned prefixes before they are repeated into
+  deeper cohorts, reproducing DFS pruning semantics exactly; per-config
+  ``scenario.prune`` hooks run as a scalar filter over the already
+  compacted (small) cohort.
+* Parallel executors ship :class:`CohortShard` descriptors — compact
+  (depth, flat index range) slices of a cohort — instead of pickled
+  config lists; workers regenerate the state columns locally from the
+  prefix plan in O(depth) array operations
+  (:meth:`BatchPrefixEvaluator.evaluate_shard`).
+
 Custom models fall back automatically: :func:`supports_batch_evaluation`
 admits a model only when every customized scalar step has a matching
 batch override (and numpy is importable); everything else rides the
@@ -62,7 +77,7 @@ from repro.core.cost import (
 )
 from repro.core.pipeline import InCameraPipeline, PipelineConfig, _digest
 from repro.errors import ConfigurationError
-from repro.explore.enumerate import enumeration_plan
+from repro.explore.enumerate import _normalize_hooks, enumeration_plan
 from repro.explore.incremental import depth_link_cost, supports_prefix_evaluation
 from repro.explore.result import cost_row
 
@@ -403,6 +418,54 @@ class BatchChunkStates:
         return sum(len(configs) for configs, _depth, _state in self.segments)
 
 
+class CohortShard:
+    """A compact wire descriptor of one run of depth-``depth`` cohort rows.
+
+    The parallel counterpart of a pickled config-list chunk: instead of
+    shipping ``PipelineConfig`` objects to pool workers, the driver
+    ships ``(pipeline, depth, flat index range)`` and each worker
+    regenerates the rows locally — mixed-radix decode of the flat
+    product indices into an ``(n, depth)`` choice matrix (level 0 is the
+    most significant digit, so flat order *is* enumeration order),
+    then one columnar fold over the pipeline plan: O(depth) array
+    operations per shard instead of O(rows) pickled objects.
+
+    ``indices`` is None for an unfiltered scenario, where the shard
+    covers the contiguous flat range ``[lo, hi)`` of the full option
+    product. A pruned or hooked scenario's driver runs the masked
+    pruner walk once (see :func:`iter_scenario_shards`) and ships the
+    survivors' explicit flat indices — workers never need the pruner or
+    the hooks, whose closures are not picklable in general.
+    """
+
+    __slots__ = ("pipeline", "depth", "lo", "hi", "indices")
+
+    def __init__(
+        self,
+        pipeline: InCameraPipeline,
+        depth: int,
+        lo: int,
+        hi: int,
+        indices: Any = None,
+    ):
+        self.pipeline = pipeline
+        self.depth = depth
+        self.lo = lo
+        self.hi = hi
+        self.indices = indices
+
+    def __len__(self) -> int:
+        if self.indices is not None:
+            return len(self.indices)
+        return self.hi - self.lo
+
+    def __getstate__(self):
+        return (self.pipeline, self.depth, self.lo, self.hi, self.indices)
+
+    def __setstate__(self, state):
+        self.pipeline, self.depth, self.lo, self.hi, self.indices = state
+
+
 class _Level:
     """One enumerable block's per-platform tables, in enumeration
     (sorted platform name) order."""
@@ -469,8 +532,24 @@ class PrefixStateCache:
         self.max_rows = max_rows
         self.hits = 0
         self.misses = 0
+        self.width_capped = 0
         self._states: dict[tuple, Any] = {}
         self._lock = threading.Lock()
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Observable counters: priming hits/misses, cached cohort
+        entries, and how many :meth:`deepest` lookups the ``max_rows``
+        width cap truncated (``width_capped`` > 0 on a fleet means
+        deeper sharing was available but priced out — raise
+        ``max_rows`` to trade memory for hits)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._states),
+                "width_capped": self.width_capped,
+            }
 
     @staticmethod
     def _fingerprint(
@@ -505,11 +584,16 @@ class PrefixStateCache:
         pass_rates = evaluator.pass_rates
         width = 1
         target = 0
+        capped = False
         for j in range(1, depth + 1):
             width *= len(levels[j - 1].names)
             if width > self.max_rows:
+                capped = True
                 break
             target = j
+        if capped:
+            with self._lock:
+                self.width_capped += 1
         if target == 0:
             return (0, None)
         keys = [
@@ -637,6 +721,14 @@ class BatchPrefixEvaluator:
                 config.in_camera_blocks()
             raise
         choices = np.array(rows, dtype=np.intp).reshape(len(run), depth)
+        return self._fold_choices(plan, depth, choices)
+
+    def _fold_choices(self, plan: _PipelinePlan, depth: int, choices: Any) -> Any:
+        """The pre-finalize state arrays of one ``(n, depth)`` choice
+        matrix — the shared fold core of chunk evaluation
+        (:meth:`_run_state`) and shard regeneration
+        (:meth:`evaluate_shard`/:meth:`states_shard`)."""
+        levels = plan.levels
         start = 0
         state = None
         cache = self.prefix_cache
@@ -649,7 +741,7 @@ class BatchPrefixEvaluator:
                 state = _take_state(cohort, flat, self._energy)
         if state is None:
             start = 0
-            state = self.model.initial_state_batch(len(run))
+            state = self.model.initial_state_batch(choices.shape[0])
         for level in range(start, depth):
             state = self._extend(state, levels[level], choices[:, level])
         return state
@@ -686,6 +778,74 @@ class BatchPrefixEvaluator:
             segments.append((run, depth, self._run_state(plan, depth, run)))
         return BatchChunkStates(segments, self._energy)
 
+    # -- shard regeneration ----------------------------------------------
+
+    def _shard_rows(
+        self, shard: CohortShard
+    ) -> tuple[_PipelinePlan, Any, list[PipelineConfig]]:
+        """Decode a shard into its plan, ``(n, depth)`` choice matrix and
+        trusted configs — mixed-radix decode from the least significant
+        (deepest) level, the inverse of the enumeration's
+        ``flat = flat * k + choice`` accumulation."""
+        if not self._stock:
+            raise ConfigurationError(
+                "shard evaluation needs fully stock batch cost semantics "
+                "(custom batch steps have unknown state shapes); ship "
+                "config chunks through evaluate_many instead"
+            )
+        plan = self._plan_for(shard.pipeline)
+        levels = plan.levels
+        depth = shard.depth
+        if depth > len(levels):
+            raise ConfigurationError(
+                f"shard depth {depth} exceeds the pipeline's "
+                f"{len(levels)} enumerable levels"
+            )
+        if shard.indices is not None:
+            flat = np.asarray(shard.indices, dtype=np.intp).copy()
+        else:
+            flat = np.arange(shard.lo, shard.hi, dtype=np.intp)
+        choices = np.empty((flat.shape[0], depth), dtype=np.intp)
+        for level in range(depth - 1, -1, -1):
+            k = len(levels[level].names)
+            choices[:, level] = flat % k
+            flat //= k
+        names = [level.names for level in levels[:depth]]
+        trusted = PipelineConfig.trusted
+        configs = [
+            trusted(
+                shard.pipeline, tuple(names[level][c] for level, c in enumerate(row))
+            )
+            for row in choices.tolist()
+        ]
+        return plan, choices, configs
+
+    def evaluate_shard(self, shard: CohortShard) -> list[ConfigCost | EnergyCost]:
+        """Costs for every row of a :class:`CohortShard`, in flat-index
+        order — what pool workers run instead of
+        :meth:`evaluate_many` over a pickled config chunk. Row values
+        are bit-identical to the scalar fold of the same configs."""
+        plan, choices, configs = self._shard_rows(shard)
+        if not configs:
+            return []
+        state = self._fold_choices(plan, shard.depth, choices)
+        link_cost = depth_link_cost(
+            self.model.link, self._energy, plan.link_costs, shard.depth, configs[0]
+        )
+        return _materialize_costs(
+            configs, self.model.finalize_batch(state, link_cost), self._energy
+        )
+
+    def states_shard(self, shard: CohortShard) -> BatchChunkStates:
+        """A shard's pre-finalize states as :class:`BatchChunkStates` —
+        the shard counterpart of :meth:`states_chunk` for campaign
+        dedup leaders."""
+        plan, choices, configs = self._shard_rows(shard)
+        if not configs:
+            return BatchChunkStates([], self._energy)
+        state = self._fold_choices(plan, shard.depth, choices)
+        return BatchChunkStates([(configs, shard.depth, state)], self._energy)
+
     # -- whole-space cohort enumeration ----------------------------------
 
     def iter_scenario_batches(
@@ -699,10 +859,27 @@ class BatchPrefixEvaluator:
         cohort's state arrays are repeated across the next block's
         options and extended with one batch call — O(depth) array
         operations for the whole space, no per-configuration Python
-        work until a consumer materializes a row. Depth pruning is
-        honored (pruned depths still fold their states, which deeper
-        depths extend); per-config and prefix pruning filter arbitrary
-        rows and are the caller's reason to stay on the scalar path.
+        work until a consumer materializes a row. Pruning fuses into
+        the same folds:
+
+        * Depth pruning is honored (pruned depths still fold their
+          states, which deeper depths extend).
+        * A batch-capable prefix pruner (``scenario.prefix_pruner()``
+          with :attr:`~repro.explore.enumerate.PrefixPruner.
+          extend_batch`) runs as boolean-mask compaction: its keep mask
+          gathers the surviving ``state``/``choices`` rows after every
+          extend, so a pruned prefix is never repeated into deeper
+          cohorts — exactly the scalar DFS's subtree cut. Bounds that
+          are not depth-monotone additionally supply ``emit_mask``,
+          applied to an emission-only gather so the *running* cohort
+          keeps every row some deeper depth still needs. Survivor rows
+          are byte-identical to the scalar pruned walk. A pruner
+          without a batch form raises — callers gate on
+          ``PrefixPruner.batch_capable``.
+        * Per-config ``scenario.prune`` hooks run as a scalar filter
+          over the already compacted cohort at emission time, in
+          enumeration order with the scalar path's short-circuit
+          semantics (hooks see only rows every other filter kept).
         """
         if not self._stock:
             raise ConfigurationError(
@@ -710,6 +887,13 @@ class BatchPrefixEvaluator:
                 "(custom batch steps have unknown state shapes); evaluate "
                 "chunks through evaluate_many instead"
             )
+        pruner = scenario.prefix_pruner()
+        if pruner is not None and not pruner.batch_capable:
+            raise ConfigurationError(
+                "cohort enumeration with a prefix pruner needs its batch form "
+                "(initial_batch/extend_batch); use the scalar path"
+            )
+        hooks = _normalize_hooks(scenario.prune)
         pipeline = scenario.pipeline
         plan = self._plan_for(pipeline)
         option_lists = enumeration_plan(pipeline, scenario.max_blocks)
@@ -718,9 +902,35 @@ class BatchPrefixEvaluator:
         energy = self._energy
         model = self.model
         link_cache = plan.link_costs
+        trusted = PipelineConfig.trusted
+
+        def hook_filter(depth: int, choices: Any, state: Any) -> tuple[Any, Any]:
+            """Per-config hooks over the compacted cohort — the same
+            configs, order and any()-short-circuit as the scalar walk's
+            keep() filter."""
+            names = [level.names for level in levels[:depth]]
+            kept = [
+                i
+                for i, row in enumerate(choices.tolist())
+                if not any(
+                    hook(
+                        trusted(
+                            pipeline,
+                            tuple(names[level][c] for level, c in enumerate(row)),
+                        )
+                    )
+                    for hook in hooks
+                )
+            ]
+            if len(kept) == choices.shape[0]:
+                return choices, state
+            idx = np.array(kept, dtype=np.intp)
+            return choices[idx], _take_state(state, idx, energy)
 
         def emit(depth: int, choices: Any, state: Any) -> Iterator[BatchRows]:
-            representative = PipelineConfig.trusted(
+            if choices.shape[0] == 0:
+                return
+            representative = trusted(
                 pipeline, tuple(level.names[0] for level in levels[:depth])
             )
             link_cost = depth_link_cost(
@@ -743,11 +953,17 @@ class BatchPrefixEvaluator:
                 yield batch.slice(lo, min(lo + chunk_size, n))
 
         state = model.initial_state_batch(1)
+        pstate = pruner.initial_batch(1) if pruner is not None else None
         choices = np.zeros((1, 0), dtype=np.intp)
         if scenario.include_empty and not (
             prune_depth is not None and prune_depth(0)
         ):
-            yield from emit(0, choices, state)
+            # The raw-offload row has no platform choices, so the prefix
+            # bound never applies to it; per-config hooks still do.
+            emit_choices, emit_state = choices, state
+            if hooks:
+                emit_choices, emit_state = hook_filter(0, choices, state)
+            yield from emit(0, emit_choices, emit_state)
         for depth in range(1, len(levels) + 1):
             level = levels[depth - 1]
             k = len(level.names)
@@ -757,6 +973,136 @@ class BatchPrefixEvaluator:
             choices = np.concatenate(
                 [np.repeat(choices, k, axis=0), tile[:, None]], axis=1
             )
+            if pruner is not None:
+                pstate = tuple(np.repeat(arr, k) for arr in pstate)
+                pstate, keep = pruner.extend_batch(depth - 1, tile, pstate)
+                if not keep.all():
+                    idx = np.flatnonzero(keep)
+                    choices = choices[idx]
+                    state = _take_state(state, idx, energy)
+                    pstate = tuple(arr[idx] for arr in pstate)
+                if choices.shape[0] == 0:
+                    # Every prefix is provably infeasible at every
+                    # remaining depth; deeper cohorts are empty too.
+                    return
             if prune_depth is not None and prune_depth(depth):
                 continue
-            yield from emit(depth, choices, state)
+            emit_choices, emit_state = choices, state
+            if pruner is not None and pruner.emit_mask is not None:
+                mask = pruner.emit_mask(depth, pstate)
+                if mask is not None and not mask.all():
+                    # Emission-only gather: the running cohort keeps
+                    # rows other depths still need.
+                    idx = np.flatnonzero(mask)
+                    emit_choices = choices[idx]
+                    emit_state = _take_state(state, idx, energy)
+            if hooks:
+                emit_choices, emit_state = hook_filter(depth, emit_choices, emit_state)
+            yield from emit(depth, emit_choices, emit_state)
+
+
+# -- cohort sharding ----------------------------------------------------
+
+
+def iter_scenario_shards(
+    scenario: Any, shard_size: int
+) -> Iterator[CohortShard]:
+    """Describe a scenario's design space as :class:`CohortShard`
+    descriptors of at most ``shard_size`` rows, in exact enumeration
+    order.
+
+    The parallel twin of :meth:`BatchPrefixEvaluator.
+    iter_scenario_batches`: instead of folding cohorts, the driver only
+    *addresses* them — each shard names a run of flat product indices a
+    worker decodes and folds locally, so nothing per-row is ever
+    pickled. An unfiltered scenario yields pure ``[lo, hi)`` range
+    shards per depth (O(1) driver work). With a batch-capable prefix
+    pruner and/or per-config hooks, the driver runs the masked pruner
+    walk once over flat indices (the same keep/emit masks the fused
+    cohort walk applies, so the survivor sequence is byte-identical to
+    the scalar pruned enumeration), filters hooks here in enumeration
+    order — hooks may be stateful and are never pickled — and ships the
+    survivors' explicit index arrays.
+    """
+    pruner = scenario.prefix_pruner()
+    if pruner is not None and not pruner.batch_capable:
+        raise ConfigurationError(
+            "cohort sharding with a prefix pruner needs its batch form "
+            "(initial_batch/extend_batch); use the scalar path"
+        )
+    if shard_size < 1:
+        raise ConfigurationError(f"shard_size must be >= 1, got {shard_size}")
+    hooks = _normalize_hooks(scenario.prune)
+    pipeline = scenario.pipeline
+    option_lists = enumeration_plan(pipeline, scenario.max_blocks)
+    counts = [len(options) for options in option_lists]
+    prune_depth = scenario.depth_prune_hook()
+    trusted = PipelineConfig.trusted
+
+    def range_shards(depth: int, total: int) -> Iterator[CohortShard]:
+        for lo in range(0, total, shard_size):
+            yield CohortShard(pipeline, depth, lo, min(lo + shard_size, total))
+
+    def index_shards(depth: int, flat: Any) -> Iterator[CohortShard]:
+        n = flat.shape[0]
+        for lo in range(0, n, shard_size):
+            hi = min(lo + shard_size, n)
+            yield CohortShard(pipeline, depth, 0, hi - lo, flat[lo:hi])
+
+    def hook_keep(depth: int, flat: Any) -> Any:
+        """Decode each flat index and apply the hooks — same configs,
+        order and short-circuit as the scalar walk's keep() filter."""
+        kept = []
+        for value in flat.tolist():
+            choice = []
+            for level in range(depth - 1, -1, -1):
+                value, digit = divmod(value, counts[level])
+                choice.append(option_lists[level][digit])
+            choice.reverse()
+            config = trusted(pipeline, tuple(choice))
+            kept.append(not any(hook(config) for hook in hooks))
+        return np.array(kept, dtype=bool)
+
+    if scenario.include_empty and not (prune_depth is not None and prune_depth(0)):
+        # The raw-offload row: hooks apply, the prefix bound never does.
+        if not hooks or bool(hook_keep(0, np.zeros(1, dtype=np.intp))[0]):
+            yield CohortShard(pipeline, 0, 0, 1)
+    if pruner is None and not hooks:
+        total = 1
+        for depth in range(1, len(counts) + 1):
+            total *= counts[depth - 1]
+            if prune_depth is not None and prune_depth(depth):
+                continue
+            yield from range_shards(depth, total)
+        return
+    # Masked walk over flat indices: the driver replays exactly the
+    # fused cohort walk's compaction, but carries only the flat index
+    # column (and the pruner's bound state) instead of cost states.
+    flat = np.zeros(1, dtype=np.intp)
+    pstate = pruner.initial_batch(1) if pruner is not None else None
+    for depth in range(1, len(counts) + 1):
+        k = counts[depth - 1]
+        tile = np.tile(np.arange(k, dtype=np.intp), flat.shape[0])
+        flat = np.repeat(flat, k) * k + tile
+        if pruner is not None:
+            pstate = tuple(np.repeat(arr, k) for arr in pstate)
+            pstate, keep = pruner.extend_batch(depth - 1, tile, pstate)
+            if not keep.all():
+                idx = np.flatnonzero(keep)
+                flat = flat[idx]
+                pstate = tuple(arr[idx] for arr in pstate)
+            if flat.shape[0] == 0:
+                return
+        if prune_depth is not None and prune_depth(depth):
+            continue
+        emit_flat = flat
+        if pruner is not None and pruner.emit_mask is not None:
+            mask = pruner.emit_mask(depth, pstate)
+            if mask is not None and not mask.all():
+                emit_flat = flat[np.flatnonzero(mask)]
+        if hooks and emit_flat.shape[0]:
+            keep = hook_keep(depth, emit_flat)
+            if not keep.all():
+                emit_flat = emit_flat[np.flatnonzero(keep)]
+        if emit_flat.shape[0]:
+            yield from index_shards(depth, emit_flat)

@@ -77,10 +77,18 @@ def vec_entry(speedup):
     return {"kind": "explore_vectorized", "speedup_batch_vs_scalar": speedup}
 
 
-def test_gated_kinds_cover_both_trajectory_kinds():
+def pruned_entry(speedup):
+    return {
+        "kind": "explore_pruned_vectorized",
+        "speedup_fused_vs_scalar_pruned": speedup,
+    }
+
+
+def test_gated_kinds_cover_every_trajectory_kind():
     assert gate.GATED_KINDS == {
         "explore_scaling": "speedup_memoized_vs_brute",
         "explore_vectorized": "speedup_batch_vs_scalar",
+        "explore_pruned_vectorized": "speedup_fused_vs_scalar_pruned",
     }
 
 
@@ -115,6 +123,23 @@ def test_main_gates_each_kind_independently(tmp_path):
     # A trajectory with no vectorized entries yet stays green.
     path.write_text(json.dumps([entry(6.0), entry(5.5)]))
     assert gate.main(["gate", str(path)]) == 0
+
+
+def test_pruned_vectorized_kind_is_gated(tmp_path):
+    """The fused-pruning trajectory rides the same gate semantics: its
+    speedup metric is kind-filtered and a hard regression fails the
+    build even when every other kind is healthy."""
+    assert gate.latest_and_best_prior(
+        [pruned_entry(8.0), vec_entry(20.0), pruned_entry(7.0)],
+        "explore_pruned_vectorized",
+        "speedup_fused_vs_scalar_pruned",
+    ) == (7.0, 8.0)
+    path = tmp_path / "BENCH_explore.json"
+    healthy = [entry(6.0), vec_entry(20.0), pruned_entry(8.0)]
+    path.write_text(json.dumps(healthy + [pruned_entry(7.5)]))
+    assert gate.main(["gate", str(path)]) == 0
+    path.write_text(json.dumps(healthy + [pruned_entry(1.0)]))
+    assert gate.main(["gate", str(path)]) == 1
 
 
 def test_main_exit_codes_and_step_summary(tmp_path, monkeypatch):

@@ -178,12 +178,25 @@ def test_matched_override_still_folds_chunks_bit_identically():
 def test_evaluation_path_values():
     scenario = build_scenario()
     assert evaluation_path(scenario) == "batch-cohort"
-    assert evaluation_path(scenario, SweepExecutor(workers=2)) == "batch-chunk"
+    # Parallel stock runs ship CohortShard descriptors, never pickled
+    # config chunks.
+    assert evaluation_path(scenario, SweepExecutor(workers=2)) == "batch-shard"
     assert evaluation_path(scenario, evaluation="scalar") == "scalar-memoized"
-    # Per-config filtering (a custom prune hook) drops arbitrary rows:
-    # cohorts are out, chunked batching stays.
+    # Per-config filtering (a custom prune hook) fuses into the cohort
+    # walk as an emission-time filter — and shard mode resolves it
+    # driver-side, so parallel filtered runs still shard.
     filtered = build_scenario(prune=lambda config: False)
-    assert evaluation_path(filtered) == "batch-chunk"
+    assert evaluation_path(filtered) == "batch-cohort-pruned"
+    assert evaluation_path(filtered, SweepExecutor(workers=2)) == "batch-shard"
+    # Auto-derived prefix pruners carry batch forms: pruned scenarios
+    # report the fused cohort path, not a scalar fallback.
+    pruned = build_scenario(auto_prune=True, auto_prune_configs=True)
+    assert evaluation_path(pruned) == "batch-cohort-pruned"
+    assert evaluation_path(pruned, SweepExecutor(workers=2)) == "batch-shard"
+    # A batch-capable model off the stock shapes still chunks.
+    matched = build_scenario(model=_MatchedOverride(LINK), link=None)
+    assert evaluation_path(matched) == "batch-chunk"
+    assert evaluation_path(matched, SweepExecutor(workers=2)) == "batch-chunk"
 
 
 def test_evaluation_mode_validation():
@@ -459,7 +472,29 @@ def test_prefix_state_cache_width_cap_disables_itself_safely():
     evaluator = BatchPrefixEvaluator(scenario.cost_model(), prefix_cache=cache)
     rows = [cost_row(scenario, c) for c in evaluator.evaluate_many(configs)]
     assert cache.hits == cache.misses == 0
+    assert cache.width_capped > 0  # every lookup fell off the cap
     assert json.dumps(rows) == json.dumps(explore(scenario, evaluation="scalar").rows)
+
+
+def test_prefix_state_cache_stats_snapshot():
+    """``stats`` mirrors the live counters as one plain dict (the shape
+    campaigns surface through ``CampaignResult.cache_stats``)."""
+    scenario = build_scenario()
+    configs = list(scenario.iter_configs())
+    cache = PrefixStateCache()
+    assert cache.stats == {"hits": 0, "misses": 0, "entries": 0, "width_capped": 0}
+    BatchPrefixEvaluator(scenario.cost_model(), prefix_cache=cache).evaluate_many(
+        configs
+    )
+    stats = cache.stats
+    assert stats["misses"] == cache.misses > 0
+    assert stats["entries"] > 0
+    assert stats["width_capped"] == 0
+    capped = PrefixStateCache(max_rows=1)
+    BatchPrefixEvaluator(scenario.cost_model(), prefix_cache=capped).evaluate_many(
+        configs
+    )
+    assert capped.stats["width_capped"] == capped.width_capped > 0
 
 
 def test_prefix_cache_ignored_for_custom_batch_models():
