@@ -36,6 +36,7 @@ GATED_KINDS: dict[str, str] = {
     "explore_scaling": "speedup_memoized_vs_brute",
     "explore_vectorized": "speedup_batch_vs_scalar",
     "explore_pruned_vectorized": "speedup_fused_vs_scalar_pruned",
+    "campaign_fleet_columnar": "speedup_lazy_vs_materialize",
 }
 #: best_prior / latest above this: warn-only comment in the summary.
 WARN_RATIO = 2.0

@@ -19,14 +19,16 @@ to disk while the online Pareto frontier keeps ``pareto_size`` exact
 with no result caches in memory: the memory profile of a million-config
 fleet is the chunk window, not the design-space size.
 
-The final section shows the adaptive campaign layer: a dedup-heavy
-fleet (one pipeline at four link tiers) runs under the
-``adaptive_latency`` policy — chunk scheduling driven by *measured*
-per-chunk latencies fed back through the policy's ``observe`` channel —
-with ``dedup=True`` sharing the link-independent compute-side states
-across the fleet, so four scenarios cost one evaluation pass
-(``cache_stats`` reports the skipped evaluations; rows stay
-byte-identical to solo runs either way).
+The final section shows the adaptive campaign layer on a
+generator-built fleet: a :class:`~repro.explore.FleetSpec` (two codec
+entries x four link tiers x a pass-rate variant) expands to a
+dedup-heavy fleet that runs under the ``adaptive_latency`` policy —
+chunk scheduling driven by *measured* per-chunk latencies fed back
+through the policy's ``observe`` channel — with ``dedup=True`` riding
+the lazy columnar group finalize: each dedup cell costs one evaluation
+pass and one multi-link broadcast close (``cache_stats`` reports the
+skipped evaluations and the per-group materialization accounting; rows
+stay byte-identical to solo runs either way).
 
 Run:
     PYTHONPATH=src python examples/campaign_fleet.py
@@ -38,7 +40,13 @@ import tempfile
 from pathlib import Path
 
 from repro.core import TextTable
-from repro.explore import Campaign, CsvSink, SweepExecutor, evaluation_path
+from repro.explore import (
+    Campaign,
+    CsvSink,
+    FleetSpec,
+    SweepExecutor,
+    evaluation_path,
+)
 from repro.explore.catalog import load_builtin
 
 #: The campaign summary is archived next to the benchmark tables (CI
@@ -114,13 +122,23 @@ def main() -> None:
             "frontiers match the collected run exactly)."
         )
 
-    # The adaptive campaign layer on the dedup-heavy fleet shape: the
-    # same codec pipeline at four link tiers shares ONE evaluation pass
-    # (compute-side states finalized under each link), scheduled by
-    # measured chunk latencies instead of count_configs estimates.
-    sweep = catalog.build_at_links(
-        "compression-throughput", ["25g", "400g", "wifi", "low-power"]
+    # The adaptive campaign layer on a generator-built dedup-heavy
+    # fleet: a compact FleetSpec (two codec entries x four link tiers x
+    # a 0.7 pass-rate variant on the energy entry) expands to twelve
+    # campaign-legal scenarios in three dedup cells — each cell shares
+    # ONE evaluation pass, closed for all its links by a single
+    # multi-link broadcast finalize, scheduled by measured chunk
+    # latencies instead of count_configs estimates.
+    spec = FleetSpec(
+        entries=("compression-throughput", "compression-energy"),
+        links=("25g", "400g", "wifi", "low-power"),
+        pass_rate_variants=(0.7,),
     )
+    sweep = catalog.build_fleet(spec)
+    print(f"\nGenerated link-sweep fleet ({len(sweep)} scenarios):")
+    for scenario in sweep:
+        path = evaluation_path(scenario, executor, dedup=True)
+        print(f"  {scenario.name}: {path}")
     result = Campaign(sweep, name="link-sweep").run(
         executor, policy="adaptive_latency", dedup=True
     )
@@ -132,8 +150,14 @@ def main() -> None:
         f"evaluations ({stats['evaluations_skipped']} skipped — "
         f"{total / stats['evaluations_computed']:.1f}x fewer)."
     )
-    if stats["prefix_cache"] is not None:
-        pc = stats["prefix_cache"]
+    for leader, group in stats["dedup_groups"].items():
+        print(
+            f"Dedup group {leader}: {group['states_evaluated']} states "
+            f"evaluated once closed {group['member_rows_closed']} member "
+            f"rows; {group['rows_materialized']} materialized."
+        )
+    pc = stats["prefix_cache"]
+    if pc is not None and "hits" in pc:
         print(
             f"Fleet-shared prefix cache: {pc['hits']} hits / "
             f"{pc['misses']} misses ({pc['entries']} entries, "

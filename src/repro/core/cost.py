@@ -241,6 +241,26 @@ class ThroughputCostModel:
             "communication_fps": communication_fps,
         }
 
+    def finalize_batch_multi(
+        self, state: tuple[Any, Any], communication_fps_stack: Sequence[float]
+    ) -> list[dict[str, Any]]:
+        """Close ONE batch state under ``n_members`` link terms at once.
+
+        The compute-side columns (``compute_fps``, ``slowest_block``)
+        are link-independent, so every member's column dict shares them
+        by reference — a dedup group of N links closes a depth cohort
+        with zero per-row work beyond the shared fold. Member ``m``'s
+        columns are exactly ``finalize_batch(state, stack[m])``.
+        """
+        return [
+            {
+                "compute_fps": state[0],
+                "slowest_block": state[1],
+                "communication_fps": communication_fps,
+            }
+            for communication_fps in communication_fps_stack
+        ]
+
 
 @dataclass(frozen=True, slots=True)
 class EnergyCost:
@@ -414,3 +434,39 @@ class EnergyCostModel:
             "transmit_energy": rate * link_costs[0],
             "active_seconds": active + rate * link_costs[1],
         }
+
+    def finalize_batch_multi(
+        self,
+        state: tuple[Any, tuple, Any],
+        link_costs_stack: Sequence[tuple[float, float]],
+    ) -> list[dict[str, Any]]:
+        """Close ONE batch state under ``n_members`` link terms at once.
+
+        ``link_costs_stack`` holds each member's per-depth (transmit
+        joules, transmit seconds) pair. The two link-dependent columns
+        fold as a single ``(n_members, n_rows)`` broadcast each:
+        ``rate[None, :] * tx[:, None]`` computes ``rate_i * tx_m`` per
+        cell — the identical IEEE-754 double multiply the scalar
+        ``finalize`` performs — and ``active[None, :] + rate[None, :] *
+        sec[:, None]`` multiplies before adding, matching the scalar
+        ``active + rate * link_costs[1]`` operation order, so member
+        ``m``'s row slice is bit-identical to
+        ``finalize_batch(state, stack[m])``. The link-independent
+        columns (``transmit_rate``, ``block_energies``) are shared by
+        reference across members.
+        """
+        np = _require_numpy()
+        rate, energies, active = state
+        tx = np.array([pair[0] for pair in link_costs_stack])
+        sec = np.array([pair[1] for pair in link_costs_stack])
+        transmit = rate[None, :] * tx[:, None]
+        active_all = active[None, :] + rate[None, :] * sec[:, None]
+        return [
+            {
+                "transmit_rate": rate,
+                "block_energies": energies,
+                "transmit_energy": transmit[member],
+                "active_seconds": active_all[member],
+            }
+            for member in range(len(link_costs_stack))
+        ]

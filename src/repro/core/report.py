@@ -102,6 +102,7 @@ CAMPAIGN_SUMMARY_COLUMNS = (
     "pareto",
     "seconds",
     "dedup",
+    "materialized",
 )
 
 

@@ -82,6 +82,7 @@ from repro.explore.scheduling import (
 from repro.explore.catalog import (
     CATALOG,
     CatalogEntry,
+    FleetSpec,
     ScenarioCatalog,
     load_builtin,
     register_scenario,
@@ -153,6 +154,7 @@ __all__ = [
     "DepthPruneHook",
     "EVALUATION_MODES",
     "ExplorationResult",
+    "FleetSpec",
     "JsonlSink",
     "MemorySink",
     "PRUNED_SUBTREE",

@@ -24,6 +24,17 @@ replays exactly the solo evaluation's float operations, per-scenario
 results stay byte-identical to ``dedup=False`` and to solo
 ``explore()`` — the invariant suite asserts it over seeded random
 fleets. :attr:`CampaignResult.cache_stats` reports evaluations skipped.
+By default the group finalize is *columnar and lazy* end to end: each
+shared :class:`~repro.explore.vectorized.BatchChunkStates` segment is
+closed for all members at once by one ``finalize_batch_multi``
+broadcast (an ``(n_members, n_rows)`` sweep of the member link terms)
+and members hand their consumers lazy member-tagged
+:class:`~repro.explore.vectorized.BatchRows` views — under
+``collect=False`` with columnar sinks a fleet of N links materializes
+only frontier/heap survivors, never N x rows Python objects
+(``dedup="materialize"`` keeps the per-member materialized finalize
+for comparison). Scalar state payloads (non-batch models, numpy-less
+installs) fall back to the per-member scalar finalize transparently.
 
 Sharding contract: on a parallel executor, shard-eligible scenarios
 (stock batch semantics with a batch-capable — or absent — pruner)
@@ -78,6 +89,11 @@ from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping, Sequence
 
+try:  # numpy backs the lazy dedup folds; everything else is scalar-safe
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    _np = None
+
 from repro.core.cost import platform_axis_fingerprint
 from repro.core.report import TextTable, campaign_summary_table
 from repro.errors import ConfigurationError, PipelineError
@@ -109,6 +125,7 @@ from repro.explore.result import (
 from repro.explore.scenario import Scenario
 from repro.explore.vectorized import (
     BatchChunkStates,
+    BatchRows,
     PrefixStateCache,
     _materialize_costs,
     iter_scenario_shards,
@@ -128,7 +145,14 @@ from repro.explore.scheduling import (
     observe_policy,
     resolve_policy,
 )
-from repro.explore.sink import close_sink, open_sink, resolve_sink, write_sink
+from repro.explore.sink import (
+    close_sink,
+    open_sink,
+    resolve_sink,
+    uses_columnar_writes,
+    write_sink,
+    write_sink_batch,
+)
 
 # -- chunk plumbing -----------------------------------------------------
 
@@ -233,9 +257,18 @@ class _StateFinalizer:
     """
 
     def __init__(self, scenario: Scenario):
+        self.scenario = scenario
         self._model = scenario.cost_model()
         self._energy = scenario.domain == "energy"
         self._link_costs: dict[int, Any] = {}  # cut depth -> finalize arg
+
+    def link_cost(self, depth: int, config: Any) -> Any:
+        """This scenario's per-depth finalize argument (cached): the
+        communication rate (throughput) or (transmit joules, transmit
+        seconds) pair (energy) of the cut-depth payload."""
+        return depth_link_cost(
+            self._model.link, self._energy, self._link_costs, depth, config
+        )
 
     def finalize(self, payload: Any) -> list[Any]:
         model = self._model
@@ -247,7 +280,7 @@ class _StateFinalizer:
             # finalizing each (config, state) pair through the scalar
             # ``finalize`` below.
             out: list[Any] = []
-            for configs, depth, state in payload.segments:
+            for configs, depth, state, _choices, _names in payload.segments:
                 link_cost = depth_link_cost(link, energy, cache, depth, configs[0])
                 out.extend(
                     _materialize_costs(
@@ -314,11 +347,59 @@ class PipelineCostCache:
         """Whether this scenario evaluates states on behalf of a group."""
         return index in self.followers_of
 
+    def members_of(self, leader: int) -> tuple[int, ...]:
+        """The group's member indices, leader first, in fleet order."""
+        return (leader, *self.followers_of.get(leader, ()))
+
     def finalize(self, index: int, payload: Any) -> list[Any]:
         """Scenario ``index``'s costs for one shared chunk of states —
         scalar (config, state) pairs or a columnar
-        :class:`~repro.explore.vectorized.BatchChunkStates`."""
+        :class:`~repro.explore.vectorized.BatchChunkStates` — fully
+        materialized (the ``dedup="materialize"`` path)."""
         return self._finalizers[index].finalize(payload)
+
+    def finalize_group(
+        self, leader: int, payload: BatchChunkStates
+    ) -> list[list[BatchRows]]:
+        """Every member's lazy :class:`~repro.explore.vectorized.
+        BatchRows` views of one leader chunk, in :meth:`members_of`
+        order — the columnar end of the dedup path.
+
+        Each segment's shared state closes under the whole group's link
+        terms with ONE ``finalize_batch_multi`` broadcast (the per-cell
+        float operations replay each member's scalar finalize exactly,
+        so member rows stay bit-identical to a solo walk), and every
+        member's view shares the segment's choice matrix and
+        compute-side columns by reference. Nothing per-row is
+        materialized here: consumers (columnar sinks, streaming stats)
+        materialize survivors only.
+        """
+        members = self.members_of(leader)
+        finalizers = [self._finalizers[member] for member in members]
+        model = finalizers[0]._model
+        energy = payload.energy
+        out: list[list[BatchRows]] = [[] for _ in members]
+        for configs, depth, state, choices, names in payload.segments:
+            stack = [
+                finalizer.link_cost(depth, configs[0]) for finalizer in finalizers
+            ]
+            columns_stack = model.finalize_batch_multi(state, stack)
+            pipeline = configs[0].pipeline
+            for slot, (finalizer, columns) in enumerate(
+                zip(finalizers, columns_stack)
+            ):
+                out[slot].append(
+                    BatchRows(
+                        finalizer.scenario,
+                        pipeline,
+                        depth,
+                        names,
+                        choices,
+                        columns,
+                        energy,
+                    )
+                )
+        return out
 
 
 class _FleetProgress:
@@ -420,6 +501,12 @@ class ScenarioRun:
     states this run was finalized from (None when it evaluated its own
     configurations — always, unless the campaign ran with
     ``dedup=True`` and the fleet shared a compute key).
+    ``n_materialized`` counts the rows lazy dedup finalization actually
+    turned into Python objects for this scenario (collected runs
+    materialize everything; export-only runs only the best row, the
+    frontier's survivors and heap candidates) — None when the rows
+    never rode the lazy path (no dedup, a scalar fallback, or
+    ``dedup="materialize"``).
     """
 
     scenario: Scenario
@@ -431,6 +518,7 @@ class ScenarioRun:
     wall_seconds: float
     frontier: list[dict[str, Any]] | None = field(default=None, repr=False)
     dedup_source: str | None = None
+    n_materialized: int | None = None
 
     @property
     def name(self) -> str:
@@ -457,6 +545,9 @@ class ScenarioRun:
             "pareto": self.pareto_size,
             "seconds": self.wall_seconds,
             "dedup": self.dedup_source or "-",
+            "materialized": (
+                "-" if self.n_materialized is None else self.n_materialized
+            ),
         }
 
 
@@ -469,8 +560,8 @@ class CampaignResult:
         runs: list[ScenarioRun],
         wall_seconds: float,
         policy: str = RoundRobin.name,
-        dedup: bool = False,
-        prefix_cache_stats: dict[str, int] | None = None,
+        dedup: bool | str = False,
+        prefix_cache_stats: dict[str, Any] | None = None,
     ):
         self.name = name
         self.runs = runs
@@ -492,10 +583,44 @@ class CampaignResult:
         fleet-shared :class:`~repro.explore.vectorized.PrefixStateCache`
         counters — hits, misses, entries, and ``width_capped`` (cohorts
         whose width exceeded the seeding cap and were folded from
-        scratch) — or None when the campaign ran without ``dedup=True``
-        or on a process pool (where no cache is shared).
+        scratch) — None when the campaign ran without ``dedup=True``,
+        or the explicit ``{"shared": False}`` sentinel on a dedup
+        process pool: process workers would each pickle a *private*
+        trie copy, so nothing is ever shared there and the driver
+        offers no cache at all rather than report counters that never
+        counted shared work.
+
+        ``dedup_groups`` surfaces the lazy finalize accounting per
+        dedup group, keyed by leader scenario name:
+        ``states_evaluated`` (compute-side states the leader folded
+        once for the group), ``member_rows_closed`` (rows finalized
+        across all members from those shared states — N links x rows),
+        and ``rows_materialized`` (object constructions consumers
+        actually performed — repeat touches of one row each count, it
+        is a work counter, not a distinct-row count; under
+        ``collect=False`` with columnar sinks this is roughly the
+        survivors, the lazy win — fully-materialized members, e.g.
+        under ``dedup="materialize"`` or collected runs, count every
+        closed row).
         """
         shared = [run for run in self.runs if run.dedup_source is not None]
+        by_name = {run.name: run for run in self.runs}
+        groups: dict[str, dict[str, int]] = {}
+        for leader_name in sorted({run.dedup_source for run in shared}):
+            leader = by_name[leader_name]
+            members = [leader] + [
+                run for run in shared if run.dedup_source == leader_name
+            ]
+            groups[leader_name] = {
+                "states_evaluated": leader.n_evaluated,
+                "member_rows_closed": sum(run.n_evaluated for run in members),
+                "rows_materialized": sum(
+                    run.n_evaluated
+                    if run.n_materialized is None
+                    else run.n_materialized
+                    for run in members
+                ),
+            }
         return {
             "dedup": self.dedup,
             "scenarios_shared": len(shared),
@@ -504,6 +629,7 @@ class CampaignResult:
                 run.n_evaluated for run in self.runs if run.dedup_source is None
             ),
             "evaluations_skipped": sum(run.n_evaluated for run in shared),
+            "dedup_groups": groups,
             "prefix_cache": self.prefix_cache_stats,
         }
 
@@ -578,6 +704,57 @@ class _StreamingStats:
         self.n_feasible += feasible
         self.frontier.add(rows)
 
+    def update_batch(self, batch: BatchRows) -> None:
+        """:meth:`update` over a lazy columnar batch, materializing only
+        the rows the statistics actually keep (the new best row and the
+        frontier's survivors).
+
+        Exactly equivalent to ``update(batch.rows())``: the sequential
+        strict-comparison scan keeps the first row attaining the extreme
+        metric value among strict improvements — which is precisely the
+        first argmax/argmin of the column restricted to rows beating the
+        running best — and NaN metric values never improve on a non-NaN
+        best (every comparison against NaN is False), matching the
+        scalar scan branch for branch. Falls back to the row path when
+        numpy is unavailable or the metric is not columnar.
+        """
+        if _np is None:
+            self.update(batch.rows())
+            return
+        try:
+            values = batch.metric_column(self._metric)
+            feasible = batch.metric_column("feasible")
+        except KeyError:
+            self.update(batch.rows())
+            return
+        n = len(batch)
+        if n == 0:
+            return
+        maximize = self._maximize
+        winner: int | None = None
+        if self.best is None:
+            first = float(values[0])
+            if first != first:
+                # A NaN first row becomes best and no comparison against
+                # NaN ever replaces it — the scalar scan keeps row 0.
+                winner = 0
+            else:
+                winner = int(
+                    _np.nanargmax(values) if maximize else _np.nanargmin(values)
+                )
+        else:
+            current = self.best[self._metric]
+            improved = (values > current) if maximize else (values < current)
+            if bool(_np.any(improved)):
+                winner = int(
+                    _np.nanargmax(values) if maximize else _np.nanargmin(values)
+                )
+        if winner is not None:
+            self.best = batch.row(winner)
+        self.n_evaluated += n
+        self.n_feasible += int(_np.count_nonzero(feasible))
+        self.frontier.add_batch(batch)
+
 
 class Campaign:
     """A batch of scenarios explored through one shared executor.
@@ -644,7 +821,7 @@ class Campaign:
         collect: bool = True,
         collect_on_exit: bool = False,
         policy: Any = None,
-        dedup: bool = False,
+        dedup: bool | str = False,
         max_pending_runs: int | None = None,
     ) -> Iterator[ScenarioRun]:
         """Stream the fleet: yield each :class:`ScenarioRun` the moment
@@ -674,6 +851,11 @@ class Campaign:
         pacing changes.
         """
         executor = resolve_executor(executor)
+        if dedup not in (False, True, "lazy", "materialize"):
+            raise ConfigurationError(
+                "dedup must be False, True, 'lazy' or 'materialize', "
+                f"got {dedup!r}"
+            )
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
         if max_pending_runs is not None and max_pending_runs < 1:
@@ -708,6 +890,7 @@ class Campaign:
             policy,
             PipelineCostCache(scenarios) if dedup else None,
             max_pending_runs,
+            dedup != "materialize",
         )
 
     def _stream_runs(
@@ -720,6 +903,7 @@ class Campaign:
         policy: SchedulingPolicy,
         cache: PipelineCostCache | None,
         max_pending_runs: int | None,
+        dedup_lazy: bool = True,
     ) -> Iterator[ScenarioRun]:
         """The generator behind :meth:`iter_runs` (argument validation
         stays eager in the caller, before the first ``next()``)."""
@@ -729,10 +913,17 @@ class Campaign:
         # Partial prefix dedup rides the dedup opt-in: one fleet-shared
         # trie-keyed state cache, offered only where sharing is real —
         # serial and thread backends see one object; a process pool
-        # would pickle a private copy per task and share nothing.
-        prefix_cache = (
-            PrefixStateCache() if cache is not None and not executor.is_process else None
-        )
+        # would pickle a private copy per task and share nothing (each
+        # worker would prime and query its own trie), so the driver
+        # reports the explicit {"shared": False} sentinel there instead
+        # of counters that never counted shared work.
+        prefix_cache = None
+        prefix_cache_stats: dict[str, Any] | None = None
+        if cache is not None:
+            if executor.is_process:
+                prefix_cache_stats = {"shared": False}
+            else:
+                prefix_cache = PrefixStateCache()
         spec_list: list[_ChunkSpec] = []
         for index, (model, scenario) in enumerate(zip(models, scenarios)):
             if cache is not None and cache.is_shared_leader(index):
@@ -786,6 +977,15 @@ class Campaign:
             [] if collect and sink is not None else None for sink in sink_list
         ]
         stats = [_StreamingStats(scenario.domain) for scenario in scenarios]
+        # Per-scenario lazy-materialization accounting: None where rows
+        # were never lazily closed (no dedup, or the materialize mode);
+        # dedup group members under the lazy path count the rows their
+        # consumers actually turned into Python objects.
+        materialized: list[int | None] = [None] * len(scenarios)
+        if cache is not None and dedup_lazy:
+            for leader in cache.followers_of:
+                for member in cache.members_of(leader):
+                    materialized[member] = 0
         progress = _FleetProgress(len(scenarios))
         completed_at = [0.0] * len(scenarios)
         start = time.perf_counter()
@@ -833,6 +1033,46 @@ class Campaign:
                     row_caches[index].extend(rows)
                 if sink is not None:
                     write_sink(sink, rows, self._label(index))
+            progress.collected[index] += 1
+            completed_at[index] = now
+
+        def _absorb_batches(index: int, batches: list[BatchRows], now: float) -> None:
+            """Route one dedup group member's lazy columnar views — the
+            batch counterpart of :func:`_absorb`. Collected runs bulk-
+            materialize (a ScenarioRun forces every collected cost
+            anyway); export-only runs fold the views through the
+            streaming stats and columnar sinks, so only the survivors
+            (best row, frontier members, heap entries) ever become
+            Python objects."""
+            sink = sink_list[index]
+            label = self._label(index)
+            if evaluations is not None:
+                costs = [cost for batch in batches for cost in batch.costs()]
+                evaluations[index].extend(costs)
+                if sink is not None:
+                    rows = [cost_row(scenarios[index], cost) for cost in costs]
+                    if row_caches[index] is not None:
+                        row_caches[index].extend(rows)
+                    write_sink(sink, rows, label)
+            else:
+                columnar = sink is not None and uses_columnar_writes(sink)
+                pending: list[dict[str, Any]] | None = (
+                    [] if sink is not None and not columnar else None
+                )
+                for batch in batches:
+                    stats[index].update_batch(batch)
+                    if columnar:
+                        write_sink_batch(sink, batch, label)
+                    elif pending is not None:
+                        pending.extend(batch.rows())
+                if pending is not None:
+                    # Row-only sinks keep one write per chunk, exactly
+                    # the granularity _absorb's row path delivers.
+                    write_sink(sink, pending, label)
+            count = materialized[index]
+            materialized[index] = (count or 0) + sum(
+                batch.n_materialized for batch in batches
+            )
             progress.collected[index] += 1
             completed_at[index] = now
 
@@ -885,10 +1125,24 @@ class Campaign:
                     # one evaluation pass serves the whole group, and
                     # each follower's chunk lands (same boundaries, same
                     # enumeration order) the moment the leader's does.
-                    _absorb(index, cache.finalize(index, payload), now)
-                    for follower in cache.followers_of[index]:
-                        progress.emitted[follower] += 1
-                        _absorb(follower, cache.finalize(follower, payload), now)
+                    # Columnar states close lazily (one broadcast per
+                    # segment for the whole group, survivors-only
+                    # materialization); scalar states — and the
+                    # "materialize" opt-out — keep the per-member
+                    # materialized finalize.
+                    if dedup_lazy and isinstance(payload, BatchChunkStates):
+                        group = cache.finalize_group(index, payload)
+                        for member, batches in zip(
+                            cache.members_of(index), group
+                        ):
+                            if member != index:
+                                progress.emitted[member] += 1
+                            _absorb_batches(member, batches, now)
+                    else:
+                        _absorb(index, cache.finalize(index, payload), now)
+                        for follower in cache.followers_of[index]:
+                            progress.emitted[follower] += 1
+                            _absorb(follower, cache.finalize(follower, payload), now)
                 else:
                     _absorb(index, payload, now)
                 _sync_followers()
@@ -902,6 +1156,7 @@ class Campaign:
                     stats,
                     completed_at,
                     cache,
+                    materialized,
                 )
                 if done:
                     _exit_pause()
@@ -922,6 +1177,7 @@ class Campaign:
                 stats,
                 completed_at,
                 cache,
+                materialized,
             )
             _exit_pause()
             for run in done:
@@ -934,9 +1190,10 @@ class Campaign:
             _exit_pause()
             # Snapshot the fleet-shared prefix-cache counters (hits,
             # misses, entries, width-capped rejections) for run() to
-            # surface through CampaignResult.cache_stats.
+            # surface through CampaignResult.cache_stats — or the
+            # {"shared": False} sentinel on a dedup process pool.
             self._prefix_cache_stats = (
-                prefix_cache.stats if prefix_cache is not None else None
+                prefix_cache.stats if prefix_cache is not None else prefix_cache_stats
             )
             # Stop the executor stream first (the pool shuts down after
             # in-flight chunks finish), then the enumerators, then flush
@@ -972,6 +1229,7 @@ class Campaign:
         stats: list[_StreamingStats],
         completed_at: list[float],
         cache: PipelineCostCache | None = None,
+        materialized: list[int | None] | None = None,
     ) -> list[ScenarioRun]:
         """Runs for scenarios that just completed, their sinks closed
         first so a handed-out run's exports are already flushed."""
@@ -991,6 +1249,7 @@ class Campaign:
                     stats[index],
                     completed_at[index],
                     dedup_source,
+                    materialized[index] if materialized is not None else None,
                 )
             )
         return runs
@@ -1004,7 +1263,7 @@ class Campaign:
         collect: bool = True,
         collect_on_exit: bool = False,
         policy: Any = None,
-        dedup: bool = False,
+        dedup: bool | str = False,
     ) -> CampaignResult:
         """Explore every scenario through one shared executor.
 
@@ -1049,7 +1308,14 @@ class Campaign:
             terms — per-scenario results stay byte-identical to a
             ``dedup=False`` run (and to solo ``explore()``), asserted
             by the invariant suite. :attr:`CampaignResult.cache_stats`
-            reports the evaluations skipped.
+            reports the evaluations skipped. ``True`` (alias
+            ``"lazy"``) closes columnar leader states for the whole
+            group in one multi-link broadcast per segment and hands
+            members lazy :class:`~repro.explore.vectorized.BatchRows`
+            views — under ``collect=False`` only survivors
+            materialize; ``"materialize"`` keeps the per-member
+            materialized finalize (identical values, O(rows x members)
+            Python objects) — the lazy path's benchmark baseline.
         """
         resolved = resolve_policy(policy)
         start = time.perf_counter()
@@ -1101,6 +1367,7 @@ class Campaign:
         run_stats: _StreamingStats,
         completed_at: float,
         dedup_source: str | None = None,
+        n_materialized: int | None = None,
     ) -> ScenarioRun:
         scenario = self.scenarios[index]
         if scenario_evaluations is not None:
@@ -1134,6 +1401,7 @@ class Campaign:
             wall_seconds=round(completed_at, 6),
             frontier=frontier,
             dedup_source=dedup_source,
+            n_materialized=n_materialized,
         )
 
 
@@ -1147,7 +1415,7 @@ def run_campaign(
     collect: bool = True,
     collect_on_exit: bool = False,
     policy: Any = None,
-    dedup: bool = False,
+    dedup: bool | str = False,
 ) -> CampaignResult:
     """One-call convenience: ``Campaign(scenarios, name).run(...)``."""
     return Campaign(scenarios, name=name).run(

@@ -119,6 +119,47 @@ class CatalogEntry:
         return scenario
 
 
+@dataclass(frozen=True)
+class FleetSpec:
+    """A compact description of a dedup-heavy scenario fleet.
+
+    The cross product *pipeline mix x link grid x pass-rate variants*
+    that :meth:`ScenarioCatalog.build_fleet` expands into a
+    campaign-legal scenario list: every named entry is built once per
+    link in the grid (``@<link>``-suffixed names, the
+    :meth:`~ScenarioCatalog.build_at_links` shape), and every
+    energy-domain entry additionally once per pass-rate variant and
+    link (``#pr<i>``-suffixed names). A handful of entries, links and
+    variants therefore expands to hundreds-to-thousands of scenarios —
+    the fleet-scale stress shape the campaign dedup path is built for.
+
+    Parameters
+    ----------
+    entries:
+        Catalog entry names (the pipeline mix).
+    links:
+        Stock-link keys (:data:`LINKS`) or :class:`LinkModel`
+        instances (the link grid). Every entry must accept a ``link``
+        factory parameter.
+    pass_rate_variants:
+        Early-discard cascade variants for energy-domain entries
+        (throughput entries ignore them — pass rates only apply to the
+        energy domain). Each variant is either a uniform rate applied
+        to every pipeline block, or an explicit ``{block name: rate}``
+        table (unknown names are ignored by the cost model, so one
+        table can span a pipeline mix). Variants *replace* the built
+        scenario's pass table.
+    overrides:
+        Shared factory keyword arguments applied to every build
+        (per-entry defaults still merge underneath them).
+    """
+
+    entries: Sequence[str]
+    links: Sequence[str | LinkModel]
+    pass_rate_variants: Sequence[float | Mapping[str, float]] = ()
+    overrides: Mapping[str, Any] | None = None
+
+
 def _same_factory(existing: Callable[..., Any], candidate: Callable[..., Any]) -> bool:
     """Whether two registrations refer to the same source factory.
 
@@ -261,6 +302,65 @@ class ScenarioCatalog:
             raise ConfigurationError(
                 f"links {[resolve_link(link).name for link in links]} produce "
                 f"duplicate scenario names {names}; pass distinct links"
+            )
+        return fleet
+
+    def build_fleet(self, spec: FleetSpec) -> list[Scenario]:
+        """Expand a :class:`FleetSpec` into a campaign-legal fleet.
+
+        Every entry in the spec's pipeline mix is built across the
+        whole link grid (names suffixed ``@<link>``); energy-domain
+        entries are additionally rebuilt per pass-rate variant
+        (``#pr<i>`` suffix, counted from 1). Scenario names are
+        guaranteed unique across the expansion, so the list drops
+        straight into a :class:`~repro.explore.campaign.Campaign`.
+
+        Each (entry, variant) cell is one dedup group across the link
+        grid: pass rates are part of
+        :func:`~repro.explore.campaign.scenario_compute_key`, so with
+        ``dedup=True`` the campaign evaluates compute-side states once
+        per cell, never once per link.
+        """
+        if not spec.entries:
+            raise ConfigurationError("FleetSpec needs at least one entry")
+        overrides = dict(spec.overrides or {})
+        fleet: list[Scenario] = []
+        for name in spec.entries:
+            entry = self.get(name)
+            fleet.extend(self.build_at_links(name, spec.links, **overrides))
+            if entry.domain != "energy" or not spec.pass_rate_variants:
+                continue
+            for index, variant in enumerate(spec.pass_rate_variants, start=1):
+                for scenario in self.build_at_links(name, spec.links, **overrides):
+                    if scenario.model is not None:
+                        raise ConfigurationError(
+                            f"catalog entry {name!r} builds a prebuilt-model "
+                            "scenario; pass-rate variants would not reach "
+                            "the model — drop the variants or the entry"
+                        )
+                    if isinstance(variant, (int, float)):
+                        rates = {
+                            block.name: float(variant)
+                            for block in scenario.pipeline.blocks
+                        }
+                    else:
+                        rates = dict(variant)
+                    fleet.append(
+                        replace(
+                            scenario,
+                            name=f"{scenario.name}#pr{index}",
+                            pass_rates=rates,
+                        )
+                    )
+        names = [scenario.name for scenario in fleet]
+        if len(set(names)) != len(names):
+            seen: set[str] = set()
+            duplicates = sorted(
+                {name for name in names if name in seen or seen.add(name)}
+            )
+            raise ConfigurationError(
+                f"fleet spec expands to duplicate scenario names "
+                f"{duplicates}; entries and links must be distinct"
             )
         return fleet
 

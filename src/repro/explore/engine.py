@@ -238,6 +238,7 @@ def evaluation_path(
     scenario: Scenario,
     executor: SweepExecutor | None = None,
     evaluation: str = "auto",
+    dedup: bool | str = False,
 ) -> str:
     """The evaluation path :func:`explore` would take for this call:
 
@@ -255,6 +256,20 @@ def evaluation_path(
     - ``"scalar-scratch"`` — per-config ``evaluate()`` for models that
       override it.
 
+    Pass the campaign's ``dedup`` argument to report the path the
+    scenario takes *inside* a ``Campaign.run(dedup=...)`` instead:
+
+    - ``"batch-dedup"`` — the scenario is campaign-dedupable (it has a
+      :func:`~repro.explore.campaign.scenario_compute_key`) and batch
+      capable: group members close shared columnar states under a
+      multi-link broadcast finalize and hand consumers lazy
+      :class:`~repro.explore.vectorized.BatchRows` views.
+
+    A dedupable scenario falls back to the solo paths above whenever
+    dedup is off/``"materialize"``, ``evaluation="scalar"`` is forced,
+    or the model cannot batch (then shared states are finalized and
+    materialized per member, the scalar dedup walk).
+
     Purely informational, for self-describing perf repros; raises
     exactly like :func:`explore` for an invalid or unsatisfiable
     ``evaluation=``.
@@ -262,6 +277,14 @@ def evaluation_path(
     model = scenario.cost_model()
     _check_evaluation_mode(evaluation, model)
     resolved = resolve_executor(executor)
+    if dedup not in (False, "materialize") and evaluation != "scalar":
+        # Imported here: campaign builds on the engine, not vice versa.
+        from repro.explore.campaign import scenario_compute_key
+
+        if scenario_compute_key(scenario) is not None and supports_batch_evaluation(
+            model
+        ):
+            return "batch-dedup"
     if _cohort_eligible(scenario, model, resolved, evaluation):
         if scenario.prune is not None or scenario.prefix_pruner() is not None:
             return "batch-cohort-pruned"

@@ -535,8 +535,13 @@ def evaluate_chunk_states(
 
     Batch-capable models return the states columnar as a
     :class:`~repro.explore.vectorized.BatchChunkStates` (the finalizer
-    branches on the type); the scalar walk returns (config, state)
-    pairs as before. Like :func:`evaluate_chunk`, ``configs`` may be a
+    branches on the type) whose segments carry the decoded choice
+    matrix and per-level platform names alongside each depth-cohort
+    state — everything a member needs to wrap the shared state in a
+    lazy :class:`~repro.explore.vectorized.BatchRows` view after a
+    multi-link ``finalize_batch_multi`` without re-deriving configs;
+    the scalar walk returns (config, state) pairs as before. Like
+    :func:`evaluate_chunk`, ``configs`` may be a
     :class:`~repro.explore.vectorized.CohortShard` the worker decodes
     locally.
     """

@@ -374,6 +374,9 @@ class ParetoFrontier:
     def add_batch(self, batch: Any) -> None:
         """Fold one columnar :class:`~repro.explore.vectorized.BatchRows`
         view into the frontier, materializing only surviving rows.
+        Batches are member-tagged (campaign dedup members fold views of
+        group-shared states tagged with their own scenario), so
+        survivors materialize exactly as the member's solo rows.
 
         Semantically identical to ``add(batch.rows())`` — same frontier,
         same ``n_seen`` positions in every error message — but rows

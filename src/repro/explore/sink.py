@@ -432,7 +432,11 @@ def uses_columnar_writes(sink: Any) -> bool:
 def write_sink_batch(sink: Any, batch: Any, label: str) -> None:
     """Write one columnar batch; sinks without ``write_batch``
     (duck-typed ``write_rows``-only sinks) receive the materialized
-    rows. Failures surface as :class:`SinkError`."""
+    rows. Batches arrive member-tagged — solo explores and campaign
+    dedup members alike hand each sink ``BatchRows`` carrying that
+    member's own scenario, so materialized rows and metric columns are
+    indistinguishable from a solo run's. Failures surface as
+    :class:`SinkError`."""
     method = getattr(sink, "write_batch", None)
     if method is None:
         write_sink(sink, batch.rows(), label)

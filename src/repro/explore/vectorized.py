@@ -398,24 +398,28 @@ class BatchChunkStates:
 
     The batch counterpart of :meth:`PrefixEvaluator.states_many`'s
     ``(config, state)`` pair list: contiguous same-``(pipeline, depth)``
-    runs of the chunk, each with one struct-of-arrays state. Campaign
-    dedup finalizes every run under each member scenario's own link
-    terms (:class:`repro.explore.campaign._StateFinalizer`); picklable,
-    so process-pool leaders can ship states back like the scalar pairs.
+    runs of the chunk, each a ``(configs, depth, state, choices,
+    level_names)`` segment — one struct-of-arrays state plus the
+    ``(n, depth)`` choice matrix and per-level platform names that let a
+    member build a lazy :class:`BatchRows` view without re-deriving
+    them. Campaign dedup finalizes every run under each member
+    scenario's own link terms (:class:`repro.explore.campaign.
+    _StateFinalizer`); picklable, so process-pool leaders can ship
+    states back like the scalar pairs.
     """
 
     __slots__ = ("segments", "energy")
 
     def __init__(
         self,
-        segments: list[tuple[list[PipelineConfig], int, Any]],
+        segments: list[tuple[list[PipelineConfig], int, Any, Any, tuple]],
         energy: bool,
     ):
         self.segments = segments
         self.energy = energy
 
     def __len__(self) -> int:
-        return sum(len(configs) for configs, _depth, _state in self.segments)
+        return sum(len(segment[0]) for segment in self.segments)
 
 
 class CohortShard:
@@ -703,10 +707,10 @@ class BatchPrefixEvaluator:
             yield pipeline, depth, list(configs[i:j])
             i = j
 
-    def _run_state(
+    def _run_choices(
         self, plan: _PipelinePlan, depth: int, run: Sequence[PipelineConfig]
     ) -> Any:
-        """The pre-finalize state arrays of one same-depth run."""
+        """The ``(n, depth)`` choice matrix of one same-depth run."""
         levels = plan.levels
         try:
             rows = [
@@ -720,8 +724,13 @@ class BatchPrefixEvaluator:
             for config in run:
                 config.in_camera_blocks()
             raise
-        choices = np.array(rows, dtype=np.intp).reshape(len(run), depth)
-        return self._fold_choices(plan, depth, choices)
+        return np.array(rows, dtype=np.intp).reshape(len(run), depth)
+
+    def _run_state(
+        self, plan: _PipelinePlan, depth: int, run: Sequence[PipelineConfig]
+    ) -> Any:
+        """The pre-finalize state arrays of one same-depth run."""
+        return self._fold_choices(plan, depth, self._run_choices(plan, depth, run))
 
     def _fold_choices(self, plan: _PipelinePlan, depth: int, choices: Any) -> Any:
         """The pre-finalize state arrays of one ``(n, depth)`` choice
@@ -775,7 +784,10 @@ class BatchPrefixEvaluator:
         segments = []
         for pipeline, depth, run in self._segments(configs):
             plan = self._plan_for(pipeline)
-            segments.append((run, depth, self._run_state(plan, depth, run)))
+            choices = self._run_choices(plan, depth, run)
+            state = self._fold_choices(plan, depth, choices)
+            names = tuple(level.names for level in plan.levels[:depth])
+            segments.append((run, depth, state, choices, names))
         return BatchChunkStates(segments, self._energy)
 
     # -- shard regeneration ----------------------------------------------
@@ -844,7 +856,10 @@ class BatchPrefixEvaluator:
         if not configs:
             return BatchChunkStates([], self._energy)
         state = self._fold_choices(plan, shard.depth, choices)
-        return BatchChunkStates([(configs, shard.depth, state)], self._energy)
+        names = tuple(level.names for level in plan.levels[: shard.depth])
+        return BatchChunkStates(
+            [(configs, shard.depth, state, choices, names)], self._energy
+        )
 
     # -- whole-space cohort enumeration ----------------------------------
 

@@ -84,11 +84,19 @@ def pruned_entry(speedup):
     }
 
 
+def fleet_entry(speedup):
+    return {
+        "kind": "campaign_fleet_columnar",
+        "speedup_lazy_vs_materialize": speedup,
+    }
+
+
 def test_gated_kinds_cover_every_trajectory_kind():
     assert gate.GATED_KINDS == {
         "explore_scaling": "speedup_memoized_vs_brute",
         "explore_vectorized": "speedup_batch_vs_scalar",
         "explore_pruned_vectorized": "speedup_fused_vs_scalar_pruned",
+        "campaign_fleet_columnar": "speedup_lazy_vs_materialize",
     }
 
 
@@ -139,6 +147,24 @@ def test_pruned_vectorized_kind_is_gated(tmp_path):
     path.write_text(json.dumps(healthy + [pruned_entry(7.5)]))
     assert gate.main(["gate", str(path)]) == 0
     path.write_text(json.dumps(healthy + [pruned_entry(1.0)]))
+    assert gate.main(["gate", str(path)]) == 1
+
+
+def test_fleet_columnar_kind_is_gated(tmp_path):
+    """The fleet-scale lazy-dedup trajectory rides the same gate
+    semantics: its speedup metric is kind-filtered and a hard
+    regression (e.g. the lazy path silently falling back to per-member
+    materialization) fails the build on its own."""
+    assert gate.latest_and_best_prior(
+        [fleet_entry(8.0), pruned_entry(14.0), fleet_entry(7.0)],
+        "campaign_fleet_columnar",
+        "speedup_lazy_vs_materialize",
+    ) == (7.0, 8.0)
+    path = tmp_path / "BENCH_explore.json"
+    healthy = [entry(6.0), vec_entry(20.0), fleet_entry(8.0)]
+    path.write_text(json.dumps(healthy + [fleet_entry(7.0)]))
+    assert gate.main(["gate", str(path)]) == 0
+    path.write_text(json.dumps(healthy + [fleet_entry(1.0)]))
     assert gate.main(["gate", str(path)]) == 1
 
 

@@ -324,7 +324,16 @@ def test_states_chunk_segments_cover_the_chunk():
     states = BatchPrefixEvaluator(scenario.cost_model()).states_chunk(configs)
     assert isinstance(states, BatchChunkStates)
     assert len(states) == len(configs)
-    assert [c for run, _d, _s in states.segments for c in run] == configs
+    assert [c for run, *_rest in states.segments for c in run] == configs
+    # Each segment carries the lazy-member plumbing: an (n, depth)
+    # choice matrix plus the per-level platform names that decode it.
+    for run, depth, _state, choices, names in states.segments:
+        assert choices.shape == (len(run), depth)
+        assert len(names) == depth
+        for config, row in zip(run, choices.tolist()):
+            assert config.platforms == tuple(
+                names[level][c] for level, c in enumerate(row)
+            )
 
 
 # -- columnar sink folds -------------------------------------------------
