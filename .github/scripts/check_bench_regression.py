@@ -37,6 +37,7 @@ GATED_KINDS: dict[str, str] = {
     "explore_vectorized": "speedup_batch_vs_scalar",
     "explore_pruned_vectorized": "speedup_fused_vs_scalar_pruned",
     "campaign_fleet_columnar": "speedup_lazy_vs_materialize",
+    "joint_fleet": "speedup_joint_vs_naive",
 }
 #: best_prior / latest above this: warn-only comment in the summary.
 WARN_RATIO = 2.0

@@ -1,16 +1,25 @@
 """Shared benchmark fixtures.
 
 Every benchmark regenerates one of the paper's tables or figures, prints
-it as a text table, and archives it under ``benchmarks/results/``. Heavy
+it as a text table, and archives it under a results directory. Heavy
 trained artifacts are session-scoped.
+
+Writes to the *tracked* artifacts — the repo-root ``BENCH_explore.json``
+trajectory and ``benchmarks/results/*`` — happen only when the run opts
+in with ``BENCH_PUBLISH=1`` (the CI bench job does). A plain local
+``pytest`` run writes throwaway twins under pytest's tmp directory and
+leaves ``git status`` clean. The pure logic lives in ``_trajectory.py``
+so ``tests/test_bench_trajectory.py`` can pin it without pytest.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
+import _trajectory
 from repro.facedet.training import TrainedDetectorBundle, train_reference_cascade
 from repro.faceauth.workload import TrainedWorkload, build_workload
 
@@ -21,15 +30,33 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: ``append_trajectory``), CI uploads it as an artifact.
 TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_explore.json"
 
-#: Trajectory length cap: local full-suite runs append too, so bound
-#: the committed artifact to the most recent entries.
-MAX_TRAJECTORY_ENTRIES = 100
+#: Re-exported for callers that imported the cap from here.
+MAX_TRAJECTORY_ENTRIES = _trajectory.MAX_TRAJECTORY_ENTRIES
 
 
 @pytest.fixture(scope="session")
-def results_dir() -> Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    return RESULTS_DIR
+def bench_output(tmp_path_factory) -> tuple[Path, Path]:
+    """(trajectory write path, results dir) for this session.
+
+    Tracked paths under ``BENCH_PUBLISH=1``, tmp twins otherwise. Also
+    exports ``BENCH_RESULTS_DIR`` so examples that archive their own
+    summaries (``examples/campaign_fleet.py``) follow the same routing.
+    """
+    tmp_dir = tmp_path_factory.mktemp("bench_output")
+    trajectory_path, results_dir = _trajectory.resolve_output_paths(
+        tmp_dir,
+        os.environ,
+        trajectory_path=TRAJECTORY_PATH,
+        results_dir=RESULTS_DIR,
+    )
+    results_dir.mkdir(parents=True, exist_ok=True)
+    os.environ[_trajectory.RESULTS_DIR_ENV_VAR] = str(results_dir)
+    return trajectory_path, results_dir
+
+
+@pytest.fixture(scope="session")
+def results_dir(bench_output) -> Path:
+    return bench_output[1]
 
 
 def _current_commit() -> str | None:
@@ -52,45 +79,42 @@ def _current_commit() -> str | None:
 
 
 @pytest.fixture(scope="session")
-def append_trajectory():
-    """Append one entry to the shared ``BENCH_explore.json`` trajectory.
+def trajectory_baseline() -> list[dict]:
+    """Session-start snapshot of the tracked trajectory.
 
-    Entries are kind-tagged dicts stamped with the current commit;
-    entries beyond the cap roll off oldest-first. Rerunning a benchmark
-    at the *same* commit replaces that (kind, commit) pair's latest
-    consecutive entry instead of appending, so local
-    rerun-before-commit loops don't pile timing-noise duplicates into
-    the committed artifact — while cross-commit entries (the trend the
-    trajectory exists to show) always append.
+    Speedup bars that compare against "prior commits" must anchor on
+    this snapshot, never on the post-append list ``append_trajectory``
+    returns — entries appended earlier in the same session come from
+    this machine at this commit, and using them as the bar couples
+    benchmarks through run order (the full-suite-only failure mode of
+    ``test_explore_vectorized_speedup``).
     """
+    return _trajectory.load_trajectory(TRAJECTORY_PATH)
+
+
+@pytest.fixture(scope="session")
+def append_trajectory(bench_output, trajectory_baseline):
+    """Append one entry to this session's trajectory and persist it.
+
+    The in-memory trajectory seeds from the session-start snapshot, so
+    the written artifact (tracked under ``BENCH_PUBLISH=1``, a tmp twin
+    otherwise) is always snapshot + this session's entries. Same-commit
+    same-kind reruns replace rather than append; see
+    ``_trajectory.append_entry``.
+    """
+    import json
+
+    trajectory_path = bench_output[0]
+    state = {"trajectory": list(trajectory_baseline)}
 
     def _append(entry: dict) -> list[dict]:
-        import json
-
-        entry = dict(entry)
-        commit = _current_commit()
-        entry["commit"] = commit
-        trajectory = []
-        if TRAJECTORY_PATH.exists():
-            trajectory = json.loads(TRAJECTORY_PATH.read_text())
-        # Replace the latest entry of the SAME kind at the same commit
-        # (several kinds interleave per run, so trajectory[-1] alone
-        # would never match and reruns would still pile up duplicates).
-        replaced = False
-        if commit is not None:
-            for position in range(len(trajectory) - 1, -1, -1):
-                previous = trajectory[position]
-                if previous.get("kind") != entry.get("kind"):
-                    continue
-                if previous.get("commit") == commit:
-                    trajectory[position] = entry
-                    replaced = True
-                break  # only the latest same-kind entry is a candidate
-        if not replaced:
-            trajectory.append(entry)
-        trajectory = trajectory[-MAX_TRAJECTORY_ENTRIES:]
-        TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
-        return trajectory
+        state["trajectory"] = _trajectory.append_entry(
+            state["trajectory"], entry, _current_commit()
+        )
+        trajectory_path.write_text(
+            json.dumps(state["trajectory"], indent=2) + "\n"
+        )
+        return state["trajectory"]
 
     return _append
 

@@ -29,7 +29,10 @@ EXAMPLE_PATH = (
 )
 
 
-def test_campaign_fleet_example_runs_whole_catalog(capsys):
+def test_campaign_fleet_example_runs_whole_catalog(capsys, results_dir):
+    # results_dir (via bench_output) exports BENCH_RESULTS_DIR before the
+    # example module resolves SUMMARY_PATH, so the archived summary obeys
+    # the BENCH_PUBLISH routing instead of dirtying the tracked tree.
     spec = importlib.util.spec_from_file_location("campaign_fleet", EXAMPLE_PATH)
     example = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(example)

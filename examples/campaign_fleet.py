@@ -36,6 +36,7 @@ Run:
 
 from __future__ import annotations
 
+import os
 import tempfile
 from pathlib import Path
 
@@ -50,8 +51,20 @@ from repro.explore import (
 from repro.explore.catalog import load_builtin
 
 #: The campaign summary is archived next to the benchmark tables (CI
-#: uploads it alongside BENCH_explore.json).
-SUMMARY_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "results" / "campaign_summary.txt"
+#: uploads it alongside BENCH_explore.json). The bench conftest routes
+#: this through ``BENCH_RESULTS_DIR`` so plain test runs write a tmp
+#: twin and only ``BENCH_PUBLISH=1`` runs touch the tracked path.
+def _summary_path() -> Path:
+    results_dir = os.environ.get("BENCH_RESULTS_DIR")
+    if results_dir:
+        return Path(results_dir) / "campaign_summary.txt"
+    return (
+        Path(__file__).resolve().parent.parent
+        / "benchmarks" / "results" / "campaign_summary.txt"
+    )
+
+
+SUMMARY_PATH = _summary_path()
 
 
 def main() -> None:

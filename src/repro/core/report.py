@@ -133,3 +133,41 @@ def campaign_summary_table(
     table = TextTable(columns, title=title or "campaign summary")
     table.add_rows(rows)
     return table
+
+
+#: Canonical column order of a joint-fleet summary row (see
+#: :meth:`repro.explore.joint.JointFleetResult.summary_rows`): each
+#: member's solo-best throughput next to the split the *joint* optimum
+#: assigned it, its committed uplink demand, and the share of the shared
+#: capacity that demand claims.
+JOINT_SUMMARY_COLUMNS = (
+    "member",
+    "configs",
+    "feasible",
+    "solo_best_fps",
+    "joint_config",
+    "joint_fps",
+    "demand_bps",
+    "capacity_share",
+)
+
+
+def joint_fleet_summary_table(
+    rows: list[dict[str, Any]], title: str | None = None
+) -> TextTable:
+    """The per-member report of a joint-fleet (shared uplink) search.
+
+    Same extension contract as :func:`campaign_summary_table`: rows are
+    plain dicts, extra keys beyond the canonical columns are appended in
+    first-appearance order.
+    """
+    columns = list(JOINT_SUMMARY_COLUMNS)
+    known = set(columns)
+    for row in rows:
+        for key in row:
+            if key not in known:
+                known.add(key)
+                columns.append(key)
+    table = TextTable(columns, title=title or "joint fleet summary")
+    table.add_rows(rows)
+    return table

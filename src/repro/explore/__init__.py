@@ -43,10 +43,16 @@ turns that exercise into one reusable engine:
   fleet), ``iter_runs`` streaming with ``max_pending_runs``
   backpressure, plus the fleet summary report;
 * :mod:`.scheduling` — the campaign chunk-scheduling policies
-  (round-robin, shortest-first, priority-weighted, and the
-  measured-latency-driven :class:`AdaptiveLatency`) and the
-  ``observe`` feedback channel that reports every measured chunk
-  latency back to them.
+  (round-robin, shortest-first, priority-weighted, the
+  measured-latency-driven :class:`AdaptiveLatency`, and the
+  WSPT :class:`WeightedCompletionTime`) and the ``observe`` feedback
+  channel that reports every measured chunk latency back to them;
+* :mod:`.joint` — :func:`explore_joint`, the joint-fleet domain: N
+  member scenarios share one uplink of fixed capacity, feasibility
+  couples them through aggregate demand, and the max-min-FPS joint
+  assignment is searched over per-depth candidates under a sound
+  shared-capacity lower-bound pruner (member rows stay byte-identical
+  to solo runs — phase 1 *is* a campaign).
 
 Quickstart::
 
@@ -77,15 +83,27 @@ from repro.explore.scheduling import (
     RoundRobin,
     SchedulingPolicy,
     ShortestScenarioFirst,
+    WeightedCompletionTime,
     resolve_policy,
 )
 from repro.explore.catalog import (
     CATALOG,
     CatalogEntry,
     FleetSpec,
+    JointFleetSpec,
     ScenarioCatalog,
     load_builtin,
     register_scenario,
+)
+from repro.explore.joint import (
+    JointCandidate,
+    JointCandidateSink,
+    JointFleetResult,
+    JointFleetScenario,
+    explore_joint,
+    joint_candidates,
+    member_demand_bps,
+    search_joint_assignment,
 )
 from repro.explore.engine import (
     EVALUATION_MODES,
@@ -119,12 +137,15 @@ from repro.explore.prune import (
     energy_depth_lower_bounds,
     energy_prefix_pruner,
     lower_bound_depth_hook,
+    shared_capacity_prefix_pruner,
+    shared_capacity_suffix_bounds,
     throughput_depth_bounds,
 )
 from repro.explore.result import (
     ExplorationResult,
     ParetoFrontier,
     TopK,
+    best_row,
     domain_frontier,
     pareto_filter,
 )
@@ -155,6 +176,11 @@ __all__ = [
     "EVALUATION_MODES",
     "ExplorationResult",
     "FleetSpec",
+    "JointCandidate",
+    "JointCandidateSink",
+    "JointFleetResult",
+    "JointFleetScenario",
+    "JointFleetSpec",
     "JsonlSink",
     "MemorySink",
     "PRUNED_SUBTREE",
@@ -177,6 +203,8 @@ __all__ = [
     "SweepExecutor",
     "TopK",
     "TopKSink",
+    "WeightedCompletionTime",
+    "best_row",
     "compute_fps_prefix_pruner",
     "count_configs",
     "domain_frontier",
@@ -186,16 +214,22 @@ __all__ = [
     "evaluation_path",
     "explore",
     "explore_brute_force",
+    "explore_joint",
     "iter_configs",
     "iter_evaluations",
     "iter_scenario_shards",
+    "joint_candidates",
     "load_builtin",
     "lower_bound_depth_hook",
+    "member_demand_bps",
     "pareto_filter",
     "register_scenario",
     "resolve_policy",
     "run_campaign",
     "scenario_compute_key",
+    "search_joint_assignment",
+    "shared_capacity_prefix_pruner",
+    "shared_capacity_suffix_bounds",
     "supports_batch_evaluation",
     "supports_prefix_evaluation",
     "throughput_depth_bounds",

@@ -514,7 +514,7 @@ class ScenarioRun:
     n_evaluated: int
     n_feasible: int
     best: dict[str, Any] | None
-    pareto_size: int
+    _pareto_size: int | None
     wall_seconds: float
     frontier: list[dict[str, Any]] | None = field(default=None, repr=False)
     dedup_source: str | None = None
@@ -524,12 +524,35 @@ class ScenarioRun:
     def name(self) -> str:
         return self.scenario.name
 
+    @property
+    def pareto_size(self) -> int:
+        """Size of the domain-default Pareto frontier.
+
+        Export-only runs know it from the streamed frontier; collected
+        runs compute it on first access — the dominance filter is
+        O(rows x frontier) and consumers that never look at the
+        frontier (the joint-fleet optimizer's phase-1 campaign) should
+        not pay for it per member.
+        """
+        if self._pareto_size is None:
+            self._pareto_size = len(self.pareto()) if self.n_evaluated else 0
+        return self._pareto_size
+
     def pareto(self) -> list[dict[str, Any]]:
         """The domain-default Pareto frontier rows: from the collected
-        result when available, else the streamed frontier."""
+        result when available, else the streamed frontier. Raises
+        :class:`~repro.errors.PipelineError` on an export-only run that
+        opted out of frontier tracking (``frontier=False``) — the rows
+        are gone and the frontier was never maintained."""
         if self.result is not None:
             return self.result.pareto() if len(self.result) else []
-        return list(self.frontier or [])
+        if self.frontier is None:
+            raise PipelineError(
+                f"run {self.scenario.name!r} was export-only with "
+                "frontier tracking disabled (frontier=False); no Pareto "
+                "frontier is available"
+            )
+        return list(self.frontier)
 
     def summary_row(self) -> dict[str, Any]:
         """One campaign-report row (see
@@ -648,6 +671,41 @@ class CampaignResult:
             f"have {[run.name for run in self.runs]}"
         )
 
+    def weighted_completion_seconds(
+        self, weights: Mapping[str, float] | None = None
+    ) -> float:
+        """Weighted mean completion time of the fleet's scenarios.
+
+        ``sum_i w_i * C_i / sum_i w_i`` where ``C_i`` is scenario *i*'s
+        ``wall_seconds`` — the time from campaign start until its last
+        chunk was collected, i.e. when it streamed out of
+        :meth:`Campaign.iter_runs`. This is the objective the
+        :class:`~repro.explore.scheduling.WeightedCompletionTime`
+        policy (WSPT order) minimizes; weights key on scenario name,
+        scenarios without an entry weigh 1.0, and unknown names are
+        rejected (they would silently never apply).
+        """
+        weights = dict(weights or {})
+        names = {run.name for run in self.runs}
+        unknown = sorted(set(weights) - names)
+        if unknown:
+            raise ConfigurationError(
+                f"completion-time weights for unknown scenarios {unknown}; "
+                f"campaign has {sorted(names)}"
+            )
+        for name, weight in weights.items():
+            if not weight > 0:
+                raise ConfigurationError(
+                    f"weight for {name!r} must be positive, got {weight}"
+                )
+        total = sum(weights.get(run.name, 1.0) for run in self.runs)
+        if total == 0:
+            return 0.0
+        return (
+            sum(weights.get(run.name, 1.0) * run.wall_seconds for run in self.runs)
+            / total
+        )
+
     def summary_rows(self) -> list[dict[str, Any]]:
         return [run.summary_row() for run in self.runs]
 
@@ -679,11 +737,17 @@ class _StreamingStats:
         "_maximize",
     )
 
-    def __init__(self, domain: str):
+    def __init__(self, domain: str, track_frontier: bool = True):
         self.n_evaluated = 0
         self.n_feasible = 0
         self.best: dict[str, Any] | None = None
-        self.frontier: ParetoFrontier = domain_frontier(domain)
+        #: None when frontier tracking is opted out (``frontier=False``
+        #: campaigns): dominance filtering is O(rows x frontier) and
+        #: consumers that never ask for the frontier — the joint-fleet
+        #: optimizer's candidate-sink phase — should not pay it.
+        self.frontier: ParetoFrontier | None = (
+            domain_frontier(domain) if track_frontier else None
+        )
         self._metric = _best_metric(domain)
         self._maximize = DEFAULT_AXES[domain][1]
 
@@ -702,7 +766,8 @@ class _StreamingStats:
         self.best = best
         self.n_evaluated += len(rows)
         self.n_feasible += feasible
-        self.frontier.add(rows)
+        if self.frontier is not None:
+            self.frontier.add(rows)
 
     def update_batch(self, batch: BatchRows) -> None:
         """:meth:`update` over a lazy columnar batch, materializing only
@@ -753,7 +818,8 @@ class _StreamingStats:
             self.best = batch.row(winner)
         self.n_evaluated += n
         self.n_feasible += int(_np.count_nonzero(feasible))
-        self.frontier.add_batch(batch)
+        if self.frontier is not None:
+            self.frontier.add_batch(batch)
 
 
 class Campaign:
@@ -823,6 +889,7 @@ class Campaign:
         policy: Any = None,
         dedup: bool | str = False,
         max_pending_runs: int | None = None,
+        frontier: bool = True,
     ) -> Iterator[ScenarioRun]:
         """Stream the fleet: yield each :class:`ScenarioRun` the moment
         its scenario's last chunk lands.
@@ -891,6 +958,7 @@ class Campaign:
             PipelineCostCache(scenarios) if dedup else None,
             max_pending_runs,
             dedup != "materialize",
+            frontier,
         )
 
     def _stream_runs(
@@ -904,6 +972,7 @@ class Campaign:
         cache: PipelineCostCache | None,
         max_pending_runs: int | None,
         dedup_lazy: bool = True,
+        track_frontier: bool = True,
     ) -> Iterator[ScenarioRun]:
         """The generator behind :meth:`iter_runs` (argument validation
         stays eager in the caller, before the first ``next()``)."""
@@ -976,7 +1045,10 @@ class Campaign:
         row_caches: list[list[dict[str, Any]] | None] = [
             [] if collect and sink is not None else None for sink in sink_list
         ]
-        stats = [_StreamingStats(scenario.domain) for scenario in scenarios]
+        stats = [
+            _StreamingStats(scenario.domain, track_frontier)
+            for scenario in scenarios
+        ]
         # Per-scenario lazy-materialization accounting: None where rows
         # were never lazily closed (no dedup, or the materialize mode);
         # dedup group members under the lazy path count the rows their
@@ -1264,6 +1336,7 @@ class Campaign:
         collect_on_exit: bool = False,
         policy: Any = None,
         dedup: bool | str = False,
+        frontier: bool = True,
     ) -> CampaignResult:
         """Explore every scenario through one shared executor.
 
@@ -1316,6 +1389,14 @@ class Campaign:
             materialize; ``"materialize"`` keeps the per-member
             materialized finalize (identical values, O(rows x members)
             Python objects) — the lazy path's benchmark baseline.
+        frontier:
+            ``False`` skips the online Pareto frontier on export-only
+            runs (it is O(rows x frontier size) — dominating the whole
+            campaign when the domain axes anti-correlate, as the
+            compute/communication tradeoff makes them). Such runs raise
+            from :meth:`ScenarioRun.pareto` / ``pareto_size`` instead
+            of answering; collected runs are unaffected (their frontier
+            derives lazily from the rows).
         """
         resolved = resolve_policy(policy)
         start = time.perf_counter()
@@ -1328,6 +1409,7 @@ class Campaign:
                 collect_on_exit=collect_on_exit,
                 policy=resolved,
                 dedup=dedup,
+                frontier=frontier,
             )
         )
         wall = time.perf_counter() - start
@@ -1382,22 +1464,26 @@ class Campaign:
                 best = result.best
             except PipelineError:
                 best = None
-            pareto_size = len(result.pareto()) if n_evaluated else 0
+            pareto_size = None  # computed lazily on first access
             frontier = None
         else:
             result = None
             n_evaluated = run_stats.n_evaluated
             n_feasible = run_stats.n_feasible
             best = run_stats.best
-            frontier = run_stats.frontier.rows
-            pareto_size = len(frontier)
+            if run_stats.frontier is not None:
+                frontier = run_stats.frontier.rows
+                pareto_size = len(frontier)
+            else:  # frontier tracking opted out: pareto() raises
+                frontier = None
+                pareto_size = None
         return ScenarioRun(
             scenario=scenario,
             result=result,
             n_evaluated=n_evaluated,
             n_feasible=n_feasible,
             best=best,
-            pareto_size=pareto_size,
+            _pareto_size=pareto_size,
             wall_seconds=round(completed_at, 6),
             frontier=frontier,
             dedup_source=dedup_source,

@@ -160,6 +160,46 @@ class FleetSpec:
     overrides: Mapping[str, Any] | None = None
 
 
+@dataclass(frozen=True)
+class JointFleetSpec:
+    """A compact description of shared-uplink joint fleets.
+
+    The cross product *member mix x shared-link axis* that
+    :meth:`ScenarioCatalog.build_joint_fleets` expands into one
+    :class:`~repro.explore.joint.JointFleetScenario` per shared link:
+    every named entry is built once per link (``@<link>``-suffixed
+    member names, the :meth:`~ScenarioCatalog.build_at_links` shape) so
+    each member's solo rows price communication over the very uplink
+    the fleet contends for.
+
+    Parameters
+    ----------
+    entries:
+        Catalog entry names (the member mix). Throughput-domain entries
+        whose factories take a ``link`` parameter and build scenarios
+        with a ``target_fps`` — the joint demand model needs both.
+    shared_links:
+        Stock-link keys (:data:`LINKS`) or :class:`LinkModel`
+        instances: one joint fleet per shared uplink.
+    capacity_bps:
+        The shared capacity each fleet's aggregate demand must fit;
+        None (the default) uses each link's own ``goodput_bps`` — the
+        physically shared medium.
+    weights:
+        Optional per-entry completion-time weights, aligned with
+        ``entries`` (forwarded to every fleet).
+    overrides:
+        Shared factory keyword arguments applied to every member build
+        (per-entry defaults still merge underneath them).
+    """
+
+    entries: Sequence[str]
+    shared_links: Sequence[str | LinkModel]
+    capacity_bps: float | None = None
+    weights: Sequence[float] | None = None
+    overrides: Mapping[str, Any] | None = None
+
+
 def _same_factory(existing: Callable[..., Any], candidate: Callable[..., Any]) -> bool:
     """Whether two registrations refer to the same source factory.
 
@@ -363,6 +403,65 @@ class ScenarioCatalog:
                 f"{duplicates}; entries and links must be distinct"
             )
         return fleet
+
+    def build_joint_fleets(self, spec: JointFleetSpec) -> list:
+        """Expand a :class:`JointFleetSpec` into joint fleets.
+
+        One :class:`~repro.explore.joint.JointFleetScenario` per shared
+        link, named ``joint@<link>``, its members built *at that link*
+        (``@<link>``-suffixed names via :meth:`build_at_links`, so the
+        member list is campaign-legal and solo-comparable). The fleet
+        capacity defaults to the shared link's ``goodput_bps``.
+        Non-throughput entries are rejected here, with the entry named,
+        rather than failing later inside the fleet's own validation.
+        """
+        from repro.explore.joint import JointFleetScenario
+
+        if not spec.entries:
+            raise ConfigurationError("JointFleetSpec needs at least one entry")
+        if not spec.shared_links:
+            raise ConfigurationError(
+                "JointFleetSpec needs at least one shared link"
+            )
+        for name in spec.entries:
+            entry = self.get(name)
+            if entry.domain != "throughput":
+                raise ConfigurationError(
+                    f"joint fleets couple members through sustained "
+                    f"transmit rates; entry {name!r} is "
+                    f"{entry.domain}-domain — pass throughput entries"
+                )
+        overrides = dict(spec.overrides or {})
+        fleets = []
+        for link in spec.shared_links:
+            resolved = resolve_link(link)
+            members: list[Scenario] = []
+            for name in spec.entries:
+                members.extend(
+                    self.build_at_links(name, [resolved], **overrides)
+                )
+            capacity = (
+                resolved.goodput_bps
+                if spec.capacity_bps is None
+                else spec.capacity_bps
+            )
+            fleets.append(
+                JointFleetScenario(
+                    name=f"joint@{resolved.name}",
+                    members=tuple(members),
+                    capacity_bps=capacity,
+                    weights=(
+                        tuple(spec.weights) if spec.weights is not None else None
+                    ),
+                )
+            )
+        names = [fleet.name for fleet in fleets]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"shared links produce duplicate fleet names {names}; "
+                "pass distinct links"
+            )
+        return fleets
 
     def __contains__(self, name: object) -> bool:
         return name in self._entries

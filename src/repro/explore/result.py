@@ -106,6 +106,25 @@ def cost_row(scenario: "Scenario", cost: Any) -> dict[str, Any]:
     return _energy_row(cost, scenario.energy_budget_j)
 
 
+def best_row(
+    rows: Sequence[dict[str, Any]], metric: str, maximize: bool = True
+) -> dict[str, Any]:
+    """The optimal row by one metric, ties to the earliest row.
+
+    This is *the* tie rule of the whole stack — ``max``/``min`` return
+    the first element attaining the optimum, so among equal-metric rows
+    the earliest-enumerated configuration wins. Exposed as a function so
+    layers that re-rank row subsets (the joint-fleet candidate
+    reduction in :mod:`repro.explore.joint`) provably share the rule
+    with :attr:`ExplorationResult.best` instead of re-encoding it.
+    """
+    if not rows:
+        raise PipelineError(f"no rows to rank by {metric!r}")
+    if maximize:
+        return max(rows, key=lambda r: r[metric])
+    return min(rows, key=lambda r: r[metric])
+
+
 class ExplorationResult:
     """Every evaluated configuration of one scenario, with verdicts.
 
@@ -167,8 +186,8 @@ class ExplorationResult:
         if not self.rows:
             raise PipelineError("no configurations evaluated")
         if self.scenario.domain == "throughput":
-            return max(self.rows, key=lambda r: r["total_fps"])
-        return min(self.rows, key=lambda r: r["total_energy_j"])
+            return best_row(self.rows, "total_fps")
+        return best_row(self.rows, "total_energy_j", maximize=False)
 
     def pareto(
         self,

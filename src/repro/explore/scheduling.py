@@ -24,7 +24,9 @@ The builtin policies:
 * :class:`ShortestScenarioFirst` — ascending ``count_configs()`` order;
 * :class:`PriorityWeighted` — smooth weighted round-robin;
 * :class:`AdaptiveLatency` — longest-*estimated-remaining-time* first
-  over an EWMA of measured per-configuration chunk latencies.
+  over an EWMA of measured per-configuration chunk latencies;
+* :class:`WeightedCompletionTime` — run-to-completion WSPT order
+  minimizing the weighted mean completion time over ``iter_runs``.
 """
 
 from __future__ import annotations
@@ -291,12 +293,84 @@ class AdaptiveLatency(SchedulingPolicy):
         return best
 
 
+class WeightedCompletionTime(SchedulingPolicy):
+    """Run scenarios to completion in descending weight-per-size order.
+
+    The weighted-mean-completion-time objective over ``iter_runs``:
+    minimize ``sum_i w_i * C_i`` where ``C_i`` is scenario *i*'s
+    completion time in the stream. With one logical server and
+    run-to-completion scheduling, weighted-shortest-processing-time
+    (WSPT) is the classic exact rule — serve scenarios in descending
+    ``weight / processing_time``, here estimated as ``weight /
+    count_configs()``. High-weight and small scenarios stream out of
+    :meth:`Campaign.iter_runs` first; ties keep fleet order. With equal
+    weights this degrades exactly to :class:`ShortestScenarioFirst`
+    order (``1/size`` sorts like ``size``).
+
+    Parameters
+    ----------
+    weights:
+        Mapping from scenario *name* to a positive completion-time
+        weight; scenarios without an entry get ``default_weight``.
+        Unknown names are rejected at :meth:`start` (they would
+        silently never apply).
+    default_weight:
+        Weight of scenarios absent from ``weights``.
+    """
+
+    name = "weighted_completion"
+
+    def __init__(
+        self,
+        weights: Mapping[str, float] | None = None,
+        default_weight: float = 1.0,
+    ):
+        if default_weight <= 0:
+            raise ConfigurationError(
+                f"default_weight must be positive, got {default_weight}"
+            )
+        weights = dict(weights or {})
+        for name, weight in weights.items():
+            if not weight > 0:
+                raise ConfigurationError(
+                    f"weight for {name!r} must be positive, got {weight}"
+                )
+        self._by_name = weights
+        self._default = default_weight
+        self._order: tuple[int, ...] = ()
+
+    def start(self, scenarios: Sequence[Scenario]) -> None:
+        names = {scenario.name for scenario in scenarios}
+        unknown = sorted(set(self._by_name) - names)
+        if unknown:
+            raise ConfigurationError(
+                f"completion-time weights for unknown scenarios {unknown}; "
+                f"campaign has {sorted(names)}"
+            )
+        ratios = [
+            self._by_name.get(scenario.name, self._default)
+            / max(1, scenario.count_configs())
+            for scenario in scenarios
+        ]
+        self._order = tuple(
+            sorted(range(len(scenarios)), key=lambda index: (-ratios[index], index))
+        )
+
+    def select(self, live: Sequence[int]) -> int:
+        alive = set(live)
+        for index in self._order:
+            if index in alive:
+                return index
+        return live[0]
+
+
 #: Builtin policy factories by name (the string forms ``policy=`` takes).
 SCHEDULING_POLICIES: dict[str, Callable[[], SchedulingPolicy]] = {
     RoundRobin.name: RoundRobin,
     ShortestScenarioFirst.name: ShortestScenarioFirst,
     PriorityWeighted.name: PriorityWeighted,
     AdaptiveLatency.name: AdaptiveLatency,
+    WeightedCompletionTime.name: WeightedCompletionTime,
 }
 
 

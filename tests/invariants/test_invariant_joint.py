@@ -1,0 +1,171 @@
+"""Joint-fleet invariants: solo degeneration, pruner soundness, and
+executor/policy independence.
+
+Three properties over seeded random shared-uplink fleets:
+
+* **Uncontended == solo, byte-identically.** A fleet whose capacity is
+  at least :meth:`JointFleetScenario.solo_demand_bps` admits every
+  joint assignment — member rows must reproduce solo ``explore()``
+  byte-for-byte, the capacity pruner must never fire, and the fleet
+  optimum must equal the weakest member's solo-best feasible rate.
+* **The shared-capacity pruner never drops a feasible assignment.**
+  The DFS with capacity + objective bounds must agree with a
+  brute-force :func:`itertools.product` oracle over the members' *full*
+  feasible row sets, on both the feasibility verdict and the max-min
+  optimum.
+* **Joint results are executor- and policy-independent.** The best
+  assignment, optimum and member rows are identical across
+  serial/thread/process executors and every registered scheduling
+  policy (selections reorder only *between* members).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.datasets.rng import make_rng
+from repro.explore import (
+    SCHEDULING_POLICIES,
+    JointFleetScenario,
+    SweepExecutor,
+    explore,
+    explore_joint,
+    member_demand_bps,
+)
+
+SEEDS = range(10)
+
+#: Brute-force oracle ceiling: seeds whose full feasible-row product
+#: exceeds this are skipped for the oracle property (the other
+#: properties still cover them).
+ORACLE_CEILING = 20_000
+
+
+def random_joint_fleet(gen, rng, max_members: int = 3):
+    """A random shared-uplink fleet: constrained throughput members,
+    all built at one shared link, with a coin-flip dedup pair (two
+    members sharing a pipeline object — the PR-8 group-finalize path).
+    """
+    rng = make_rng(rng)
+    shared_link = gen.link(rng)
+    n_members = int(rng.integers(2, max_members + 1))
+    members = []
+    while len(members) < n_members:
+        member = gen.scenario(
+            rng,
+            name=f"cam{len(members)}",
+            domain="throughput",
+            constrained=True,
+            link=shared_link,
+        )
+        members.append(member)
+        if len(members) < n_members and rng.random() < 0.4:
+            members.append(
+                replace(
+                    member,
+                    name=f"cam{len(members)}",
+                    target_fps=float(rng.uniform(5.0, 80.0)),
+                )
+            )
+    fleet = JointFleetScenario(
+        name=f"joint-{int(rng.integers(1_000_000))}",
+        members=tuple(members),
+        capacity_bps=1.0,  # placeholder; tests pick their own capacity
+    )
+    return fleet
+
+
+def at_capacity(fleet: JointFleetScenario, capacity_bps: float):
+    return replace(fleet, capacity_bps=capacity_bps)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_uncontended_joint_reproduces_solo_byte_identical(gen, seed):
+    rng = make_rng(seed)
+    base = random_joint_fleet(gen, rng)
+    fleet = at_capacity(base, base.solo_demand_bps())
+    assert fleet.is_uncontended()
+    result = explore_joint(fleet)
+    assert result.counters["n_capacity_pruned"] == 0
+    solo_best = []
+    for member in fleet.members:
+        solo = explore(member)
+        joint_rows = result.campaign[member.name].result.rows
+        assert json.dumps(joint_rows) == json.dumps(solo.rows)
+        feasible = [row["total_fps"] for row in solo.rows if row["feasible"]]
+        solo_best.append(max(feasible) if feasible else None)
+    if any(best is None for best in solo_best):
+        # A member with no feasible split makes the fleet infeasible.
+        assert not result.feasible
+    else:
+        assert result.feasible
+        assert result.best_fleet_fps == min(solo_best)
+        assert result.best_demand_bps <= fleet.capacity_bps
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_capacity_pruner_agrees_with_brute_force_oracle(gen, seed):
+    rng = make_rng(seed)
+    base = random_joint_fleet(gen, rng)
+    scale = float(rng.uniform(0.2, 1.2))
+    fleet = at_capacity(base, max(1.0, scale * base.solo_demand_bps()))
+    result = explore_joint(fleet)
+    feasible_rows = [
+        [row for row in result.campaign[member.name].result.rows if row["feasible"]]
+        for member in fleet.members
+    ]
+    space = math.prod(len(rows) for rows in feasible_rows)
+    if space > ORACLE_CEILING:
+        pytest.skip(f"oracle space {space} over the ceiling")
+    oracle_value = float("-inf")
+    oracle_feasible = False
+    for combo in itertools.product(*feasible_rows):
+        demand = sum(
+            member_demand_bps(member, row)
+            for member, row in zip(fleet.members, combo)
+        )
+        if demand <= fleet.capacity_bps:
+            oracle_feasible = True
+            value = min(row["total_fps"] for row in combo)
+            if value > oracle_value:
+                oracle_value = value
+    assert result.feasible == oracle_feasible
+    if oracle_feasible:
+        # Same floats on both sides (row values compared by max/min),
+        # so exact equality is the right assertion.
+        assert result.best_fleet_fps == oracle_value
+        assert result.best_demand_bps <= fleet.capacity_bps
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_joint_identical_across_executors_and_policies(gen, seed):
+    rng = make_rng(seed)
+    base = random_joint_fleet(gen, rng)
+    fleet = at_capacity(
+        base, max(1.0, float(rng.uniform(0.4, 1.1)) * base.solo_demand_bps())
+    )
+    reference = explore_joint(fleet)
+    reference_rows = json.dumps(
+        [reference.campaign[m.name].result.rows for m in fleet.members]
+    )
+    executors = [None, SweepExecutor(workers=3, backend="thread")]
+    if seed % 5 == 0:  # process pools are expensive; sample them
+        executors.append(SweepExecutor(workers=2, backend="process"))
+    for executor in executors:
+        for policy in sorted(SCHEDULING_POLICIES):
+            candidate = explore_joint(
+                fleet, executor, chunk_size=3, policy=policy
+            )
+            assert candidate.best_choice == reference.best_choice, policy
+            assert candidate.best_fleet_fps == reference.best_fleet_fps
+            assert candidate.best_demand_bps == reference.best_demand_bps
+            assert candidate.counters == reference.counters
+            rows = json.dumps(
+                [candidate.campaign[m.name].result.rows for m in fleet.members]
+            )
+            assert rows == reference_rows, (executor, policy)

@@ -97,6 +97,7 @@ def test_gated_kinds_cover_every_trajectory_kind():
         "explore_vectorized": "speedup_batch_vs_scalar",
         "explore_pruned_vectorized": "speedup_fused_vs_scalar_pruned",
         "campaign_fleet_columnar": "speedup_lazy_vs_materialize",
+        "joint_fleet": "speedup_joint_vs_naive",
     }
 
 
@@ -165,6 +166,28 @@ def test_fleet_columnar_kind_is_gated(tmp_path):
     path.write_text(json.dumps(healthy + [fleet_entry(7.0)]))
     assert gate.main(["gate", str(path)]) == 0
     path.write_text(json.dumps(healthy + [fleet_entry(1.0)]))
+    assert gate.main(["gate", str(path)]) == 1
+
+
+def joint_entry(speedup):
+    return {"kind": "joint_fleet", "speedup_joint_vs_naive": speedup}
+
+
+def test_joint_fleet_kind_is_gated(tmp_path):
+    """The joint-fleet trajectory rides the same gate semantics: its
+    speedup metric is kind-filtered and a hard regression (e.g. the
+    shared campaign phase silently degrading to naive per-member
+    re-evaluation) fails the build on its own."""
+    assert gate.latest_and_best_prior(
+        [joint_entry(15.0), fleet_entry(8.0), joint_entry(12.0)],
+        "joint_fleet",
+        "speedup_joint_vs_naive",
+    ) == (12.0, 15.0)
+    path = tmp_path / "BENCH_explore.json"
+    healthy = [entry(6.0), vec_entry(20.0), joint_entry(15.0)]
+    path.write_text(json.dumps(healthy + [joint_entry(12.0)]))
+    assert gate.main(["gate", str(path)]) == 0
+    path.write_text(json.dumps(healthy + [joint_entry(1.0)]))
     assert gate.main(["gate", str(path)]) == 1
 
 
